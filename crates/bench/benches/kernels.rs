@@ -1,0 +1,139 @@
+//! Criterion wall-clock microbenches of this Rust implementation's
+//! hot kernels (distinct from the simulated-clock figure harnesses).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dycore::config::{ModelConfig, Terrain};
+use dycore::grid::Grid;
+use dycore::ops;
+use dycore::state::State;
+use numerics::limiter::{limited_flux, Limiter};
+use numerics::tridiag;
+use numerics::{Field3, Layout};
+use physics::kessler::{self, PointState};
+
+fn grid(nx: usize, ny: usize, nz: usize) -> Grid {
+    let mut c = ModelConfig::mountain_wave(nx, ny, nz);
+    c.terrain = Terrain::Flat;
+    Grid::build(&c)
+}
+
+fn bench_advection(c: &mut Criterion) {
+    let g = grid(64, 32, 24);
+    let mut s = State::zeros(&g, 3);
+    s.rho.fill(1.0);
+    s.u.fill(5.0);
+    s.v.fill(-2.0);
+    s.th.fill(300.0);
+    s.fill_halos_periodic();
+    let mut spec = g.center_field();
+    for (idx, v) in spec.raw_mut().iter_mut().enumerate() {
+        *v = 1.0 + 0.001 * (idx % 97) as f64;
+    }
+    let mut mw = g.w_field();
+    mw.fill(0.3);
+    let mut out = g.center_field();
+    let mut fa = g.center_field();
+    let mut fw = g.w_field();
+    let points = (g.nx * g.ny * g.nz) as u64;
+
+    let mut group = c.benchmark_group("advection");
+    group.throughput(Throughput::Elements(points));
+    group.bench_function("scalar_koren_64x32x24", |b| {
+        b.iter(|| {
+            out.fill(0.0);
+            ops::advect_scalar(&g, Limiter::Koren, &spec, &s.u, &s.v, &mw, &mut out, &mut fa, &mut fw);
+        })
+    });
+    for lim in [Limiter::Upwind1, Limiter::Minmod, Limiter::Superbee] {
+        group.bench_with_input(BenchmarkId::new("limiter", lim.name()), &lim, |b, &lim| {
+            b.iter(|| {
+                out.fill(0.0);
+                ops::advect_scalar(&g, lim, &spec, &s.u, &s.v, &mw, &mut out, &mut fa, &mut fw);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_limiter_flux(c: &mut Criterion) {
+    let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("limited_flux_koren_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in black_box(&data).windows(4) {
+                acc += limited_flux(Limiter::Koren, 1.7, w[0], w[1], w[2], w[3]);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_tridiagonal(c: &mut Criterion) {
+    let n = 48;
+    let a = vec![-1.0f64; n];
+    let bdiag = vec![4.0f64; n];
+    let cdiag = vec![-1.0f64; n];
+    let mut group = c.benchmark_group("helmholtz_column");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("thomas_48", |b| {
+        let mut d = vec![1.0f64; n];
+        let mut scr = vec![0.0f64; n];
+        b.iter(|| {
+            d.fill(1.0);
+            tridiag::solve_in_place(&a, &bdiag, &cdiag, &mut d, &mut scr);
+            d[n / 2]
+        })
+    });
+    group.finish();
+}
+
+fn bench_kessler(c: &mut Criterion) {
+    let p = 9.0e4;
+    let pi = physics::eos::exner(p);
+    let rho = 1.0;
+    c.bench_function("kessler_point_moist", |b| {
+        b.iter(|| {
+            kessler::step_point(
+                black_box(p),
+                black_box(pi),
+                black_box(rho),
+                black_box(5.0),
+                PointState {
+                    theta: black_box(295.0),
+                    qv: black_box(0.015),
+                    qc: black_box(1.2e-3),
+                    qr: black_box(0.6e-3),
+                },
+            )
+        })
+    });
+}
+
+fn bench_layout_transpose(c: &mut Criterion) {
+    // The KIJ -> XZY relayout of the GPU upload path.
+    let f = Field3::<f64>::from_fn(64, 48, 32, 2, Layout::KIJ, |i, j, k| (i + j + k) as f64);
+    let mut x = Field3::<f64>::new(64, 48, 32, 2, Layout::XZY);
+    let mut group = c.benchmark_group("layout");
+    group.throughput(Throughput::Elements((64 * 48 * 32) as u64));
+    group.bench_function("kij_to_xzy_64x48x32", |b| {
+        b.iter(|| {
+            x.copy_interior_from(&f);
+        })
+    });
+    group.finish();
+}
+
+fn bench_model_step(c: &mut Criterion) {
+    let mut cfg = ModelConfig::mountain_wave(32, 16, 16);
+    cfg.dt = 4.0;
+    let mut m = dycore::Model::new(cfg);
+    dycore::init::mountain_wave_inflow(&mut m, 10.0);
+    c.bench_function("full_long_step_32x16x16", |b| b.iter(|| m.step()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_advection, bench_limiter_flux, bench_tridiagonal, bench_kessler, bench_layout_transpose, bench_model_step
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Fig. 4 — single-GPU performance of ASUCA vs grid size.
+//!
+//! Paper: nx = 320, nz = 48, ny from 32 to 256; three series:
+//! GPU single precision (44.3 GFlops at 320×256×48), GPU double
+//! precision (14.6 GFlops), CPU double precision (~0.5 GFlops; the
+//! 83.4× headline is GPU-SP vs CPU-DP).
+//!
+//! All series use the same kernel stream and the analytic cost model
+//! (phantom execution) on the respective device spec; FLOP counts are
+//! identical across devices, exactly as the paper counted CPU FLOPs
+//! with PAPI and divided by GPU time.
+
+use asuca_bench::paper_subdomain;
+use asuca_gpu::SingleGpu;
+use vgpu::{DeviceSpec, ExecMode};
+
+fn gflops<R: numerics::Real>(cfg: dycore::ModelConfig, spec: DeviceSpec, steps: usize) -> f64 {
+    let mut gpu = SingleGpu::<R>::new(cfg, spec, ExecMode::Phantom);
+    // Measure the step loop only (exclude init transfers).
+    gpu.dev.profiler.reset();
+    let t0 = gpu.dev.host_time();
+    gpu.run(steps);
+    let elapsed = gpu.dev.host_time() - t0;
+    let (flops, _) = gpu.dev.profiler.flops_and_time();
+    flops / elapsed / 1e9
+}
+
+fn main() {
+    let steps = 2;
+    println!("# Fig. 4: ASUCA performance on a single GPU (Tesla S1070) and CPU core (Opteron 2.4 GHz)");
+    println!("# paper anchors: GPU SP 44.3 GFlops, GPU DP 14.6 GFlops @ 320x256x48; GPU-SP/CPU-DP = 83.4x");
+    println!("nx,ny,nz,points,gpu_sp_gflops,gpu_dp_gflops,cpu_dp_gflops,sp_over_cpu");
+    let mut last = (0.0, 0.0, 0.0);
+    for ny in [32usize, 64, 96, 128, 160, 192, 224, 256] {
+        let cfg = paper_subdomain(ny);
+        let sp = gflops::<f32>(cfg.clone(), DeviceSpec::tesla_s1070(), steps);
+        let dp = if ny <= 128 {
+            // The paper's DP runs stop at ny = 128 (4 GB limit).
+            gflops::<f64>(cfg.clone(), DeviceSpec::tesla_s1070(), steps)
+        } else {
+            f64::NAN
+        };
+        let cpu = gflops::<f64>(cfg.clone(), DeviceSpec::opteron_core(), steps);
+        let ratio = sp / cpu;
+        println!(
+            "{},{},{},{},{:.1},{:.1},{:.3},{:.1}",
+            cfg.nx,
+            ny,
+            cfg.nz,
+            cfg.nx * ny * cfg.nz,
+            sp,
+            dp,
+            cpu,
+            ratio
+        );
+        last = (sp, dp, cpu);
+    }
+    let (sp, _dp, cpu) = last;
+    println!("# measured at largest SP grid: GPU-SP = {sp:.1} GFlops, CPU-DP = {cpu:.3} GFlops, speedup = {:.1}x", sp / cpu);
+}

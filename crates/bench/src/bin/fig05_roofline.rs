@@ -1,0 +1,56 @@
+//! Fig. 5 — arithmetic intensity vs performance for key kernels on the
+//! Tesla S1070, against the paper's Eq. (6) roofline curve.
+//!
+//! The paper's five labelled kernels and our counterparts:
+//! (1) coordinate transformation for density  → `transform_theta`
+//! (2) pressure gradient force in x direction → `momentum_x`
+//! (3) advection (x momentum)                 → `advection_u`
+//! (4) Helmholtz-like equation                → `helmholtz`
+//! (5) warm rain                              → `warm_rain`
+
+use asuca_bench::paper_subdomain;
+use asuca_gpu::perf::{eq6_curve, roofline_rows};
+use asuca_gpu::SingleGpu;
+use vgpu::{DeviceSpec, ExecMode};
+
+fn main() {
+    let cfg = paper_subdomain(256);
+    let mut gpu = SingleGpu::<f32>::new(cfg, DeviceSpec::tesla_s1070(), ExecMode::Phantom);
+    gpu.dev.profiler.reset();
+    gpu.run(1);
+
+    println!("# Fig. 5: arithmetic intensity vs performance, Tesla S1070, single precision");
+    println!("# roofline: Eq. (6) with Fpeak = 691.2 GFlops, Bpeak = 102.4 GB/s (x0.72 achievable)");
+    println!("kind,name,flop_per_byte,gflops");
+
+    // The Eq. (6) curve, log-sampled like the paper's axis (1e-2..1e2).
+    let spec = DeviceSpec::tesla_s1070();
+    let mut ai = 0.01;
+    while ai <= 120.0 {
+        println!("curve,eq6,{ai:.4},{:.2}", eq6_curve(&spec, 4, ai));
+        ai *= 1.5;
+    }
+
+    // The five labelled kernels of the paper.
+    let key = [
+        ("transform_theta", "(1) coordinate transformation"),
+        ("momentum_x", "(2) pressure gradient x"),
+        ("advection_u", "(3) advection (x momentum)"),
+        ("helmholtz", "(4) Helmholtz-like eq."),
+        ("warm_rain", "(5) warm rain"),
+    ];
+    let rows = roofline_rows(&gpu.dev.profiler, &[]);
+    for (kname, label) in key {
+        match rows.iter().find(|r| r.name == kname) {
+            Some(r) => println!("kernel,{label},{:.4},{:.2}", r.arithmetic_intensity, r.gflops),
+            None => println!("kernel,{label},missing,missing"),
+        }
+    }
+
+    // Everything else, for completeness.
+    for r in &rows {
+        if !key.iter().any(|(k, _)| *k == r.name) && r.gflops > 0.0 {
+            println!("other,{},{:.4},{:.2}", r.name, r.arithmetic_intensity, r.gflops);
+        }
+    }
+}

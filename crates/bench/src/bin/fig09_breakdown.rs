@@ -1,0 +1,71 @@
+//! Fig. 9 — per-kernel computation and communication breakdown of the
+//! overlap method's split kernels at 528 GPUs.
+//!
+//! Paper rows: Momentum (x), Momentum (y), Helmholtz-like eq., Density
+//! (+ coordinate transformation), Potential temperature — each shown as
+//! the whole (single) kernel vs its inner / y-boundary / x-boundary
+//! splits, next to the GPU↔host and MPI transfer times.
+
+use asuca_bench::paper_subdomain;
+use asuca_gpu::multi::{run_multi, MultiGpuConfig, OverlapMode};
+use cluster::NetworkSpec;
+use vgpu::{DeviceSpec, ExecMode};
+
+fn time_of(breakdown: &[(String, u64, f64)], name: &str) -> f64 {
+    breakdown
+        .iter()
+        .find(|(n, _, _)| n == name)
+        .map(|(_, _, s)| *s * 1e6)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let (px, py) = if quick { (4, 4) } else { (22, 24) };
+    let cfg = paper_subdomain(256);
+
+    let run = |overlap| {
+        let mc = MultiGpuConfig {
+            local_cfg: cfg.clone(),
+            px,
+            py,
+            overlap,
+            spec: DeviceSpec::tesla_s1070(),
+            net: NetworkSpec::tsubame1_infiniband(),
+            mode: ExecMode::Phantom,
+            steps: 1,
+            detailed_profile: true,
+        };
+        run_multi::<f32>(&mc, &|_, _, _, _| {})
+    };
+
+    println!("# Fig. 9: breakdown of computational and communication time, {}x{} GPUs, per long step", px, py);
+    println!("# all times in microseconds (rank 0), single precision");
+    let plain = run(OverlapMode::None);
+    let fancy = run(OverlapMode::Overlap);
+
+    println!("kernel,whole_single_us,inner_us,boundary_y_us,boundary_x_us");
+    for (label, base) in [
+        ("Momentum (x)", "momentum_x"),
+        ("Momentum (y)", "momentum_y"),
+        ("Helmholtz-like eq.", "helmholtz"),
+        ("Density", "density"),
+        ("Potential temperature", "potential_temperature"),
+    ] {
+        let whole = time_of(&plain.kernel_breakdown, base);
+        let inner = time_of(&fancy.kernel_breakdown, &format!("{base}.inner"));
+        let by = time_of(&fancy.kernel_breakdown, &format!("{base}.by"));
+        let bx = time_of(&fancy.kernel_breakdown, &format!("{base}.bx"));
+        println!("{label},{whole:.0},{inner:.0},{by:.0},{bx:.0}");
+    }
+
+    println!("transfer,gpu_to_host_us,mpi_us,host_to_gpu_us");
+    // Copy-engine halves approximated as symmetric; MPI from the rank
+    // stats.
+    let d2h = fancy.pcie_s * 1e6 / 2.0;
+    let h2d = fancy.pcie_s * 1e6 / 2.0;
+    println!("Communication (x+y),{d2h:.0},{:.0},{h2d:.0}", fancy.mpi_s * 1e6);
+    println!("# divided kernels are individually slower than the single kernel (reduced");
+    println!("# parallelism) but their communication overlaps the inner computation (Fig. 9's point)");
+}

@@ -1,0 +1,75 @@
+//! Fig. 10 + Table I — weak scaling on TSUBAME: overlap vs
+//! non-overlap vs CPU, 6 → 528 GPUs, 320×256×48 per GPU.
+//!
+//! Paper anchors: 15.0 TFlops (single precision, overlapping) at 528
+//! GPUs; overlap gains ≈ 14%; weak-scaling efficiency ≥ 93% relative to
+//! 6 GPUs; the CPU curve is ~two orders of magnitude below.
+//!
+//! Paper-scale meshes cannot hold real data on one host, so this runs
+//! the *same scheduler* in phantom (timing-only) mode — an equivalence
+//! the test suite asserts. Use --quick for a reduced sweep, or
+//! --sub NX NY to shrink the per-GPU mesh.
+
+use asuca_bench::paper_subdomain;
+use asuca_gpu::multi::{run_multi, MultiGpuConfig, OverlapMode};
+use asuca_gpu::table1_configs;
+use cluster::NetworkSpec;
+use vgpu::{DeviceSpec, ExecMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let steps = 2;
+
+    let mut rows = table1_configs();
+    if quick {
+        rows.retain(|r| r.gpus <= 120);
+    }
+
+    println!("# Fig. 10: weak scaling of ASUCA on the (simulated) TSUBAME supercomputer");
+    println!("# per-GPU subdomain 320x256x48, single precision, {} steps", steps);
+    println!("gpus,px,py,mesh_nx,mesh_ny,tflops_overlap,tflops_nonoverlap,tflops_cpu,overlap_gain,efficiency");
+
+    let mut eff_base: Option<f64> = None;
+    for row in rows {
+        let cfg = paper_subdomain(256);
+        let mk = |overlap, spec: DeviceSpec, net| MultiGpuConfig {
+            local_cfg: cfg.clone(),
+            px: row.px,
+            py: row.py,
+            overlap,
+            spec,
+            net,
+            mode: ExecMode::Phantom,
+            steps,
+            detailed_profile: false,
+        };
+        let net = NetworkSpec::tsubame1_infiniband();
+        let r_over = run_multi::<f32>(&mk(OverlapMode::Overlap, DeviceSpec::tesla_s1070(), net), &|_, _, _, _| {});
+        let r_plain = run_multi::<f32>(&mk(OverlapMode::None, DeviceSpec::tesla_s1070(), net), &|_, _, _, _| {});
+        // CPU curve: one Opteron core per "GPU slot", same decomposition.
+        let r_cpu = run_multi::<f64>(&mk(OverlapMode::None, DeviceSpec::opteron_core(), net), &|_, _, _, _| {});
+
+        let per_gpu = r_over.tflops / row.gpus as f64;
+        let eff = match eff_base {
+            None => {
+                eff_base = Some(per_gpu);
+                1.0
+            }
+            Some(b) => per_gpu / b,
+        };
+        println!(
+            "{},{},{},{},{},{:.2},{:.2},{:.3},{:.1}%,{:.1}%",
+            row.gpus,
+            row.px,
+            row.py,
+            row.nx,
+            row.ny,
+            r_over.tflops,
+            r_plain.tflops,
+            r_cpu.tflops,
+            (r_over.tflops / r_plain.tflops - 1.0) * 100.0,
+            eff * 100.0
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 12 — "results of simulations using real data".
+//!
+//! The paper runs a 1900×2272×48 mesh (500 m) on 54 GPUs from JMA
+//! mesoscale analysis (MANAL) data and shows horizontal wind, pressure
+//! and precipitation after 2/4/6 h. MANAL data is proprietary, so per
+//! DESIGN.md this harness substitutes a synthetic tropical-cyclone-like
+//! vortex exercising the same code path: full dynamical core + warm
+//! rain on the 54-GPU (6×9) decomposition.
+//!
+//! Functional execution at the paper's mesh would need ~terabytes, so
+//! the default runs a scaled mesh functionally (real fields, ASCII
+//! rendered) and prints the 54-GPU timing from the phantom backend.
+
+use asuca_gpu::multi::{run_multi, MultiGpuConfig, OverlapMode};
+use cluster::NetworkSpec;
+use dycore::config::Terrain;
+use dycore::{diag, init, Model, ModelConfig};
+use vgpu::{DeviceSpec, ExecMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    // --- Functional vortex simulation (scaled mesh). ---
+    let (nx, ny, nz, hours) = if quick { (32, 32, 10, [1, 2, 3]) } else { (64, 64, 16, [2, 4, 6]) };
+    let mut cfg = ModelConfig::mountain_wave(nx, ny, nz);
+    cfg.terrain = Terrain::Flat; // over sea, as in the paper's domain
+    cfg.dx = 4000.0;
+    cfg.dy = 4000.0;
+    cfg.dt = 8.0;
+    cfg.coriolis_f = physics::consts::F_CORIOLIS_35N;
+    let mut m = Model::new(cfg);
+    init::tropical_vortex(&mut m, 25.0, nx as f64 / 6.0, 0.95);
+
+    println!("# Fig. 12 surrogate: synthetic tropical vortex (MANAL substitute, see DESIGN.md)");
+    // Time compression: we render after N*steps_per_"hour" where one
+    // rendered "hour" is a fixed number of long steps (full 6-h runs at
+    // paper resolution are out of scope for a single host).
+    let steps_per_hour = if quick { 15 } else { 40 };
+    let mut rendered = 0;
+    for &h in &hours {
+        while rendered < h * steps_per_hour {
+            m.step();
+            rendered += 1;
+        }
+        let wind = diag::wind_speed_slice(&m.grid, &m.state, 1);
+        let pres = diag::pressure_slice(&m.grid, &m.state, 0);
+        let precip = diag::precipitation_slice(&m.grid, &m.state);
+        let (wlo, whi) = wind.min_max();
+        let (plo, phi) = pres.min_max();
+        println!("\n== after {h} 'hours' (t = {:.0} s, {} steps) ==", m.time, m.steps_taken);
+        println!("horizontal wind speed [{wlo:.1}..{whi:.1} m/s]:");
+        print!("{}", wind.ascii(48, 16));
+        println!("surface pressure [{:.0}..{:.0} Pa]:", plo, phi);
+        print!("{}", pres.ascii(48, 16));
+        let (_qlo, qhi) = precip.min_max();
+        println!("accumulated precipitation [0..{qhi:.2e} kg/m^2]:");
+        print!("{}", precip.ascii(48, 16));
+    }
+    let stats = m.stats();
+    println!("\nmax wind {:.1} m/s, max |w| {:.2} m/s, total precip {:.3e}", stats.max_u, stats.max_w, stats.total_precip);
+    assert!(m.state.find_non_finite().is_none(), "simulation went non-finite");
+
+    // --- 54-GPU (6x9) timing of the paper's configuration. ---
+    let mut pcfg = ModelConfig::mountain_wave(320, 256, 48);
+    pcfg.terrain = Terrain::Flat;
+    pcfg.dt = 0.5; // the paper's real-data time step
+    let mc = MultiGpuConfig {
+        local_cfg: pcfg,
+        px: 6,
+        py: 9,
+        overlap: OverlapMode::Overlap,
+        spec: DeviceSpec::tesla_s1070(),
+        net: NetworkSpec::tsubame1_infiniband(),
+        mode: ExecMode::Phantom,
+        steps: 2,
+        detailed_profile: false,
+    };
+    let r = run_multi::<f32>(&mc, &|_, _, _, _| {});
+    println!("\n# 54-GPU (6x9) run of the paper's real-data configuration (phantom timing):");
+    println!(
+        "# {:.2} TFlops sustained, {:.0} ms per 0.5 s step -> a 6-h forecast (43200 steps) ~ {:.1} h wall",
+        r.tflops,
+        r.total_time_s / 2.0 * 1e3,
+        r.total_time_s / 2.0 * 43200.0 / 3600.0
+    );
+}

@@ -1,0 +1,19 @@
+//! Table I — numbers of GPUs and mesh sizes for multi-GPU computing.
+//!
+//! Derived exactly as the paper sized them: every GPU gets the maximal
+//! single-GPU subdomain (320×256×48 in single precision), and adjacent
+//! subdomains share a 2-cell overlap, so the global mesh is
+//! `px·320 − 4(px−1)  ×  py·256 − 4(py−1)  ×  48`.
+
+use asuca_gpu::table1_configs;
+
+fn main() {
+    println!("# Table I: numbers of GPUs and mesh sizes for multi-GPU computing");
+    println!("gpus,px,py,mesh");
+    for row in table1_configs() {
+        println!(
+            "{},{},{},{} x {} x {}",
+            row.gpus, row.px, row.py, row.nx, row.ny, row.nz
+        );
+    }
+}

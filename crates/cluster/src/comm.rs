@@ -1,0 +1,361 @@
+//! Rank communicator and rank-per-thread runtime.
+//!
+//! Timing semantics: every operation takes the caller's current virtual
+//! time `now` and returns the advanced time. A blocking `recv` called at
+//! the point the data is needed is time-equivalent to MPI's
+//! `Irecv`+`Wait`, because arrival is computed as
+//! `max(wait_time, depart + latency + bytes/bw)`; sends are buffered and
+//! return after a software overhead, like an eager-protocol `Isend`.
+
+use crate::network::NetworkSpec;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// Reserved tag for collectives.
+const CTRL_TAG: u32 = u32::MAX;
+
+struct Msg<T> {
+    tag: u32,
+    depart: f64,
+    bytes: u64,
+    data: Option<T>,
+    ctl: Vec<f64>,
+}
+
+/// Result of a receive: the payload and the receiver's advanced clock.
+pub struct RecvOut<T> {
+    pub data: T,
+    pub now: f64,
+}
+
+/// Per-rank communicator (the MPI_COMM_WORLD analogue).
+pub struct Comm<T> {
+    rank: usize,
+    size: usize,
+    net: NetworkSpec,
+    tx: Vec<Sender<Msg<T>>>,
+    rx: Vec<Receiver<Msg<T>>>,
+    pending: Vec<VecDeque<Msg<T>>>,
+}
+
+impl<T: Send + 'static> Comm<T> {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn network(&self) -> &NetworkSpec {
+        &self.net
+    }
+
+    /// Send `data` (`bytes` long on the wire) to `dst`; returns the
+    /// sender's advanced clock.
+    pub fn send(&self, dst: usize, tag: u32, data: T, bytes: u64, now: f64) -> f64 {
+        assert!(tag != CTRL_TAG, "tag {CTRL_TAG} is reserved");
+        let depart = now + self.net.sw_overhead_s;
+        self.tx[dst]
+            .send(Msg {
+                tag,
+                depart,
+                bytes,
+                data: Some(data),
+                ctl: Vec::new(),
+            })
+            .expect("peer rank hung up");
+        depart
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`;
+    /// returns payload and the advanced clock.
+    pub fn recv(&mut self, src: usize, tag: u32, now: f64) -> RecvOut<T> {
+        let msg = self.take_matching(src, tag);
+        let arrival = (msg.depart + self.net.transfer_time(msg.bytes)).max(now)
+            + self.net.sw_overhead_s;
+        RecvOut {
+            data: msg.data.expect("user message without payload"),
+            now: arrival,
+        }
+    }
+
+    fn take_matching(&mut self, src: usize, tag: u32) -> Msg<T> {
+        if let Some(pos) = self.pending[src].iter().position(|m| m.tag == tag) {
+            return self.pending[src].remove(pos).unwrap();
+        }
+        loop {
+            let msg = self.rx[src].recv().expect("peer rank hung up");
+            if msg.tag == tag {
+                return msg;
+            }
+            self.pending[src].push_back(msg);
+        }
+    }
+
+    fn send_ctl(&self, dst: usize, ctl: Vec<f64>, now: f64) {
+        self.tx[dst]
+            .send(Msg {
+                tag: CTRL_TAG,
+                depart: now,
+                bytes: (ctl.len() * 8) as u64,
+                data: None,
+                ctl,
+            })
+            .expect("peer rank hung up");
+    }
+
+    fn recv_ctl(&mut self, src: usize) -> (Vec<f64>, f64) {
+        let msg = self.take_matching(src, CTRL_TAG);
+        (msg.ctl, msg.depart)
+    }
+
+    /// All-gather a small vector of `f64` through rank 0 and synchronize
+    /// clocks to the participating maximum (plus one latency for the
+    /// release broadcast). Returns `(per-rank vectors, new clock)`.
+    pub fn allgather_f64(&mut self, vals: Vec<f64>, now: f64) -> (Vec<Vec<f64>>, f64) {
+        let n = self.size;
+        if n == 1 {
+            return (vec![vals], now);
+        }
+        if self.rank == 0 {
+            let mut all: Vec<Vec<f64>> = Vec::with_capacity(n);
+            let mut tmax = now;
+            all.push(vals);
+            for src in 1..n {
+                let (mut ctl, depart) = self.recv_ctl(src);
+                tmax = tmax.max(depart);
+                let stated_len = ctl.pop().expect("ctl must carry length") as usize;
+                assert_eq!(stated_len, ctl.len());
+                all.push(ctl);
+            }
+            let release = tmax + self.net.latency_s;
+            for dst in 1..n {
+                let mut flat: Vec<f64> = Vec::new();
+                for v in &all {
+                    flat.push(v.len() as f64);
+                    flat.extend_from_slice(v);
+                }
+                self.send_ctl(dst, flat, release);
+            }
+            (all, release)
+        } else {
+            let mut payload = vals;
+            let len = payload.len();
+            payload.push(len as f64);
+            self.send_ctl(0, payload, now);
+            let (flat, release) = self.recv_ctl(0);
+            let mut all = Vec::with_capacity(n);
+            let mut i = 0;
+            while i < flat.len() {
+                let len = flat[i] as usize;
+                all.push(flat[i + 1..i + 1 + len].to_vec());
+                i += 1 + len;
+            }
+            assert_eq!(all.len(), n);
+            (all, release.max(now))
+        }
+    }
+
+    /// Barrier: all clocks advance to the maximum participant clock
+    /// (plus one release latency).
+    pub fn barrier(&mut self, now: f64) -> f64 {
+        let (_, t) = self.allgather_f64(Vec::new(), now);
+        t
+    }
+
+    /// Max-reduction over one `f64` per rank with clock synchronization.
+    pub fn allreduce_max(&mut self, x: f64, now: f64) -> (f64, f64) {
+        let (all, t) = self.allgather_f64(vec![x], now);
+        let m = all.iter().map(|v| v[0]).fold(f64::NEG_INFINITY, f64::max);
+        (m, t)
+    }
+
+    /// Sum-reduction over one `f64` per rank with clock synchronization.
+    pub fn allreduce_sum(&mut self, x: f64, now: f64) -> (f64, f64) {
+        let (all, t) = self.allgather_f64(vec![x], now);
+        (all.iter().map(|v| v[0]).sum(), t)
+    }
+}
+
+/// Launch `n` ranks, each running `f(comm)` on its own thread, and
+/// collect their return values in rank order.
+pub fn spawn_ranks<T, Out, F>(n: usize, net: NetworkSpec, f: F) -> Vec<Out>
+where
+    T: Send + 'static,
+    Out: Send,
+    F: Fn(Comm<T>) -> Out + Sync,
+{
+    assert!(n > 0);
+    // Build the n×n channel matrix: chan[src][dst].
+    let mut senders: Vec<Vec<Sender<Msg<T>>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Vec<Option<Receiver<Msg<T>>>>> = (0..n)
+        .map(|_| (0..n).map(|_| None).collect::<Vec<_>>())
+        .collect();
+    for src in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for dst in 0..n {
+            let (tx, rx) = unbounded();
+            row.push(tx);
+            receivers[dst][src] = Some(rx);
+        }
+        senders.push(row);
+    }
+
+    let comms: Vec<Comm<T>> = senders
+        .into_iter()
+        .enumerate()
+        .map(|(rank, tx_row)| Comm {
+            rank,
+            size: n,
+            net,
+            // tx[dst] is the (rank -> dst) channel.
+            tx: tx_row,
+            rx: receivers[rank]
+                .iter_mut()
+                .map(|r| r.take().unwrap())
+                .collect(),
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+        })
+        .collect();
+
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let f = &f;
+                scope.spawn(move |_| f(comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+    .expect("rank scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_payload_and_time() {
+        let net = NetworkSpec {
+            bandwidth_bytes_s: 1.0e6,
+            latency_s: 1.0e-3,
+            sw_overhead_s: 0.0,
+        };
+        let out = spawn_ranks::<Vec<u8>, f64, _>(2, net, |mut comm| {
+            if comm.rank() == 0 {
+                let now = comm.send(1, 7, vec![1, 2, 3], 1000, 0.0);
+                let r = comm.recv(1, 8, now);
+                assert_eq!(r.data, vec![9]);
+                r.now
+            } else {
+                let r = comm.recv(0, 7, 0.0);
+                assert_eq!(r.data, vec![1, 2, 3]);
+                // arrival = 1 ms latency + 1000 B / 1 MB/s = 2 ms
+                assert!((r.now - 2.0e-3).abs() < 1e-9, "arrival {}", r.now);
+                comm.send(0, 8, vec![9], 1000, r.now)
+            }
+        });
+        // rank 0 receives the reply at 2ms (depart) + 2ms (transfer) = 4ms
+        assert!((out[0] - 4.0e-3).abs() < 1e-9, "rank0 end {}", out[0]);
+    }
+
+    #[test]
+    fn recv_matches_tags_out_of_order() {
+        let net = NetworkSpec::ideal();
+        spawn_ranks::<u32, (), _>(2, net, |mut comm| {
+            if comm.rank() == 0 {
+                let t = comm.send(1, 1, 100, 4, 0.0);
+                comm.send(1, 2, 200, 4, t);
+            } else {
+                // receive tag 2 first although tag 1 was sent first
+                let r2 = comm.recv(0, 2, 0.0);
+                assert_eq!(r2.data, 200);
+                let r1 = comm.recv(0, 1, r2.now);
+                assert_eq!(r1.data, 100);
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks_to_max() {
+        let net = NetworkSpec::ideal();
+        let outs = spawn_ranks::<(), f64, _>(4, net, |mut comm| {
+            let start = comm.rank() as f64 * 0.5; // ranks arrive at 0, .5, 1, 1.5
+            comm.barrier(start)
+        });
+        for t in &outs {
+            assert!((*t - 1.5).abs() < 1e-12, "barrier time {t}");
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_sum() {
+        let net = NetworkSpec::ideal();
+        let outs = spawn_ranks::<(), (f64, f64), _>(5, net, |mut comm| {
+            let x = (comm.rank() + 1) as f64;
+            let (mx, now) = comm.allreduce_max(x, 0.0);
+            let (sum, _) = comm.allreduce_sum(x, now);
+            (mx, sum)
+        });
+        for (mx, sum) in outs {
+            assert_eq!(mx, 5.0);
+            assert_eq!(sum, 15.0);
+        }
+    }
+
+    #[test]
+    fn allgather_preserves_rank_order() {
+        let net = NetworkSpec::ideal();
+        let outs = spawn_ranks::<(), Vec<f64>, _>(3, net, |mut comm| {
+            let (all, _) = comm.allgather_f64(vec![comm.rank() as f64 * 10.0], 0.0);
+            all.into_iter().map(|v| v[0]).collect()
+        });
+        for o in outs {
+            assert_eq!(o, vec![0.0, 10.0, 20.0]);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_trivial() {
+        let outs = spawn_ranks::<(), f64, _>(1, NetworkSpec::ideal(), |mut comm| {
+            let (m, t) = comm.allreduce_max(3.0, 1.0);
+            assert_eq!(m, 3.0);
+            comm.barrier(t)
+        });
+        assert_eq!(outs[0], 1.0);
+    }
+
+    #[test]
+    fn late_receiver_pays_no_extra_wait() {
+        // If the receiver shows up after the message already arrived, the
+        // recv completes at the receiver's own clock.
+        let net = NetworkSpec {
+            bandwidth_bytes_s: 1.0e9,
+            latency_s: 1.0e-6,
+            sw_overhead_s: 0.0,
+        };
+        spawn_ranks::<u8, (), _>(2, net, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1, 8, 0.0);
+            } else {
+                let r = comm.recv(0, 0, 5.0); // waits "at" t = 5 s
+                assert_eq!(r.now, 5.0);
+            }
+        });
+    }
+
+    #[test]
+    fn many_ranks_scale() {
+        // Smoke test that 64 rank threads run a collective fine.
+        let outs = spawn_ranks::<(), f64, _>(64, NetworkSpec::ideal(), |mut comm| {
+            let (s, _) = comm.allreduce_sum(1.0, 0.0);
+            s
+        });
+        assert!(outs.iter().all(|&s| s == 64.0));
+    }
+}

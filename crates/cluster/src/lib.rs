@@ -1,0 +1,23 @@
+//! MPI-like message-passing substrate with a virtual-time network model.
+//!
+//! Substitutes for the TSUBAME 1.2 interconnect of the paper's multi-GPU
+//! runs: Sun Fire X4600 nodes linked by dual-rail SDR InfiniBand, over
+//! which the paper measured an effective neighbour-to-neighbour MPI
+//! bandwidth of 438 MB/s (Fig. 9 discussion).
+//!
+//! Ranks run as real OS threads and exchange real payloads over
+//! channels, so the multi-GPU halo-exchange code path is exercised
+//! functionally. Time is virtual: each rank carries its own clock
+//! (in the ASUCA drivers this is the vgpu host clock), message arrival
+//! is `max(receiver_now, depart + latency + bytes/bandwidth)`, and
+//! collectives synchronize clocks to the participating maximum — a
+//! conservative parallel discrete-event simulation whose lookahead is
+//! provided by blocking receives.
+
+pub mod comm;
+pub mod network;
+pub mod topo;
+
+pub use comm::{spawn_ranks, Comm, RecvOut};
+pub use network::NetworkSpec;
+pub use topo::Topo2D;

@@ -1,0 +1,176 @@
+//! 2-D Cartesian process topology.
+//!
+//! The paper decomposes the (x, y) plane over GPUs ("2D decomposition",
+//! §V) with each GPU owning all of z. Ranks are laid out row-major:
+//! rank = cy * px + cx.
+
+/// A `px × py` Cartesian grid of ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topo2D {
+    pub px: usize,
+    pub py: usize,
+}
+
+impl Topo2D {
+    pub fn new(px: usize, py: usize) -> Self {
+        assert!(px > 0 && py > 0);
+        Topo2D { px, py }
+    }
+
+    /// Choose a near-square factorization of `n` ranks (px ≤ py, as in
+    /// the paper's Table I where e.g. 528 = 22 × 24).
+    pub fn near_square(n: usize) -> Self {
+        assert!(n > 0);
+        let mut best = (1, n);
+        let mut px = 1;
+        while px * px <= n {
+            if n % px == 0 {
+                best = (px, n / px);
+            }
+            px += 1;
+        }
+        Topo2D { px: best.0, py: best.1 }
+    }
+
+    pub fn size(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Coordinates of `rank` (cx, cy).
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.size());
+        (rank % self.px, rank / self.px)
+    }
+
+    /// Rank at coordinates (cx, cy).
+    pub fn rank(&self, cx: usize, cy: usize) -> usize {
+        assert!(cx < self.px && cy < self.py);
+        cy * self.px + cx
+    }
+
+    /// Neighbour in -x (west), if any (non-periodic domain edges are the
+    /// forecast-domain boundary).
+    pub fn west(&self, rank: usize) -> Option<usize> {
+        let (cx, cy) = self.coords(rank);
+        (cx > 0).then(|| self.rank(cx - 1, cy))
+    }
+
+    pub fn east(&self, rank: usize) -> Option<usize> {
+        let (cx, cy) = self.coords(rank);
+        (cx + 1 < self.px).then(|| self.rank(cx + 1, cy))
+    }
+
+    pub fn south(&self, rank: usize) -> Option<usize> {
+        let (cx, cy) = self.coords(rank);
+        (cy > 0).then(|| self.rank(cx, cy - 1))
+    }
+
+    pub fn north(&self, rank: usize) -> Option<usize> {
+        let (cx, cy) = self.coords(rank);
+        (cy + 1 < self.py).then(|| self.rank(cx, cy + 1))
+    }
+
+    /// Periodic variants (used by the mountain-wave benchmark, which runs
+    /// doubly periodic as in the paper's §IV-B).
+    pub fn west_periodic(&self, rank: usize) -> usize {
+        let (cx, cy) = self.coords(rank);
+        self.rank((cx + self.px - 1) % self.px, cy)
+    }
+
+    pub fn east_periodic(&self, rank: usize) -> usize {
+        let (cx, cy) = self.coords(rank);
+        self.rank((cx + 1) % self.px, cy)
+    }
+
+    pub fn south_periodic(&self, rank: usize) -> usize {
+        let (cx, cy) = self.coords(rank);
+        self.rank(cx, (cy + self.py - 1) % self.py)
+    }
+
+    pub fn north_periodic(&self, rank: usize) -> usize {
+        let (cx, cy) = self.coords(rank);
+        self.rank(cx, (cy + 1) % self.py)
+    }
+
+    /// Split `n` cells across `parts`, giving earlier parts the remainder
+    /// — returns (start, len) for `index`.
+    pub fn block_range(n: usize, parts: usize, index: usize) -> (usize, usize) {
+        assert!(index < parts);
+        let base = n / parts;
+        let rem = n % parts;
+        let len = base + usize::from(index < rem);
+        let start = index * base + index.min(rem);
+        (start, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_matches_paper_table1() {
+        // Table I factorizations the paper uses.
+        assert_eq!(Topo2D::near_square(6), Topo2D::new(2, 3));
+        assert_eq!(Topo2D::near_square(20), Topo2D::new(4, 5));
+        assert_eq!(Topo2D::near_square(54), Topo2D::new(6, 9));
+        assert_eq!(Topo2D::near_square(80), Topo2D::new(8, 10));
+        assert_eq!(Topo2D::near_square(120), Topo2D::new(10, 12));
+        assert_eq!(Topo2D::near_square(168), Topo2D::new(12, 14));
+        assert_eq!(Topo2D::near_square(528), Topo2D::new(22, 24));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Topo2D::new(4, 5);
+        for r in 0..t.size() {
+            let (cx, cy) = t.coords(r);
+            assert_eq!(t.rank(cx, cy), r);
+        }
+    }
+
+    #[test]
+    fn interior_rank_has_four_neighbors() {
+        let t = Topo2D::new(4, 4);
+        let r = t.rank(1, 2);
+        assert_eq!(t.west(r), Some(t.rank(0, 2)));
+        assert_eq!(t.east(r), Some(t.rank(2, 2)));
+        assert_eq!(t.south(r), Some(t.rank(1, 1)));
+        assert_eq!(t.north(r), Some(t.rank(1, 3)));
+    }
+
+    #[test]
+    fn edges_have_no_outside_neighbors() {
+        let t = Topo2D::new(3, 3);
+        assert_eq!(t.west(t.rank(0, 1)), None);
+        assert_eq!(t.east(t.rank(2, 1)), None);
+        assert_eq!(t.south(t.rank(1, 0)), None);
+        assert_eq!(t.north(t.rank(1, 2)), None);
+    }
+
+    #[test]
+    fn periodic_wraps() {
+        let t = Topo2D::new(3, 2);
+        assert_eq!(t.west_periodic(t.rank(0, 0)), t.rank(2, 0));
+        assert_eq!(t.east_periodic(t.rank(2, 1)), t.rank(0, 1));
+        assert_eq!(t.south_periodic(t.rank(1, 0)), t.rank(1, 1));
+        assert_eq!(t.north_periodic(t.rank(1, 1)), t.rank(1, 0));
+    }
+
+    #[test]
+    fn block_range_partitions_exactly() {
+        for n in [10usize, 48, 6956] {
+            for parts in [1usize, 3, 7, 22] {
+                let mut total = 0;
+                let mut expect_start = 0;
+                for idx in 0..parts {
+                    let (s, l) = Topo2D::block_range(n, parts, idx);
+                    assert_eq!(s, expect_start);
+                    expect_start += l;
+                    total += l;
+                }
+                assert_eq!(total, n);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! 2-D domain decomposition (§V) and the paper's Table I run
+//! configurations.
+//!
+//! The global mesh is decomposed in x and y; each GPU owns all of z.
+//! The paper sizes every subdomain at 320×256×48 (the single-GPU
+//! maximum) with a 2-cell overlap at internal boundaries, which is why
+//! Table I lists e.g. 528 GPUs (22×24) as 6956×6052×48:
+//! `22·320 − 4·21 = 6956`, `24·256 − 4·23 = 6052`.
+
+use cluster::Topo2D;
+
+/// Halo/overlap width of the decomposition.
+pub const OVERLAP: usize = 2;
+
+/// One Table I row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    pub gpus: usize,
+    pub px: usize,
+    pub py: usize,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+/// Global mesh size for a `px × py` decomposition of per-GPU
+/// `sub_nx × sub_ny` subdomains with shared 2-cell overlaps.
+pub fn global_mesh(px: usize, py: usize, sub_nx: usize, sub_ny: usize) -> (usize, usize) {
+    (
+        px * sub_nx - 2 * OVERLAP * (px - 1),
+        py * sub_ny - 2 * OVERLAP * (py - 1),
+    )
+}
+
+/// The paper's Table I: numbers of GPUs and mesh sizes for the
+/// weak-scaling study (per-GPU subdomain 320×256×48).
+pub fn table1_configs() -> Vec<Table1Row> {
+    let shapes = [
+        (2, 3),
+        (4, 5),
+        (6, 9),
+        (8, 10),
+        (10, 12),
+        (12, 14),
+        (12, 16),
+        (14, 18),
+        (16, 20),
+        (18, 20),
+        (18, 22),
+        (20, 22),
+        (20, 24),
+        (22, 24),
+    ];
+    shapes
+        .iter()
+        .map(|&(px, py)| {
+            let (nx, ny) = global_mesh(px, py, 320, 256);
+            Table1Row { gpus: px * py, px, py, nx, ny, nz: 48 }
+        })
+        .collect()
+}
+
+/// The decomposition of one run: topology plus per-rank subdomain
+/// extents (uniform blocks; the benchmark meshes divide exactly).
+#[derive(Debug, Clone, Copy)]
+pub struct Decomp {
+    pub topo: Topo2D,
+    /// Per-rank interior size (excluding halos).
+    pub sub_nx: usize,
+    pub sub_ny: usize,
+    pub nz: usize,
+}
+
+impl Decomp {
+    pub fn new(px: usize, py: usize, sub_nx: usize, sub_ny: usize, nz: usize) -> Self {
+        Decomp {
+            topo: Topo2D::new(px, py),
+            sub_nx,
+            sub_ny,
+            nz,
+        }
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.topo.size()
+    }
+
+    /// Global origin (x0, y0) of a rank's interior, on the
+    /// non-overlapping logical mesh (each rank advances by
+    /// `sub - 2*OVERLAP`; rank interiors overlap by `2*OVERLAP` like the
+    /// paper's).
+    pub fn origin(&self, rank: usize) -> (usize, usize) {
+        let (cx, cy) = self.topo.coords(rank);
+        (
+            cx * (self.sub_nx - 2 * OVERLAP),
+            cy * (self.sub_ny - 2 * OVERLAP),
+        )
+    }
+
+    /// Global mesh size of this decomposition.
+    pub fn global(&self) -> (usize, usize) {
+        global_mesh(self.topo.px, self.topo.py, self.sub_nx, self.sub_ny)
+    }
+
+    /// A *disjoint* decomposition (no overlap) used by the functional
+    /// correctness path, where each rank owns `sub_nx × sub_ny` cells
+    /// exactly and halos are exchanged: origin stride equals the
+    /// subdomain size.
+    pub fn disjoint(px: usize, py: usize, sub_nx: usize, sub_ny: usize, nz: usize) -> Self {
+        // Encoded by OVERLAP = 0 semantics via the stride; we keep a
+        // separate constructor to make intent explicit at call sites.
+        Decomp {
+            topo: Topo2D::new(px, py),
+            sub_nx,
+            sub_ny,
+            nz,
+        }
+    }
+
+    /// Origin for the disjoint layout.
+    pub fn origin_disjoint(&self, rank: usize) -> (usize, usize) {
+        let (cx, cy) = self.topo.coords(rank);
+        (cx * self.sub_nx, cy * self.sub_ny)
+    }
+
+    /// Global size for the disjoint layout.
+    pub fn global_disjoint(&self) -> (usize, usize) {
+        (self.topo.px * self.sub_nx, self.topo.py * self.sub_ny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let rows = table1_configs();
+        let expect = [
+            (6, 2, 3, 636, 760),
+            (20, 4, 5, 1268, 1264),
+            (54, 6, 9, 1900, 2272),
+            (80, 8, 10, 2532, 2524),
+            (120, 10, 12, 3164, 3028),
+            (168, 12, 14, 3796, 3532),
+            (192, 12, 16, 3796, 4036),
+            (252, 14, 18, 4428, 4540),
+            (320, 16, 20, 5060, 5044),
+            (360, 18, 20, 5692, 5044),
+            (396, 18, 22, 5692, 5548),
+            (440, 20, 22, 6324, 5548),
+            (480, 20, 24, 6324, 6052),
+            (528, 22, 24, 6956, 6052),
+        ];
+        assert_eq!(rows.len(), expect.len());
+        for (row, &(g, px, py, nx, ny)) in rows.iter().zip(expect.iter()) {
+            assert_eq!(row.gpus, g);
+            assert_eq!((row.px, row.py), (px, py), "{g} GPUs");
+            assert_eq!((row.nx, row.ny), (nx, ny), "{g} GPUs mesh");
+            assert_eq!(row.nz, 48);
+        }
+    }
+
+    #[test]
+    fn origins_tile_with_overlap() {
+        let d = Decomp::new(3, 2, 320, 256, 48);
+        assert_eq!(d.origin(0), (0, 0));
+        assert_eq!(d.origin(1), (316, 0));
+        assert_eq!(d.origin(2), (632, 0));
+        assert_eq!(d.origin(3), (0, 252));
+        let (gx, gy) = d.global();
+        // Last rank's far edge reaches the global extent.
+        assert_eq!(d.origin(2).0 + 320, gx);
+        assert_eq!(d.origin(3).1 + 256, gy);
+    }
+
+    #[test]
+    fn disjoint_layout_partitions_exactly() {
+        let d = Decomp::disjoint(2, 3, 16, 8, 10);
+        assert_eq!(d.global_disjoint(), (32, 24));
+        let mut owned = 0;
+        for r in 0..d.ranks() {
+            let (x0, y0) = d.origin_disjoint(r);
+            assert!(x0 + d.sub_nx <= 32 && y0 + d.sub_ny <= 24);
+            owned += d.sub_nx * d.sub_ny;
+        }
+        assert_eq!(owned, 32 * 24);
+    }
+}

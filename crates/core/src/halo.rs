@@ -1,0 +1,277 @@
+//! Multi-GPU halo exchange through host staging (Figs. 6 and 8).
+//!
+//! GPUs cannot address each other's memory (on the paper's hardware),
+//! so each exchange is: device→host copy, MPI between hosts,
+//! host→device copy. In the XZY layout:
+//!
+//! * **y boundaries** are contiguous slabs — transferred directly from
+//!   the field buffer, one async copy per side, the two sides pipelined
+//!   ("we first transfer the boundary data for one sub domain …
+//!   effectively overlapping the two boundary exchanges").
+//! * **x boundaries** are strided — a pack kernel gathers both strips
+//!   (with the full padded-y extent, which carries the corner values the
+//!   paper appends on the host) into one contiguous buffer, one
+//!   transfer, MPI, one transfer back, unpack kernel.
+//!
+//! The `_many` variants exchange several fields per round the way the
+//!   paper's overlap scheduler does: all device→host copies are issued
+//!   first (pipelining on the copy engine), then all MPI traffic, then
+//!   all host→device copies — so a long inner kernel on the compute
+//!   engine hides the whole train.
+
+use crate::kernels::boundary::{self, Side};
+use crate::view::Dims;
+use cluster::Comm;
+use numerics::Real;
+use vgpu::{Buf, Device, ExecMode, StreamId};
+
+/// Maximum fields per batched exchange round.
+pub const MAX_BATCH: usize = 4;
+
+/// Message tags: field-id ⊕ direction.
+fn tag(field_id: u32, dir: u32) -> u32 {
+    field_id * 8 + dir
+}
+
+const DIR_TO_WEST: u32 = 0;
+const DIR_TO_EAST: u32 = 1;
+const DIR_TO_SOUTH: u32 = 2;
+const DIR_TO_NORTH: u32 = 3;
+
+/// Accumulated communication statistics of one rank.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommStats {
+    /// Host seconds spent blocked in MPI receives.
+    pub mpi_wait_s: f64,
+    /// Bytes sent over MPI.
+    pub mpi_bytes: u64,
+    /// Number of halo-exchange rounds performed.
+    pub exchanges: u64,
+}
+
+/// One field of a batched exchange.
+#[derive(Clone, Copy)]
+pub struct FieldRef<R> {
+    pub buf: Buf<R>,
+    pub dims: Dims,
+    pub id: u32,
+}
+
+/// Per-rank halo exchanger: neighbour map, device pack buffers and
+/// host staging storage.
+pub struct HaloExchanger<R: Real> {
+    pub west: usize,
+    pub east: usize,
+    pub south: usize,
+    pub north: usize,
+    /// Device pack buffers with room for [`MAX_BATCH`] fields.
+    xpack_send: Buf<R>,
+    xpack_recv: Buf<R>,
+    /// Per-field stride within the pack buffers.
+    strip_cap: usize,
+    pub stats: CommStats,
+}
+
+impl<R: Real> HaloExchanger<R> {
+    /// Build for a rank of a periodic 2-D topology.
+    pub fn new(dev: &mut Device<R>, topo: &cluster::Topo2D, rank: usize, dims_c: Dims, dims_w: Dims) -> Self {
+        let strip_cap = boundary::x_strip_len(dims_c).max(boundary::x_strip_len(dims_w));
+        let xpack_send = dev.alloc(2 * strip_cap * MAX_BATCH).expect("device OOM for x pack buffer");
+        let xpack_recv = dev.alloc(2 * strip_cap * MAX_BATCH).expect("device OOM for x pack buffer");
+        HaloExchanger {
+            west: topo.west_periodic(rank),
+            east: topo.east_periodic(rank),
+            south: topo.south_periodic(rank),
+            north: topo.north_periodic(rank),
+            xpack_send,
+            xpack_recv,
+            strip_cap,
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Exchange the y (south/north) halos of a batch of fields.
+    pub fn exchange_y_many(
+        &mut self,
+        dev: &mut Device<R>,
+        comm: &mut Comm<Vec<R>>,
+        stream: StreamId,
+        fields: &[FieldRef<R>],
+    ) {
+        assert!(fields.len() <= MAX_BATCH);
+        let functional = dev.mode() == ExecMode::Functional;
+
+        // Device -> host: every slab of every field, pipelined on the
+        // copy engine.
+        let mut staged: Vec<(Vec<R>, Vec<R>)> = Vec::with_capacity(fields.len());
+        for f in fields {
+            let slab = boundary::y_slab_len(f.dims);
+            if functional {
+                let mut s = vec![R::ZERO; slab];
+                let mut n = vec![R::ZERO; slab];
+                dev.copy_d2h(stream, f.buf, boundary::y_slab_interior_offset(f.dims, Side::South), &mut s);
+                dev.copy_d2h(stream, f.buf, boundary::y_slab_interior_offset(f.dims, Side::North), &mut n);
+                staged.push((s, n));
+            } else {
+                dev.copy_d2h_phantom(stream, slab);
+                dev.copy_d2h_phantom(stream, slab);
+                staged.push((Vec::new(), Vec::new()));
+            }
+        }
+        dev.sync_stream(stream);
+
+        // MPI: all sends, then all receives.
+        let mut t = dev.host_time();
+        for (f, (s, n)) in fields.iter().zip(staged) {
+            let bytes = (boundary::y_slab_len(f.dims) * R::BYTES) as u64;
+            t = comm.send(self.south, tag(f.id, DIR_TO_SOUTH), s, bytes, t);
+            t = comm.send(self.north, tag(f.id, DIR_TO_NORTH), n, bytes, t);
+            self.stats.mpi_bytes += 2 * bytes;
+        }
+        dev.host_at_least(t);
+
+        let before = dev.host_time();
+        let mut now = before;
+        let mut received: Vec<(Vec<R>, Vec<R>)> = Vec::with_capacity(fields.len());
+        for f in fields {
+            let r1 = comm.recv(self.south, tag(f.id, DIR_TO_NORTH), now);
+            let r2 = comm.recv(self.north, tag(f.id, DIR_TO_SOUTH), r1.now);
+            now = r2.now;
+            received.push((r1.data, r2.data));
+        }
+        self.stats.mpi_wait_s += now - before;
+        dev.host_at_least(now);
+
+        // Host -> device into the halo slabs.
+        for (f, (s, n)) in fields.iter().zip(received) {
+            let slab = boundary::y_slab_len(f.dims);
+            if functional {
+                dev.copy_h2d(stream, &s, f.buf, boundary::y_slab_halo_offset(f.dims, Side::South));
+                dev.copy_h2d(stream, &n, f.buf, boundary::y_slab_halo_offset(f.dims, Side::North));
+            } else {
+                dev.copy_h2d_phantom(stream, slab);
+                dev.copy_h2d_phantom(stream, slab);
+            }
+        }
+        dev.sync_stream(stream);
+        self.stats.exchanges += 1;
+    }
+
+    /// Exchange the x (west/east) halos of a batch of fields (pack both
+    /// strips of each field, single transfer per direction per field).
+    /// `exchange_y_many` must have run first so the packed strips carry
+    /// fresh corner values (Fig. 8's host-side corner coordination).
+    pub fn exchange_x_many(
+        &mut self,
+        dev: &mut Device<R>,
+        comm: &mut Comm<Vec<R>>,
+        stream: StreamId,
+        fields: &[FieldRef<R>],
+    ) {
+        assert!(fields.len() <= MAX_BATCH);
+        let functional = dev.mode() == ExecMode::Functional;
+
+        // Pack kernels (Fig. 8 step (3)) and device->host transfers.
+        let mut staged: Vec<Vec<R>> = Vec::with_capacity(fields.len());
+        for (slot, f) in fields.iter().enumerate() {
+            let strip = boundary::x_strip_len(f.dims);
+            let off = slot * 2 * self.strip_cap;
+            boundary::pack_x(dev, stream, f.buf, f.dims, Side::West, self.xpack_send, off);
+            boundary::pack_x(dev, stream, f.buf, f.dims, Side::East, self.xpack_send, off + strip);
+            if functional {
+                let mut host = vec![R::ZERO; 2 * strip];
+                dev.copy_d2h(stream, self.xpack_send, off, &mut host);
+                staged.push(host);
+            } else {
+                dev.copy_d2h_phantom(stream, 2 * strip);
+                staged.push(Vec::new());
+            }
+        }
+        dev.sync_stream(stream);
+
+        let mut t = dev.host_time();
+        for (f, host) in fields.iter().zip(staged) {
+            let strip = boundary::x_strip_len(f.dims);
+            let bytes = (strip * R::BYTES) as u64;
+            let (w, e) = if functional {
+                let (w, e) = host.split_at(strip);
+                (w.to_vec(), e.to_vec())
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            t = comm.send(self.west, tag(f.id, DIR_TO_WEST), w, bytes, t);
+            t = comm.send(self.east, tag(f.id, DIR_TO_EAST), e, bytes, t);
+            self.stats.mpi_bytes += 2 * bytes;
+        }
+        dev.host_at_least(t);
+
+        let before = dev.host_time();
+        let mut now = before;
+        let mut received: Vec<(Vec<R>, Vec<R>)> = Vec::with_capacity(fields.len());
+        for f in fields {
+            let r_w = comm.recv(self.west, tag(f.id, DIR_TO_EAST), now);
+            let r_e = comm.recv(self.east, tag(f.id, DIR_TO_WEST), r_w.now);
+            now = r_e.now;
+            received.push((r_w.data, r_e.data));
+        }
+        self.stats.mpi_wait_s += now - before;
+        dev.host_at_least(now);
+
+        // Host -> device and unpack (Fig. 8 step (7)).
+        for (slot, (f, (w, e))) in fields.iter().zip(received).enumerate() {
+            let strip = boundary::x_strip_len(f.dims);
+            let off = slot * 2 * self.strip_cap;
+            if functional {
+                dev.copy_h2d(stream, &w, self.xpack_recv, off);
+                dev.copy_h2d(stream, &e, self.xpack_recv, off + strip);
+            } else {
+                dev.copy_h2d_phantom(stream, strip);
+                dev.copy_h2d_phantom(stream, strip);
+            }
+            boundary::unpack_x(dev, stream, f.buf, f.dims, Side::West, self.xpack_recv, off);
+            boundary::unpack_x(dev, stream, f.buf, f.dims, Side::East, self.xpack_recv, off + strip);
+        }
+        dev.sync_stream(stream);
+        self.stats.exchanges += 1;
+    }
+
+    /// Exchange the y halos of one field.
+    pub fn exchange_y(
+        &mut self,
+        dev: &mut Device<R>,
+        comm: &mut Comm<Vec<R>>,
+        stream: StreamId,
+        field: Buf<R>,
+        dims: Dims,
+        field_id: u32,
+    ) {
+        self.exchange_y_many(dev, comm, stream, &[FieldRef { buf: field, dims, id: field_id }]);
+    }
+
+    /// Exchange the x halos of one field.
+    pub fn exchange_x(
+        &mut self,
+        dev: &mut Device<R>,
+        comm: &mut Comm<Vec<R>>,
+        stream: StreamId,
+        field: Buf<R>,
+        dims: Dims,
+        field_id: u32,
+    ) {
+        self.exchange_x_many(dev, comm, stream, &[FieldRef { buf: field, dims, id: field_id }]);
+    }
+
+    /// Full halo exchange of one field (y first — corners — then x).
+    pub fn exchange(
+        &mut self,
+        dev: &mut Device<R>,
+        comm: &mut Comm<Vec<R>>,
+        stream: StreamId,
+        field: Buf<R>,
+        dims: Dims,
+        field_id: u32,
+    ) {
+        self.exchange_y(dev, comm, stream, field, dims, field_id);
+        self.exchange_x(dev, comm, stream, field, dims, field_id);
+    }
+}

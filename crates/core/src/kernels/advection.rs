@@ -1,0 +1,405 @@
+//! Advection kernels (§IV-A.2).
+//!
+//! Per the paper, advection uses a four-point Koren-limited stencil per
+//! direction, (64, 4, 1)-thread blocks over the (x, z) plane marching in
+//! y, with the current xy tile staged through shared memory
+//! ((64+3)×(4+3) elements, Fig. 3) and the y-neighbours held in
+//! registers. The cost model reflects that staging: each stencil input
+//! is charged roughly once per point rather than once per stencil tap.
+
+use crate::geom::DeviceGeom;
+use crate::kernels::region::{launch_cfg_region, KName, Region};
+use crate::view::{V3, V3Mut};
+use numerics::limiter::{limited_flux, Limiter};
+use numerics::Real;
+use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+
+/// Shared-memory tile of the advection kernels: (64+3)*(4+3) elements
+/// (Fig. 3), in the element size of the precision in use.
+pub fn advection_shared_mem_bytes(elem: usize) -> u32 {
+    ((64 + 3) * (4 + 3) * elem) as u32
+}
+
+/// FLOP/byte accounting of the scalar advection kernel (per point):
+/// six limited face fluxes plus three flux divergences.
+pub const ADV_FLOPS: f64 = 105.0;
+/// Global-memory elements read per point *with* shared-memory staging.
+pub const ADV_READS: f64 = 7.0;
+pub const ADV_WRITES: f64 = 1.0;
+/// Reads per point without shared memory: every stencil tap goes to
+/// global memory (used by the `ablation_shared_memory` bench).
+pub const ADV_READS_NO_SMEM: f64 = 19.0;
+
+/// Flux-form advection tendency of a center scalar, accumulated into
+/// `out`: `out -= div(massflux * reconstruct(spec))`.
+#[allow(clippy::too_many_arguments)]
+pub fn advect_scalar<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    region: Region,
+    kn: &KName,
+    lim: Limiter,
+    use_shared_mem: bool,
+    spec: Buf<R>,
+    u: Buf<R>,
+    v: Buf<R>,
+    mw: Buf<R>,
+    out: Buf<R>,
+) {
+    let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
+    let rects = region.rects(nx, ny, hw);
+    let points = region.area(nx, ny, hw) * nz as u64;
+    if points == 0 {
+        return;
+    }
+    let (gdim, bdim) = launch_cfg_region(region, nx, ny, nz, hw);
+    let reads = if use_shared_mem { ADV_READS } else { ADV_READS_NO_SMEM };
+    let cost = KernelCost::streaming(points, ADV_FLOPS, reads, ADV_WRITES);
+    let smem = if use_shared_mem { advection_shared_mem_bytes(R::BYTES) } else { 0 };
+    let (dc, dw) = (geom.dc, geom.dw);
+    let inv_dx = R::from_f64(1.0 / geom.dx);
+    let inv_dy = R::from_f64(1.0 / geom.dy);
+    let inv_dz = R::from_f64(1.0 / geom.dz);
+    let nzi = nz as isize;
+    dev.launch(
+        stream,
+        Launch::new(kn.get(region), gdim, bdim, cost).with_shared_mem(smem),
+        move |mem| {
+            let spec_r = mem.read(spec);
+            let u_r = mem.read(u);
+            let v_r = mem.read(v);
+            let mw_r = mem.read(mw);
+            let mut out_w = mem.write(out);
+            let s = V3::new(&spec_r, dc);
+            let uu = V3::new(&u_r, dc);
+            let vv = V3::new(&v_r, dc);
+            let ww = V3::new(&mw_r, dw);
+            let mut o = V3Mut::new(&mut out_w, dc);
+            for r in &rects {
+                for j in r.j0..r.j1 {
+                    for k in 0..nzi {
+                        for i in r.i0..r.i1 {
+                            // x faces at i-1/2 (vel u[i-1]) and i+1/2 (u[i]).
+                            let fxm = limited_flux(
+                                lim,
+                                uu.at(i - 1, j, k),
+                                s.at(i - 2, j, k),
+                                s.at(i - 1, j, k),
+                                s.at(i, j, k),
+                                s.at(i + 1, j, k),
+                            );
+                            let fxp = limited_flux(
+                                lim,
+                                uu.at(i, j, k),
+                                s.at(i - 1, j, k),
+                                s.at(i, j, k),
+                                s.at(i + 1, j, k),
+                                s.at(i + 2, j, k),
+                            );
+                            let fym = limited_flux(
+                                lim,
+                                vv.at(i, j - 1, k),
+                                s.at(i, j - 2, k),
+                                s.at(i, j - 1, k),
+                                s.at(i, j, k),
+                                s.at(i, j + 1, k),
+                            );
+                            let fyp = limited_flux(
+                                lim,
+                                vv.at(i, j, k),
+                                s.at(i, j - 1, k),
+                                s.at(i, j, k),
+                                s.at(i, j + 1, k),
+                                s.at(i, j + 2, k),
+                            );
+                            // z faces: boundary mass flux is zero by the
+                            // kinematic conditions baked into mw.
+                            let fzm = if k == 0 {
+                                R::ZERO
+                            } else {
+                                limited_flux(
+                                    lim,
+                                    ww.at(i, j, k),
+                                    s.at(i, j, k - 2),
+                                    s.at(i, j, k - 1),
+                                    s.at(i, j, k),
+                                    s.at(i, j, k + 1),
+                                )
+                            };
+                            let fzp = if k == nzi - 1 {
+                                R::ZERO
+                            } else {
+                                limited_flux(
+                                    lim,
+                                    ww.at(i, j, k + 1),
+                                    s.at(i, j, k - 1),
+                                    s.at(i, j, k),
+                                    s.at(i, j, k + 1),
+                                    s.at(i, j, k + 2),
+                                )
+                            };
+                            o.add(
+                                i,
+                                j,
+                                k,
+                                -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz),
+                            );
+                        }
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// Advection of u momentum (control volumes on u points).
+#[allow(clippy::too_many_arguments)]
+pub fn advect_u<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    region: Region,
+    kn: &KName,
+    lim: Limiter,
+    uspec: Buf<R>,
+    u: Buf<R>,
+    v: Buf<R>,
+    mw: Buf<R>,
+    out: Buf<R>,
+) {
+    let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
+    let rects = region.rects(nx, ny, hw);
+    let points = region.area(nx, ny, hw) * nz as u64;
+    if points == 0 {
+        return;
+    }
+    let (gdim, bdim) = launch_cfg_region(region, nx, ny, nz, hw);
+    let cost = KernelCost::streaming(points, ADV_FLOPS + 20.0, ADV_READS + 1.0, ADV_WRITES);
+    let (dc, dw) = (geom.dc, geom.dw);
+    let inv_dx = R::from_f64(1.0 / geom.dx);
+    let inv_dy = R::from_f64(1.0 / geom.dy);
+    let inv_dz = R::from_f64(1.0 / geom.dz);
+    let nzi = nz as isize;
+    let half = R::HALF;
+    dev.launch(
+        stream,
+        Launch::new(kn.get(region), gdim, bdim, cost)
+            .with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
+        move |mem| {
+            let s_r = mem.read(uspec);
+            let u_r = mem.read(u);
+            let v_r = mem.read(v);
+            let mw_r = mem.read(mw);
+            let mut out_w = mem.write(out);
+            let s = V3::new(&s_r, dc);
+            let uu = V3::new(&u_r, dc);
+            let vv = V3::new(&v_r, dc);
+            let ww = V3::new(&mw_r, dw);
+            let mut o = V3Mut::new(&mut out_w, dc);
+            for r in &rects {
+                for j in r.j0..r.j1 {
+                    for k in 0..nzi {
+                        for i in r.i0..r.i1 {
+                            let fxm = {
+                                let vel = half * (uu.at(i - 1, j, k) + uu.at(i, j, k));
+                                limited_flux(lim, vel, s.at(i - 2, j, k), s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k))
+                            };
+                            let fxp = {
+                                let vel = half * (uu.at(i, j, k) + uu.at(i + 1, j, k));
+                                limited_flux(lim, vel, s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k), s.at(i + 2, j, k))
+                            };
+                            let fym = {
+                                let vel = half * (vv.at(i, j - 1, k) + vv.at(i + 1, j - 1, k));
+                                limited_flux(lim, vel, s.at(i, j - 2, k), s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k))
+                            };
+                            let fyp = {
+                                let vel = half * (vv.at(i, j, k) + vv.at(i + 1, j, k));
+                                limited_flux(lim, vel, s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k), s.at(i, j + 2, k))
+                            };
+                            let fzm = if k == 0 {
+                                R::ZERO
+                            } else {
+                                let vel = half * (ww.at(i, j, k) + ww.at(i + 1, j, k));
+                                limited_flux(lim, vel, s.at(i, j, k - 2), s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1))
+                            };
+                            let fzp = if k == nzi - 1 {
+                                R::ZERO
+                            } else {
+                                let vel = half * (ww.at(i, j, k + 1) + ww.at(i + 1, j, k + 1));
+                                limited_flux(lim, vel, s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1), s.at(i, j, k + 2))
+                            };
+                            o.add(i, j, k, -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz));
+                        }
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// Advection of v momentum (mirror of [`advect_u`]).
+#[allow(clippy::too_many_arguments)]
+pub fn advect_v<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    region: Region,
+    kn: &KName,
+    lim: Limiter,
+    vspec: Buf<R>,
+    u: Buf<R>,
+    v: Buf<R>,
+    mw: Buf<R>,
+    out: Buf<R>,
+) {
+    let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
+    let rects = region.rects(nx, ny, hw);
+    let points = region.area(nx, ny, hw) * nz as u64;
+    if points == 0 {
+        return;
+    }
+    let (gdim, bdim) = launch_cfg_region(region, nx, ny, nz, hw);
+    let cost = KernelCost::streaming(points, ADV_FLOPS + 20.0, ADV_READS + 1.0, ADV_WRITES);
+    let (dc, dw) = (geom.dc, geom.dw);
+    let inv_dx = R::from_f64(1.0 / geom.dx);
+    let inv_dy = R::from_f64(1.0 / geom.dy);
+    let inv_dz = R::from_f64(1.0 / geom.dz);
+    let nzi = nz as isize;
+    let half = R::HALF;
+    dev.launch(
+        stream,
+        Launch::new(kn.get(region), gdim, bdim, cost)
+            .with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
+        move |mem| {
+            let s_r = mem.read(vspec);
+            let u_r = mem.read(u);
+            let v_r = mem.read(v);
+            let mw_r = mem.read(mw);
+            let mut out_w = mem.write(out);
+            let s = V3::new(&s_r, dc);
+            let uu = V3::new(&u_r, dc);
+            let vv = V3::new(&v_r, dc);
+            let ww = V3::new(&mw_r, dw);
+            let mut o = V3Mut::new(&mut out_w, dc);
+            for r in &rects {
+                for j in r.j0..r.j1 {
+                    for k in 0..nzi {
+                        for i in r.i0..r.i1 {
+                            let fxm = {
+                                let vel = half * (uu.at(i - 1, j, k) + uu.at(i - 1, j + 1, k));
+                                limited_flux(lim, vel, s.at(i - 2, j, k), s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k))
+                            };
+                            let fxp = {
+                                let vel = half * (uu.at(i, j, k) + uu.at(i, j + 1, k));
+                                limited_flux(lim, vel, s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k), s.at(i + 2, j, k))
+                            };
+                            let fym = {
+                                let vel = half * (vv.at(i, j - 1, k) + vv.at(i, j, k));
+                                limited_flux(lim, vel, s.at(i, j - 2, k), s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k))
+                            };
+                            let fyp = {
+                                let vel = half * (vv.at(i, j, k) + vv.at(i, j + 1, k));
+                                limited_flux(lim, vel, s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k), s.at(i, j + 2, k))
+                            };
+                            let fzm = if k == 0 {
+                                R::ZERO
+                            } else {
+                                let vel = half * (ww.at(i, j, k) + ww.at(i, j + 1, k));
+                                limited_flux(lim, vel, s.at(i, j, k - 2), s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1))
+                            };
+                            let fzp = if k == nzi - 1 {
+                                R::ZERO
+                            } else {
+                                let vel = half * (ww.at(i, j, k + 1) + ww.at(i, j + 1, k + 1));
+                                limited_flux(lim, vel, s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1), s.at(i, j, k + 2))
+                            };
+                            o.add(i, j, k, -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz));
+                        }
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// Advection of w momentum at interior w levels.
+#[allow(clippy::too_many_arguments)]
+pub fn advect_w<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    region: Region,
+    kn: &KName,
+    lim: Limiter,
+    wspec: Buf<R>,
+    u: Buf<R>,
+    v: Buf<R>,
+    mw: Buf<R>,
+    out: Buf<R>,
+) {
+    let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
+    let rects = region.rects(nx, ny, hw);
+    let points = region.area(nx, ny, hw) * (nz as u64 - 1);
+    if points == 0 {
+        return;
+    }
+    let (gdim, bdim) = launch_cfg_region(region, nx, ny, nz, hw);
+    let cost = KernelCost::streaming(points, ADV_FLOPS + 20.0, ADV_READS + 1.0, ADV_WRITES);
+    let (dc, dw) = (geom.dc, geom.dw);
+    let inv_dx = R::from_f64(1.0 / geom.dx);
+    let inv_dy = R::from_f64(1.0 / geom.dy);
+    let inv_dz = R::from_f64(1.0 / geom.dz);
+    let nzi = nz as isize;
+    let half = R::HALF;
+    dev.launch(
+        stream,
+        Launch::new(kn.get(region), gdim, bdim, cost)
+            .with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
+        move |mem| {
+            let s_r = mem.read(wspec);
+            let u_r = mem.read(u);
+            let v_r = mem.read(v);
+            let mw_r = mem.read(mw);
+            let mut out_w = mem.write(out);
+            let s = V3::new(&s_r, dw);
+            let uu = V3::new(&u_r, dc);
+            let vv = V3::new(&v_r, dc);
+            let ww = V3::new(&mw_r, dw);
+            let mut o = V3Mut::new(&mut out_w, dw);
+            for r in &rects {
+                for j in r.j0..r.j1 {
+                    for k in 1..nzi {
+                        for i in r.i0..r.i1 {
+                            let fxm = {
+                                let vel = half * (uu.at(i - 1, j, k - 1) + uu.at(i - 1, j, k));
+                                limited_flux(lim, vel, s.at(i - 2, j, k), s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k))
+                            };
+                            let fxp = {
+                                let vel = half * (uu.at(i, j, k - 1) + uu.at(i, j, k));
+                                limited_flux(lim, vel, s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k), s.at(i + 2, j, k))
+                            };
+                            let fym = {
+                                let vel = half * (vv.at(i, j - 1, k - 1) + vv.at(i, j - 1, k));
+                                limited_flux(lim, vel, s.at(i, j - 2, k), s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k))
+                            };
+                            let fyp = {
+                                let vel = half * (vv.at(i, j, k - 1) + vv.at(i, j, k));
+                                limited_flux(lim, vel, s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k), s.at(i, j + 2, k))
+                            };
+                            let fzm = {
+                                let vel = half * (ww.at(i, j, k - 1) + ww.at(i, j, k));
+                                limited_flux(lim, vel, s.at(i, j, k - 2), s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1))
+                            };
+                            let fzp = {
+                                let vel = half * (ww.at(i, j, k) + ww.at(i, j, k + 1));
+                                limited_flux(lim, vel, s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1), s.at(i, j, k + 2))
+                            };
+                            o.add(i, j, k, -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz));
+                        }
+                    }
+                }
+            }
+        },
+    );
+}

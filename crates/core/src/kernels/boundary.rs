@@ -1,0 +1,296 @@
+//! Boundary-operation kernels (Fig. 1 "Boundary operations"): periodic
+//! halo fills for the single-GPU case, and the pack/unpack kernels that
+//! stage strided x-boundary strips into contiguous buffers for host
+//! transfer (Fig. 8 steps (3) and (7); y boundaries need no packing
+//! because the XZY order already makes them contiguous).
+
+use crate::view::{Dims, V3Mut};
+use numerics::Real;
+use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId};
+
+/// Which lateral side a pack/unpack touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    West,
+    East,
+    South,
+    North,
+}
+
+/// Periodic halo exchange in x and y on the device (single-domain case;
+/// mirrors `Field3::fill_halo_periodic_xy` exactly).
+pub fn halo_periodic_xy<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    name: &'static str,
+    buf: Buf<R>,
+    dims: Dims,
+) {
+    let h = dims.halo as isize;
+    let (nx, ny) = (dims.nx as isize, dims.ny as isize);
+    let nl = dims.nl as isize;
+    let (klo, khi) = if dims.nl == 1 { (0, 1) } else { (-h, nl + h) };
+    let points = (2 * h as u64) * (dims.py() as u64 + dims.ny as u64) * dims.pl() as u64;
+    let cost = KernelCost::streaming(points.max(1), 0.0, 1.0, 1.0);
+    let launch = Launch::new(name, Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
+    dev.launch(stream, launch, move |mem| {
+        let mut b = mem.write(buf);
+        let mut v = V3Mut::new(&mut b, dims);
+        for j in 0..ny {
+            for g in 1..=h {
+                for k in klo..khi {
+                    let left = v.at(nx - g, j, k);
+                    v.set(-g, j, k, left);
+                    let right = v.at(g - 1, j, k);
+                    v.set(nx + g - 1, j, k, right);
+                }
+            }
+        }
+        for g in 1..=h {
+            for i in -h..nx + h {
+                for k in klo..khi {
+                    let south = v.at(i, ny - g, k);
+                    v.set(i, -g, k, south);
+                    let north = v.at(i, g - 1, k);
+                    v.set(i, ny + g - 1, k, north);
+                }
+            }
+        }
+    });
+}
+
+/// Zero-gradient vertical halo fill (mirrors
+/// `Field3::fill_halo_zero_gradient_z`).
+pub fn halo_zero_grad_z<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    name: &'static str,
+    buf: Buf<R>,
+    dims: Dims,
+) {
+    if dims.nl == 1 {
+        return;
+    }
+    let h = dims.halo as isize;
+    let (nx, ny) = (dims.nx as isize, dims.ny as isize);
+    let nl = dims.nl as isize;
+    let points = (dims.px() * dims.py() * 2 * dims.halo) as u64;
+    let cost = KernelCost::streaming(points.max(1), 0.0, 1.0, 1.0);
+    let launch = Launch::new(name, Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
+    dev.launch(stream, launch, move |mem| {
+        let mut b = mem.write(buf);
+        let mut v = V3Mut::new(&mut b, dims);
+        for j in -h..ny + h {
+            for i in -h..nx + h {
+                for g in 1..=h {
+                    let bottom = v.at(i, j, 0);
+                    v.set(i, j, -g, bottom);
+                    let top = v.at(i, j, nl - 1);
+                    v.set(i, j, nl + g - 1, top);
+                }
+            }
+        }
+    });
+}
+
+/// Elements in one x-boundary strip (width `halo`, full padded y and l
+/// extents — the full y range carries the corner values the paper
+/// appends to the x buffers).
+pub fn x_strip_len(dims: Dims) -> usize {
+    dims.halo * dims.py() * dims.pl()
+}
+
+/// Elements in one y-boundary slab (width `halo`, full padded x/l).
+pub fn y_slab_len(dims: Dims) -> usize {
+    dims.halo * dims.px() * dims.pl()
+}
+
+/// Flat offset where the y slab for `side` *interior* rows begins
+/// (South: rows 0..halo; North: rows ny-halo..ny) — contiguous, so the
+/// transfer can read the field buffer directly without packing.
+pub fn y_slab_interior_offset(dims: Dims, side: Side) -> usize {
+    let h = dims.halo as isize;
+    match side {
+        Side::South => dims.off(-h, 0, if dims.nl == 1 { 0 } else { -h }),
+        Side::North => dims.off(-h, dims.ny as isize - h, if dims.nl == 1 { 0 } else { -h }),
+        _ => panic!("y slab needs South or North"),
+    }
+}
+
+/// Flat offset where the y *halo* slab for `side` begins (South halo:
+/// rows -halo..0; North halo: rows ny..ny+halo).
+pub fn y_slab_halo_offset(dims: Dims, side: Side) -> usize {
+    let h = dims.halo as isize;
+    match side {
+        Side::South => dims.off(-h, -h, if dims.nl == 1 { 0 } else { -h }),
+        Side::North => dims.off(-h, dims.ny as isize, if dims.nl == 1 { 0 } else { -h }),
+        _ => panic!("y slab needs South or North"),
+    }
+}
+
+/// Pack an x-boundary strip (interior columns) into a contiguous device
+/// buffer — Fig. 8 step (3), "executed by kernels instead of CUDA
+/// memory operations".
+pub fn pack_x<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    field: Buf<R>,
+    dims: Dims,
+    side: Side,
+    pack: Buf<R>,
+    pack_offset: usize,
+) {
+    let h = dims.halo as isize;
+    let i0 = match side {
+        Side::West => 0,
+        Side::East => dims.nx as isize - h,
+        _ => panic!("x pack needs West or East"),
+    };
+    let n = x_strip_len(dims);
+    let cost = KernelCost::streaming(n as u64, 0.0, 1.0, 1.0);
+    let launch = Launch::new("pack_x", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
+    let (klo, khi) = if dims.nl == 1 { (0, 1) } else { (-h, dims.nl as isize + h) };
+    dev.launch(stream, launch, move |mem| {
+        let f = mem.read(field);
+        let mut p = mem.write(pack);
+        let mut idx = pack_offset;
+        for j in -h..dims.ny as isize + h {
+            for k in klo..khi {
+                for g in 0..h {
+                    p[idx] = f[dims.off(i0 + g, j, k)];
+                    idx += 1;
+                }
+            }
+        }
+    });
+}
+
+/// Unpack a received x strip into the halo columns — Fig. 8 step (7).
+pub fn unpack_x<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    field: Buf<R>,
+    dims: Dims,
+    side: Side,
+    pack: Buf<R>,
+    pack_offset: usize,
+) {
+    let h = dims.halo as isize;
+    let i0 = match side {
+        Side::West => -h,
+        Side::East => dims.nx as isize,
+        _ => panic!("x unpack needs West or East"),
+    };
+    let n = x_strip_len(dims);
+    let cost = KernelCost::streaming(n as u64, 0.0, 1.0, 1.0);
+    let launch = Launch::new("unpack_x", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
+    let (klo, khi) = if dims.nl == 1 { (0, 1) } else { (-h, dims.nl as isize + h) };
+    dev.launch(stream, launch, move |mem| {
+        let p = mem.read(pack);
+        let mut f = mem.write(field);
+        let mut idx = pack_offset;
+        for j in -h..dims.ny as isize + h {
+            for k in klo..khi {
+                for g in 0..h {
+                    f[dims.off(i0 + g, j, k)] = p[idx];
+                    idx += 1;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu::{DeviceSpec, ExecMode};
+
+    fn dev() -> Device<f64> {
+        Device::new(DeviceSpec::tesla_s1070(), ExecMode::Functional)
+    }
+
+    fn filled(dev: &mut Device<f64>, dims: Dims) -> Buf<f64> {
+        let buf = dev.alloc(dims.len()).unwrap();
+        let h = dims.halo as isize;
+        let mut host = vec![0.0; dims.len()];
+        for j in 0..dims.ny as isize {
+            for k in 0..dims.nl as isize {
+                for i in 0..dims.nx as isize {
+                    host[dims.off(i, j, k)] = (100 * i + 10 * j + k) as f64;
+                }
+            }
+        }
+        let _ = h;
+        dev.write_vec(buf, &host);
+        buf
+    }
+
+    #[test]
+    fn periodic_fill_matches_field3_semantics() {
+        let dims = Dims::center(6, 5, 3, 2);
+        let mut d = dev();
+        let buf = filled(&mut d, dims);
+        halo_periodic_xy(&mut d, StreamId::DEFAULT, "halo", buf, dims);
+        let data = d.read_vec(buf);
+        assert_eq!(data[dims.off(-1, 0, 0)], data[dims.off(5, 0, 0)]);
+        assert_eq!(data[dims.off(6, 2, 1)], data[dims.off(0, 2, 1)]);
+        assert_eq!(data[dims.off(0, -2, 2)], data[dims.off(0, 3, 2)]);
+        // corner
+        assert_eq!(data[dims.off(-1, -1, 0)], data[dims.off(5, 4, 0)]);
+    }
+
+    #[test]
+    fn zero_grad_z_copies_levels() {
+        let dims = Dims::center(4, 3, 3, 2);
+        let mut d = dev();
+        let buf = filled(&mut d, dims);
+        halo_zero_grad_z(&mut d, StreamId::DEFAULT, "haloz", buf, dims);
+        let data = d.read_vec(buf);
+        assert_eq!(data[dims.off(1, 1, -1)], data[dims.off(1, 1, 0)]);
+        assert_eq!(data[dims.off(1, 1, 4)], data[dims.off(1, 1, 2)]);
+    }
+
+    #[test]
+    fn pack_unpack_x_roundtrip() {
+        let dims = Dims::center(8, 4, 3, 2);
+        let mut d = dev();
+        let src = filled(&mut d, dims);
+        let dst = filled(&mut d, dims);
+        // zero the west halo of dst first
+        let mut host = d.read_vec(dst);
+        for j in -2..6isize {
+            for k in -2..5isize {
+                for g in -2..0isize {
+                    host[dims.off(g, j, k)] = -1.0;
+                }
+            }
+        }
+        d.write_vec(dst, &host);
+        // pack src's EAST interior strip, unpack into dst's WEST halo —
+        // what a west neighbour would receive periodically.
+        let pack = d.alloc(x_strip_len(dims)).unwrap();
+        pack_x(&mut d, StreamId::DEFAULT, src, dims, Side::East, pack, 0);
+        unpack_x(&mut d, StreamId::DEFAULT, dst, dims, Side::West, pack, 0);
+        let out = d.read_vec(dst);
+        let src_d = d.read_vec(src);
+        for j in 0..4isize {
+            for k in 0..3isize {
+                assert_eq!(out[dims.off(-2, j, k)], src_d[dims.off(6, j, k)]);
+                assert_eq!(out[dims.off(-1, j, k)], src_d[dims.off(7, j, k)]);
+            }
+        }
+    }
+
+    #[test]
+    fn y_slab_offsets_are_contiguous_regions() {
+        let dims = Dims::center(5, 6, 4, 2);
+        // The south interior slab must start exactly at j=0 row origin
+        // and span halo*px*pl consecutive elements ending before j=2.
+        let start = y_slab_interior_offset(dims, Side::South);
+        let len = y_slab_len(dims);
+        assert_eq!(start, dims.off(-2, 0, -2));
+        assert_eq!(start + len, dims.off(-2, 2, -2));
+        let hstart = y_slab_halo_offset(dims, Side::North);
+        assert_eq!(hstart, dims.off(-2, 6, -2));
+    }
+}

@@ -1,0 +1,336 @@
+//! The vertically implicit short-step kernels.
+//!
+//! * [`helmholtz`] — builds and solves the tridiagonal 1-D
+//!   Helmholtz-like system per column (kernel (4) of Fig. 5; launch
+//!   layout of Fig. 2b: threads tile (x, y) and march sequentially in
+//!   z). It also stores the explicit "star" parts of ρ* and Θ into
+//!   scratch, from which the back-substitution kernels below finish the
+//!   substep.
+//! * [`density`] / [`potential_temperature`] — the Fig. 9 "Density" and
+//!   "Potential temperature" kernels: back-substitute the implicit
+//!   vertical fluxes. They are separate kernels treated as one logical
+//!   kernel by the overlap scheduler (overlap method 3).
+//!
+//! The math mirrors `dycore::acoustic::implicit_vertical` exactly so the
+//! GPU port agrees with the CPU reference to round-off.
+
+use crate::geom::DeviceGeom;
+use crate::kernels::region::{KName, Region};
+use crate::view::{V3, V3Mut};
+use numerics::Real;
+use physics::consts::GRAV;
+use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId};
+
+/// Inputs/outputs of the implicit vertical solve.
+pub struct HelmholtzArgs<R> {
+    pub u: Buf<R>,
+    pub v: Buf<R>,
+    pub w: Buf<R>,
+    pub rho: Buf<R>,
+    pub th: Buf<R>,
+    pub p: Buf<R>,
+    pub fu_w: Buf<R>,
+    pub frho: Buf<R>,
+    pub fth: Buf<R>,
+    pub th_ref: Buf<R>,
+    pub p_ref: Buf<R>,
+    /// Scratch out: explicit ρ*‡ per center.
+    pub st_rho: Buf<R>,
+    /// Scratch out: explicit Θ‡ per center.
+    pub st_th: Buf<R>,
+}
+
+/// Launch configuration for column solves: (64, 4) threads over (x, y)
+/// (Fig. 2b), marching in z.
+fn column_launch(area: u64) -> (Dim3, Dim3) {
+    let block = Dim3::new(64, 4, 1);
+    let cols = area.max(1);
+    let bx = cols.div_ceil(64 * 4).max(1) as u32;
+    (Dim3::new(bx, 4, 1), block)
+}
+
+/// Solve the tridiagonal system for the new W in every column of
+/// `region` and write ρ*‡/Θ‡ to scratch.
+#[allow(clippy::too_many_arguments)]
+pub fn helmholtz<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    region: Region,
+    kn: &KName,
+    beta: f64,
+    dtau: f64,
+    args: HelmholtzArgs<R>,
+) {
+    let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
+    let rects = region.rects(nx, ny, hw);
+    let area = region.area(nx, ny, hw);
+    if area == 0 {
+        return;
+    }
+    let points = area * nz as u64;
+    let (gd, bd) = column_launch(area);
+    let cost = KernelCost::streaming(points, 48.0, 14.0, 4.0);
+    let (dc, dw, dp) = (geom.dc, geom.dw, geom.dp);
+    let flat = geom.flat;
+    let inv_dx = R::from_f64(1.0 / geom.dx);
+    let inv_dy = R::from_f64(1.0 / geom.dy);
+    let dz = R::from_f64(geom.dz);
+    let dt = R::from_f64(dtau);
+    let bt = R::from_f64(beta);
+    let grav = R::from_f64(GRAV);
+    let one = R::ONE;
+    let half = R::HALF;
+    let g2 = geom.g;
+    let sx2 = geom.dzsdx_u;
+    let sy2 = geom.dzsdy_v;
+    let (th_c_b, th_w_b, c2m_b, rbw_b) = (geom.th_c, geom.th_w, geom.c2m, geom.rbw);
+    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
+        let u_r = mem.read(args.u);
+        let v_r = mem.read(args.v);
+        let rho_r = mem.read(args.rho);
+        let th_r = mem.read(args.th);
+        let p_r = mem.read(args.p);
+        let fw_r = mem.read(args.fu_w);
+        let frho_r = mem.read(args.frho);
+        let fth_r = mem.read(args.fth);
+        let thref_r = mem.read(args.th_ref);
+        let pref_r = mem.read(args.p_ref);
+        let g_r = mem.read(g2);
+        let sx_r = mem.read(sx2);
+        let sy_r = mem.read(sy2);
+        let thc_r = mem.read(th_c_b);
+        let thw_r = mem.read(th_w_b);
+        let c2m_r = mem.read(c2m_b);
+        let rbw_r = mem.read(rbw_b);
+        let mut w_w = mem.write(args.w);
+        let mut strho_w = mem.write(args.st_rho);
+        let mut stth_w = mem.write(args.st_th);
+
+        let uv = V3::new(&u_r, dc);
+        let vv = V3::new(&v_r, dc);
+        let rhov = V3::new(&rho_r, dc);
+        let thv = V3::new(&th_r, dc);
+        let pv = V3::new(&p_r, dc);
+        let fwv = V3::new(&fw_r, dw);
+        let frhov = V3::new(&frho_r, dc);
+        let fthv = V3::new(&fth_r, dc);
+        let threfv = V3::new(&thref_r, dc);
+        let prefv = V3::new(&pref_r, dc);
+        let gv = V3::new(&g_r, dp);
+        let sxv = V3::new(&sx_r, dp);
+        let syv = V3::new(&sy_r, dp);
+        let thcv = V3::new(&thc_r, dc);
+        let thwv = V3::new(&thw_r, dw);
+        let c2mv = V3::new(&c2m_r, dc);
+        let rbwv = V3::new(&rbw_r, dw);
+        let mut wv = V3Mut::new(&mut w_w, dw);
+        let mut strho = V3Mut::new(&mut strho_w, dc);
+        let mut stth = V3Mut::new(&mut stth_w, dc);
+
+        // Column work vectors (the per-thread register/local arrays of
+        // the CUDA kernel).
+        let mut a = vec![R::ZERO; nz];
+        let mut b = vec![R::ZERO; nz];
+        let mut c = vec![R::ZERO; nz];
+        let mut d = vec![R::ZERO; nz];
+        let mut scr = vec![R::ZERO; nz];
+        let mut p_st = vec![R::ZERO; nz];
+
+        for r in &rects {
+            for j in r.j0..r.j1 {
+                for i in r.i0..r.i1 {
+                    let gm = gv.at(i, j, 0);
+                    let inv_gdz = one / (gm * dz);
+
+                    let w_surf = if flat {
+                        R::ZERO
+                    } else {
+                        let rho0 = rhov.at(i, j, 0);
+                        let uspec = half * (uv.at(i - 1, j, 0) + uv.at(i, j, 0)) / rho0;
+                        let vspec = half * (vv.at(i, j - 1, 0) + vv.at(i, j, 0)) / rho0;
+                        let slopex = half * (sxv.at(i - 1, j, 0) + sxv.at(i, j, 0));
+                        let slopey = half * (syv.at(i, j - 1, 0) + syv.at(i, j, 0));
+                        rho0 * (uspec * slopex + vspec * slopey)
+                    };
+
+                    // Explicit star parts per center.
+                    for kc in 0..nz {
+                        let k = kc as isize;
+                        let dh_rho = (uv.at(i, j, k) - uv.at(i - 1, j, k)) * inv_dx
+                            + (vv.at(i, j, k) - vv.at(i, j - 1, k)) * inv_dy;
+                        let thu_p = half * (thcv.at(i, j, k) + thcv.at(i + 1, j, k));
+                        let thu_m = half * (thcv.at(i - 1, j, k) + thcv.at(i, j, k));
+                        let thv_p = half * (thcv.at(i, j, k) + thcv.at(i, j + 1, k));
+                        let thv_m = half * (thcv.at(i, j - 1, k) + thcv.at(i, j, k));
+                        let dh_th = (thu_p * uv.at(i, j, k) - thu_m * uv.at(i - 1, j, k)) * inv_dx
+                            + (thv_p * vv.at(i, j, k) - thv_m * vv.at(i, j - 1, k)) * inv_dy;
+                        let dwz_old = (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_gdz;
+                        let dthwz_old = (thwv.at(i, j, k + 1) * wv.at(i, j, k + 1)
+                            - thwv.at(i, j, k) * wv.at(i, j, k))
+                            * inv_gdz;
+                        let rho_st = rhov.at(i, j, k)
+                            + dt * (frhov.at(i, j, k) - dh_rho - (one - bt) * dwz_old);
+                        let th_st = thv.at(i, j, k)
+                            + dt * (fthv.at(i, j, k) - dh_th - (one - bt) * dthwz_old);
+                        strho.set(i, j, k, rho_st);
+                        stth.set(i, j, k, th_st);
+                        p_st[kc] = prefv.at(i, j, k)
+                            + c2mv.at(i, j, k) * (th_st - threfv.at(i, j, k));
+                    }
+
+                    // Tridiagonal rows for interior w levels.
+                    let tb2 = (dt * bt) * (dt * bt);
+                    for kw in 1..nz {
+                        let row = kw - 1;
+                        let k = kw as isize;
+                        let c2m_lo = c2mv.at(i, j, k - 1);
+                        let c2m_hi = c2mv.at(i, j, k);
+                        let thw_m = thwv.at(i, j, k - 1);
+                        let thw_0 = thwv.at(i, j, k);
+                        let thw_p = thwv.at(i, j, k + 1);
+                        a[row] = -tb2 / gm * (c2m_lo * thw_m / (dz * dz) - grav / (R::TWO * dz));
+                        b[row] = one + tb2 / (gm * dz * dz) * thw_0 * (c2m_hi + c2m_lo);
+                        c[row] = -tb2 / gm * (c2m_hi * thw_p / (dz * dz) + grav / (R::TWO * dz));
+                        let p_old_grad = (pv.at(i, j, k) - pv.at(i, j, k - 1)) / dz;
+                        let buoy_old = grav
+                            * (half * (rhov.at(i, j, k - 1) + rhov.at(i, j, k)) - rbwv.at(i, j, k));
+                        let p_st_grad = (p_st[kw] - p_st[kw - 1]) / dz;
+                        let buoy_st = grav
+                            * (half * (strho.at(i, j, k - 1) + strho.at(i, j, k)) - rbwv.at(i, j, k));
+                        d[row] = wv.at(i, j, k)
+                            + dt * fwv.at(i, j, k)
+                            - dt * (one - bt) * (p_old_grad + buoy_old)
+                            - dt * bt * (p_st_grad + buoy_st);
+                    }
+                    if nz >= 2 {
+                        let a0 = a[0];
+                        d[0] -= a0 * w_surf;
+                        a[0] = R::ZERO;
+                        c[nz - 2] = R::ZERO;
+                    }
+                    numerics::tridiag::solve_in_place(
+                        &a[..nz - 1],
+                        &b[..nz - 1],
+                        &c[..nz - 1],
+                        &mut d[..nz - 1],
+                        &mut scr[..nz - 1],
+                    );
+                    wv.set(i, j, 0, w_surf);
+                    wv.set(i, j, nz as isize, R::ZERO);
+                    for kw in 1..nz {
+                        wv.set(i, j, kw as isize, d[kw - 1]);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Back-substitute the new density:
+/// `ρ* = ρ*‡ − Δτβ ∂ζ(W)/G` (the Fig. 9 "Density" kernel).
+#[allow(clippy::too_many_arguments)]
+pub fn density<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    region: Region,
+    kn: &KName,
+    beta: f64,
+    dtau: f64,
+    st_rho: Buf<R>,
+    w: Buf<R>,
+    rho: Buf<R>,
+) {
+    let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
+    let rects = region.rects(nx, ny, hw);
+    let points = region.area(nx, ny, hw) * nz as u64;
+    if points == 0 {
+        return;
+    }
+    let (gd, bd) = crate::kernels::region::launch_cfg_region(region, nx, ny, nz, hw);
+    let cost = KernelCost::streaming(points, 5.0, 4.0, 1.0);
+    let (dc, dw, dp) = (geom.dc, geom.dw, geom.dp);
+    let g2 = geom.g;
+    let dz = R::from_f64(geom.dz);
+    let fac = R::from_f64(dtau * beta);
+    let nzi = nz as isize;
+    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
+        let st_r = mem.read(st_rho);
+        let w_r = mem.read(w);
+        let g_r = mem.read(g2);
+        let mut rho_w = mem.write(rho);
+        let st = V3::new(&st_r, dc);
+        let wv = V3::new(&w_r, dw);
+        let gv = V3::new(&g_r, dp);
+        let mut rv = V3Mut::new(&mut rho_w, dc);
+        for r in &rects {
+            for j in r.j0..r.j1 {
+                for k in 0..nzi {
+                    for i in r.i0..r.i1 {
+                        let inv_gdz = R::ONE / (gv.at(i, j, 0) * dz);
+                        let dwz = (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_gdz;
+                        rv.set(i, j, k, st.at(i, j, k) - fac * dwz);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Back-substitute the new potential temperature:
+/// `Θ = Θ‡ − Δτβ ∂ζ(θ̄_w W)/G` (the Fig. 9 "Potential temperature"
+/// kernel, fused logically with [`density`] by overlap method 3).
+#[allow(clippy::too_many_arguments)]
+pub fn potential_temperature<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    region: Region,
+    kn: &KName,
+    beta: f64,
+    dtau: f64,
+    st_th: Buf<R>,
+    w: Buf<R>,
+    th: Buf<R>,
+) {
+    let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
+    let rects = region.rects(nx, ny, hw);
+    let points = region.area(nx, ny, hw) * nz as u64;
+    if points == 0 {
+        return;
+    }
+    let (gd, bd) = crate::kernels::region::launch_cfg_region(region, nx, ny, nz, hw);
+    let cost = KernelCost::streaming(points, 7.0, 5.0, 1.0);
+    let (dc, dw, dp) = (geom.dc, geom.dw, geom.dp);
+    let g2 = geom.g;
+    let thw_b = geom.th_w;
+    let dz = R::from_f64(geom.dz);
+    let fac = R::from_f64(dtau * beta);
+    let nzi = nz as isize;
+    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
+        let st_r = mem.read(st_th);
+        let w_r = mem.read(w);
+        let g_r = mem.read(g2);
+        let thw_r = mem.read(thw_b);
+        let mut th_w2 = mem.write(th);
+        let st = V3::new(&st_r, dc);
+        let wv = V3::new(&w_r, dw);
+        let gv = V3::new(&g_r, dp);
+        let thwv = V3::new(&thw_r, dw);
+        let mut tv = V3Mut::new(&mut th_w2, dc);
+        for r in &rects {
+            for j in r.j0..r.j1 {
+                for k in 0..nzi {
+                    for i in r.i0..r.i1 {
+                        let inv_gdz = R::ONE / (gv.at(i, j, 0) * dz);
+                        let dthwz = (thwv.at(i, j, k + 1) * wv.at(i, j, k + 1)
+                            - thwv.at(i, j, k) * wv.at(i, j, k))
+                            * inv_gdz;
+                        tv.set(i, j, k, st.at(i, j, k) - fac * dthwz);
+                    }
+                }
+            }
+        }
+    });
+}

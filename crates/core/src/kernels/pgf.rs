@@ -1,0 +1,107 @@
+//! Short-time-step horizontal momentum kernels: the explicit part of
+//! HE-VI. Kernel (2) of Fig. 5 ("pressure gradient force in x
+//! direction") plus the slow-forcing accumulation; the paper's Fig. 9
+//! rows "Momentum (x)" and "Momentum (y)" are these kernels, split into
+//! inner/boundary regions for overlap method 2.
+
+use crate::geom::DeviceGeom;
+use crate::kernels::region::{launch_cfg_region, KName, Region};
+use crate::view::{V3, V3Mut};
+use numerics::Real;
+use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+
+/// `U += Δτ (−G_u ∂x p + F_U)` over `region`.
+#[allow(clippy::too_many_arguments)]
+pub fn momentum_x<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    region: Region,
+    kn: &KName,
+    p: Buf<R>,
+    fu: Buf<R>,
+    dtau: f64,
+    u: Buf<R>,
+) {
+    let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
+    let rects = region.rects(nx, ny, hw);
+    let points = region.area(nx, ny, hw) * nz as u64;
+    if points == 0 {
+        return;
+    }
+    let (gd, bd) = launch_cfg_region(region, nx, ny, nz, hw);
+    let cost = KernelCost::streaming(points, 6.0, 4.0, 1.0);
+    let (dc, dp) = (geom.dc, geom.dp);
+    let inv_dx = R::from_f64(1.0 / geom.dx);
+    let dt = R::from_f64(dtau);
+    let gub = geom.g_u;
+    let nzi = nz as isize;
+    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
+        let p_r = mem.read(p);
+        let f_r = mem.read(fu);
+        let g_r = mem.read(gub);
+        let mut u_w = mem.write(u);
+        let pv = V3::new(&p_r, dc);
+        let fv = V3::new(&f_r, dc);
+        let gv = V3::new(&g_r, dp);
+        let mut uv = V3Mut::new(&mut u_w, dc);
+        for r in &rects {
+            for j in r.j0..r.j1 {
+                for k in 0..nzi {
+                    for i in r.i0..r.i1 {
+                        let dpdx = (pv.at(i + 1, j, k) - pv.at(i, j, k)) * inv_dx;
+                        uv.add(i, j, k, dt * (-gv.at(i, j, 0) * dpdx + fv.at(i, j, k)));
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// `V += Δτ (−G_v ∂y p + F_V)` over `region`.
+#[allow(clippy::too_many_arguments)]
+pub fn momentum_y<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    region: Region,
+    kn: &KName,
+    p: Buf<R>,
+    fv_t: Buf<R>,
+    dtau: f64,
+    v: Buf<R>,
+) {
+    let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
+    let rects = region.rects(nx, ny, hw);
+    let points = region.area(nx, ny, hw) * nz as u64;
+    if points == 0 {
+        return;
+    }
+    let (gd, bd) = launch_cfg_region(region, nx, ny, nz, hw);
+    let cost = KernelCost::streaming(points, 6.0, 4.0, 1.0);
+    let (dc, dp) = (geom.dc, geom.dp);
+    let inv_dy = R::from_f64(1.0 / geom.dy);
+    let dt = R::from_f64(dtau);
+    let gvb = geom.g_v;
+    let nzi = nz as isize;
+    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
+        let p_r = mem.read(p);
+        let f_r = mem.read(fv_t);
+        let g_r = mem.read(gvb);
+        let mut v_w = mem.write(v);
+        let pv = V3::new(&p_r, dc);
+        let fv = V3::new(&f_r, dc);
+        let gv = V3::new(&g_r, dp);
+        let mut vv = V3Mut::new(&mut v_w, dc);
+        for r in &rects {
+            for j in r.j0..r.j1 {
+                for k in 0..nzi {
+                    for i in r.i0..r.i1 {
+                        let dpdy = (pv.at(i, j + 1, k) - pv.at(i, j, k)) * inv_dy;
+                        vv.add(i, j, k, dt * (-gv.at(i, j, 0) * dpdy + fv.at(i, j, k)));
+                    }
+                }
+            }
+        }
+    });
+}

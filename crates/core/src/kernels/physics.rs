@@ -1,0 +1,207 @@
+//! Physics-process kernels: Kessler warm rain (kernel (5) of Fig. 5 —
+//! "contains mathematical functions, such as log, exp, with few memory
+//! accesses", hence the highest arithmetic intensity in the model),
+//! rain sedimentation (Fig. 1 "Precipitation"), and the Rayleigh sponge.
+
+use crate::geom::DeviceGeom;
+use crate::kernels::region::launch_cfg;
+use crate::view::{V3, V3Mut};
+use numerics::Real;
+use physics::eos;
+use physics::kessler::{self, PointState};
+use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+
+/// Kessler warm rain over the interior; mirrors
+/// `dycore::micro::apply_kessler`.
+#[allow(clippy::too_many_arguments)]
+pub fn warm_rain<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    dt: f64,
+    rho: Buf<R>,
+    th: Buf<R>,
+    p: Buf<R>,
+    qv: Buf<R>,
+    qc: Buf<R>,
+    qr: Buf<R>,
+) {
+    let dc = geom.dc;
+    let dp2 = geom.dp;
+    let points = geom.points();
+    let (g, b) = launch_cfg(geom.nx as u64, geom.nz as u64);
+    let cost = KernelCost::streaming(points, 300.0, 4.0, 4.0).with_transcendental(0.6);
+    let g2 = geom.g;
+    let dtr = R::from_f64(dt);
+    let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
+    dev.launch(stream, Launch::new("warm_rain", g, b, cost), move |mem| {
+        let g_r = mem.read(g2);
+        let p_r = mem.read(p);
+        let mut rho_w = mem.write(rho);
+        let mut th_w = mem.write(th);
+        let mut qv_w = mem.write(qv);
+        let mut qc_w = mem.write(qc);
+        let mut qr_w = mem.write(qr);
+        let gv = V3::new(&g_r, dp2);
+        let pv = V3::new(&p_r, dc);
+        let rhov = V3Mut::new(&mut rho_w, dc);
+        let mut thv = V3Mut::new(&mut th_w, dc);
+        let mut qvv = V3Mut::new(&mut qv_w, dc);
+        let mut qcv = V3Mut::new(&mut qc_w, dc);
+        let mut qrv = V3Mut::new(&mut qr_w, dc);
+        for j in 0..ny {
+            for i in 0..nx {
+                let gm = gv.at(i, j, 0);
+                for k in 0..nz {
+                    let rho_star = rhov.at(i, j, k);
+                    let rho_phys = rho_star / gm;
+                    let qv_s = qvv.at(i, j, k) / rho_star;
+                    let qc_s = qcv.at(i, j, k) / rho_star;
+                    let qr_s = qrv.at(i, j, k) / rho_star;
+                    let pp = pv.at(i, j, k);
+                    let pi = eos::exner(pp);
+                    let fac = eos::theta_m_factor(qv_s, qc_s, qr_s);
+                    let theta = thv.at(i, j, k) / (rho_star * fac);
+                    let out = kessler::step_point(
+                        pp,
+                        pi,
+                        rho_phys,
+                        dtr,
+                        PointState { theta, qv: qv_s, qc: qc_s, qr: qr_s },
+                    );
+                    let fac_new = eos::theta_m_factor(out.qv, out.qc, out.qr);
+                    thv.set(i, j, k, rho_star * out.theta * fac_new);
+                    qvv.set(i, j, k, rho_star * out.qv);
+                    qcv.set(i, j, k, rho_star * out.qc);
+                    qrv.set(i, j, k, rho_star * out.qr);
+                }
+            }
+        }
+    });
+}
+
+/// Rain sedimentation: upwind fall of qr with the Kessler terminal
+/// velocity, removing mass through the surface into the precipitation
+/// accumulator (mirrors `dycore::micro::sediment_rain`).
+#[allow(clippy::too_many_arguments)]
+pub fn sediment<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    dt: f64,
+    rho: Buf<R>,
+    qr: Buf<R>,
+    precip: Buf<R>,
+) {
+    let dc = geom.dc;
+    let dpl = geom.dp;
+    let points = geom.points();
+    let (g, b) = launch_cfg(geom.nx as u64, geom.ny as u64);
+    let cost = KernelCost::streaming(points, 30.0, 3.0, 3.0).with_transcendental(0.3);
+    let g2 = geom.g;
+    let dtr = R::from_f64(dt);
+    let dz = R::from_f64(geom.dz);
+    let (nx, ny) = (geom.nx as isize, geom.ny as isize);
+    let nz = geom.nz;
+    dev.launch(stream, Launch::new("precipitation", g, b, cost), move |mem| {
+        let g_r = mem.read(g2);
+        let mut rho_w = mem.write(rho);
+        let mut qr_w = mem.write(qr);
+        let mut pr_w = mem.write(precip);
+        let gv = V3::new(&g_r, dpl);
+        let mut rhov = V3Mut::new(&mut rho_w, dc);
+        let mut qrv = V3Mut::new(&mut qr_w, dc);
+        let mut prv = V3Mut::new(&mut pr_w, dpl);
+        let inv_dz = R::ONE / dz;
+        let mut flux = vec![R::ZERO; nz + 1];
+        for j in 0..ny {
+            for i in 0..nx {
+                let gm = gv.at(i, j, 0);
+                let rho_sfc = rhov.at(i, j, 0) / gm;
+                for (kc, f) in flux.iter_mut().enumerate().take(nz) {
+                    let k = kc as isize;
+                    let rho_phys = rhov.at(i, j, k) / gm;
+                    let qr_s = (qrv.at(i, j, k) / rhov.at(i, j, k)).max(R::ZERO);
+                    let vt = kessler::terminal_velocity(rho_phys, qr_s, rho_sfc);
+                    let max_flux = qrv.at(i, j, k) * dz / dtr;
+                    *f = (rho_phys * qr_s * vt).min(max_flux.max(R::ZERO));
+                }
+                flux[nz] = R::ZERO;
+                for kc in 0..nz {
+                    let k = kc as isize;
+                    let f_bottom = flux[kc];
+                    let f_top = flux[kc + 1];
+                    let dq = dtr * (f_top - f_bottom) * inv_dz;
+                    qrv.add(i, j, k, dq);
+                    rhov.add(i, j, k, dq);
+                }
+                prv.add(i, j, 0, dtr * flux[0]);
+            }
+        }
+    });
+}
+
+/// Rayleigh sponge: damp w and the Θ deviation above `z_bottom`
+/// (mirrors `dycore::micro::rayleigh_damping`). Damping coefficients are
+/// precomputed per column level from the host grid (passed as closure
+/// constants, like the constant memory of the CUDA version).
+#[allow(clippy::too_many_arguments)]
+pub fn rayleigh<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    geom: &DeviceGeom<R>,
+    grid: &dycore::grid::Grid,
+    z_bottom: f64,
+    rate: f64,
+    dt: f64,
+    w: Buf<R>,
+    th: Buf<R>,
+    rho: Buf<R>,
+) {
+    if rate == 0.0 || !z_bottom.is_finite() {
+        return;
+    }
+    let dc = geom.dc;
+    let dw = geom.dw;
+    let points = geom.points();
+    let (g, b) = launch_cfg(geom.nx as u64, geom.nz as u64);
+    let cost = KernelCost::streaming(points, 8.0, 4.0, 2.0);
+    let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz);
+    // Per-level damping tables shared with the CPU reference (ζ-based,
+    // uploaded like constant memory in the CUDA version). The f64 table
+    // is rounded to R exactly as all other uploaded constants.
+    let (dw64, dc64) = dycore::micro::rayleigh_tables(grid, z_bottom, rate, dt);
+    let damp_w: Vec<R> = dw64.iter().map(|&v| R::from_f64(v)).collect();
+    let damp_c: Vec<R> = dc64.iter().map(|&v| R::from_f64(v)).collect();
+    let th_b = geom.th_c;
+    dev.launch(stream, Launch::new("rayleigh_sponge", g, b, cost), move |mem| {
+        let rho_r = mem.read(rho);
+        let thb_r = mem.read(th_b);
+        let mut w_w = mem.write(w);
+        let mut th_w2 = mem.write(th);
+        let rhov = V3::new(&rho_r, dc);
+        let thbv = V3::new(&thb_r, dc);
+        let mut wv = V3Mut::new(&mut w_w, dw);
+        let mut thv = V3Mut::new(&mut th_w2, dc);
+        for j in 0..ny {
+            for i in 0..nx {
+                for k in 1..nz {
+                    let dmp = damp_w[k];
+                    if dmp < R::ONE {
+                        let v = wv.at(i, j, k as isize) * dmp;
+                        wv.set(i, j, k as isize, v);
+                    }
+                }
+                for k in 0..nz {
+                    let dmp = damp_c[k];
+                    if dmp < R::ONE {
+                        let kk = k as isize;
+                        let th_eq = rhov.at(i, j, kk) * thbv.at(i, j, kk);
+                        let v = th_eq + (thv.at(i, j, kk) - th_eq) * dmp;
+                        thv.set(i, j, kk, v);
+                    }
+                }
+            }
+        }
+    });
+}

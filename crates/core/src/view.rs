@@ -1,0 +1,187 @@
+//! Device-array views in the GPU's XZY memory order.
+//!
+//! The paper stores GPU arrays x-fastest, then z, then y (§IV-A.1) so
+//! that (a) a warp's threads walk contiguous x (coalesced access) and
+//! (b) y-direction halo slabs are contiguous for the 2-D decomposition.
+//! These views give kernels `at(i, j, k)` indexing over a flat device
+//! slice with that layout and a uniform halo.
+
+use numerics::Real;
+
+/// Shape of a device field: interior size plus halo width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims {
+    pub nx: usize,
+    pub ny: usize,
+    /// Number of vertical levels (nz for centers, nz+1 for w).
+    pub nl: usize,
+    pub halo: usize,
+}
+
+impl Dims {
+    pub fn center(nx: usize, ny: usize, nz: usize, halo: usize) -> Self {
+        Dims { nx, ny, nl: nz, halo }
+    }
+
+    pub fn wlevel(nx: usize, ny: usize, nz: usize, halo: usize) -> Self {
+        Dims { nx, ny, nl: nz + 1, halo }
+    }
+
+    /// A 2-D horizontal field (one level, no vertical halo).
+    pub fn plane(nx: usize, ny: usize, halo: usize) -> Self {
+        Dims { nx, ny, nl: 1, halo }
+    }
+
+    #[inline(always)]
+    pub fn px(&self) -> usize {
+        self.nx + 2 * self.halo
+    }
+    #[inline(always)]
+    pub fn py(&self) -> usize {
+        self.ny + 2 * self.halo
+    }
+    #[inline(always)]
+    pub fn pl(&self) -> usize {
+        if self.nl == 1 {
+            1
+        } else {
+            self.nl + 2 * self.halo
+        }
+    }
+
+    /// Total elements including halos.
+    pub fn len(&self) -> usize {
+        self.px() * self.py() * self.pl()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// XZY flat offset of logical index (i, j, k); halos via negative /
+    /// past-the-end indices. 2-D planes ignore `k`.
+    #[inline(always)]
+    pub fn off(&self, i: isize, j: isize, k: isize) -> usize {
+        let h = self.halo as isize;
+        debug_assert!(i >= -h && i < self.nx as isize + h, "i={i} out of range");
+        debug_assert!(j >= -h && j < self.ny as isize + h, "j={j} out of range");
+        let (kk, pl) = if self.nl == 1 {
+            (0usize, 1usize)
+        } else {
+            debug_assert!(k >= -h && k < self.nl as isize + h, "k={k} out of range");
+            ((k + h) as usize, self.pl())
+        };
+        (i + h) as usize + self.px() * (kk + pl * (j + h) as usize)
+    }
+}
+
+/// Read-only view of a device buffer.
+#[derive(Clone, Copy)]
+pub struct V3<'a, R> {
+    pub d: &'a [R],
+    pub m: Dims,
+}
+
+impl<'a, R: Real> V3<'a, R> {
+    pub fn new(d: &'a [R], m: Dims) -> Self {
+        debug_assert_eq!(d.len(), m.len(), "buffer/dims mismatch");
+        V3 { d, m }
+    }
+
+    #[inline(always)]
+    pub fn at(&self, i: isize, j: isize, k: isize) -> R {
+        self.d[self.m.off(i, j, k)]
+    }
+}
+
+/// Mutable view of a device buffer.
+pub struct V3Mut<'a, R> {
+    pub d: &'a mut [R],
+    pub m: Dims,
+}
+
+impl<'a, R: Real> V3Mut<'a, R> {
+    pub fn new(d: &'a mut [R], m: Dims) -> Self {
+        debug_assert_eq!(d.len(), m.len(), "buffer/dims mismatch");
+        V3Mut { d, m }
+    }
+
+    #[inline(always)]
+    pub fn at(&self, i: isize, j: isize, k: isize) -> R {
+        self.d[self.m.off(i, j, k)]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, i: isize, j: isize, k: isize, v: R) {
+        let off = self.m.off(i, j, k);
+        self.d[off] = v;
+    }
+
+    #[inline(always)]
+    pub fn add(&mut self, i: isize, j: isize, k: isize, v: R) {
+        let off = self.m.off(i, j, k);
+        self.d[off] += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xzy_x_is_contiguous() {
+        let m = Dims::center(8, 4, 6, 2);
+        assert_eq!(m.off(1, 0, 0), m.off(0, 0, 0) + 1);
+        // z stride = px
+        assert_eq!(m.off(0, 0, 1), m.off(0, 0, 0) + 12);
+        // y stride = px*pz
+        assert_eq!(m.off(0, 1, 0), m.off(0, 0, 0) + 12 * 10);
+    }
+
+    #[test]
+    fn y_slabs_are_contiguous_blocks() {
+        // All cells with fixed j form one contiguous block — the property
+        // the paper exploits for y halo transfer.
+        let m = Dims::center(4, 3, 2, 2);
+        let base = m.off(-2, 1, -2);
+        let mut offs: Vec<usize> = Vec::new();
+        for k in -2..4isize {
+            for i in -2..6isize {
+                offs.push(m.off(i, 1, k));
+            }
+        }
+        offs.sort_unstable();
+        for (n, o) in offs.iter().enumerate() {
+            assert_eq!(*o, base + n);
+        }
+    }
+
+    #[test]
+    fn plane_ignores_k() {
+        let m = Dims::plane(4, 3, 2);
+        assert_eq!(m.off(0, 0, 0), m.off(0, 0, 5));
+        assert_eq!(m.len(), 8 * 7);
+    }
+
+    #[test]
+    fn views_read_write() {
+        let m = Dims::center(2, 2, 2, 1);
+        let mut data = vec![0.0f32; m.len()];
+        {
+            let mut v = V3Mut::new(&mut data, m);
+            v.set(0, 0, 0, 5.0);
+            v.add(0, 0, 0, 2.0);
+            v.set(-1, 1, 2, 9.0);
+        }
+        let v = V3::new(&data, m);
+        assert_eq!(v.at(0, 0, 0), 7.0);
+        assert_eq!(v.at(-1, 1, 2), 9.0);
+    }
+
+    #[test]
+    fn w_dims_have_extra_level() {
+        let c = Dims::center(4, 4, 6, 2);
+        let w = Dims::wlevel(4, 4, 6, 2);
+        assert_eq!(w.pl(), c.pl() + 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Initial conditions: the paper's mountain-wave benchmark (§IV-B), a
+//! warm moist bubble (microphysics exercise), and the synthetic
+//! tropical-vortex surrogate for the paper's real-data run (Fig. 12;
+//! see DESIGN.md for the MANAL-data substitution).
+
+use crate::model::Model;
+use physics::eos;
+use physics::moist;
+
+/// Mountain-wave inflow: uniform wind `u0` in x over the whole domain
+/// (the paper: "10.0 m/s wind blows in the x direction and normal
+/// pressure, temperature, density ... are given").
+pub fn mountain_wave_inflow(m: &mut Model, u0: f64) {
+    let g = &m.grid;
+    let h = 2isize;
+    for j in -h..g.ny as isize + h {
+        for i in -h..g.nx as isize + h - 1 {
+            for k in -h..g.nz as isize + h {
+                let kk = k.clamp(0, g.nz as isize - 1);
+                let r = 0.5 * (m.state.rho.at(i, j, kk) + m.state.rho.at(i + 1, j, kk));
+                m.state.u.set(i, j, k, u0 * r);
+            }
+        }
+        // outermost halo column
+        for k in -h..g.nz as isize + h {
+            let v = m.state.u.at(g.nx as isize + h - 2, j, k);
+            m.state.u.set(g.nx as isize + h - 1, j, k, v);
+        }
+    }
+    m.finalize_init();
+}
+
+/// Warm, moist bubble: +`dtheta` K thermal with `rh` relative humidity
+/// inside, centred at fractions (`fx`, `fy`, `fz`) of the domain with
+/// radius `radius_cells` grid cells. Drives convection and rain.
+pub fn warm_moist_bubble(m: &mut Model, dtheta: f64, rh: f64, fx: f64, fy: f64, fz: f64, radius_cells: f64) {
+    let (nx, ny, nz) = (m.grid.nx as isize, m.grid.ny as isize, m.grid.nz as isize);
+    let (cx, cy, cz) = (
+        fx * nx as f64,
+        fy * ny as f64,
+        fz * nz as f64,
+    );
+    for j in 0..ny {
+        for i in 0..nx {
+            for k in 0..nz {
+                let dx = (i as f64 + 0.5 - cx) / radius_cells;
+                let dy = (j as f64 + 0.5 - cy) / radius_cells;
+                let dz = (k as f64 + 0.5 - cz) / radius_cells;
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 < 1.0 {
+                    let amp = (std::f64::consts::FRAC_PI_2 * (1.0 - r2.sqrt())).sin().powi(2);
+                    let rho = m.state.rho.at(i, j, k);
+                    let th = m.state.th.at(i, j, k);
+                    m.state.th.set(i, j, k, th + rho * dtheta * amp);
+                    if !m.state.q.is_empty() {
+                        let p = m.state.p.at(i, j, k);
+                        let t = (th / rho) * eos::exner(p);
+                        let qvs = moist::saturation_mixing_ratio(p, t);
+                        m.state.q[0].set(i, j, k, rho * qvs * rh * amp.max(0.3));
+                    }
+                }
+            }
+        }
+    }
+    m.finalize_init();
+}
+
+/// Synthetic tropical-cyclone-like vortex: warm-core pressure deficit in
+/// gradient-wind-free form — tangential momentum of a Rankine-like
+/// profile `v(r) = vmax (r/rm) exp(1 − r/rm)` decaying with height, a
+/// warm core, and a moist envelope. Substitutes for the paper's JMA
+/// MANAL initial data (Fig. 12), exercising the same code path: full
+/// dynamical core + warm rain on a multi-GPU decomposition.
+pub fn tropical_vortex(m: &mut Model, vmax: f64, rm_cells: f64, moist_rh: f64) {
+    let (nx, ny, nz) = (m.grid.nx as isize, m.grid.ny as isize, m.grid.nz as isize);
+    let cx = nx as f64 * 0.5;
+    let cy = ny as f64 * 0.5;
+    for j in 0..ny {
+        for i in 0..nx {
+            for k in 0..nz {
+                let zfac = (1.0 - k as f64 / nz as f64).max(0.0);
+                // Radii from the u-point and the v-point.
+                let ru = {
+                    let dx = i as f64 + 1.0 - cx;
+                    let dy = j as f64 + 0.5 - cy;
+                    (dx * dx + dy * dy).sqrt().max(1e-6)
+                };
+                let rv = {
+                    let dx = i as f64 + 0.5 - cx;
+                    let dy = j as f64 + 1.0 - cy;
+                    (dx * dx + dy * dy).sqrt().max(1e-6)
+                };
+                let vt = |r: f64| vmax * (r / rm_cells) * (1.0 - r / rm_cells).exp();
+                // Tangential flow: u = -v_t * sin(φ), v = v_t * cos(φ).
+                let rho = m.state.rho.at(i, j, k);
+                let du = -vt(ru) * ((j as f64 + 0.5 - cy) / ru) * zfac;
+                let dv = vt(rv) * ((i as f64 + 0.5 - cx) / rv) * zfac;
+                m.state.u.set(i, j, k, rho * du);
+                m.state.v.set(i, j, k, rho * dv);
+                // Warm core (decaying with radius from the u-center).
+                let rc = {
+                    let dx = i as f64 + 0.5 - cx;
+                    let dy = j as f64 + 0.5 - cy;
+                    (dx * dx + dy * dy).sqrt()
+                };
+                let core = (-(rc / rm_cells) * (rc / rm_cells)).exp();
+                let th = m.state.th.at(i, j, k);
+                m.state.th.set(i, j, k, th + rho * 2.0 * core * zfac);
+                // Moist envelope.
+                if !m.state.q.is_empty() {
+                    let p = m.state.p.at(i, j, k);
+                    let t = (th / rho) * eos::exner(p);
+                    let qvs = moist::saturation_mixing_ratio(p, t);
+                    let rh = moist_rh * (0.3 + 0.7 * core) * zfac;
+                    m.state.q[0].set(i, j, k, rho * qvs * rh.min(0.99));
+                }
+            }
+        }
+    }
+    m.finalize_init();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, Terrain};
+    use crate::model::Model;
+
+    fn flat_model(nx: usize, ny: usize, nz: usize) -> Model {
+        let mut c = ModelConfig::mountain_wave(nx, ny, nz);
+        c.terrain = Terrain::Flat;
+        Model::new(c)
+    }
+
+    #[test]
+    fn inflow_sets_uniform_specific_u() {
+        let mut m = flat_model(12, 8, 8);
+        mountain_wave_inflow(&mut m, 10.0);
+        for (i, j, k) in [(0isize, 0isize, 0isize), (5, 3, 4), (11, 7, 7)] {
+            let r = 0.5 * (m.state.rho.at(i, j, k) + m.state.rho.at(i + 1, j, k));
+            assert!((m.state.u.at(i, j, k) / r - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bubble_is_warm_moist_and_local() {
+        let mut m = flat_model(16, 16, 12);
+        warm_moist_bubble(&mut m, 2.0, 0.95, 0.5, 0.5, 0.25, 4.0);
+        // center cell warmed
+        let rho = m.state.rho.at(8, 8, 3);
+        let th_spec = m.state.th.at(8, 8, 3) / rho;
+        assert!(th_spec > 288.0, "no warming: {th_spec}");
+        assert!(m.state.q[0].at(8, 8, 3) > 0.0);
+        // corner untouched
+        assert_eq!(m.state.q[0].at(0, 0, 10), 0.0);
+    }
+
+    #[test]
+    fn vortex_circulates_counterclockwise() {
+        let mut m = flat_model(24, 24, 8);
+        tropical_vortex(&mut m, 20.0, 5.0, 0.9);
+        // East of center: v > 0; west: v < 0 (cyclonic, NH).
+        let rho = m.state.rho.at(18, 12, 0);
+        assert!(m.state.v.at(18, 12, 0) / rho > 1.0);
+        assert!(m.state.v.at(5, 12, 0) / rho < -1.0);
+        // North of center: u < 0.
+        assert!(m.state.u.at(12, 18, 0) < 0.0);
+        // Warm core present.
+        let th_c = m.state.th.at(12, 12, 0) / m.state.rho.at(12, 12, 0);
+        let th_far = m.state.th.at(0, 0, 0) / m.state.rho.at(0, 0, 0);
+        assert!(th_c > th_far + 0.5);
+    }
+
+    #[test]
+    fn vortex_model_runs_stably() {
+        let mut c = ModelConfig::mountain_wave(24, 24, 10);
+        c.terrain = Terrain::Flat;
+        c.coriolis_f = physics::consts::F_CORIOLIS_35N;
+        c.dt = 4.0;
+        let mut m = Model::new(c);
+        tropical_vortex(&mut m, 15.0, 5.0, 0.9);
+        let stats = m.run(5);
+        assert_eq!(m.state.find_non_finite(), None);
+        assert!(stats.max_u < 60.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Microphysics driver: Kessler warm rain on the model state, rain
+//! sedimentation (the paper's "Precipitation" kernel of Fig. 1, whose
+//! density sink is the F_ρ precipitation term of Eq. (2)), and the
+//! Rayleigh sponge.
+
+use crate::config::ModelConfig;
+use crate::grid::{BaseFields, Grid};
+use crate::state::State;
+use physics::eos;
+use physics::kessler::{self, PointState};
+
+/// Indices of the warm-rain tracers within `State::q`.
+pub const QV: usize = 0;
+pub const QC: usize = 1;
+pub const QR: usize = 2;
+
+/// Apply the Kessler warm-rain scheme pointwise over the interior.
+///
+/// The prognostic Θ = Gρθm is converted to θ via the θm moisture factor,
+/// passed through the scheme with the diagnostic pressure, and rebuilt
+/// with the updated moisture content. Water and (moist) internal energy
+/// bookkeeping stays in the scheme; total water is conserved here and
+/// checked by tests.
+pub fn apply_kessler(grid: &Grid, s: &mut State, dt: f64) {
+    assert!(s.q.len() >= 3, "warm rain needs qv, qc, qr");
+    let (nx, ny, nz) = (grid.nx as isize, grid.ny as isize, grid.nz as isize);
+    for j in 0..ny {
+        for i in 0..nx {
+            let gm = grid.g.at(i, j);
+            for k in 0..nz {
+                let rho_star = s.rho.at(i, j, k);
+                let rho = rho_star / gm;
+                let qv = s.q[QV].at(i, j, k) / rho_star;
+                let qc = s.q[QC].at(i, j, k) / rho_star;
+                let qr = s.q[QR].at(i, j, k) / rho_star;
+                let p = s.p.at(i, j, k);
+                let pi = eos::exner(p);
+                let fac = eos::theta_m_factor(qv, qc, qr);
+                let theta = s.th.at(i, j, k) / (rho_star * fac);
+                let out = kessler::step_point(
+                    p,
+                    pi,
+                    rho,
+                    dt,
+                    PointState { theta, qv, qc, qr },
+                );
+                let fac_new = eos::theta_m_factor(out.qv, out.qc, out.qr);
+                s.th.set(i, j, k, rho_star * out.theta * fac_new);
+                s.q[QV].set(i, j, k, rho_star * out.qv);
+                s.q[QC].set(i, j, k, rho_star * out.qc);
+                s.q[QR].set(i, j, k, rho_star * out.qr);
+            }
+        }
+    }
+}
+
+/// Rain sedimentation with the Kessler terminal velocity: an upwind
+/// (downward) flux through w levels. Removes rain and total mass through
+/// the surface, accumulating it as surface precipitation [kg m⁻²] — the
+/// precipitation F_ρ density change of the paper's Eq. (2).
+pub fn sediment_rain(grid: &Grid, s: &mut State, dt: f64) {
+    let (nx, ny) = (grid.nx as isize, grid.ny as isize);
+    let nz = grid.nz;
+    let inv_dz = 1.0 / grid.dzeta;
+    // Surface air density for the (ρ0/ρ)^1/2 factor.
+    for j in 0..ny {
+        for i in 0..nx {
+            let gm = grid.g.at(i, j);
+            let rho_sfc = s.rho.at(i, j, 0) / gm;
+            // Downward flux ρ q_r V_t at each w level, taken from the
+            // cell *above* the level (upwind for falling rain).
+            // flux[k] for k = 0..nz: level nz (lid) has no inflow.
+            let mut flux = vec![0.0f64; nz + 1];
+            for (kc, f) in flux.iter_mut().enumerate().take(nz) {
+                let k = kc as isize;
+                let rho = s.rho.at(i, j, k) / gm;
+                let qr = (s.q[QR].at(i, j, k) / s.rho.at(i, j, k)).max(0.0);
+                let vt = kessler::terminal_velocity(rho, qr, rho_sfc);
+                // Don't let a cell empty more than its content in one step.
+                let max_flux = s.q[QR].at(i, j, k) * grid.dzeta / dt;
+                *f = (rho * qr * vt).min(max_flux.max(0.0));
+            }
+            for kc in 0..nz {
+                let k = kc as isize;
+                // ∂(Gρq_r)/∂t = ∂ζ(ρ q_r V_t): inflow from above (k+1
+                // level flux = flux of cell k+1... level k+1 carries the
+                // flux leaving cell k through its bottom? No: level k is
+                // the bottom face of cell k; its flux comes from cell k.
+                let f_bottom = flux[kc]; // leaves cell k downward
+                let f_top = if kc + 1 < nz { flux[kc + 1] } else { 0.0 };
+                let dq = dt * (f_top - f_bottom) * inv_dz;
+                s.q[QR].add_at(i, j, k, dq);
+                s.rho.add_at(i, j, k, dq);
+            }
+            // Mass through the surface accumulates as precipitation.
+            s.precip.add_at(i, j, 0, dt * flux[0]);
+        }
+    }
+}
+
+/// Rayleigh sponge near the model top: damps w and the θ deviation from
+/// base toward zero with rate ramping in above `z_bottom`. The ramp is a
+/// function of the ζ level (one damping table per level), which keeps
+/// the sponge identical across columns and bit-identical between the
+/// CPU reference and the GPU port.
+pub fn rayleigh_damping(cfg: &ModelConfig, grid: &Grid, base: &BaseFields, s: &mut State, dt: f64) {
+    let rc = cfg.rayleigh;
+    if rc.rate == 0.0 || !rc.z_bottom.is_finite() {
+        return;
+    }
+    let (damp_w, damp_c) = rayleigh_tables(grid, rc.z_bottom, rc.rate, dt);
+    let (nx, ny) = (grid.nx as isize, grid.ny as isize);
+    let nz = grid.nz;
+    for j in 0..ny {
+        for i in 0..nx {
+            for (k, &damp) in damp_w.iter().enumerate().take(nz).skip(1) {
+                if damp < 1.0 {
+                    let w = s.w.at(i, j, k as isize);
+                    s.w.set(i, j, k as isize, w * damp);
+                }
+            }
+            for (k, &damp) in damp_c.iter().enumerate() {
+                if damp < 1.0 {
+                    let kk = k as isize;
+                    let th_eq = s.rho.at(i, j, kk) * base.th_c.at(i, j, kk);
+                    let th = s.th.at(i, j, kk);
+                    s.th.set(i, j, kk, th_eq + (th - th_eq) * damp);
+                }
+            }
+        }
+    }
+}
+
+/// Per-level damping factors `1/(1 + dt r(ζ))` for w levels and centers.
+pub fn rayleigh_tables(grid: &Grid, z_bottom: f64, rate: f64, dt: f64) -> (Vec<f64>, Vec<f64>) {
+    let ramp = |z: f64| -> f64 {
+        if z <= z_bottom {
+            0.0
+        } else {
+            let x = ((z - z_bottom) / (grid.z_top - z_bottom)).min(1.0);
+            let s = (std::f64::consts::FRAC_PI_2 * x).sin();
+            rate * s * s
+        }
+    };
+    let damp_w: Vec<f64> = grid.zeta_w.iter().map(|&z| 1.0 / (1.0 + dt * ramp(z))).collect();
+    let damp_c: Vec<f64> = grid.zeta_c.iter().map(|&z| 1.0 / (1.0 + dt * ramp(z))).collect();
+    (damp_w, damp_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, Terrain};
+    use physics::base::BaseState;
+    use physics::moist;
+
+    fn setup() -> (ModelConfig, Grid, BaseFields) {
+        let mut c = ModelConfig::mountain_wave(6, 4, 10);
+        c.terrain = Terrain::Flat;
+        let g = Grid::build(&c);
+        let b = BaseFields::build(&g, &BaseState::isothermal(285.0));
+        (c, g, b)
+    }
+
+    fn moist_state(grid: &Grid, base: &BaseFields) -> State {
+        let mut s = State::zeros(grid, 3);
+        for j in -2..grid.ny as isize + 2 {
+            for i in -2..grid.nx as isize + 2 {
+                for k in -2..grid.nz as isize + 2 {
+                    let kk = k.clamp(0, grid.nz as isize - 1);
+                    let rho = base.rho_c.at(i, j, kk);
+                    s.rho.set(i, j, k, rho);
+                    s.th.set(i, j, k, rho * base.th_c.at(i, j, kk));
+                    s.p.set(i, j, k, base.p_c.at(i, j, kk));
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn kessler_condenses_supersaturated_layer() {
+        let (_c, g, b) = setup();
+        let mut s = moist_state(&g, &b);
+        // Saturate the lowest levels at 120%.
+        for j in 0..4isize {
+            for i in 0..6isize {
+                for k in 0..3isize {
+                    let p = s.p.at(i, j, k);
+                    let t = b.th_c.at(i, j, k) * physics::eos::exner(p);
+                    let qvs = moist::saturation_mixing_ratio(p, t);
+                    s.q[QV].set(i, j, k, s.rho.at(i, j, k) * qvs * 1.2);
+                }
+            }
+        }
+        let water_before: f64 =
+            s.q[QV].sum_interior() + s.q[QC].sum_interior() + s.q[QR].sum_interior();
+        apply_kessler(&g, &mut s, 10.0);
+        assert!(s.q[QC].max_abs() > 0.0, "no cloud formed");
+        let water_after: f64 =
+            s.q[QV].sum_interior() + s.q[QC].sum_interior() + s.q[QR].sum_interior();
+        assert!(
+            ((water_after - water_before) / water_before).abs() < 1e-12,
+            "water not conserved"
+        );
+        // Latent heating raised θ where condensation happened.
+        let th_spec = s.th.at(2, 2, 1) / s.rho.at(2, 2, 1);
+        assert!(th_spec > b.th_c.at(2, 2, 1) * 0.999);
+    }
+
+    #[test]
+    fn sedimentation_moves_rain_down_and_precipitates() {
+        let (_c, g, b) = setup();
+        let mut s = moist_state(&g, &b);
+        // Rain blob aloft.
+        let k_top = 6isize;
+        for j in 0..4isize {
+            for i in 0..6isize {
+                s.q[QR].set(i, j, k_top, s.rho.at(i, j, k_top) * 2.0e-3);
+            }
+        }
+        let rain0 = s.q[QR].sum_interior();
+        let mass0 = s.rho.sum_interior();
+        let mut steps = 0;
+        for _ in 0..600 {
+            sediment_rain(&g, &mut s, 5.0);
+            steps += 1;
+            if s.precip.sum_interior() > 0.0 {
+                break;
+            }
+        }
+        assert!(steps < 600, "rain never reached the ground");
+        // Rain below the source increased at some point; total water
+        // (suspended + precipitated) is conserved.
+        let rain1 = s.q[QR].sum_interior();
+        let precip_mass: f64 = s.precip.sum_interior() / g.dzeta; // per-cell units
+        assert!(
+            ((rain1 + precip_mass) - rain0).abs() / rain0 < 1e-9,
+            "rain budget violated: {} vs {}",
+            rain1 + precip_mass,
+            rain0
+        );
+        // Total air mass decreased by exactly the precipitated mass (F_ρ);
+        // the tolerance is round-off of the large ρ* sums, not of the
+        // (possibly tiny) precipitated amount.
+        let mass1 = s.rho.sum_interior();
+        assert!(
+            ((mass0 - mass1) - precip_mass).abs() < 1e-12 * mass0 + 1e-9 * precip_mass,
+            "density sink inconsistent: d_mass={} precip={}",
+            mass0 - mass1,
+            precip_mass
+        );
+        assert!(s.q[QR].max_abs() >= 0.0);
+    }
+
+    #[test]
+    fn sedimentation_never_creates_negative_rain() {
+        let (_c, g, b) = setup();
+        let mut s = moist_state(&g, &b);
+        s.q[QR].set(3, 2, 2, s.rho.at(3, 2, 2) * 5.0e-3);
+        for _ in 0..200 {
+            sediment_rain(&g, &mut s, 20.0); // aggressive dt
+        }
+        let mut min_qr = f64::INFINITY;
+        for j in 0..4isize {
+            for i in 0..6isize {
+                for k in 0..10isize {
+                    min_qr = min_qr.min(s.q[QR].at(i, j, k));
+                }
+            }
+        }
+        assert!(min_qr > -1e-12, "negative rain {min_qr}");
+    }
+
+    #[test]
+    fn rayleigh_damps_w_only_in_the_sponge() {
+        let (mut c, g, b) = setup();
+        c.rayleigh = crate::config::RayleighConfig { z_bottom: 9000.0, rate: 0.1 };
+        let mut s = moist_state(&g, &b);
+        s.w.fill(1.0);
+        rayleigh_damping(&c, &g, &b, &mut s, 5.0);
+        // z_top = 15000, nz = 10 -> w level 3 at 4500 m (below sponge),
+        // level 9 at 13500 m (inside sponge).
+        assert_eq!(s.w.at(2, 2, 3), 1.0);
+        assert!(s.w.at(2, 2, 9) < 0.75);
+        // boundaries untouched by the sponge loop (still 1 from fill).
+        assert_eq!(s.w.at(2, 2, 0), 1.0);
+    }
+
+    #[test]
+    fn dry_state_is_inert_under_kessler() {
+        let (_c, g, b) = setup();
+        let mut s = moist_state(&g, &b);
+        let th_before = s.th.clone();
+        apply_kessler(&g, &mut s, 10.0);
+        assert!(s.th.max_diff(&th_before) < 1e-12);
+        assert_eq!(s.q[QC].max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Slow-mode tendencies: the F terms of the paper's Eqs. (1)–(4),
+//! evaluated once per RK3 stage and held fixed across the acoustic loop.
+//!
+//! Contents per variable:
+//!
+//! * momenta: advection + Coriolis + diffusion + the *metric* part of the
+//!   horizontal pressure gradient (the fast `∂p/∂x|ζ` part lives in the
+//!   acoustic step);
+//! * Θ: full advection minus the linear θ̄-divergence that the acoustic
+//!   step integrates (so nothing is double-counted);
+//! * ρ*: full mass divergence minus the linear divergence — identically
+//!   zero on flat terrain, the metric cross-flux otherwise;
+//! * tracers: advection only (microphysics applies separately).
+
+use crate::config::ModelConfig;
+use crate::grid::{BaseFields, Grid};
+use crate::ops;
+use crate::state::{State, Tendencies};
+use numerics::Field3;
+
+/// Compute all slow tendencies from `stage` into `f`.
+///
+/// `stage` must have filled halos and an up-to-date diagnostic pressure.
+pub fn compute_slow(
+    cfg: &ModelConfig,
+    grid: &Grid,
+    base: &BaseFields,
+    stage: &State,
+    ws: &mut ops::Workspace,
+    f: &mut Tendencies,
+) {
+    f.clear();
+    let lim = cfg.limiter;
+
+    // Contravariant vertical mass flux of the stage state.
+    ops::mass_flux_w(grid, stage, &mut ws.mw);
+    ws.mw.fill_halo_periodic_xy();
+
+    // --- Momentum advection. ---
+    // The outermost pad column of a staggered specific velocity cannot
+    // be formed locally (needs ρ* one cell past the pad); refresh the
+    // lateral halos so every stencil tap is exact — this also keeps the
+    // decomposed multi-GPU run bit-identical to the single domain.
+    ops::specific_at_u(&mut ws.spec_c, &stage.u, &stage.rho);
+    ws.spec_c.fill_halo_periodic_xy();
+    ops::advect_u(grid, lim, &ws.spec_c, &stage.u, &stage.v, &ws.mw, &mut f.fu);
+    ops::diffuse(
+        grid,
+        cfg.k_diffusion,
+        &ws.spec_c,
+        |i, j, k| 0.5 * (stage.rho.at(i, j, k) + stage.rho.at(i + 1, j, k)),
+        &mut f.fu,
+        0,
+        grid.nz as isize,
+    );
+
+    ops::specific_at_v(&mut ws.spec_c, &stage.v, &stage.rho);
+    ws.spec_c.fill_halo_periodic_xy();
+    ops::advect_v(grid, lim, &ws.spec_c, &stage.u, &stage.v, &ws.mw, &mut f.fv);
+    ops::diffuse(
+        grid,
+        cfg.k_diffusion,
+        &ws.spec_c,
+        |i, j, k| 0.5 * (stage.rho.at(i, j, k) + stage.rho.at(i, j + 1, k)),
+        &mut f.fv,
+        0,
+        grid.nz as isize,
+    );
+
+    ops::specific_at_w(&mut ws.spec_w, &stage.w, &stage.rho);
+    ops::advect_w(grid, lim, &ws.spec_w, &stage.u, &stage.v, &ws.mw, &mut f.fw);
+    ops::diffuse(
+        grid,
+        cfg.k_diffusion,
+        &ws.spec_w,
+        |i, j, k| {
+            0.5 * (stage.rho.at(i, j, (k - 1).max(0)) + stage.rho.at(i, j, k.min(grid.nz as isize - 1)))
+        },
+        &mut f.fw,
+        1,
+        grid.nz as isize,
+    );
+
+    // --- Coriolis (f-plane), applied to the G-weighted momenta. ---
+    if cfg.coriolis_f != 0.0 {
+        coriolis(grid, cfg.coriolis_f, stage, f);
+    }
+
+    // --- Metric part of the horizontal pressure gradient. ---
+    if !grid.flat {
+        metric_pressure_gradient(grid, &stage.p, f);
+    }
+
+    // --- Θ: full advection minus the acoustic linear part. ---
+    ops::specific_from_weighted(&mut ws.spec_c, &stage.th, &stage.rho);
+    ops::advect_scalar(
+        grid,
+        lim,
+        &ws.spec_c,
+        &stage.u,
+        &stage.v,
+        &ws.mw,
+        &mut f.fth,
+        &mut ws.flux_a,
+        &mut ws.flux_w,
+    );
+    // Diffuse the *deviation* from the base profile so a resting base
+    // state feels no spurious heating from the curvature of θ̄(z).
+    {
+        let h = ws.spec_c.halo() as isize;
+        let (nx, ny, nz) = (grid.nx as isize, grid.ny as isize, grid.nz as isize);
+        for j in -h..ny + h {
+            for i in -h..nx + h {
+                for k in -h..nz + h {
+                    let kk = k.clamp(0, nz - 1);
+                    let v = ws.spec_c.at(i, j, k) - base.th_c.at(i, j, kk);
+                    ws.spec_c.set(i, j, k, v);
+                }
+            }
+        }
+    }
+    ops::diffuse(
+        grid,
+        cfg.k_diffusion,
+        &ws.spec_c,
+        |i, j, k| stage.rho.at(i, j, k),
+        &mut f.fth,
+        0,
+        grid.nz as isize,
+    );
+    ops::div_lin_theta(grid, &base.th_c, &base.th_w, &stage.u, &stage.v, &stage.w, &mut ws.flux_b);
+    add_field(&mut f.fth, &ws.flux_b, grid);
+
+    // --- ρ*: full minus linear mass divergence (metric cross-flux). ---
+    if !grid.flat {
+        // full divergence: ∂xU + ∂yV + ∂ζ(Mw) with the contravariant Mw.
+        full_mass_divergence(grid, stage, &ws.mw, &mut ws.flux_b);
+        sub_field(&mut f.frho, &ws.flux_b, grid);
+        ops::div_lin_mass(grid, &stage.u, &stage.v, &stage.w, &mut ws.flux_b);
+        add_field(&mut f.frho, &ws.flux_b, grid);
+    }
+
+    // --- Tracers: advection (+ diffusion). These are the "13 variables
+    // related to water substances" of the paper's first overlap method.
+    for (qi, fq) in stage.q.iter().zip(f.fq.iter_mut()) {
+        ops::specific_from_weighted(&mut ws.spec_c, qi, &stage.rho);
+        ops::advect_scalar(
+            grid,
+            lim,
+            &ws.spec_c,
+            &stage.u,
+            &stage.v,
+            &ws.mw,
+            fq,
+            &mut ws.flux_a,
+            &mut ws.flux_w,
+        );
+        ops::diffuse(
+            grid,
+            cfg.k_diffusion,
+            &ws.spec_c,
+            |i, j, k| stage.rho.at(i, j, k),
+            fq,
+            0,
+            grid.nz as isize,
+        );
+    }
+}
+
+/// f-plane Coriolis force on the horizontal momenta:
+/// `F_U += f V̄ |_u`, `F_V -= f Ū |_v` (4-point averages between the
+/// staggered positions).
+pub fn coriolis(grid: &Grid, fcor: f64, s: &State, f: &mut Tendencies) {
+    let (nx, ny, nz) = (grid.nx as isize, grid.ny as isize, grid.nz as isize);
+    for j in 0..ny {
+        for i in 0..nx {
+            for k in 0..nz {
+                let v_at_u = 0.25
+                    * (s.v.at(i, j, k) + s.v.at(i + 1, j, k) + s.v.at(i, j - 1, k) + s.v.at(i + 1, j - 1, k));
+                f.fu.add_at(i, j, k, fcor * v_at_u);
+                let u_at_v = 0.25
+                    * (s.u.at(i, j, k) + s.u.at(i - 1, j, k) + s.u.at(i, j + 1, k) + s.u.at(i - 1, j + 1, k));
+                f.fv.add_at(i, j, k, -fcor * u_at_v);
+            }
+        }
+    }
+}
+
+/// Metric correction of the horizontal pressure gradient in
+/// terrain-following coordinates:
+/// `F_U += (∂z/∂x)|ζ ∂p/∂ζ |_u`, and likewise for V. (The full gradient
+/// is `−G ∂x p|z = −G ∂x p|ζ + (∂z/∂x)|ζ ∂ζ p`; the first term is fast.)
+pub fn metric_pressure_gradient(grid: &Grid, p: &Field3<f64>, f: &mut Tendencies) {
+    let (nx, ny, nz) = (grid.nx as isize, grid.ny as isize, grid.nz as isize);
+    for j in 0..ny {
+        for i in 0..nx {
+            for k in 0..nz {
+                // One-sided at the vertical boundaries, centered inside.
+                let km = (k - 1).max(0);
+                let kp = (k + 1).min(nz - 1);
+                let span = ((kp - km).max(1)) as f64 * grid.dzeta;
+                let dpdz_i = (p.at(i, j, kp) - p.at(i, j, km)) / span;
+                let dpdz_ip = (p.at(i + 1, j, kp) - p.at(i + 1, j, km)) / span;
+                f.fu.add_at(i, j, k, grid.dzdx_u(i, j, k as usize) * 0.5 * (dpdz_i + dpdz_ip));
+                let dpdz_jp = (p.at(i, j + 1, kp) - p.at(i, j + 1, km)) / span;
+                f.fv.add_at(i, j, k, grid.dzdy_v(i, j, k as usize) * 0.5 * (dpdz_i + dpdz_jp));
+            }
+        }
+    }
+}
+
+/// Full mass divergence with the contravariant vertical flux.
+fn full_mass_divergence(grid: &Grid, s: &State, mw: &Field3<f64>, out: &mut Field3<f64>) {
+    let (nx, ny, nz) = (grid.nx as isize, grid.ny as isize, grid.nz as isize);
+    let inv_dx = 1.0 / grid.dx;
+    let inv_dy = 1.0 / grid.dy;
+    let inv_dz = 1.0 / grid.dzeta;
+    for j in 0..ny {
+        for i in 0..nx {
+            for k in 0..nz {
+                let d = (s.u.at(i, j, k) - s.u.at(i - 1, j, k)) * inv_dx
+                    + (s.v.at(i, j, k) - s.v.at(i, j - 1, k)) * inv_dy
+                    + (mw.at(i, j, k + 1) - mw.at(i, j, k)) * inv_dz;
+                out.set(i, j, k, d);
+            }
+        }
+    }
+}
+
+fn add_field(dst: &mut Field3<f64>, src: &Field3<f64>, grid: &Grid) {
+    for j in 0..grid.ny as isize {
+        for i in 0..grid.nx as isize {
+            for k in 0..grid.nz as isize {
+                dst.add_at(i, j, k, src.at(i, j, k));
+            }
+        }
+    }
+}
+
+fn sub_field(dst: &mut Field3<f64>, src: &Field3<f64>, grid: &Grid) {
+    for j in 0..grid.ny as isize {
+        for i in 0..grid.nx as isize {
+            for k in 0..grid.nz as isize {
+                dst.add_at(i, j, k, -src.at(i, j, k));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Terrain;
+    use physics::base::BaseState;
+
+    fn setup(terrain: Terrain) -> (ModelConfig, Grid, BaseFields) {
+        let mut c = ModelConfig::mountain_wave(10, 8, 8);
+        c.terrain = terrain;
+        c.k_diffusion = 0.0;
+        let g = Grid::build(&c);
+        let b = BaseFields::build(&g, &BaseState::constant_n(288.0, 0.01));
+        (c, g, b)
+    }
+
+    fn base_state(grid: &Grid, base: &BaseFields) -> State {
+        let mut s = State::zeros(grid, 3);
+        for j in -2..grid.ny as isize + 2 {
+            for i in -2..grid.nx as isize + 2 {
+                let gm = grid.g.at(i, j);
+                for k in -2..grid.nz as isize + 2 {
+                    let kk = k.clamp(0, grid.nz as isize - 1);
+                    let rho = base.rho_c.at(i, j, kk) * gm;
+                    s.rho.set(i, j, k, rho);
+                    s.th.set(i, j, k, rho * base.th_c.at(i, j, kk));
+                    s.p.set(i, j, k, base.p_c.at(i, j, kk));
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn resting_base_state_has_zero_slow_tendency_flat() {
+        let (c, g, b) = setup(Terrain::Flat);
+        let s = base_state(&g, &b);
+        let mut ws = ops::Workspace::new(&g);
+        let mut f = Tendencies::zeros(&g, 3);
+        compute_slow(&c, &g, &b, &s, &mut ws, &mut f);
+        assert!(f.fu.max_abs() < 1e-10, "fu = {}", f.fu.max_abs());
+        assert!(f.fv.max_abs() < 1e-10);
+        assert!(f.fw.max_abs() < 1e-10);
+        assert!(f.frho.max_abs() < 1e-10);
+        // θ slow tendency: advection at rest is zero and the linear part
+        // too (momenta vanish).
+        assert!(f.fth.max_abs() < 1e-10, "fth = {}", f.fth.max_abs());
+    }
+
+    #[test]
+    fn coriolis_turns_wind_to_the_right() {
+        let (mut c, g, b) = setup(Terrain::Flat);
+        c.coriolis_f = 1.0e-4;
+        let mut s = base_state(&g, &b);
+        s.u.fill(1.0); // westerly momentum
+        s.fill_halos_periodic();
+        let mut f = Tendencies::zeros(&g, 3);
+        coriolis(&g, c.coriolis_f, &s, &mut f);
+        // Northern hemisphere: +u gives -v tendency (turning right/south).
+        assert!(f.fv.at(3, 3, 3) < 0.0);
+        assert_eq!(f.fu.at(3, 3, 3), 0.0);
+    }
+
+    #[test]
+    fn theta_slow_tendency_cancels_for_base_theta_advection() {
+        // With θ = θ̄ (base) and uniform flow on flat terrain, full θ
+        // advection equals the linear θ̄ divergence, so F_Θ ≈ 0 in smooth
+        // regions (limiter reconstruction equals the 2-pt average only on
+        // linear data; tolerance reflects that).
+        let (c, g, b) = setup(Terrain::Flat);
+        let mut s = base_state(&g, &b);
+        // uniform specific u of 5 m/s: U = rho* * 5 at u points
+        for j in -2..g.ny as isize + 2 {
+            for i in -2..g.nx as isize + 1 {
+                for k in -2..g.nz as isize + 2 {
+                    let kk = k.clamp(0, g.nz as isize - 1);
+                    let r = 0.5 * (s.rho.at(i, j, kk) + s.rho.at(i + 1, j, kk));
+                    s.u.set(i, j, k, 5.0 * r);
+                }
+            }
+        }
+        s.fill_halos_periodic();
+        let mut ws = ops::Workspace::new(&g);
+        let mut f = Tendencies::zeros(&g, 3);
+        compute_slow(&c, &g, &b, &s, &mut ws, &mut f);
+        // Horizontally uniform θ̄ ⇒ x/y advection of θ exactly cancels;
+        // the residual is small (vertical is at rest).
+        let scale = s.th.max_abs() / g.dx * 5.0;
+        assert!(
+            f.fth.max_abs() < 1e-6 * scale,
+            "fth residual too large: {} vs scale {}",
+            f.fth.max_abs(),
+            scale
+        );
+    }
+
+    #[test]
+    fn metric_pg_vanishes_on_flat_terrain() {
+        let (_c, g, _b) = setup(Terrain::Flat);
+        assert!(g.flat);
+        // flat grids skip the call entirely; calling it directly must
+        // also produce zeros because dzdx = 0.
+        let mut f = Tendencies::zeros(&g, 3);
+        let mut p = g.center_field();
+        p.fill(5.0e4);
+        metric_pressure_gradient(&g, &p, &mut f);
+        assert_eq!(f.fu.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn terrain_base_state_slow_tendencies_are_small() {
+        // Over terrain the discrete metric terms leave truncation-level
+        // residuals, but a resting balanced state must not feel O(1)
+        // forcing.
+        let (c, g, b) = setup(Terrain::AgnesiRidge { height: 300.0, half_width: 8000.0 });
+        let s = base_state(&g, &b);
+        let mut ws = ops::Workspace::new(&g);
+        let mut f = Tendencies::zeros(&g, 3);
+        compute_slow(&c, &g, &b, &s, &mut ws, &mut f);
+        // At rest: no advection, no Coriolis; only the metric PG term
+        // remains, which is a real physical force component balanced by
+        // the fast PG part (checked end-to-end in the model tests). Here
+        // just bound it by the hydrostatic scale.
+        let scale = 1.0; // Gρ g dz/dx ~ 1 * 10 * 0.05 ~ 0.5 kg m-2 s-2
+        assert!(f.fu.max_abs() < 60.0 * scale, "metric PG blew up: {}", f.fu.max_abs());
+        assert!(f.frho.max_abs() < 1e-8, "frho = {}", f.frho.max_abs());
+    }
+}

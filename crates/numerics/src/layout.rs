@@ -1,0 +1,100 @@
+//! Memory layouts for 3-D fields.
+//!
+//! The paper devotes §IV-A.1 to array ordering: the original Fortran code
+//! stores variables z-fastest (`KIJ`, good for CPU cache reuse along a
+//! vertical column), while the GPU port stores them x-fastest, then z,
+//! then y (`XZY`) so that (a) threads in a warp walk the contiguous x
+//! dimension — coalesced global-memory access — and (b) y-direction halo
+//! slabs are contiguous for the 2-D multi-GPU decomposition.
+
+/// Storage order of a [`crate::Field3`]; names list dimensions from
+/// fastest-varying to slowest-varying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// z fastest, then x, then y — the original CPU/Fortran ordering
+    /// ("kij-ordering" in the paper).
+    KIJ,
+    /// x fastest, then z, then y — the GPU ordering chosen for coalesced
+    /// access and contiguous y halos.
+    XZY,
+}
+
+impl Layout {
+    /// Strides `(sx, sy, sz)` in elements for a padded box of
+    /// `(px, py, pz)` elements.
+    #[inline]
+    pub fn strides(self, px: usize, py: usize, pz: usize) -> (usize, usize, usize) {
+        let _ = py;
+        match self {
+            // offset = k + pz * (i + px * j)
+            Layout::KIJ => (pz, px * pz, 1),
+            // offset = i + px * (k + pz * j)
+            Layout::XZY => (1, px * pz, px),
+        }
+    }
+
+    /// Which logical dimension is contiguous in memory (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn contiguous_dim(self) -> usize {
+        match self {
+            Layout::KIJ => 2,
+            Layout::XZY => 0,
+        }
+    }
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::KIJ => "kij (z,x,y - CPU order)",
+            Layout::XZY => "xzy (x,z,y - GPU order)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kij_strides_are_z_fastest() {
+        let (sx, sy, sz) = Layout::KIJ.strides(4, 5, 6);
+        assert_eq!(sz, 1);
+        assert_eq!(sx, 6);
+        assert_eq!(sy, 24);
+    }
+
+    #[test]
+    fn xzy_strides_are_x_fastest() {
+        let (sx, sy, sz) = Layout::XZY.strides(4, 5, 6);
+        assert_eq!(sx, 1);
+        assert_eq!(sz, 4);
+        assert_eq!(sy, 24);
+    }
+
+    #[test]
+    fn strides_cover_box_without_overlap() {
+        // Every cell of the padded box must map to a unique offset in
+        // [0, px*py*pz) for both layouts.
+        for layout in [Layout::KIJ, Layout::XZY] {
+            let (px, py, pz) = (3usize, 4usize, 5usize);
+            let (sx, sy, sz) = layout.strides(px, py, pz);
+            let mut seen = vec![false; px * py * pz];
+            for j in 0..py {
+                for i in 0..px {
+                    for k in 0..pz {
+                        let off = i * sx + j * sy + k * sz;
+                        assert!(!seen[off], "layout {layout:?} collides at {i},{j},{k}");
+                        seen[off] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn contiguous_dims() {
+        assert_eq!(Layout::KIJ.contiguous_dim(), 2);
+        assert_eq!(Layout::XZY.contiguous_dim(), 0);
+    }
+}

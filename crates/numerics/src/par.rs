@@ -1,0 +1,155 @@
+//! Slab-parallel iteration over the slowest-varying (y) dimension.
+//!
+//! Both array layouts in this workspace place `y` outermost, so splitting
+//! the domain into `[j0, j1)` slabs gives contiguous, disjoint memory
+//! ranges — the natural shared-memory parallelization for stencil sweeps.
+//! Implemented with crossbeam scoped threads; with one worker it degrades
+//! to a plain loop with no thread spawn.
+
+/// Number of worker threads to use by default: the machine's parallelism,
+/// overridable with the `ASUCA_THREADS` environment variable.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("ASUCA_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Split `[0, n)` into at most `parts` contiguous, balanced ranges.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1).min(n.max(1));
+    let mut out = Vec::with_capacity(parts);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        if len == 0 {
+            continue;
+        }
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Run `body(j0, j1)` over a balanced partition of `[0, ny)` using up to
+/// `threads` workers. `body` must only touch the y-slab it is given.
+pub fn par_slabs<F>(ny: usize, threads: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let ranges = split_ranges(ny, threads);
+    if ranges.len() <= 1 {
+        if let Some(&(j0, j1)) = ranges.first() {
+            body(j0, j1);
+        }
+        return;
+    }
+    crossbeam::scope(|scope| {
+        for &(j0, j1) in &ranges {
+            let body = &body;
+            scope.spawn(move |_| body(j0, j1));
+        }
+    })
+    .expect("worker thread panicked in par_slabs");
+}
+
+/// Map each slab to a value and reduce the results in slab order
+/// (deterministic regardless of thread scheduling).
+pub fn par_map_reduce<T, M, Rd>(ny: usize, threads: usize, map: M, init: T, reduce: Rd) -> T
+where
+    T: Send,
+    M: Fn(usize, usize) -> T + Sync,
+    Rd: Fn(T, T) -> T,
+{
+    let ranges = split_ranges(ny, threads);
+    if ranges.len() <= 1 {
+        return match ranges.first() {
+            Some(&(j0, j1)) => reduce(init, map(j0, j1)),
+            None => init,
+        };
+    }
+    let results: Vec<T> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(j0, j1)| {
+                let map = &map;
+                scope.spawn(move |_| map(j0, j1))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("slab worker panicked")).collect()
+    })
+    .expect("scope failed in par_map_reduce");
+    results.into_iter().fold(init, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn split_is_balanced_and_covers() {
+        for n in [0usize, 1, 7, 16, 100] {
+            for p in [1usize, 2, 3, 8, 200] {
+                let r = split_ranges(n, p);
+                let total: usize = r.iter().map(|(a, b)| b - a).sum();
+                assert_eq!(total, n);
+                // contiguity
+                let mut expect = 0;
+                for &(a, b) in &r {
+                    assert_eq!(a, expect);
+                    assert!(b > a);
+                    expect = b;
+                }
+                // balance within 1
+                if let (Some(min), Some(max)) = (
+                    r.iter().map(|(a, b)| b - a).min(),
+                    r.iter().map(|(a, b)| b - a).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_slabs_visits_every_j_once() {
+        let ny = 37;
+        let counts: Vec<AtomicUsize> = (0..ny).map(|_| AtomicUsize::new(0)).collect();
+        par_slabs(ny, 4, |j0, j1| {
+            for j in j0..j1 {
+                counts[j].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (j, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "j={j}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_is_deterministic_sum() {
+        let ny = 101;
+        let serial: usize = (0..ny).sum();
+        for threads in [1, 2, 3, 7] {
+            let got = par_map_reduce(
+                ny,
+                threads,
+                |j0, j1| (j0..j1).sum::<usize>(),
+                0usize,
+                |a, b| a + b,
+            );
+            assert_eq!(got, serial);
+        }
+    }
+
+    #[test]
+    fn zero_work_is_fine() {
+        par_slabs(0, 4, |_, _| panic!("must not be called"));
+        let r = par_map_reduce(0, 4, |_, _| 1usize, 0usize, |a, b| a + b);
+        assert_eq!(r, 0);
+    }
+}

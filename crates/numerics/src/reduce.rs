@@ -1,0 +1,70 @@
+//! Compensated reductions used for conservation diagnostics.
+//!
+//! Mass/tracer conservation checks must not be polluted by naive summation
+//! error, especially in single precision, so sums are Kahan-compensated
+//! in `f64`.
+
+use crate::real::Real;
+
+/// Kahan-compensated sum of a slice, accumulated in `f64`.
+pub fn kahan_sum<R: Real>(xs: &[R]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for &x in xs {
+        let y = x.to_f64() - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Maximum absolute value of a slice (0 for empty input).
+pub fn max_abs<R: Real>(xs: &[R]) -> f64 {
+    xs.iter().fold(0.0f64, |m, &x| m.max(x.to_f64().abs()))
+}
+
+/// L2 norm of a slice accumulated in `f64`.
+pub fn l2_norm<R: Real>(xs: &[R]) -> f64 {
+    xs.iter().map(|&x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+}
+
+/// Relative difference `|a - b| / max(|a|, |b|, floor)`; used to express
+/// "agrees within machine round-off" tolerances precision-independently.
+pub fn rel_diff(a: f64, b: f64, floor: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_for_adversarial_input() {
+        // 1 + many tiny values that individually vanish in f32 naive sums.
+        let mut xs = vec![1.0f32];
+        xs.extend(std::iter::repeat(1e-8f32).take(100_000));
+        let exact = 1.0 + 1e-8 * 100_000.0;
+        let kahan = kahan_sum(&xs);
+        assert!((kahan - exact).abs() < 1e-6, "kahan={kahan} exact={exact}");
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(kahan_sum::<f64>(&[]), 0.0);
+        assert_eq!(max_abs::<f64>(&[]), 0.0);
+        assert_eq!(l2_norm::<f64>(&[]), 0.0);
+    }
+
+    #[test]
+    fn l2_of_unit_axes() {
+        assert!((l2_norm(&[3.0f64, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rel_diff_symmetric_and_floored() {
+        assert_eq!(rel_diff(0.0, 0.0, 1e-12), 0.0);
+        assert!((rel_diff(1.0, 1.1, 1e-12) - (0.1 / 1.1)).abs() < 1e-12);
+        assert_eq!(rel_diff(1.0, 1.1, 1e-12), rel_diff(1.1, 1.0, 1e-12));
+    }
+}

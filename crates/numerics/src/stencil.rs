@@ -1,0 +1,62 @@
+//! Small inlined stencil helpers shared by the CPU reference core and the
+//! GPU kernels, so both code paths perform the *same* floating-point
+//! operations (the paper reports GPU/CPU agreement to machine round-off).
+
+use crate::real::Real;
+
+/// Two-point average (C-grid interpolation between adjacent positions).
+#[inline(always)]
+pub fn avg2<R: Real>(a: R, b: R) -> R {
+    R::HALF * (a + b)
+}
+
+/// Four-point average (e.g. cell-corner value from four cell centers).
+#[inline(always)]
+pub fn avg4<R: Real>(a: R, b: R, c: R, d: R) -> R {
+    R::from_f64(0.25) * (a + b + c + d)
+}
+
+/// Centered first difference `(b - a) / h`.
+#[inline(always)]
+pub fn diff<R: Real>(a: R, b: R, inv_h: R) -> R {
+    (b - a) * inv_h
+}
+
+/// Flux divergence contribution `(f_hi - f_lo) / h` with precomputed `1/h`.
+#[inline(always)]
+pub fn flux_div<R: Real>(f_lo: R, f_hi: R, inv_h: R) -> R {
+    (f_hi - f_lo) * inv_h
+}
+
+/// Second-order Laplacian along one axis: `(a - 2b + c) / h^2`.
+#[inline(always)]
+pub fn lap1<R: Real>(a: R, b: R, c: R, inv_h2: R) -> R {
+    (a - R::TWO * b + c) * inv_h2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages() {
+        assert_eq!(avg2(1.0f64, 3.0), 2.0);
+        assert_eq!(avg4(1.0f64, 2.0, 3.0, 4.0), 2.5);
+    }
+
+    #[test]
+    fn differences() {
+        assert_eq!(diff(1.0f64, 4.0, 0.5), 1.5);
+        assert_eq!(flux_div(2.0f64, 6.0, 0.25), 1.0);
+    }
+
+    #[test]
+    fn laplacian_of_parabola_is_constant() {
+        // f(x) = x^2 on unit spacing: f'' = 2 everywhere.
+        for x in 0..5 {
+            let x = x as f64;
+            let v = lap1((x - 1.0) * (x - 1.0), x * x, (x + 1.0) * (x + 1.0), 1.0);
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+}

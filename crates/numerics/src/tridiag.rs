@@ -1,0 +1,194 @@
+//! Tridiagonal solvers for the HE-VI vertical implicit problem.
+//!
+//! Discretizing the 1-D Helmholtz-like elliptic equation of the ASUCA
+//! short time step (§IV-A.3) yields, per vertical column, a tridiagonal
+//! system `a[k] x[k-1] + b[k] x[k] + c[k] x[k+1] = d[k]`. The paper's GPU
+//! kernel marches each column sequentially with one thread per `(x, y)`
+//! point; we provide the same Thomas-algorithm core plus a scratch-reusing
+//! batch variant for column sweeps.
+
+use crate::real::Real;
+
+/// Solve a single tridiagonal system in place.
+///
+/// `a` is the sub-diagonal (first entry unused), `b` the diagonal, `c` the
+/// super-diagonal (last entry unused), `d` the right-hand side which is
+/// overwritten with the solution. `scratch` must have the same length and
+/// is used for the modified super-diagonal coefficients.
+///
+/// # Panics
+/// Panics if the slices disagree in length or if a pivot vanishes
+/// (the HE-VI matrix is strictly diagonally dominant, so this indicates a
+/// caller bug).
+pub fn solve_in_place<R: Real>(a: &[R], b: &[R], c: &[R], d: &mut [R], scratch: &mut [R]) {
+    let n = d.len();
+    assert!(n >= 1);
+    assert_eq!(a.len(), n);
+    assert_eq!(b.len(), n);
+    assert_eq!(c.len(), n);
+    assert!(scratch.len() >= n);
+
+    // Forward elimination.
+    let mut beta = b[0];
+    assert!(beta.abs() > R::ZERO, "zero pivot in tridiagonal solve (row 0)");
+    d[0] /= beta;
+    scratch[0] = c[0] / beta;
+    for k in 1..n {
+        beta = b[k] - a[k] * scratch[k - 1];
+        assert!(beta.abs() > R::ZERO, "zero pivot in tridiagonal solve");
+        scratch[k] = c[k] / beta;
+        d[k] = (d[k] - a[k] * d[k - 1]) / beta;
+    }
+    // Back substitution.
+    for k in (0..n - 1).rev() {
+        let next = d[k + 1];
+        d[k] = d[k] - scratch[k] * next;
+    }
+}
+
+/// Multiply a tridiagonal matrix by a vector: `y = T x` (for verification).
+pub fn matvec<R: Real>(a: &[R], b: &[R], c: &[R], x: &[R]) -> Vec<R> {
+    let n = x.len();
+    let mut y = vec![R::ZERO; n];
+    for k in 0..n {
+        let mut v = b[k] * x[k];
+        if k > 0 {
+            v += a[k] * x[k - 1];
+        }
+        if k + 1 < n {
+            v += c[k] * x[k + 1];
+        }
+        y[k] = v;
+    }
+    y
+}
+
+/// Reusable workspace for repeated column solves of fixed size.
+#[derive(Debug, Clone)]
+pub struct ColumnSolver<R> {
+    pub a: Vec<R>,
+    pub b: Vec<R>,
+    pub c: Vec<R>,
+    pub d: Vec<R>,
+    scratch: Vec<R>,
+}
+
+impl<R: Real> ColumnSolver<R> {
+    pub fn new(n: usize) -> Self {
+        ColumnSolver {
+            a: vec![R::ZERO; n],
+            b: vec![R::ZERO; n],
+            c: vec![R::ZERO; n],
+            d: vec![R::ZERO; n],
+            scratch: vec![R::ZERO; n],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.d.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.d.is_empty()
+    }
+
+    /// Solve with the currently loaded coefficients; the solution lands in
+    /// `self.d`.
+    pub fn solve(&mut self) {
+        solve_in_place(&self.a, &self.b, &self.c, &mut self.d, &mut self.scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_system() {
+        let n = 5;
+        let a = vec![0.0f64; n];
+        let b = vec![1.0f64; n];
+        let c = vec![0.0f64; n];
+        let mut d = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut s = vec![0.0; n];
+        solve_in_place(&a, &b, &c, &mut d, &mut s);
+        assert_eq!(d, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn single_row() {
+        let mut d = vec![6.0f64];
+        solve_in_place(&[0.0], &[2.0], &[0.0], &mut d, &mut [0.0]);
+        assert_eq!(d, vec![3.0]);
+    }
+
+    #[test]
+    fn known_laplacian_solution() {
+        // -x'' = f with Dirichlet 0 ends, f = 2 => x = k(n+1-k)h^2 pattern.
+        let n = 20;
+        let a = vec![-1.0f64; n];
+        let b = vec![2.0f64; n];
+        let c = vec![-1.0f64; n];
+        let mut d = vec![2.0 / ((n + 1) * (n + 1)) as f64; n];
+        let mut s = vec![0.0; n];
+        solve_in_place(&a, &b, &c, &mut d, &mut s);
+        let h = 1.0 / (n + 1) as f64;
+        for k in 0..n {
+            let x = (k + 1) as f64 * h;
+            let exact = x * (1.0 - x);
+            assert!((d[k] - exact).abs() < 1e-12, "row {k}: {} vs {}", d[k], exact);
+        }
+    }
+
+    #[test]
+    fn residual_small_for_random_dominant_system() {
+        // Deterministic pseudo-random diagonally dominant system.
+        let n = 64;
+        let mut rng_state = 0x2545F4914F6CDD1Du64;
+        let mut next = || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a: Vec<f64> = (0..n).map(|_| next()).collect();
+        let c: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|k| 3.0 + a[k].abs() + c[k].abs() + next().abs())
+            .collect();
+        let rhs: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+        let mut d = rhs.clone();
+        let mut s = vec![0.0; n];
+        solve_in_place(&a, &b, &c, &mut d, &mut s);
+        let y = matvec(&a, &b, &c, &d);
+        for k in 0..n {
+            assert!((y[k] - rhs[k]).abs() < 1e-10, "residual too big at {k}");
+        }
+    }
+
+    #[test]
+    fn column_solver_reuses_buffers() {
+        let mut cs = ColumnSolver::<f32>::new(8);
+        for trial in 0..3 {
+            for k in 0..8 {
+                cs.a[k] = -1.0;
+                cs.b[k] = 4.0 + trial as f32;
+                cs.c[k] = -1.0;
+                cs.d[k] = 1.0;
+            }
+            cs.solve();
+            let y = matvec(&cs.a, &cs.b, &cs.c, &cs.d);
+            // note: a/c endpoints multiply absent neighbors; matvec skips them.
+            for k in 0..8 {
+                assert!((y[k] - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn singular_matrix_panics() {
+        let mut d = vec![1.0f64, 1.0];
+        solve_in_place(&[0.0, 0.0], &[0.0, 1.0], &[0.0, 0.0], &mut d, &mut [0.0, 0.0]);
+    }
+}

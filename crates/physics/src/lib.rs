@@ -1,0 +1,23 @@
+//! Atmospheric physics substrate for the ASUCA reproduction.
+//!
+//! Everything here is shared between the CPU reference dynamical core and
+//! the GPU kernel port so both execute identical floating-point recipes:
+//!
+//! * [`consts`] — physical constants (JMA-NHM conventions).
+//! * [`eos`] — the Exner-function equation of state of the paper's Eq. (5),
+//!   `p = Rd π (ρ θm)`, in the closed form `p = p00 (Rd ρθ / p00)^(cp/cv)`.
+//! * [`base`] — hydrostatically balanced reference states (isothermal and
+//!   constant Brunt–Väisälä frequency) used to initialize and to linearize
+//!   the acoustic step around.
+//! * [`moist`] — saturation vapour pressure / mixing ratio (Tetens).
+//! * [`kessler`] — the Kessler-type warm-rain scheme (water vapour, cloud
+//!   water, rain) that ASUCA uses for cloud microphysics, including rain
+//!   terminal velocity for sedimentation.
+
+pub mod base;
+pub mod consts;
+pub mod eos;
+pub mod kessler;
+pub mod moist;
+
+pub use base::BaseState;

@@ -1,0 +1,402 @@
+//! The virtual device: memory, streams, launches and simulated time.
+
+use crate::cost::{copy_time, kernel_time, Launch};
+use crate::mem::{Arena, Buf, MemError, MemView};
+use crate::profile::{OpKind, OpRecord, Profiler};
+use crate::spec::DeviceSpec;
+use crate::stream::{Engines, Event, StreamId, StreamState};
+use numerics::Real;
+
+/// How kernels and copies execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Kernels run their Rust bodies over real device buffers; timing is
+    /// simulated as well. Used by tests, examples and small benchmarks.
+    Functional,
+    /// Only the timing model runs; buffers carry no data. Used to
+    /// simulate paper-scale runs (528 GPUs, 6956×6052×48) on one host.
+    Phantom,
+}
+
+/// A virtual GPU (or CPU-core "device") owned by one simulated host rank.
+///
+/// All simulated clocks are in seconds since device creation. The device
+/// also tracks its owning host's clock: asynchronous ops advance the host
+/// only by the issue overhead; synchronizations move the host clock to
+/// the completion time, exactly like `cudaStreamSynchronize`.
+pub struct Device<R: Real> {
+    spec: DeviceSpec,
+    mode: ExecMode,
+    arena: Arena<R>,
+    streams: Vec<StreamState>,
+    engines: Engines,
+    host_time: f64,
+    pub profiler: Profiler,
+}
+
+impl<R: Real> Device<R> {
+    pub fn new(spec: DeviceSpec, mode: ExecMode) -> Self {
+        let capacity = spec.mem_capacity;
+        Device {
+            spec,
+            mode,
+            arena: Arena::new(capacity),
+            streams: vec![StreamState::new()],
+            engines: Engines::default(),
+            host_time: 0.0,
+            profiler: Profiler::new(),
+        }
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Create an additional stream (stream 0 always exists).
+    pub fn create_stream(&mut self) -> StreamId {
+        self.streams.push(StreamState::new());
+        StreamId((self.streams.len() - 1) as u32)
+    }
+
+    /// Current simulated host-thread time [s].
+    pub fn host_time(&self) -> f64 {
+        self.host_time
+    }
+
+    /// Advance the host clock by `dt` seconds of host-side work
+    /// (file I/O, MPI calls, ...). Used by the cluster integration.
+    pub fn host_advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "host time cannot run backwards");
+        self.host_time += dt;
+    }
+
+    /// Force the host clock to at least `t` (e.g. after an MPI receive
+    /// whose completion time was determined by a peer).
+    pub fn host_at_least(&mut self, t: f64) {
+        if t > self.host_time {
+            self.host_time = t;
+        }
+    }
+
+    /// Bytes of device memory currently allocated.
+    pub fn mem_used(&self) -> u64 {
+        self.arena.used()
+    }
+
+    /// Bytes of device memory still available.
+    pub fn mem_free(&self) -> u64 {
+        self.arena.free_bytes()
+    }
+
+    /// Whether a buffer is a phantom (timing-only) allocation.
+    pub fn is_phantom(&self, buf: Buf<R>) -> bool {
+        self.arena.is_phantom(buf)
+    }
+
+    /// Allocate `len` elements of device memory.
+    pub fn alloc(&mut self, len: usize) -> Result<Buf<R>, MemError> {
+        self.arena.alloc(len, self.mode == ExecMode::Phantom)
+    }
+
+    /// Free a device allocation.
+    pub fn free(&mut self, buf: Buf<R>) -> Result<(), MemError> {
+        self.arena.dealloc(buf)
+    }
+
+    /// Launch a kernel asynchronously in `stream`.
+    ///
+    /// In [`ExecMode::Functional`] the body `f` runs immediately (issue
+    /// order equals program order, which our drivers keep
+    /// dependency-correct); simulated timing is computed either way.
+    pub fn launch(&mut self, stream: StreamId, launch: Launch, f: impl FnOnce(&MemView<'_, R>)) {
+        assert!(
+            launch.shared_mem_per_block <= self.spec.shared_mem_per_sm,
+            "kernel '{}' requests {}B shared memory/block, SM has {}B",
+            launch.name,
+            launch.shared_mem_per_block,
+            self.spec.shared_mem_per_sm
+        );
+        // Host issues asynchronously.
+        self.host_time += self.spec.host_issue_overhead_s;
+
+        // Timing: in-order within stream, serialized on the compute engine.
+        let dur = kernel_time(&self.spec, &launch, R::BYTES);
+        let start = self.host_time
+            .max(self.streams[stream.0 as usize].tail)
+            .max(self.engines.compute_free);
+        let end = start + dur;
+        self.streams[stream.0 as usize].tail = end;
+        self.engines.compute_free = end;
+
+        self.profiler.record(OpRecord {
+            name: launch.name,
+            kind: OpKind::Kernel,
+            stream: stream.0,
+            start,
+            end,
+            flops: launch.cost.total_flops(),
+            bytes: launch.cost.total_bytes(R::BYTES),
+        });
+
+        if self.mode == ExecMode::Functional {
+            let view = MemView { arena: &self.arena };
+            f(&view);
+        }
+    }
+
+    /// Asynchronous host→device copy (like `cudaMemcpyAsync`). `host` may
+    /// be empty in phantom mode; `bytes` drives the timing either way.
+    pub fn copy_h2d(&mut self, stream: StreamId, host: &[R], dst: Buf<R>, offset: usize) {
+        let bytes = (host.len().max(1) * R::BYTES) as u64;
+        self.enqueue_copy(stream, OpKind::CopyH2D, "h2d", bytes);
+        if self.mode == ExecMode::Functional {
+            let mut d = self.arena.borrow_mut(dst);
+            d[offset..offset + host.len()].copy_from_slice(host);
+        }
+    }
+
+    /// Asynchronous device→host copy.
+    pub fn copy_d2h(&mut self, stream: StreamId, src: Buf<R>, offset: usize, host: &mut [R]) {
+        let bytes = (host.len().max(1) * R::BYTES) as u64;
+        self.enqueue_copy(stream, OpKind::CopyD2H, "d2h", bytes);
+        if self.mode == ExecMode::Functional {
+            let s = self.arena.borrow(src);
+            host.copy_from_slice(&s[offset..offset + host.len()]);
+        }
+    }
+
+    /// Timing-only copy of `n_elems` elements (phantom halo traffic).
+    pub fn copy_h2d_phantom(&mut self, stream: StreamId, n_elems: usize) {
+        self.enqueue_copy(stream, OpKind::CopyH2D, "h2d", (n_elems * R::BYTES) as u64);
+    }
+
+    /// Timing-only device→host copy of `n_elems` elements.
+    pub fn copy_d2h_phantom(&mut self, stream: StreamId, n_elems: usize) {
+        self.enqueue_copy(stream, OpKind::CopyD2H, "d2h", (n_elems * R::BYTES) as u64);
+    }
+
+    fn enqueue_copy(&mut self, stream: StreamId, kind: OpKind, name: &'static str, bytes: u64) {
+        self.host_time += self.spec.host_issue_overhead_s;
+        let dur = copy_time(&self.spec, bytes);
+        let start = self.host_time
+            .max(self.streams[stream.0 as usize].tail)
+            .max(self.engines.copy_free);
+        let end = start + dur;
+        self.streams[stream.0 as usize].tail = end;
+        self.engines.copy_free = end;
+        self.profiler.record(OpRecord {
+            name,
+            kind,
+            stream: stream.0,
+            start,
+            end,
+            flops: 0.0,
+            bytes: bytes as f64,
+        });
+    }
+
+    /// Record an event capturing the stream's current tail
+    /// (like `cudaEventRecord`).
+    pub fn record_event(&mut self, stream: StreamId) -> Event {
+        Event {
+            time: self.streams[stream.0 as usize].tail,
+        }
+    }
+
+    /// Make `stream` wait until `event` has completed
+    /// (like `cudaStreamWaitEvent`).
+    pub fn stream_wait_event(&mut self, stream: StreamId, event: Event) {
+        let s = &mut self.streams[stream.0 as usize];
+        if event.time > s.tail {
+            s.tail = event.time;
+        }
+    }
+
+    /// Block the host until `stream` drains (`cudaStreamSynchronize`).
+    pub fn sync_stream(&mut self, stream: StreamId) {
+        let tail = self.streams[stream.0 as usize].tail;
+        self.host_at_least(tail);
+    }
+
+    /// Block the host until the whole device drains
+    /// (`cudaDeviceSynchronize`).
+    pub fn sync_all(&mut self) {
+        let tail = self
+            .streams
+            .iter()
+            .map(|s| s.tail)
+            .fold(0.0f64, f64::max);
+        self.host_at_least(tail);
+    }
+
+    /// Functional read of a whole buffer (test/diagnostic helper).
+    pub fn read_vec(&self, buf: Buf<R>) -> Vec<R> {
+        assert_eq!(self.mode, ExecMode::Functional, "read_vec needs functional mode");
+        self.arena.borrow(buf).to_vec()
+    }
+
+    /// Functional overwrite of a whole buffer (test/init helper);
+    /// performs no simulated transfer.
+    pub fn write_vec(&mut self, buf: Buf<R>, data: &[R]) {
+        assert_eq!(self.mode, ExecMode::Functional, "write_vec needs functional mode");
+        let mut d = self.arena.borrow_mut(buf);
+        d[..data.len()].copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{Dim3, KernelCost};
+
+    fn small_launch(name: &'static str, points: u64) -> Launch {
+        Launch::new(
+            name,
+            Dim3::new(1, 1, 1),
+            Dim3::new(64, 4, 1),
+            KernelCost::streaming(points, 2.0, 2.0, 1.0),
+        )
+    }
+
+    fn dev() -> Device<f32> {
+        Device::new(DeviceSpec::tesla_s1070(), ExecMode::Functional)
+    }
+
+    #[test]
+    fn kernel_runs_functionally() {
+        let mut d = dev();
+        let a = d.alloc(16).unwrap();
+        let b = d.alloc(16).unwrap();
+        d.write_vec(a, &(0..16).map(|i| i as f32).collect::<Vec<_>>());
+        d.launch(StreamId::DEFAULT, small_launch("double", 16), |mem| {
+            let src = mem.read(a);
+            let mut dst = mem.write(b);
+            for i in 0..16 {
+                dst[i] = src[i] * 2.0;
+            }
+        });
+        assert_eq!(d.read_vec(b)[5], 10.0);
+    }
+
+    #[test]
+    fn phantom_skips_bodies_but_times() {
+        let mut d = Device::<f32>::new(DeviceSpec::tesla_s1070(), ExecMode::Phantom);
+        let _a = d.alloc(1_000_000).unwrap();
+        d.launch(StreamId::DEFAULT, small_launch("k", 1_000_000), |_| {
+            panic!("body must not run in phantom mode");
+        });
+        d.sync_all();
+        assert!(d.host_time() > 0.0);
+        assert_eq!(d.profiler.kernel_launches, 1);
+    }
+
+    #[test]
+    fn in_stream_ops_serialize() {
+        let mut d = dev();
+        d.launch(StreamId::DEFAULT, small_launch("k1", 1 << 20), |_| {});
+        d.launch(StreamId::DEFAULT, small_launch("k2", 1 << 20), |_| {});
+        let r = d.profiler.records();
+        assert!(r[1].start >= r[0].end);
+    }
+
+    #[test]
+    fn kernels_in_different_streams_still_serialize_on_compute_engine() {
+        // GT200 has no concurrent kernels: cross-stream kernels cannot
+        // overlap each other.
+        let mut d = dev();
+        let s1 = d.create_stream();
+        d.launch(StreamId::DEFAULT, small_launch("k1", 1 << 20), |_| {});
+        d.launch(s1, small_launch("k2", 1 << 20), |_| {});
+        let r = d.profiler.records();
+        assert!(r[1].start >= r[0].end);
+    }
+
+    #[test]
+    fn copies_overlap_with_compute() {
+        // A copy in stream 1 must be able to run during a kernel in
+        // stream 0 — the foundation of the paper's overlap methods.
+        let mut d = dev();
+        let s1 = d.create_stream();
+        let big = Launch::new(
+            "big",
+            Dim3::new(320 / 64, 256 / 4, 1),
+            Dim3::new(64, 4, 1),
+            KernelCost::streaming(320 * 256 * 48, 30.0, 8.0, 4.0),
+        );
+        d.launch(StreamId::DEFAULT, big, |_| {});
+        let buf = d.alloc(1 << 20).unwrap();
+        let host = vec![0.0f32; 1 << 20];
+        d.copy_h2d(s1, &host, buf, 0);
+        let r = d.profiler.records();
+        let (k, c) = (&r[0], &r[1]);
+        assert!(c.start < k.end, "copy did not overlap compute: {c:?} vs {k:?}");
+    }
+
+    #[test]
+    fn two_copies_serialize_on_copy_engine() {
+        let mut d = dev();
+        let s1 = d.create_stream();
+        let s2 = d.create_stream();
+        let buf = d.alloc(2 << 20).unwrap();
+        let host = vec![0.0f32; 1 << 20];
+        d.copy_h2d(s1, &host, buf, 0);
+        d.copy_h2d(s2, &host, buf, 1 << 20);
+        let r = d.profiler.records();
+        assert!(r[1].start >= r[0].end, "single copy engine must serialize");
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        let mut d = dev();
+        let s1 = d.create_stream();
+        d.launch(StreamId::DEFAULT, small_launch("producer", 1 << 22), |_| {});
+        let ev = d.record_event(StreamId::DEFAULT);
+        d.stream_wait_event(s1, ev);
+        let buf = d.alloc(64).unwrap();
+        let host = vec![0.0f32; 64];
+        d.copy_h2d(s1, &host, buf, 0);
+        let r = d.profiler.records();
+        assert!(r[1].start >= r[0].end, "event did not order the copy after the kernel");
+    }
+
+    #[test]
+    fn sync_moves_host_clock() {
+        let mut d = dev();
+        d.launch(StreamId::DEFAULT, small_launch("k", 1 << 22), |_| {});
+        let before = d.host_time();
+        d.sync_all();
+        assert!(d.host_time() > before);
+        let tail = d.record_event(StreamId::DEFAULT).time();
+        assert_eq!(d.host_time(), tail);
+    }
+
+    #[test]
+    fn async_issue_returns_early() {
+        // Host time after an async launch is (nearly) just issue cost.
+        let mut d = dev();
+        d.launch(StreamId::DEFAULT, small_launch("k", 1 << 24), |_| {});
+        assert!(d.host_time() < 1e-4, "launch blocked the host: {}", d.host_time());
+        d.sync_all();
+        assert!(d.host_time() > 1e-4);
+    }
+
+    #[test]
+    fn alloc_respects_capacity() {
+        let mut d = Device::<f64>::new(DeviceSpec::tesla_s1070(), ExecMode::Phantom);
+        // 4 GiB / 8 bytes = 512 Mi elements; asking for more must fail.
+        assert!(d.alloc(600 * 1024 * 1024).is_err());
+        assert!(d.alloc(100).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory")]
+    fn oversized_shared_memory_rejected() {
+        let mut d = dev();
+        let l = small_launch("k", 64).with_shared_mem(64 * 1024);
+        d.launch(StreamId::DEFAULT, l, |_| {});
+    }
+}

@@ -1,0 +1,43 @@
+//! A virtual CUDA-like GPU, substituting for the NVIDIA Tesla S1070
+//! hardware the paper ran on.
+//!
+//! The paper's entire performance story is a memory-bandwidth story told
+//! through its Eq. (6) roofline model:
+//!
+//! ```text
+//! Performance = FLOP / (FLOP/Fpeak + Byte/Bpeak + α)
+//! ```
+//!
+//! This crate turns that model into an executable substrate:
+//!
+//! * [`spec::DeviceSpec`] — hardware parameters (Tesla S1070, Fermi
+//!   M2050, and a single Opteron core as the "CPU device").
+//! * [`Device`] — a device with a memory arena (capacity-checked, so the
+//!   paper's "4 GB limits a grid to 320×256×48 in single precision" is
+//!   reproduced), CUDA-style streams and events, and a discrete-event
+//!   timeline with one exclusive compute engine and an asynchronous copy
+//!   engine — exactly the concurrency structure the paper's overlap
+//!   optimizations exploit (Fig. 8).
+//! * [`cost::KernelCost`] — per-launch analytic FLOP/byte counts, plus
+//!   coalescing and occupancy effects, evaluated against the spec.
+//! * Kernels execute **functionally** (real Rust closures over device
+//!   buffers) in [`ExecMode::Functional`], or are skipped in
+//!   [`ExecMode::Phantom`] where only the timing model runs — the mode
+//!   used to simulate the paper's 528-GPU, 6956×6052×48 runs on one host.
+//!
+//! Simulated time is tracked in seconds (`f64`) from device creation; it
+//! is unrelated to wall-clock time.
+
+pub mod cost;
+pub mod device;
+pub mod mem;
+pub mod profile;
+pub mod spec;
+pub mod stream;
+
+pub use cost::{copy_time, kernel_time, Dim3, KernelCost, Launch};
+pub use device::{Device, ExecMode};
+pub use mem::{Buf, MemError};
+pub use profile::{OpKind, OpRecord, Profiler};
+pub use spec::DeviceSpec;
+pub use stream::{Event, StreamId};

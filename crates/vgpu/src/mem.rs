@@ -1,0 +1,270 @@
+//! Device memory arena with capacity accounting.
+//!
+//! Allocation failures matter: the paper's maximum per-GPU grid
+//! (320×256×48 in single precision, 320×128×48 in double) is set by the
+//! 4 GB of a Tesla S1070 GPU, and the multi-GPU decomposition is sized
+//! around exactly that limit. The arena enforces the spec's capacity in
+//! both functional and phantom modes.
+
+use numerics::Real;
+use std::cell::RefCell;
+
+/// Typed handle to a device allocation (like a `CUdeviceptr`).
+#[derive(Debug)]
+pub struct Buf<R> {
+    pub(crate) id: u32,
+    pub(crate) len: usize,
+    _marker: std::marker::PhantomData<R>,
+}
+
+// Manual impls: a Buf is a plain handle, copyable regardless of R.
+impl<R> Clone for Buf<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R> Copy for Buf<R> {}
+
+impl<R> Buf<R> {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Device memory errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Allocation exceeds remaining device memory; payload is
+    /// (requested bytes, free bytes).
+    OutOfMemory { requested: u64, free: u64 },
+    /// Handle already freed or from another device.
+    InvalidHandle,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory { requested, free } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {free} bytes free"
+            ),
+            MemError::InvalidHandle => write!(f, "invalid device buffer handle"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+enum Slot<R> {
+    /// Functional allocation with real storage.
+    Data(RefCell<Box<[R]>>),
+    /// Phantom allocation: bytes accounted, no storage.
+    Phantom { len: usize },
+    /// Freed.
+    Empty,
+}
+
+/// The arena owning all allocations of one device.
+pub(crate) struct Arena<R> {
+    slots: Vec<Slot<R>>,
+    capacity: u64,
+    used: u64,
+}
+
+impl<R: Real> Arena<R> {
+    pub fn new(capacity: u64) -> Self {
+        Arena {
+            slots: Vec::new(),
+            capacity,
+            used: 0,
+        }
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    pub fn alloc(&mut self, len: usize, phantom: bool) -> Result<Buf<R>, MemError> {
+        let bytes = (len * R::BYTES) as u64;
+        if self.used + bytes > self.capacity {
+            return Err(MemError::OutOfMemory {
+                requested: bytes,
+                free: self.capacity - self.used,
+            });
+        }
+        self.used += bytes;
+        let slot = if phantom {
+            Slot::Phantom { len }
+        } else {
+            Slot::Data(RefCell::new(vec![R::ZERO; len].into_boxed_slice()))
+        };
+        self.slots.push(slot);
+        Ok(Buf {
+            id: (self.slots.len() - 1) as u32,
+            len,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    pub fn dealloc(&mut self, buf: Buf<R>) -> Result<(), MemError> {
+        let slot = self
+            .slots
+            .get_mut(buf.id as usize)
+            .ok_or(MemError::InvalidHandle)?;
+        let len = match slot {
+            Slot::Data(d) => d.borrow().len(),
+            Slot::Phantom { len } => *len,
+            Slot::Empty => return Err(MemError::InvalidHandle),
+        };
+        self.used -= (len * R::BYTES) as u64;
+        *slot = Slot::Empty;
+        Ok(())
+    }
+
+    pub fn is_phantom(&self, buf: Buf<R>) -> bool {
+        matches!(self.slots.get(buf.id as usize), Some(Slot::Phantom { .. }))
+    }
+
+    pub fn borrow(&self, buf: Buf<R>) -> std::cell::Ref<'_, Box<[R]>> {
+        match &self.slots[buf.id as usize] {
+            Slot::Data(d) => d.borrow(),
+            Slot::Phantom { .. } => panic!("functional access to phantom buffer {}", buf.id),
+            Slot::Empty => panic!("use after free of device buffer {}", buf.id),
+        }
+    }
+
+    pub fn borrow_mut(&self, buf: Buf<R>) -> std::cell::RefMut<'_, Box<[R]>> {
+        match &self.slots[buf.id as usize] {
+            Slot::Data(d) => d.borrow_mut(),
+            Slot::Phantom { .. } => panic!("functional access to phantom buffer {}", buf.id),
+            Slot::Empty => panic!("use after free of device buffer {}", buf.id),
+        }
+    }
+}
+
+/// Read/write view of device memory handed to a kernel body — the kernel's
+/// window onto "global memory". Borrow rules are enforced at runtime per
+/// buffer (a kernel may read one field while writing another).
+pub struct MemView<'a, R> {
+    pub(crate) arena: &'a Arena<R>,
+}
+
+impl<'a, R: Real> MemView<'a, R> {
+    /// Immutable access to a buffer's contents.
+    pub fn read(&self, buf: Buf<R>) -> std::cell::Ref<'a, Box<[R]>> {
+        self.arena.borrow(buf)
+    }
+
+    /// Mutable access to a buffer's contents.
+    pub fn write(&self, buf: Buf<R>) -> std::cell::RefMut<'a, Box<[R]>> {
+        self.arena.borrow_mut(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw() {
+        let mut a = Arena::<f32>::new(1024);
+        let b = a.alloc(10, false).unwrap();
+        assert_eq!(a.used(), 40);
+        a.borrow_mut(b)[3] = 7.0;
+        assert_eq!(a.borrow(b)[3], 7.0);
+        assert_eq!(a.borrow(b)[0], 0.0);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut a = Arena::<f64>::new(100);
+        assert!(a.alloc(12, false).is_ok()); // 96 bytes
+        let err = a.alloc(1, false).unwrap_err();
+        match err {
+            MemError::OutOfMemory { requested, free } => {
+                assert_eq!(requested, 8);
+                assert_eq!(free, 4);
+            }
+            _ => panic!("wrong error"),
+        }
+    }
+
+    #[test]
+    fn paper_grid_fits_exactly_in_4gb_sp_but_not_dp() {
+        // ~25 full-size 3-D fields of the ASUCA state at 320x256x48.
+        // In SP they fit in 4 GB; in DP they exceed it (the paper halves
+        // ny to 128 for DP) — reproduce the capacity arithmetic.
+        let grid = ((320 + 4) * (256 + 4) * (48 + 4)) as usize;
+        let nfields = 150;
+        let mut sp = Arena::<f32>::new(4 << 30);
+        for _ in 0..nfields {
+            sp.alloc(grid, true).unwrap();
+        }
+        // The same field count in double precision must exhaust 4 GB —
+        // which is why the paper halves ny to 128 for its DP runs.
+        let mut dp = Arena::<f64>::new(4 << 30);
+        let mut failed = false;
+        for _ in 0..nfields {
+            if dp.alloc(grid, true).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "DP at double the footprint should exceed 4GB");
+        // Halving ny (as the paper does) makes DP fit again.
+        let half = ((320 + 4) * (128 + 4) * (48 + 4)) as usize;
+        let mut dp_half = Arena::<f64>::new(4 << 30);
+        for _ in 0..nfields {
+            dp_half.alloc(half, true).unwrap();
+        }
+    }
+
+    #[test]
+    fn dealloc_returns_capacity() {
+        let mut a = Arena::<f32>::new(64);
+        let b = a.alloc(16, false).unwrap();
+        assert_eq!(a.free_bytes(), 0);
+        a.dealloc(b).unwrap();
+        assert_eq!(a.free_bytes(), 64);
+        let b2 = a.alloc(16, true).unwrap();
+        assert!(a.is_phantom(b2));
+    }
+
+    #[test]
+    #[should_panic(expected = "phantom")]
+    fn phantom_access_panics() {
+        let mut a = Arena::<f32>::new(1024);
+        let b = a.alloc(4, true).unwrap();
+        let _ = a.borrow(b);
+    }
+
+    #[test]
+    fn double_free_is_error() {
+        let mut a = Arena::<f32>::new(1024);
+        let b = a.alloc(4, false).unwrap();
+        a.dealloc(b).unwrap();
+        assert_eq!(a.dealloc(b), Err(MemError::InvalidHandle));
+    }
+
+    #[test]
+    fn view_allows_read_one_write_other() {
+        let mut a = Arena::<f64>::new(1024);
+        let src = a.alloc(8, false).unwrap();
+        let dst = a.alloc(8, false).unwrap();
+        a.borrow_mut(src)[2] = 5.0;
+        let view = MemView { arena: &a };
+        {
+            let s = view.read(src);
+            let mut d = view.write(dst);
+            d[2] = s[2] * 2.0;
+        }
+        assert_eq!(a.borrow(dst)[2], 10.0);
+    }
+}

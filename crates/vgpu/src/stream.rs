@@ -1,0 +1,70 @@
+//! CUDA-style streams and events on the simulated timeline.
+//!
+//! The timing semantics mirror the hardware the paper ran on (GT200):
+//!
+//! * Operations in one stream execute in order.
+//! * Kernels from *different* streams serialize on a single compute
+//!   engine (GT200 has no concurrent-kernel execution).
+//! * One copy engine runs host↔device transfers asynchronously with
+//!   compute — the hardware feature the overlap scheme of Fig. 8 uses.
+
+/// Identifier of a stream on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub(crate) u32);
+
+impl StreamId {
+    /// The default stream (stream 0), always present.
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+/// A recorded event: a point on the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated time at which all work preceding the record completes.
+    pub(crate) time: f64,
+}
+
+impl Event {
+    /// The completion time captured by the event [simulated seconds].
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+}
+
+/// Per-stream simulation state.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamState {
+    /// Completion time of the last operation enqueued in this stream.
+    pub tail: f64,
+}
+
+impl StreamState {
+    pub fn new() -> Self {
+        StreamState { tail: 0.0 }
+    }
+}
+
+/// Shared engine availability times.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Engines {
+    /// Compute engine free-from time (kernels serialize here).
+    pub compute_free: f64,
+    /// Copy engine free-from time (H2D/D2H transfers serialize here).
+    pub copy_free: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stream_is_zero() {
+        assert_eq!(StreamId::DEFAULT, StreamId(0));
+    }
+
+    #[test]
+    fn event_time_roundtrip() {
+        let e = Event { time: 1.25 };
+        assert_eq!(e.time(), 1.25);
+    }
+}

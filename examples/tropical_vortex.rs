@@ -1,0 +1,51 @@
+//! The Fig. 12 surrogate: a synthetic tropical-cyclone-like vortex with
+//! warm rain (substituting for the paper's proprietary JMA MANAL data —
+//! see DESIGN.md), run on the full model with Coriolis and microphysics.
+//!
+//! ```text
+//! cargo run --release --example tropical_vortex [steps]
+//! ```
+
+use dycore::config::{ModelConfig, Terrain};
+use dycore::{diag, init, Model};
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+
+    let mut cfg = ModelConfig::mountain_wave(48, 48, 12);
+    cfg.terrain = Terrain::Flat; // over sea
+    cfg.dx = 4000.0;
+    cfg.dy = 4000.0;
+    cfg.dt = 8.0;
+    cfg.coriolis_f = physics::consts::F_CORIOLIS_35N;
+    let mut m = Model::new(cfg);
+    init::tropical_vortex(&mut m, 25.0, 8.0, 0.95);
+
+    println!("tropical vortex: 48x48x12 at 4 km, Vmax = 25 m/s, RH 95% core, f-plane 35N");
+    for n in 1..=steps {
+        let stats = m.step();
+        if n % 10 == 0 || n == steps {
+            println!(
+                "t = {:>6.0} s: max wind {:.1} m/s, max|w| {:.2} m/s, cloud {:.2e}, precip {:.2e}",
+                stats.time,
+                stats.max_u,
+                stats.max_w,
+                m.state.q[1].max_abs(),
+                stats.total_precip
+            );
+        }
+        assert!(m.state.find_non_finite().is_none(), "non-finite at step {n}");
+    }
+
+    let wind = diag::wind_speed_slice(&m.grid, &m.state, 1);
+    let (lo, hi) = wind.min_max();
+    println!("\nnear-surface wind speed [{lo:.1}..{hi:.1} m/s]:");
+    print!("{}", wind.ascii(48, 24));
+    let p = diag::pressure_slice(&m.grid, &m.state, 0);
+    let (plo, phi) = p.min_max();
+    println!("surface pressure [{plo:.0}..{phi:.0} Pa] (low at the warm core):");
+    print!("{}", p.ascii(48, 24));
+}

@@ -1,0 +1,50 @@
+//! Multi-GPU weak scaling in miniature: run the same subdomain on
+//! growing (simulated) GPU counts and watch the sustained TFlops and
+//! the effect of the overlap optimizations — a desk-sized Fig. 10.
+//!
+//! ```text
+//! cargo run --release --example weak_scaling
+//! ```
+
+use asuca_gpu::multi::{run_multi, MultiGpuConfig, OverlapMode};
+use cluster::NetworkSpec;
+use dycore::config::ModelConfig;
+use vgpu::{DeviceSpec, ExecMode};
+
+fn main() {
+    // Per-GPU subdomain: the paper's 320x256x48 in single precision.
+    let cfg = {
+        let mut c = ModelConfig::mountain_wave(320, 256, 48);
+        c.dt = 5.0;
+        c
+    };
+
+    println!("weak scaling, 320x256x48 per GPU, single precision, simulated TSUBAME 1.2");
+    println!("{:>5} {:>7} {:>16} {:>18} {:>10}", "gpus", "grid", "overlap TFlops", "no-overlap TFlops", "gain");
+    for (px, py) in [(1, 2), (2, 2), (2, 3), (3, 4), (4, 5), (6, 8)] {
+        let mut t = [0.0f64; 2];
+        for (i, overlap) in [OverlapMode::Overlap, OverlapMode::None].into_iter().enumerate() {
+            let mc = MultiGpuConfig {
+                local_cfg: cfg.clone(),
+                px,
+                py,
+                overlap,
+                spec: DeviceSpec::tesla_s1070(),
+                net: NetworkSpec::tsubame1_infiniband(),
+                mode: ExecMode::Phantom,
+                steps: 1,
+                detailed_profile: false,
+            };
+            t[i] = run_multi::<f32>(&mc, &|_, _, _, _| {}).tflops;
+        }
+        println!(
+            "{:>5} {:>7} {:>16.2} {:>18.2} {:>9.1}%",
+            px * py,
+            format!("{px}x{py}"),
+            t[0],
+            t[1],
+            (t[0] / t[1] - 1.0) * 100.0
+        );
+    }
+    println!("\n(the full Table I sweep to 528 GPUs: cargo run --release -p asuca-bench --bin fig10_weak_scaling)");
+}

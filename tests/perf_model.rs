@@ -1,0 +1,95 @@
+//! Performance-model integration tests: the simulated-clock properties
+//! behind the paper's headline numbers, asserted end-to-end.
+
+use asuca_gpu::SingleGpu;
+use dycore::config::{ModelConfig, Terrain};
+use vgpu::{DeviceSpec, ExecMode};
+
+fn cfg(ny: usize) -> ModelConfig {
+    let mut c = ModelConfig::mountain_wave(64, ny, 16);
+    c.terrain = Terrain::Flat;
+    c
+}
+
+fn gflops<R: numerics::Real>(c: ModelConfig, spec: DeviceSpec) -> f64 {
+    let mut gpu = SingleGpu::<R>::new(c, spec, ExecMode::Phantom);
+    gpu.dev.profiler.reset();
+    let t0 = gpu.dev.host_time();
+    gpu.run(1);
+    let dt = gpu.dev.host_time() - t0;
+    gpu.dev.profiler.total_flops / dt / 1e9
+}
+
+#[test]
+fn sp_beats_dp_beats_cpu() {
+    // The Fig. 4 ordering: GPU-SP > GPU-DP >> CPU-DP, on a grid big
+    // enough to occupy the device (tiny grids under-fill it — also true
+    // on real hardware).
+    let mut big = ModelConfig::mountain_wave(128, 64, 32);
+    big.terrain = Terrain::Flat;
+    let sp = gflops::<f32>(big.clone(), DeviceSpec::tesla_s1070());
+    let dp = gflops::<f64>(big.clone(), DeviceSpec::tesla_s1070());
+    let cpu = gflops::<f64>(big, DeviceSpec::opteron_core());
+    assert!(sp > 1.5 * dp, "SP {sp} vs DP {dp}");
+    assert!(dp > 5.0 * cpu, "DP {dp} vs CPU {cpu}");
+    // The headline regime: GPU-SP tens of times a CPU core.
+    assert!(sp / cpu > 25.0, "speedup only {}", sp / cpu);
+    // DP between the flop-bound (12.5%) and bandwidth-bound (50%)
+    // fractions of SP, as the paper's §IV-B argues.
+    let ratio = dp / sp;
+    assert!(ratio > 0.125 && ratio < 0.55, "DP/SP ratio {ratio}");
+}
+
+#[test]
+fn gflops_grow_with_domain_size() {
+    // Fig. 4: larger grids amortize launch overhead / fill the device.
+    let small = gflops::<f32>(cfg(8), DeviceSpec::tesla_s1070());
+    let big = gflops::<f32>(cfg(64), DeviceSpec::tesla_s1070());
+    assert!(big > small, "no growth: {small} -> {big}");
+}
+
+#[test]
+fn flop_counts_are_device_independent() {
+    // The paper counts FLOPs once (PAPI on CPU) and reuses them for GPU
+    // GFlops; our analytic counts must likewise not depend on device.
+    let mut a = SingleGpu::<f64>::new(cfg(16), DeviceSpec::tesla_s1070(), ExecMode::Phantom);
+    a.dev.profiler.reset();
+    a.run(1);
+    let mut b = SingleGpu::<f64>::new(cfg(16), DeviceSpec::opteron_core(), ExecMode::Phantom);
+    b.dev.profiler.reset();
+    b.run(1);
+    assert_eq!(a.dev.profiler.total_flops, b.dev.profiler.total_flops);
+    assert_eq!(a.dev.profiler.kernel_launches, b.dev.profiler.kernel_launches);
+}
+
+#[test]
+fn deterministic_simulated_clock() {
+    // Two identical runs give bit-identical simulated times.
+    let t = |_: u32| {
+        let mut g = SingleGpu::<f32>::new(cfg(16), DeviceSpec::tesla_s1070(), ExecMode::Phantom);
+        g.run(2);
+        g.dev.host_time()
+    };
+    assert_eq!(t(0), t(1));
+}
+
+#[test]
+fn device_memory_limits_grid_size() {
+    // §IV-B: 4 GB limits single precision to 320x256x48. A grid of
+    // double that footprint must be rejected at allocation time.
+    let mut big = ModelConfig::mountain_wave(640, 512, 96);
+    big.terrain = Terrain::Flat;
+    big.n_tracers = 7;
+    let result = std::panic::catch_unwind(|| {
+        SingleGpu::<f32>::new(big, DeviceSpec::tesla_s1070(), ExecMode::Phantom)
+    });
+    assert!(result.is_err(), "oversized grid should fail allocation");
+}
+
+#[test]
+fn fermi_outruns_tesla() {
+    // §VII premise: the Fermi-generation device is at least as fast.
+    let t = gflops::<f32>(cfg(32), DeviceSpec::tesla_s1070());
+    let f = gflops::<f32>(cfg(32), DeviceSpec::fermi_m2050());
+    assert!(f > t, "fermi {f} vs tesla {t}");
+}

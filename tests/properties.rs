@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) of the core numerical invariants.
+
+use dycore::config::{ModelConfig, Terrain};
+use dycore::grid::Grid;
+use dycore::ops;
+use dycore::state::State;
+use numerics::limiter::{limited_face_value, limited_flux, Limiter};
+use numerics::tridiag;
+use numerics::{Field3, Layout};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// TVD limiters never create new extrema: the reconstructed face
+    /// value lies within the hull of the adjacent cells.
+    #[test]
+    fn face_value_within_hull(
+        qm1 in -1e3f64..1e3,
+        q0 in -1e3f64..1e3,
+        qp1 in -1e3f64..1e3,
+    ) {
+        for lim in Limiter::tvd_members() {
+            let v = limited_face_value(lim, qm1, q0, qp1);
+            let (lo, hi) = if q0 < qp1 { (q0, qp1) } else { (qp1, q0) };
+            // Reconstruction is bounded by the face-adjacent cells (with
+            // a tiny floating-point allowance).
+            let slack = 1e-12 * (1.0 + lo.abs().max(hi.abs()));
+            prop_assert!(v >= lo - slack && v <= hi + slack,
+                "{}: {v} outside [{lo},{hi}] (qm1={qm1})", lim.name());
+        }
+    }
+
+    /// Upwind consistency: with zero velocity the flux vanishes; flux is
+    /// linear in the velocity sign-region.
+    #[test]
+    fn flux_zero_velocity(a in -10f64..10.0, b in -10f64..10.0, c in -10f64..10.0, d in -10f64..10.0) {
+        prop_assert_eq!(limited_flux(Limiter::Koren, 0.0, a, b, c, d), 0.0);
+        let f1 = limited_flux(Limiter::Koren, 2.0, a, b, c, d);
+        let f2 = limited_flux(Limiter::Koren, 4.0, a, b, c, d);
+        prop_assert!((f2 - 2.0 * f1).abs() < 1e-9 * (1.0 + f1.abs()));
+    }
+
+    /// The Thomas solver solves: residual of a random diagonally
+    /// dominant system is at round-off.
+    #[test]
+    fn tridiagonal_residual(seed in 0u64..1000) {
+        let n = 32;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a: Vec<f64> = (0..n).map(|_| next()).collect();
+        let c: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|k| 2.5 + a[k].abs() + c[k].abs()).collect();
+        let rhs: Vec<f64> = (0..n).map(|_| next() * 5.0).collect();
+        let mut d = rhs.clone();
+        let mut scr = vec![0.0; n];
+        tridiag::solve_in_place(&a, &b, &c, &mut d, &mut scr);
+        let y = tridiag::matvec(&a, &b, &c, &d);
+        for k in 0..n {
+            prop_assert!((y[k] - rhs[k]).abs() < 1e-9);
+        }
+    }
+
+    /// Flux-form advection conserves the advected quantity over a
+    /// periodic domain for arbitrary (periodic) velocity and scalar
+    /// fields.
+    #[test]
+    fn advection_conserves(seed in 0u64..200) {
+        let mut c = ModelConfig::mountain_wave(8, 6, 5);
+        c.terrain = Terrain::Flat;
+        let g = Grid::build(&c);
+        let mut s = State::zeros(&g, 3);
+        s.rho.fill(1.0);
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for j in 0..6isize {
+            for i in 0..8isize {
+                for k in 0..5isize {
+                    s.u.set(i, j, k, next() * 3.0);
+                    s.v.set(i, j, k, next() * 3.0);
+                    s.w.set(i, j, k, next());
+                }
+            }
+        }
+        s.fill_halos_periodic();
+        let mut spec = g.center_field();
+        for j in 0..6isize {
+            for i in 0..8isize {
+                for k in 0..5isize {
+                    spec.set(i, j, k, 1.0 + next().abs());
+                }
+            }
+        }
+        spec.fill_halo_periodic_xy();
+        spec.fill_halo_zero_gradient_z();
+        let mut mw = g.w_field();
+        ops::mass_flux_w(&g, &s, &mut mw);
+        mw.fill_halo_periodic_xy();
+        let mut out = g.center_field();
+        let mut fa = g.center_field();
+        let mut fw = g.w_field();
+        ops::advect_scalar(&g, Limiter::Koren, &spec, &s.u, &s.v, &mw, &mut out, &mut fa, &mut fw);
+        let total = out.sum_interior();
+        let scale = out.max_abs().max(1e-30) * out.interior_len() as f64;
+        prop_assert!(total.abs() < 1e-10 * scale, "not conservative: {total:e} vs scale {scale:e}");
+    }
+
+    /// Layout relayout is a bijection: KIJ -> XZY -> KIJ roundtrips.
+    #[test]
+    fn layout_roundtrip(seed in 0u64..500) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let a = Field3::<f64>::from_fn(5, 4, 3, 2, Layout::KIJ, |_, _, _| next());
+        let mut b = Field3::<f64>::new(5, 4, 3, 2, Layout::XZY);
+        b.copy_interior_from(&a);
+        let mut c2 = Field3::<f64>::new(5, 4, 3, 2, Layout::KIJ);
+        c2.copy_interior_from(&b);
+        prop_assert_eq!(c2.max_diff(&a), 0.0);
+    }
+
+    /// Kessler microphysics conserves total water and never produces
+    /// negative species for any physically plausible input.
+    #[test]
+    fn kessler_invariants(
+        theta in 250.0f64..320.0,
+        qv in 0.0f64..0.03,
+        qc in 0.0f64..0.01,
+        qr in 0.0f64..0.01,
+        p in 3.0e4f64..1.05e5,
+    ) {
+        use physics::kessler::{step_point, PointState};
+        let pi = physics::eos::exner(p);
+        let rho = physics::eos::rho_from_p_t(p, theta * pi);
+        let out = step_point(p, pi, rho, 10.0, PointState { theta, qv, qc, qr });
+        prop_assert!(out.qv >= 0.0 && out.qc >= 0.0 && out.qr >= 0.0);
+        let before = qv + qc + qr;
+        let after = out.qv + out.qc + out.qr;
+        prop_assert!((before - after).abs() <= 1e-14 * (1.0 + before));
+        prop_assert!(out.theta.is_finite() && out.theta > 100.0 && out.theta < 500.0);
+    }
+
+    /// EOS roundtrip holds across the atmospheric pressure range.
+    #[test]
+    fn eos_roundtrip(p in 1.0e4f64..1.1e5) {
+        let rt = physics::eos::rho_theta_from_pressure(p);
+        let back = physics::eos::pressure_from_rho_theta(rt);
+        prop_assert!((back - p).abs() / p < 1e-12);
+    }
+}
