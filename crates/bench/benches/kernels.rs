@@ -41,7 +41,17 @@ fn bench_advection(c: &mut Criterion) {
     group.bench_function("scalar_koren_64x32x24", |b| {
         b.iter(|| {
             out.fill(0.0);
-            ops::advect_scalar(&g, Limiter::Koren, &spec, &s.u, &s.v, &mw, &mut out, &mut fa, &mut fw);
+            ops::advect_scalar(
+                &g,
+                Limiter::Koren,
+                &spec,
+                &s.u,
+                &s.v,
+                &mw,
+                &mut out,
+                &mut fa,
+                &mut fw,
+            );
         })
     });
     for lim in [Limiter::Upwind1, Limiter::Minmod, Limiter::Superbee] {

@@ -1,0 +1,168 @@
+//! Wall-clock scaling of Functional-mode device kernels over host
+//! worker threads (`Device::launch_par`), at the paper's production
+//! per-GPU subdomain 320×256×48. The simulated GT200 seconds must be
+//! unchanged to the last bit for every thread count — parallelism buys
+//! host wall-clock only; this harness asserts that before benching.
+
+use asuca_gpu::geom::DeviceGeom;
+use asuca_gpu::kernels::advection;
+use asuca_gpu::kernels::physics as kphysics;
+use asuca_gpu::kernels::region::KName;
+use asuca_gpu::{kname, Region};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dycore::config::{ModelConfig, Terrain};
+use dycore::grid::{BaseFields, Grid};
+use numerics::limiter::Limiter;
+use vgpu::{Buf, Device, DeviceSpec, ExecMode, StreamId};
+
+const NX: usize = 320;
+const NY: usize = 256;
+const NZ: usize = 48;
+const KN_ADV: KName = kname!("bench_adv_theta");
+
+struct Fixture {
+    dev: Device<f64>,
+    geom: DeviceGeom<f64>,
+    spec: Buf<f64>,
+    u: Buf<f64>,
+    v: Buf<f64>,
+    mw: Buf<f64>,
+    out: Buf<f64>,
+    rho: Buf<f64>,
+    th: Buf<f64>,
+    p: Buf<f64>,
+    qv: Buf<f64>,
+    qc: Buf<f64>,
+    qr: Buf<f64>,
+}
+
+fn filled(dev: &mut Device<f64>, len: usize, base: f64, ripple: f64) -> Buf<f64> {
+    let buf = dev
+        .alloc(len)
+        .expect("device OOM in threads_scaling fixture");
+    let host: Vec<f64> = (0..len).map(|i| base + ripple * (i % 101) as f64).collect();
+    dev.write_vec(buf, &host);
+    buf
+}
+
+fn fixture(threads: usize) -> Fixture {
+    let mut cfg = ModelConfig::mountain_wave(NX, NY, NZ);
+    cfg.terrain = Terrain::Flat;
+    let grid = Grid::build(&cfg);
+    let bs = physics::base::BaseState {
+        profile: cfg.base,
+        p_surface: physics::consts::P00,
+    };
+    let base = BaseFields::build(&grid, &bs);
+    let mut dev = Device::new(
+        DeviceSpec::tesla_s1070().with_host_threads(threads),
+        ExecMode::Functional,
+    );
+    let geom = DeviceGeom::build(&mut dev, &grid, &base);
+    let (nc, nw) = (geom.dc.len(), geom.dw.len());
+    Fixture {
+        spec: filled(&mut dev, nc, 300.0, 1.0e-3),
+        u: filled(&mut dev, nc, 5.0, 1.0e-4),
+        v: filled(&mut dev, nc, -2.0, 1.0e-4),
+        mw: filled(&mut dev, nw, 0.3, 1.0e-5),
+        out: filled(&mut dev, nc, 0.0, 0.0),
+        rho: filled(&mut dev, nc, 1.05, 1.0e-5),
+        th: filled(&mut dev, nc, 298.0, 1.0e-4),
+        p: filled(&mut dev, nc, 9.0e4, 1.0e-2),
+        qv: filled(&mut dev, nc, 1.2e-2, 1.0e-8),
+        qc: filled(&mut dev, nc, 8.0e-4, 1.0e-9),
+        qr: filled(&mut dev, nc, 4.0e-4, 1.0e-9),
+        dev,
+        geom,
+    }
+}
+
+fn run_advection(f: &mut Fixture) {
+    advection::advect_scalar(
+        &mut f.dev,
+        StreamId::DEFAULT,
+        &f.geom,
+        Region::Whole,
+        &KN_ADV,
+        Limiter::Koren,
+        true,
+        f.spec,
+        f.u,
+        f.v,
+        f.mw,
+        f.out,
+    );
+    f.dev.sync_stream(StreamId::DEFAULT);
+}
+
+fn run_warm_rain(f: &mut Fixture) {
+    kphysics::warm_rain(
+        &mut f.dev,
+        StreamId::DEFAULT,
+        &f.geom,
+        5.0,
+        f.rho,
+        f.th,
+        f.p,
+        f.qv,
+        f.qc,
+        f.qr,
+    );
+    f.dev.sync_stream(StreamId::DEFAULT);
+}
+
+/// Simulated seconds one call of each kernel advances the device clock
+/// by — must be identical across thread counts.
+fn sim_seconds(f: &mut Fixture) -> (f64, f64) {
+    let t0 = f.dev.host_time();
+    run_advection(f);
+    let t1 = f.dev.host_time();
+    run_warm_rain(f);
+    let t2 = f.dev.host_time();
+    (t1 - t0, t2 - t1)
+}
+
+fn bench_threads_scaling(c: &mut Criterion) {
+    let max = numerics::par::default_threads();
+    let mut counts = vec![1usize, 2, 4, max];
+    counts.sort_unstable();
+    counts.dedup();
+
+    // Reference simulated timings at threads = 1.
+    let mut baseline = fixture(1);
+    let (adv_sim, rain_sim) = sim_seconds(&mut baseline);
+    drop(baseline);
+    eprintln!("simulated seconds: advection={adv_sim:.6e} warm_rain={rain_sim:.6e}");
+
+    let points = (NX * NY * NZ) as u64;
+    let mut group = c.benchmark_group("threads_scaling");
+    group.throughput(Throughput::Elements(points));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &t in &counts {
+        let mut f = fixture(t);
+        let (a, r) = sim_seconds(&mut f);
+        assert_eq!(
+            a, adv_sim,
+            "simulated advection time changed at threads={t}"
+        );
+        assert_eq!(
+            r, rain_sim,
+            "simulated warm-rain time changed at threads={t}"
+        );
+        group.bench_with_input(BenchmarkId::new("advection_320x256x48", t), &t, |b, _| {
+            b.iter(|| run_advection(&mut f))
+        });
+        group.bench_with_input(BenchmarkId::new("warm_rain_320x256x48", t), &t, |b, _| {
+            b.iter(|| run_warm_rain(&mut f))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_threads_scaling
+}
+criterion_main!(benches);

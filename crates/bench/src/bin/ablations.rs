@@ -8,7 +8,9 @@
 //! * thread-block shape for the advection kernel (§IV-A.2).
 
 use asuca_bench::paper_subdomain;
-use asuca_gpu::kernels::advection::{advection_shared_mem_bytes, ADV_FLOPS, ADV_READS, ADV_READS_NO_SMEM};
+use asuca_gpu::kernels::advection::{
+    advection_shared_mem_bytes, ADV_FLOPS, ADV_READS, ADV_READS_NO_SMEM,
+};
 use asuca_gpu::multi::{run_multi, MultiGpuConfig, OverlapMode};
 use asuca_gpu::SingleGpu;
 use cluster::NetworkSpec;
@@ -25,7 +27,11 @@ fn main() {
     let t_xzy = kernel_time(&spec, &launch(cost), 4);
     let t_kij = kernel_time(&spec, &launch(cost.with_coalescing(0.0)), 4);
     println!("xzy (x fastest; GPU order),{:.3},1.00x", t_xzy * 1e3);
-    println!("kij (z fastest; CPU order),{:.3},{:.2}x", t_kij * 1e3, t_kij / t_xzy);
+    println!(
+        "kij (z fastest; CPU order),{:.3},{:.2}x",
+        t_kij * 1e3,
+        t_kij / t_xzy
+    );
 
     println!("\n# Ablation 2: shared-memory stencil staging (advection kernel)");
     println!("variant,time_ms,global_reads_per_point,smem_bytes_per_block");
@@ -33,14 +39,22 @@ fn main() {
     let without = KernelCost::streaming(points, ADV_FLOPS, ADV_READS_NO_SMEM, 1.0);
     let tw = kernel_time(&spec, &launch(with), 4);
     let to = kernel_time(&spec, &launch(without), 4);
-    println!("shared memory (Fig. 3 tile),{:.3},{},{}", tw * 1e3, ADV_READS, advection_shared_mem_bytes(4));
+    println!(
+        "shared memory (Fig. 3 tile),{:.3},{},{}",
+        tw * 1e3,
+        ADV_READS,
+        advection_shared_mem_bytes(4)
+    );
     println!("global memory only,{:.3},{},0", to * 1e3, ADV_READS_NO_SMEM);
     println!("# speedup from shared memory: {:.2}x", to / tw);
 
     println!("\n# Ablation 3: overlap on/off at 6x8 = 48 GPUs (phantom, per step ms)");
     println!("schedule,total_ms,compute_ms,mpi_ms");
     let cfg = paper_subdomain(256);
-    for (label, overlap) in [("non-overlapping", OverlapMode::None), ("overlapping (methods 1+2+3)", OverlapMode::Overlap)] {
+    for (label, overlap) in [
+        ("non-overlapping", OverlapMode::None),
+        ("overlapping (methods 1+2+3)", OverlapMode::Overlap),
+    ] {
         let mc = MultiGpuConfig {
             local_cfg: cfg.clone(),
             px: 6,
@@ -53,7 +67,12 @@ fn main() {
             detailed_profile: false,
         };
         let r = run_multi::<f32>(&mc, &|_, _, _, _| {});
-        println!("{label},{:.0},{:.0},{:.0}", r.total_time_s * 1e3, r.compute_s * 1e3, r.mpi_s * 1e3);
+        println!(
+            "{label},{:.0},{:.0},{:.0}",
+            r.total_time_s * 1e3,
+            r.compute_s * 1e3,
+            r.mpi_s * 1e3
+        );
     }
 
     println!("\n# Ablation 4: thread-block shape for the advection kernel");

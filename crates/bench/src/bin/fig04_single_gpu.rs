@@ -27,7 +27,9 @@ fn gflops<R: numerics::Real>(cfg: dycore::ModelConfig, spec: DeviceSpec, steps: 
 
 fn main() {
     let steps = 2;
-    println!("# Fig. 4: ASUCA performance on a single GPU (Tesla S1070) and CPU core (Opteron 2.4 GHz)");
+    println!(
+        "# Fig. 4: ASUCA performance on a single GPU (Tesla S1070) and CPU core (Opteron 2.4 GHz)"
+    );
     println!("# paper anchors: GPU SP 44.3 GFlops, GPU DP 14.6 GFlops @ 320x256x48; GPU-SP/CPU-DP = 83.4x");
     println!("nx,ny,nz,points,gpu_sp_gflops,gpu_dp_gflops,cpu_dp_gflops,sp_over_cpu");
     let mut last = (0.0, 0.0, 0.0);

@@ -20,7 +20,9 @@ fn main() {
     gpu.run(1);
 
     println!("# Fig. 5: arithmetic intensity vs performance, Tesla S1070, single precision");
-    println!("# roofline: Eq. (6) with Fpeak = 691.2 GFlops, Bpeak = 102.4 GB/s (x0.72 achievable)");
+    println!(
+        "# roofline: Eq. (6) with Fpeak = 691.2 GFlops, Bpeak = 102.4 GB/s (x0.72 achievable)"
+    );
     println!("kind,name,flop_per_byte,gflops");
 
     // The Eq. (6) curve, log-sampled like the paper's axis (1e-2..1e2).
@@ -42,7 +44,10 @@ fn main() {
     let rows = roofline_rows(&gpu.dev.profiler, &[]);
     for (kname, label) in key {
         match rows.iter().find(|r| r.name == kname) {
-            Some(r) => println!("kernel,{label},{:.4},{:.2}", r.arithmetic_intensity, r.gflops),
+            Some(r) => println!(
+                "kernel,{label},{:.4},{:.2}",
+                r.arithmetic_intensity, r.gflops
+            ),
             None => println!("kernel,{label},missing,missing"),
         }
     }
@@ -50,7 +55,10 @@ fn main() {
     // Everything else, for completeness.
     for r in &rows {
         if !key.iter().any(|(k, _)| *k == r.name) && r.gflops > 0.0 {
-            println!("other,{},{:.4},{:.2}", r.name, r.arithmetic_intensity, r.gflops);
+            println!(
+                "other,{},{:.4},{:.2}",
+                r.name, r.arithmetic_intensity, r.gflops
+            );
         }
     }
 }

@@ -40,7 +40,10 @@ fn main() {
         run_multi::<f32>(&mc, &|_, _, _, _| {})
     };
 
-    println!("# Fig. 9: breakdown of computational and communication time, {}x{} GPUs, per long step", px, py);
+    println!(
+        "# Fig. 9: breakdown of computational and communication time, {}x{} GPUs, per long step",
+        px, py
+    );
     println!("# all times in microseconds (rank 0), single precision");
     let plain = run(OverlapMode::None);
     let fancy = run(OverlapMode::Overlap);
@@ -65,7 +68,12 @@ fn main() {
     // stats.
     let d2h = fancy.pcie_s * 1e6 / 2.0;
     let h2d = fancy.pcie_s * 1e6 / 2.0;
-    println!("Communication (x+y),{d2h:.0},{:.0},{h2d:.0}", fancy.mpi_s * 1e6);
+    println!(
+        "Communication (x+y),{d2h:.0},{:.0},{h2d:.0}",
+        fancy.mpi_s * 1e6
+    );
     println!("# divided kernels are individually slower than the single kernel (reduced");
-    println!("# parallelism) but their communication overlaps the inner computation (Fig. 9's point)");
+    println!(
+        "# parallelism) but their communication overlaps the inner computation (Fig. 9's point)"
+    );
 }

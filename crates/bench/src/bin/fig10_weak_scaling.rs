@@ -27,7 +27,10 @@ fn main() {
     }
 
     println!("# Fig. 10: weak scaling of ASUCA on the (simulated) TSUBAME supercomputer");
-    println!("# per-GPU subdomain 320x256x48, single precision, {} steps", steps);
+    println!(
+        "# per-GPU subdomain 320x256x48, single precision, {} steps",
+        steps
+    );
     println!("gpus,px,py,mesh_nx,mesh_ny,tflops_overlap,tflops_nonoverlap,tflops_cpu,overlap_gain,efficiency");
 
     let mut eff_base: Option<f64> = None;
@@ -45,10 +48,19 @@ fn main() {
             detailed_profile: false,
         };
         let net = NetworkSpec::tsubame1_infiniband();
-        let r_over = run_multi::<f32>(&mk(OverlapMode::Overlap, DeviceSpec::tesla_s1070(), net), &|_, _, _, _| {});
-        let r_plain = run_multi::<f32>(&mk(OverlapMode::None, DeviceSpec::tesla_s1070(), net), &|_, _, _, _| {});
+        let r_over = run_multi::<f32>(
+            &mk(OverlapMode::Overlap, DeviceSpec::tesla_s1070(), net),
+            &|_, _, _, _| {},
+        );
+        let r_plain = run_multi::<f32>(
+            &mk(OverlapMode::None, DeviceSpec::tesla_s1070(), net),
+            &|_, _, _, _| {},
+        );
         // CPU curve: one Opteron core per "GPU slot", same decomposition.
-        let r_cpu = run_multi::<f64>(&mk(OverlapMode::None, DeviceSpec::opteron_core(), net), &|_, _, _, _| {});
+        let r_cpu = run_multi::<f64>(
+            &mk(OverlapMode::None, DeviceSpec::opteron_core(), net),
+            &|_, _, _, _| {},
+        );
 
         let per_gpu = r_over.tflops / row.gpus as f64;
         let eff = match eff_base {

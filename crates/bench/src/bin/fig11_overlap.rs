@@ -22,7 +22,10 @@ fn main() {
 
     let cfg = paper_subdomain(256);
     let mut results = Vec::new();
-    for (label, overlap) in [("non-overlapping", OverlapMode::None), ("overlapping", OverlapMode::Overlap)] {
+    for (label, overlap) in [
+        ("non-overlapping", OverlapMode::None),
+        ("overlapping", OverlapMode::Overlap),
+    ] {
         let mc = MultiGpuConfig {
             local_cfg: cfg.clone(),
             px,

@@ -22,7 +22,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
 
     // --- Functional vortex simulation (scaled mesh). ---
-    let (nx, ny, nz, hours) = if quick { (32, 32, 10, [1, 2, 3]) } else { (64, 64, 16, [2, 4, 6]) };
+    let (nx, ny, nz, hours) = if quick {
+        (32, 32, 10, [1, 2, 3])
+    } else {
+        (64, 64, 16, [2, 4, 6])
+    };
     let mut cfg = ModelConfig::mountain_wave(nx, ny, nz);
     cfg.terrain = Terrain::Flat; // over sea, as in the paper's domain
     cfg.dx = 4000.0;
@@ -48,7 +52,10 @@ fn main() {
         let precip = diag::precipitation_slice(&m.grid, &m.state);
         let (wlo, whi) = wind.min_max();
         let (plo, phi) = pres.min_max();
-        println!("\n== after {h} 'hours' (t = {:.0} s, {} steps) ==", m.time, m.steps_taken);
+        println!(
+            "\n== after {h} 'hours' (t = {:.0} s, {} steps) ==",
+            m.time, m.steps_taken
+        );
         println!("horizontal wind speed [{wlo:.1}..{whi:.1} m/s]:");
         print!("{}", wind.ascii(48, 16));
         println!("surface pressure [{:.0}..{:.0} Pa]:", plo, phi);
@@ -58,8 +65,14 @@ fn main() {
         print!("{}", precip.ascii(48, 16));
     }
     let stats = m.stats();
-    println!("\nmax wind {:.1} m/s, max |w| {:.2} m/s, total precip {:.3e}", stats.max_u, stats.max_w, stats.total_precip);
-    assert!(m.state.find_non_finite().is_none(), "simulation went non-finite");
+    println!(
+        "\nmax wind {:.1} m/s, max |w| {:.2} m/s, total precip {:.3e}",
+        stats.max_u, stats.max_w, stats.total_precip
+    );
+    assert!(
+        m.state.find_non_finite().is_none(),
+        "simulation went non-finite"
+    );
 
     // --- 54-GPU (6x9) timing of the paper's configuration. ---
     let mut pcfg = ModelConfig::mountain_wave(320, 256, 48);

@@ -8,8 +8,8 @@
 //! return after a software overhead, like an eager-protocol `Isend`.
 
 use crate::network::NetworkSpec;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Reserved tag for collectives.
 const CTRL_TAG: u32 = u32::MAX;
@@ -72,8 +72,8 @@ impl<T: Send + 'static> Comm<T> {
     /// returns payload and the advanced clock.
     pub fn recv(&mut self, src: usize, tag: u32, now: f64) -> RecvOut<T> {
         let msg = self.take_matching(src, tag);
-        let arrival = (msg.depart + self.net.transfer_time(msg.bytes)).max(now)
-            + self.net.sw_overhead_s;
+        let arrival =
+            (msg.depart + self.net.transfer_time(msg.bytes)).max(now) + self.net.sw_overhead_s;
         RecvOut {
             data: msg.data.expect("user message without payload"),
             now: arrival,
@@ -192,10 +192,11 @@ where
     let mut receivers: Vec<Vec<Option<Receiver<Msg<T>>>>> = (0..n)
         .map(|_| (0..n).map(|_| None).collect::<Vec<_>>())
         .collect();
+    #[allow(clippy::needless_range_loop)]
     for src in 0..n {
         let mut row = Vec::with_capacity(n);
         for dst in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             row.push(tx);
             receivers[dst][src] = Some(rx);
         }
@@ -219,12 +220,12 @@ where
         })
         .collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
             .map(|comm| {
                 let f = &f;
-                scope.spawn(move |_| f(comm))
+                scope.spawn(move || f(comm))
             })
             .collect();
         handles
@@ -232,7 +233,6 @@ where
             .map(|h| h.join().expect("rank thread panicked"))
             .collect()
     })
-    .expect("rank scope failed")
 }
 
 #[cfg(test)]

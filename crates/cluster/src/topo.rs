@@ -24,12 +24,15 @@ impl Topo2D {
         let mut best = (1, n);
         let mut px = 1;
         while px * px <= n {
-            if n % px == 0 {
+            if n.is_multiple_of(px) {
                 best = (px, n / px);
             }
             px += 1;
         }
-        Topo2D { px: best.0, py: best.1 }
+        Topo2D {
+            px: best.0,
+            py: best.1,
+        }
     }
 
     pub fn size(&self) -> usize {

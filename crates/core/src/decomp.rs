@@ -55,7 +55,14 @@ pub fn table1_configs() -> Vec<Table1Row> {
         .iter()
         .map(|&(px, py)| {
             let (nx, ny) = global_mesh(px, py, 320, 256);
-            Table1Row { gpus: px * py, px, py, nx, ny, nz: 48 }
+            Table1Row {
+                gpus: px * py,
+                px,
+                py,
+                nx,
+                ny,
+                nz: 48,
+            }
         })
         .collect()
 }

@@ -52,7 +52,11 @@ pub struct DeviceState<R: Real> {
 impl<R: Real> DeviceState<R> {
     /// Allocate every array on the device (fails if the grid exceeds the
     /// device memory, reproducing the paper's per-GPU size limits).
-    pub fn alloc(dev: &mut Device<R>, geom: &DeviceGeom<R>, n_tracers: usize) -> Result<Self, vgpu::MemError> {
+    pub fn alloc(
+        dev: &mut Device<R>,
+        geom: &DeviceGeom<R>,
+        n_tracers: usize,
+    ) -> Result<Self, vgpu::MemError> {
         let c = geom.dc.len();
         let w = geom.dw.len();
         let plane = geom.dp.len();
@@ -128,8 +132,15 @@ impl<R: Real> DeviceState<R> {
     /// Download the device prognostics back into a host state — the
     /// Fig. 1 "Output" transfer ("minimum necessary data").
     pub fn download(&self, dev: &mut Device<R>, geom: &DeviceGeom<R>, s: &mut State) {
-        assert_eq!(dev.mode(), ExecMode::Functional, "download needs functional mode");
-        let down = |dev: &mut Device<R>, buf: Buf<R>, f: &mut numerics::Field3<f64>, dims: crate::view::Dims| {
+        assert_eq!(
+            dev.mode(),
+            ExecMode::Functional,
+            "download needs functional mode"
+        );
+        let down = |dev: &mut Device<R>,
+                    buf: Buf<R>,
+                    f: &mut numerics::Field3<f64>,
+                    dims: crate::view::Dims| {
             let mut host = vec![R::ZERO; dims.len()];
             dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut host);
             relayout_from_xzy(&host, dims, f);
@@ -148,7 +159,12 @@ impl<R: Real> DeviceState<R> {
 
     /// Estimated device-memory footprint in bytes for a grid, used by
     /// capacity planning (Table I sizing).
-    pub fn footprint_bytes(geom_c_len: usize, geom_w_len: usize, plane_len: usize, n_tracers: usize) -> u64 {
+    pub fn footprint_bytes(
+        geom_c_len: usize,
+        geom_w_len: usize,
+        plane_len: usize,
+        n_tracers: usize,
+    ) -> u64 {
         // 5 prognostic centers + 4 t-copies + 4 tendencies + 2 refs +
         // 2 scratch, plus 3 arrays per tracer; 6 w-staggered fields.
         let centers = 17 + 3 * n_tracers;

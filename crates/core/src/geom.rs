@@ -75,7 +75,9 @@ fn upload_plane<R: Real>(
     dims: Dims,
     f: impl Fn(isize, isize) -> f64,
 ) -> Buf<R> {
-    let buf = dev.alloc(dims.len()).expect("device OOM uploading metric plane");
+    let buf = dev
+        .alloc(dims.len())
+        .expect("device OOM uploading metric plane");
     if dev.mode() == ExecMode::Functional {
         let h = dims.halo as isize;
         let mut host = vec![R::ZERO; dims.len()];
@@ -109,7 +111,11 @@ impl<R: Real> DeviceGeom<R> {
     /// where materializing 528 ranks of 3-D base arrays would exhaust
     /// host memory).
     pub fn build_phantom(dev: &mut Device<R>, grid: &Grid) -> Self {
-        assert_eq!(dev.mode(), ExecMode::Phantom, "build_phantom needs phantom mode");
+        assert_eq!(
+            dev.mode(),
+            ExecMode::Phantom,
+            "build_phantom needs phantom mode"
+        );
         let (nx, ny, nz) = (grid.nx, grid.ny, grid.nz);
         let dc = Dims::center(nx, ny, nz, HALO);
         let dw = Dims::wlevel(nx, ny, nz, HALO);
@@ -241,7 +247,10 @@ mod tests {
 
     fn grid() -> (Grid, BaseFields) {
         let mut c = ModelConfig::mountain_wave(8, 6, 5);
-        c.terrain = Terrain::AgnesiRidge { height: 300.0, half_width: 8000.0 };
+        c.terrain = Terrain::AgnesiRidge {
+            height: 300.0,
+            half_width: 8000.0,
+        };
         let g = Grid::build(&c);
         let b = BaseFields::build(&g, &BaseState::constant_n(288.0, 0.01));
         (g, b)
@@ -283,7 +292,8 @@ mod tests {
 
     #[test]
     fn precision_conversion_in_relayout() {
-        let f = Field3::<f64>::from_fn(3, 3, 3, 1, numerics::Layout::KIJ, |i, _, _| i as f64 + 0.25);
+        let f =
+            Field3::<f64>::from_fn(3, 3, 3, 1, numerics::Layout::KIJ, |i, _, _| i as f64 + 0.25);
         let dims = Dims::center(3, 3, 3, 1);
         let xzy = relayout_to_xzy::<f32>(&f, dims);
         assert_eq!(xzy[dims.off(2, 0, 0)], 2.25f32);

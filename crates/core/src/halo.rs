@@ -74,10 +74,20 @@ pub struct HaloExchanger<R: Real> {
 
 impl<R: Real> HaloExchanger<R> {
     /// Build for a rank of a periodic 2-D topology.
-    pub fn new(dev: &mut Device<R>, topo: &cluster::Topo2D, rank: usize, dims_c: Dims, dims_w: Dims) -> Self {
+    pub fn new(
+        dev: &mut Device<R>,
+        topo: &cluster::Topo2D,
+        rank: usize,
+        dims_c: Dims,
+        dims_w: Dims,
+    ) -> Self {
         let strip_cap = boundary::x_strip_len(dims_c).max(boundary::x_strip_len(dims_w));
-        let xpack_send = dev.alloc(2 * strip_cap * MAX_BATCH).expect("device OOM for x pack buffer");
-        let xpack_recv = dev.alloc(2 * strip_cap * MAX_BATCH).expect("device OOM for x pack buffer");
+        let xpack_send = dev
+            .alloc(2 * strip_cap * MAX_BATCH)
+            .expect("device OOM for x pack buffer");
+        let xpack_recv = dev
+            .alloc(2 * strip_cap * MAX_BATCH)
+            .expect("device OOM for x pack buffer");
         HaloExchanger {
             west: topo.west_periodic(rank),
             east: topo.east_periodic(rank),
@@ -109,8 +119,18 @@ impl<R: Real> HaloExchanger<R> {
             if functional {
                 let mut s = vec![R::ZERO; slab];
                 let mut n = vec![R::ZERO; slab];
-                dev.copy_d2h(stream, f.buf, boundary::y_slab_interior_offset(f.dims, Side::South), &mut s);
-                dev.copy_d2h(stream, f.buf, boundary::y_slab_interior_offset(f.dims, Side::North), &mut n);
+                dev.copy_d2h(
+                    stream,
+                    f.buf,
+                    boundary::y_slab_interior_offset(f.dims, Side::South),
+                    &mut s,
+                );
+                dev.copy_d2h(
+                    stream,
+                    f.buf,
+                    boundary::y_slab_interior_offset(f.dims, Side::North),
+                    &mut n,
+                );
                 staged.push((s, n));
             } else {
                 dev.copy_d2h_phantom(stream, slab);
@@ -146,8 +166,18 @@ impl<R: Real> HaloExchanger<R> {
         for (f, (s, n)) in fields.iter().zip(received) {
             let slab = boundary::y_slab_len(f.dims);
             if functional {
-                dev.copy_h2d(stream, &s, f.buf, boundary::y_slab_halo_offset(f.dims, Side::South));
-                dev.copy_h2d(stream, &n, f.buf, boundary::y_slab_halo_offset(f.dims, Side::North));
+                dev.copy_h2d(
+                    stream,
+                    &s,
+                    f.buf,
+                    boundary::y_slab_halo_offset(f.dims, Side::South),
+                );
+                dev.copy_h2d(
+                    stream,
+                    &n,
+                    f.buf,
+                    boundary::y_slab_halo_offset(f.dims, Side::North),
+                );
             } else {
                 dev.copy_h2d_phantom(stream, slab);
                 dev.copy_h2d_phantom(stream, slab);
@@ -177,7 +207,15 @@ impl<R: Real> HaloExchanger<R> {
             let strip = boundary::x_strip_len(f.dims);
             let off = slot * 2 * self.strip_cap;
             boundary::pack_x(dev, stream, f.buf, f.dims, Side::West, self.xpack_send, off);
-            boundary::pack_x(dev, stream, f.buf, f.dims, Side::East, self.xpack_send, off + strip);
+            boundary::pack_x(
+                dev,
+                stream,
+                f.buf,
+                f.dims,
+                Side::East,
+                self.xpack_send,
+                off + strip,
+            );
             if functional {
                 let mut host = vec![R::ZERO; 2 * strip];
                 dev.copy_d2h(stream, self.xpack_send, off, &mut host);
@@ -229,7 +267,15 @@ impl<R: Real> HaloExchanger<R> {
                 dev.copy_h2d_phantom(stream, strip);
             }
             boundary::unpack_x(dev, stream, f.buf, f.dims, Side::West, self.xpack_recv, off);
-            boundary::unpack_x(dev, stream, f.buf, f.dims, Side::East, self.xpack_recv, off + strip);
+            boundary::unpack_x(
+                dev,
+                stream,
+                f.buf,
+                f.dims,
+                Side::East,
+                self.xpack_recv,
+                off + strip,
+            );
         }
         dev.sync_stream(stream);
         self.stats.exchanges += 1;
@@ -245,7 +291,16 @@ impl<R: Real> HaloExchanger<R> {
         dims: Dims,
         field_id: u32,
     ) {
-        self.exchange_y_many(dev, comm, stream, &[FieldRef { buf: field, dims, id: field_id }]);
+        self.exchange_y_many(
+            dev,
+            comm,
+            stream,
+            &[FieldRef {
+                buf: field,
+                dims,
+                id: field_id,
+            }],
+        );
     }
 
     /// Exchange the x halos of one field.
@@ -258,7 +313,16 @@ impl<R: Real> HaloExchanger<R> {
         dims: Dims,
         field_id: u32,
     ) {
-        self.exchange_x_many(dev, comm, stream, &[FieldRef { buf: field, dims, id: field_id }]);
+        self.exchange_x_many(
+            dev,
+            comm,
+            stream,
+            &[FieldRef {
+                buf: field,
+                dims,
+                id: field_id,
+            }],
+        );
     }
 
     /// Full halo exchange of one field (y first — corners — then x).
@@ -273,5 +337,101 @@ impl<R: Real> HaloExchanger<R> {
     ) {
         self.exchange_y(dev, comm, stream, field, dims, field_id);
         self.exchange_x(dev, comm, stream, field, dims, field_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{spawn_ranks, NetworkSpec, Topo2D};
+    use vgpu::DeviceSpec;
+
+    /// Globally unique value per (field, global column, global row,
+    /// padded level) — exactly representable in f64.
+    fn sentinel(field: u32, gi: usize, gj: usize, k: isize, h: isize) -> f64 {
+        field as f64 * 1.0e7 + gi as f64 * 1.0e5 + gj as f64 * 1.0e2 + (k + h) as f64
+    }
+
+    /// 2×2 periodic topology, two fields per batch: after one y-then-x
+    /// exchange round every halo cell — edges *and* corners — must hold
+    /// the sentinel of its periodic global owner, per field. This guards
+    /// the `tag(field_id, dir)` message matching (a swapped tag would
+    /// land field 0's data in field 1 or a south slab in a north halo)
+    /// and the y-before-x ordering that routes corner values.
+    #[test]
+    fn sentinel_roundtrip_2x2_periodic() {
+        let (px, py) = (2usize, 2usize);
+        let (nx, ny, nl, halo) = (4usize, 3usize, 3usize, 2usize);
+        let dims = Dims::center(nx, ny, nl, halo);
+        let topo = Topo2D::new(px, py);
+        let h = halo as isize;
+
+        let results = spawn_ranks::<Vec<f64>, _, _>(px * py, NetworkSpec::ideal(), |mut comm| {
+            let rank = comm.rank();
+            let (cx, cy) = topo.coords(rank);
+            let mut dev = Device::<f64>::new(DeviceSpec::tesla_s1070(), ExecMode::Functional);
+            let mut ex = HaloExchanger::new(&mut dev, &topo, rank, dims, dims);
+            let bufs: Vec<Buf<f64>> = (0..2).map(|_| dev.alloc(dims.len()).unwrap()).collect();
+            for (fid, &buf) in bufs.iter().enumerate() {
+                // Interior columns carry sentinels (at every padded
+                // level — the slabs transfer the full padded extents);
+                // halo cells start poisoned.
+                let mut host = vec![-1.0; dims.len()];
+                for j in 0..ny as isize {
+                    for i in 0..nx as isize {
+                        for k in -h..nl as isize + h {
+                            host[dims.off(i, j, k)] = sentinel(
+                                fid as u32,
+                                cx * nx + i as usize,
+                                cy * ny + j as usize,
+                                k,
+                                h,
+                            );
+                        }
+                    }
+                }
+                dev.write_vec(buf, &host);
+            }
+            let fields: Vec<FieldRef<f64>> = bufs
+                .iter()
+                .enumerate()
+                .map(|(id, &buf)| FieldRef {
+                    buf,
+                    dims,
+                    id: id as u32,
+                })
+                .collect();
+            ex.exchange_y_many(&mut dev, &mut comm, StreamId::DEFAULT, &fields);
+            ex.exchange_x_many(&mut dev, &mut comm, StreamId::DEFAULT, &fields);
+            let mut out = Vec::new();
+            for &buf in &bufs {
+                out.extend(dev.read_vec(buf));
+            }
+            out
+        });
+
+        let (gnx, gny) = (px * nx, py * ny);
+        for (rank, data) in results.iter().enumerate() {
+            let (cx, cy) = topo.coords(rank);
+            for (fid, field) in data.chunks(dims.len()).enumerate() {
+                for j in -h..ny as isize + h {
+                    for i in -h..nx as isize + h {
+                        if (0..nx as isize).contains(&i) && (0..ny as isize).contains(&j) {
+                            continue; // interior: untouched by the exchange
+                        }
+                        let gi = (cx as isize * nx as isize + i).rem_euclid(gnx as isize) as usize;
+                        let gj = (cy as isize * ny as isize + j).rem_euclid(gny as isize) as usize;
+                        for k in -h..nl as isize + h {
+                            let got = field[dims.off(i, j, k)];
+                            let want = sentinel(fid as u32, gi, gj, k, h);
+                            assert_eq!(
+                                got, want,
+                                "rank {rank} field {fid} halo cell ({i},{j},{k})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

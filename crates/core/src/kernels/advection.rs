@@ -9,7 +9,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::region::{launch_cfg_region, KName, Region};
-use crate::view::{V3, V3Mut};
+use crate::view::{V3SlabMut, V3};
 use numerics::limiter::{limited_flux, Limiter};
 use numerics::Real;
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
@@ -54,30 +54,40 @@ pub fn advect_scalar<R: Real>(
         return;
     }
     let (gdim, bdim) = launch_cfg_region(region, nx, ny, nz, hw);
-    let reads = if use_shared_mem { ADV_READS } else { ADV_READS_NO_SMEM };
+    let reads = if use_shared_mem {
+        ADV_READS
+    } else {
+        ADV_READS_NO_SMEM
+    };
     let cost = KernelCost::streaming(points, ADV_FLOPS, reads, ADV_WRITES);
-    let smem = if use_shared_mem { advection_shared_mem_bytes(R::BYTES) } else { 0 };
+    let smem = if use_shared_mem {
+        advection_shared_mem_bytes(R::BYTES)
+    } else {
+        0
+    };
     let (dc, dw) = (geom.dc, geom.dw);
     let inv_dx = R::from_f64(1.0 / geom.dx);
     let inv_dy = R::from_f64(1.0 / geom.dy);
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let nzi = nz as isize;
-    dev.launch(
+    dev.launch_par(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost).with_shared_mem(smem),
-        move |mem| {
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
             let spec_r = mem.read(spec);
             let u_r = mem.read(u);
             let v_r = mem.read(v);
             let mw_r = mem.read(mw);
-            let mut out_w = mem.write(out);
+            let mut out_s = mem.write_slab(out, dc.slab(sj0, sj1));
             let s = V3::new(&spec_r, dc);
             let uu = V3::new(&u_r, dc);
             let vv = V3::new(&v_r, dc);
             let ww = V3::new(&mw_r, dw);
-            let mut o = V3Mut::new(&mut out_w, dc);
+            let mut o = V3SlabMut::new(&mut out_s, dc, sj0);
             for r in &rects {
-                for j in r.j0..r.j1 {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
                     for k in 0..nzi {
                         for i in r.i0..r.i1 {
                             // x faces at i-1/2 (vel u[i-1]) and i+1/2 (u[i]).
@@ -143,7 +153,9 @@ pub fn advect_scalar<R: Real>(
                                 i,
                                 j,
                                 k,
-                                -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz),
+                                -((fxp - fxm) * inv_dx
+                                    + (fyp - fym) * inv_dy
+                                    + (fzp - fzm) * inv_dz),
                             );
                         }
                     }
@@ -182,54 +194,105 @@ pub fn advect_u<R: Real>(
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let nzi = nz as isize;
     let half = R::HALF;
-    dev.launch(
+    dev.launch_par(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
             .with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
-        move |mem| {
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
             let s_r = mem.read(uspec);
             let u_r = mem.read(u);
             let v_r = mem.read(v);
             let mw_r = mem.read(mw);
-            let mut out_w = mem.write(out);
+            let mut out_s = mem.write_slab(out, dc.slab(sj0, sj1));
             let s = V3::new(&s_r, dc);
             let uu = V3::new(&u_r, dc);
             let vv = V3::new(&v_r, dc);
             let ww = V3::new(&mw_r, dw);
-            let mut o = V3Mut::new(&mut out_w, dc);
+            let mut o = V3SlabMut::new(&mut out_s, dc, sj0);
             for r in &rects {
-                for j in r.j0..r.j1 {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
                     for k in 0..nzi {
                         for i in r.i0..r.i1 {
                             let fxm = {
                                 let vel = half * (uu.at(i - 1, j, k) + uu.at(i, j, k));
-                                limited_flux(lim, vel, s.at(i - 2, j, k), s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i - 2, j, k),
+                                    s.at(i - 1, j, k),
+                                    s.at(i, j, k),
+                                    s.at(i + 1, j, k),
+                                )
                             };
                             let fxp = {
                                 let vel = half * (uu.at(i, j, k) + uu.at(i + 1, j, k));
-                                limited_flux(lim, vel, s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k), s.at(i + 2, j, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i - 1, j, k),
+                                    s.at(i, j, k),
+                                    s.at(i + 1, j, k),
+                                    s.at(i + 2, j, k),
+                                )
                             };
                             let fym = {
                                 let vel = half * (vv.at(i, j - 1, k) + vv.at(i + 1, j - 1, k));
-                                limited_flux(lim, vel, s.at(i, j - 2, k), s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j - 2, k),
+                                    s.at(i, j - 1, k),
+                                    s.at(i, j, k),
+                                    s.at(i, j + 1, k),
+                                )
                             };
                             let fyp = {
                                 let vel = half * (vv.at(i, j, k) + vv.at(i + 1, j, k));
-                                limited_flux(lim, vel, s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k), s.at(i, j + 2, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j - 1, k),
+                                    s.at(i, j, k),
+                                    s.at(i, j + 1, k),
+                                    s.at(i, j + 2, k),
+                                )
                             };
                             let fzm = if k == 0 {
                                 R::ZERO
                             } else {
                                 let vel = half * (ww.at(i, j, k) + ww.at(i + 1, j, k));
-                                limited_flux(lim, vel, s.at(i, j, k - 2), s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j, k - 2),
+                                    s.at(i, j, k - 1),
+                                    s.at(i, j, k),
+                                    s.at(i, j, k + 1),
+                                )
                             };
                             let fzp = if k == nzi - 1 {
                                 R::ZERO
                             } else {
                                 let vel = half * (ww.at(i, j, k + 1) + ww.at(i + 1, j, k + 1));
-                                limited_flux(lim, vel, s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1), s.at(i, j, k + 2))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j, k - 1),
+                                    s.at(i, j, k),
+                                    s.at(i, j, k + 1),
+                                    s.at(i, j, k + 2),
+                                )
                             };
-                            o.add(i, j, k, -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz));
+                            o.add(
+                                i,
+                                j,
+                                k,
+                                -((fxp - fxm) * inv_dx
+                                    + (fyp - fym) * inv_dy
+                                    + (fzp - fzm) * inv_dz),
+                            );
                         }
                     }
                 }
@@ -267,54 +330,105 @@ pub fn advect_v<R: Real>(
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let nzi = nz as isize;
     let half = R::HALF;
-    dev.launch(
+    dev.launch_par(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
             .with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
-        move |mem| {
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
             let s_r = mem.read(vspec);
             let u_r = mem.read(u);
             let v_r = mem.read(v);
             let mw_r = mem.read(mw);
-            let mut out_w = mem.write(out);
+            let mut out_s = mem.write_slab(out, dc.slab(sj0, sj1));
             let s = V3::new(&s_r, dc);
             let uu = V3::new(&u_r, dc);
             let vv = V3::new(&v_r, dc);
             let ww = V3::new(&mw_r, dw);
-            let mut o = V3Mut::new(&mut out_w, dc);
+            let mut o = V3SlabMut::new(&mut out_s, dc, sj0);
             for r in &rects {
-                for j in r.j0..r.j1 {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
                     for k in 0..nzi {
                         for i in r.i0..r.i1 {
                             let fxm = {
                                 let vel = half * (uu.at(i - 1, j, k) + uu.at(i - 1, j + 1, k));
-                                limited_flux(lim, vel, s.at(i - 2, j, k), s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i - 2, j, k),
+                                    s.at(i - 1, j, k),
+                                    s.at(i, j, k),
+                                    s.at(i + 1, j, k),
+                                )
                             };
                             let fxp = {
                                 let vel = half * (uu.at(i, j, k) + uu.at(i, j + 1, k));
-                                limited_flux(lim, vel, s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k), s.at(i + 2, j, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i - 1, j, k),
+                                    s.at(i, j, k),
+                                    s.at(i + 1, j, k),
+                                    s.at(i + 2, j, k),
+                                )
                             };
                             let fym = {
                                 let vel = half * (vv.at(i, j - 1, k) + vv.at(i, j, k));
-                                limited_flux(lim, vel, s.at(i, j - 2, k), s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j - 2, k),
+                                    s.at(i, j - 1, k),
+                                    s.at(i, j, k),
+                                    s.at(i, j + 1, k),
+                                )
                             };
                             let fyp = {
                                 let vel = half * (vv.at(i, j, k) + vv.at(i, j + 1, k));
-                                limited_flux(lim, vel, s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k), s.at(i, j + 2, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j - 1, k),
+                                    s.at(i, j, k),
+                                    s.at(i, j + 1, k),
+                                    s.at(i, j + 2, k),
+                                )
                             };
                             let fzm = if k == 0 {
                                 R::ZERO
                             } else {
                                 let vel = half * (ww.at(i, j, k) + ww.at(i, j + 1, k));
-                                limited_flux(lim, vel, s.at(i, j, k - 2), s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j, k - 2),
+                                    s.at(i, j, k - 1),
+                                    s.at(i, j, k),
+                                    s.at(i, j, k + 1),
+                                )
                             };
                             let fzp = if k == nzi - 1 {
                                 R::ZERO
                             } else {
                                 let vel = half * (ww.at(i, j, k + 1) + ww.at(i, j + 1, k + 1));
-                                limited_flux(lim, vel, s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1), s.at(i, j, k + 2))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j, k - 1),
+                                    s.at(i, j, k),
+                                    s.at(i, j, k + 1),
+                                    s.at(i, j, k + 2),
+                                )
                             };
-                            o.add(i, j, k, -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz));
+                            o.add(
+                                i,
+                                j,
+                                k,
+                                -((fxp - fxm) * inv_dx
+                                    + (fyp - fym) * inv_dy
+                                    + (fzp - fzm) * inv_dz),
+                            );
                         }
                     }
                 }
@@ -352,50 +466,101 @@ pub fn advect_w<R: Real>(
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let nzi = nz as isize;
     let half = R::HALF;
-    dev.launch(
+    dev.launch_par(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
             .with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
-        move |mem| {
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
             let s_r = mem.read(wspec);
             let u_r = mem.read(u);
             let v_r = mem.read(v);
             let mw_r = mem.read(mw);
-            let mut out_w = mem.write(out);
+            let mut out_s = mem.write_slab(out, dw.slab(sj0, sj1));
             let s = V3::new(&s_r, dw);
             let uu = V3::new(&u_r, dc);
             let vv = V3::new(&v_r, dc);
             let ww = V3::new(&mw_r, dw);
-            let mut o = V3Mut::new(&mut out_w, dw);
+            let mut o = V3SlabMut::new(&mut out_s, dw, sj0);
             for r in &rects {
-                for j in r.j0..r.j1 {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
                     for k in 1..nzi {
                         for i in r.i0..r.i1 {
                             let fxm = {
                                 let vel = half * (uu.at(i - 1, j, k - 1) + uu.at(i - 1, j, k));
-                                limited_flux(lim, vel, s.at(i - 2, j, k), s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i - 2, j, k),
+                                    s.at(i - 1, j, k),
+                                    s.at(i, j, k),
+                                    s.at(i + 1, j, k),
+                                )
                             };
                             let fxp = {
                                 let vel = half * (uu.at(i, j, k - 1) + uu.at(i, j, k));
-                                limited_flux(lim, vel, s.at(i - 1, j, k), s.at(i, j, k), s.at(i + 1, j, k), s.at(i + 2, j, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i - 1, j, k),
+                                    s.at(i, j, k),
+                                    s.at(i + 1, j, k),
+                                    s.at(i + 2, j, k),
+                                )
                             };
                             let fym = {
                                 let vel = half * (vv.at(i, j - 1, k - 1) + vv.at(i, j - 1, k));
-                                limited_flux(lim, vel, s.at(i, j - 2, k), s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j - 2, k),
+                                    s.at(i, j - 1, k),
+                                    s.at(i, j, k),
+                                    s.at(i, j + 1, k),
+                                )
                             };
                             let fyp = {
                                 let vel = half * (vv.at(i, j, k - 1) + vv.at(i, j, k));
-                                limited_flux(lim, vel, s.at(i, j - 1, k), s.at(i, j, k), s.at(i, j + 1, k), s.at(i, j + 2, k))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j - 1, k),
+                                    s.at(i, j, k),
+                                    s.at(i, j + 1, k),
+                                    s.at(i, j + 2, k),
+                                )
                             };
                             let fzm = {
                                 let vel = half * (ww.at(i, j, k - 1) + ww.at(i, j, k));
-                                limited_flux(lim, vel, s.at(i, j, k - 2), s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j, k - 2),
+                                    s.at(i, j, k - 1),
+                                    s.at(i, j, k),
+                                    s.at(i, j, k + 1),
+                                )
                             };
                             let fzp = {
                                 let vel = half * (ww.at(i, j, k) + ww.at(i, j, k + 1));
-                                limited_flux(lim, vel, s.at(i, j, k - 1), s.at(i, j, k), s.at(i, j, k + 1), s.at(i, j, k + 2))
+                                limited_flux(
+                                    lim,
+                                    vel,
+                                    s.at(i, j, k - 1),
+                                    s.at(i, j, k),
+                                    s.at(i, j, k + 1),
+                                    s.at(i, j, k + 2),
+                                )
                             };
-                            o.add(i, j, k, -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz));
+                            o.add(
+                                i,
+                                j,
+                                k,
+                                -((fxp - fxm) * inv_dx
+                                    + (fyp - fym) * inv_dy
+                                    + (fzp - fzm) * inv_dz),
+                            );
                         }
                     }
                 }

@@ -149,7 +149,11 @@ pub fn pack_x<R: Real>(
     let n = x_strip_len(dims);
     let cost = KernelCost::streaming(n as u64, 0.0, 1.0, 1.0);
     let launch = Launch::new("pack_x", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
-    let (klo, khi) = if dims.nl == 1 { (0, 1) } else { (-h, dims.nl as isize + h) };
+    let (klo, khi) = if dims.nl == 1 {
+        (0, 1)
+    } else {
+        (-h, dims.nl as isize + h)
+    };
     dev.launch(stream, launch, move |mem| {
         let f = mem.read(field);
         let mut p = mem.write(pack);
@@ -184,7 +188,11 @@ pub fn unpack_x<R: Real>(
     let n = x_strip_len(dims);
     let cost = KernelCost::streaming(n as u64, 0.0, 1.0, 1.0);
     let launch = Launch::new("unpack_x", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
-    let (klo, khi) = if dims.nl == 1 { (0, 1) } else { (-h, dims.nl as isize + h) };
+    let (klo, khi) = if dims.nl == 1 {
+        (0, 1)
+    } else {
+        (-h, dims.nl as isize + h)
+    };
     dev.launch(stream, launch, move |mem| {
         let p = mem.read(pack);
         let mut f = mem.write(field);

@@ -2,7 +2,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::region::launch_cfg;
-use crate::view::{V3, V3Mut};
+use crate::view::{V3SlabMut, V3};
 use numerics::Real;
 use physics::eos;
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
@@ -25,27 +25,34 @@ pub fn eos_linear<R: Real>(
     let cost = KernelCost::streaming(points, 3.0, 4.0, 1.0);
     let c2m_b = geom.c2m;
     let nzi = geom.nz as isize;
-    dev.launch(stream, Launch::new("eos_linear", g, b, cost), move |mem| {
-        let th_r = mem.read(th);
-        let tr_r = mem.read(th_ref);
-        let pr_r = mem.read(p_ref);
-        let c_r = mem.read(c2m_b);
-        let mut p_w = mem.write(p);
-        let thv = V3::new(&th_r, dc);
-        let trv = V3::new(&tr_r, dc);
-        let prv = V3::new(&pr_r, dc);
-        let cv = V3::new(&c_r, dc);
-        let mut pv = V3Mut::new(&mut p_w, dc);
-        for j in -h..dc.ny as isize + h {
-            for k in -h..dc.nl as isize + h {
-                let kk = k.clamp(0, nzi - 1);
-                for i in -h..dc.nx as isize + h {
-                    let v = prv.at(i, j, k) + cv.at(i, j, kk) * (thv.at(i, j, k) - trv.at(i, j, k));
-                    pv.set(i, j, k, v);
+    dev.launch_par(
+        stream,
+        Launch::new("eos_linear", g, b, cost),
+        dc.py(),
+        move |mem, row0, row1| {
+            let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
+            let th_r = mem.read(th);
+            let tr_r = mem.read(th_ref);
+            let pr_r = mem.read(p_ref);
+            let c_r = mem.read(c2m_b);
+            let mut p_s = mem.write_slab(p, dc.slab(sj0, sj1));
+            let thv = V3::new(&th_r, dc);
+            let trv = V3::new(&tr_r, dc);
+            let prv = V3::new(&pr_r, dc);
+            let cv = V3::new(&c_r, dc);
+            let mut pv = V3SlabMut::new(&mut p_s, dc, sj0);
+            for j in sj0..sj1 {
+                for k in -h..dc.nl as isize + h {
+                    let kk = k.clamp(0, nzi - 1);
+                    for i in -h..dc.nx as isize + h {
+                        let v =
+                            prv.at(i, j, k) + cv.at(i, j, kk) * (thv.at(i, j, k) - trv.at(i, j, k));
+                        pv.set(i, j, k, v);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Full nonlinear EOS `p = p00 (Rd Θ/(G p00))^(cp/cv)` over the padded
@@ -65,20 +72,31 @@ pub fn eos_full<R: Real>(
     let (g, b) = launch_cfg(dc.px() as u64, dc.pl() as u64);
     let cost = KernelCost::streaming(points, 14.0, 2.0, 1.0).with_transcendental(0.7);
     let g2 = geom.g;
-    dev.launch(stream, Launch::new(name, g, b, cost), move |mem| {
-        let th_r = mem.read(th);
-        let g_r = mem.read(g2);
-        let mut p_w = mem.write(p);
-        let thv = V3::new(&th_r, dc);
-        let gv = V3::new(&g_r, dp);
-        let mut pv = V3Mut::new(&mut p_w, dc);
-        for j in -h..dc.ny as isize + h {
-            for i in -h..dc.nx as isize + h {
-                let inv_g = R::ONE / gv.at(i, j, 0);
-                for k in -h..dc.nl as isize + h {
-                    pv.set(i, j, k, eos::pressure_from_rho_theta(thv.at(i, j, k) * inv_g));
+    dev.launch_par(
+        stream,
+        Launch::new(name, g, b, cost),
+        dc.py(),
+        move |mem, row0, row1| {
+            let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
+            let th_r = mem.read(th);
+            let g_r = mem.read(g2);
+            let mut p_s = mem.write_slab(p, dc.slab(sj0, sj1));
+            let thv = V3::new(&th_r, dc);
+            let gv = V3::new(&g_r, dp);
+            let mut pv = V3SlabMut::new(&mut p_s, dc, sj0);
+            for j in sj0..sj1 {
+                for i in -h..dc.nx as isize + h {
+                    let inv_g = R::ONE / gv.at(i, j, 0);
+                    for k in -h..dc.nl as isize + h {
+                        pv.set(
+                            i,
+                            j,
+                            k,
+                            eos::pressure_from_rho_theta(thv.at(i, j, k) * inv_g),
+                        );
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }

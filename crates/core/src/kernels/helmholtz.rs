@@ -16,7 +16,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::region::{KName, Region};
-use crate::view::{V3, V3Mut};
+use crate::view::{V3SlabMut, V3};
 use numerics::Real;
 use physics::consts::GRAV;
 use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId};
@@ -85,146 +85,159 @@ pub fn helmholtz<R: Real>(
     let sx2 = geom.dzsdx_u;
     let sy2 = geom.dzsdy_v;
     let (th_c_b, th_w_b, c2m_b, rbw_b) = (geom.th_c, geom.th_w, geom.c2m, geom.rbw);
-    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
-        let u_r = mem.read(args.u);
-        let v_r = mem.read(args.v);
-        let rho_r = mem.read(args.rho);
-        let th_r = mem.read(args.th);
-        let p_r = mem.read(args.p);
-        let fw_r = mem.read(args.fu_w);
-        let frho_r = mem.read(args.frho);
-        let fth_r = mem.read(args.fth);
-        let thref_r = mem.read(args.th_ref);
-        let pref_r = mem.read(args.p_ref);
-        let g_r = mem.read(g2);
-        let sx_r = mem.read(sx2);
-        let sy_r = mem.read(sy2);
-        let thc_r = mem.read(th_c_b);
-        let thw_r = mem.read(th_w_b);
-        let c2m_r = mem.read(c2m_b);
-        let rbw_r = mem.read(rbw_b);
-        let mut w_w = mem.write(args.w);
-        let mut strho_w = mem.write(args.st_rho);
-        let mut stth_w = mem.write(args.st_th);
+    dev.launch_par(
+        stream,
+        Launch::new(kn.get(region), gd, bd, cost),
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let u_r = mem.read(args.u);
+            let v_r = mem.read(args.v);
+            let rho_r = mem.read(args.rho);
+            let th_r = mem.read(args.th);
+            let p_r = mem.read(args.p);
+            let fw_r = mem.read(args.fu_w);
+            let frho_r = mem.read(args.frho);
+            let fth_r = mem.read(args.fth);
+            let thref_r = mem.read(args.th_ref);
+            let pref_r = mem.read(args.p_ref);
+            let g_r = mem.read(g2);
+            let sx_r = mem.read(sx2);
+            let sy_r = mem.read(sy2);
+            let thc_r = mem.read(th_c_b);
+            let thw_r = mem.read(th_w_b);
+            let c2m_r = mem.read(c2m_b);
+            let rbw_r = mem.read(rbw_b);
+            // This kernel reads and writes w / scratch, but only within the
+            // current column, so per-slab mutable views are race-free.
+            let mut w_s = mem.write_slab(args.w, dw.slab(sj0, sj1));
+            let mut strho_s = mem.write_slab(args.st_rho, dc.slab(sj0, sj1));
+            let mut stth_s = mem.write_slab(args.st_th, dc.slab(sj0, sj1));
 
-        let uv = V3::new(&u_r, dc);
-        let vv = V3::new(&v_r, dc);
-        let rhov = V3::new(&rho_r, dc);
-        let thv = V3::new(&th_r, dc);
-        let pv = V3::new(&p_r, dc);
-        let fwv = V3::new(&fw_r, dw);
-        let frhov = V3::new(&frho_r, dc);
-        let fthv = V3::new(&fth_r, dc);
-        let threfv = V3::new(&thref_r, dc);
-        let prefv = V3::new(&pref_r, dc);
-        let gv = V3::new(&g_r, dp);
-        let sxv = V3::new(&sx_r, dp);
-        let syv = V3::new(&sy_r, dp);
-        let thcv = V3::new(&thc_r, dc);
-        let thwv = V3::new(&thw_r, dw);
-        let c2mv = V3::new(&c2m_r, dc);
-        let rbwv = V3::new(&rbw_r, dw);
-        let mut wv = V3Mut::new(&mut w_w, dw);
-        let mut strho = V3Mut::new(&mut strho_w, dc);
-        let mut stth = V3Mut::new(&mut stth_w, dc);
+            let uv = V3::new(&u_r, dc);
+            let vv = V3::new(&v_r, dc);
+            let rhov = V3::new(&rho_r, dc);
+            let thv = V3::new(&th_r, dc);
+            let pv = V3::new(&p_r, dc);
+            let fwv = V3::new(&fw_r, dw);
+            let frhov = V3::new(&frho_r, dc);
+            let fthv = V3::new(&fth_r, dc);
+            let threfv = V3::new(&thref_r, dc);
+            let prefv = V3::new(&pref_r, dc);
+            let gv = V3::new(&g_r, dp);
+            let sxv = V3::new(&sx_r, dp);
+            let syv = V3::new(&sy_r, dp);
+            let thcv = V3::new(&thc_r, dc);
+            let thwv = V3::new(&thw_r, dw);
+            let c2mv = V3::new(&c2m_r, dc);
+            let rbwv = V3::new(&rbw_r, dw);
+            let mut wv = V3SlabMut::new(&mut w_s, dw, sj0);
+            let mut strho = V3SlabMut::new(&mut strho_s, dc, sj0);
+            let mut stth = V3SlabMut::new(&mut stth_s, dc, sj0);
 
-        // Column work vectors (the per-thread register/local arrays of
-        // the CUDA kernel).
-        let mut a = vec![R::ZERO; nz];
-        let mut b = vec![R::ZERO; nz];
-        let mut c = vec![R::ZERO; nz];
-        let mut d = vec![R::ZERO; nz];
-        let mut scr = vec![R::ZERO; nz];
-        let mut p_st = vec![R::ZERO; nz];
+            // Column work vectors (the per-thread register/local arrays of
+            // the CUDA kernel), one set per worker.
+            let mut a = vec![R::ZERO; nz];
+            let mut b = vec![R::ZERO; nz];
+            let mut c = vec![R::ZERO; nz];
+            let mut d = vec![R::ZERO; nz];
+            let mut scr = vec![R::ZERO; nz];
+            let mut p_st = vec![R::ZERO; nz];
 
-        for r in &rects {
-            for j in r.j0..r.j1 {
-                for i in r.i0..r.i1 {
-                    let gm = gv.at(i, j, 0);
-                    let inv_gdz = one / (gm * dz);
+            for r in &rects {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    for i in r.i0..r.i1 {
+                        let gm = gv.at(i, j, 0);
+                        let inv_gdz = one / (gm * dz);
 
-                    let w_surf = if flat {
-                        R::ZERO
-                    } else {
-                        let rho0 = rhov.at(i, j, 0);
-                        let uspec = half * (uv.at(i - 1, j, 0) + uv.at(i, j, 0)) / rho0;
-                        let vspec = half * (vv.at(i, j - 1, 0) + vv.at(i, j, 0)) / rho0;
-                        let slopex = half * (sxv.at(i - 1, j, 0) + sxv.at(i, j, 0));
-                        let slopey = half * (syv.at(i, j - 1, 0) + syv.at(i, j, 0));
-                        rho0 * (uspec * slopex + vspec * slopey)
-                    };
+                        let w_surf = if flat {
+                            R::ZERO
+                        } else {
+                            let rho0 = rhov.at(i, j, 0);
+                            let uspec = half * (uv.at(i - 1, j, 0) + uv.at(i, j, 0)) / rho0;
+                            let vspec = half * (vv.at(i, j - 1, 0) + vv.at(i, j, 0)) / rho0;
+                            let slopex = half * (sxv.at(i - 1, j, 0) + sxv.at(i, j, 0));
+                            let slopey = half * (syv.at(i, j - 1, 0) + syv.at(i, j, 0));
+                            rho0 * (uspec * slopex + vspec * slopey)
+                        };
 
-                    // Explicit star parts per center.
-                    for kc in 0..nz {
-                        let k = kc as isize;
-                        let dh_rho = (uv.at(i, j, k) - uv.at(i - 1, j, k)) * inv_dx
-                            + (vv.at(i, j, k) - vv.at(i, j - 1, k)) * inv_dy;
-                        let thu_p = half * (thcv.at(i, j, k) + thcv.at(i + 1, j, k));
-                        let thu_m = half * (thcv.at(i - 1, j, k) + thcv.at(i, j, k));
-                        let thv_p = half * (thcv.at(i, j, k) + thcv.at(i, j + 1, k));
-                        let thv_m = half * (thcv.at(i, j - 1, k) + thcv.at(i, j, k));
-                        let dh_th = (thu_p * uv.at(i, j, k) - thu_m * uv.at(i - 1, j, k)) * inv_dx
-                            + (thv_p * vv.at(i, j, k) - thv_m * vv.at(i, j - 1, k)) * inv_dy;
-                        let dwz_old = (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_gdz;
-                        let dthwz_old = (thwv.at(i, j, k + 1) * wv.at(i, j, k + 1)
-                            - thwv.at(i, j, k) * wv.at(i, j, k))
-                            * inv_gdz;
-                        let rho_st = rhov.at(i, j, k)
-                            + dt * (frhov.at(i, j, k) - dh_rho - (one - bt) * dwz_old);
-                        let th_st = thv.at(i, j, k)
-                            + dt * (fthv.at(i, j, k) - dh_th - (one - bt) * dthwz_old);
-                        strho.set(i, j, k, rho_st);
-                        stth.set(i, j, k, th_st);
-                        p_st[kc] = prefv.at(i, j, k)
-                            + c2mv.at(i, j, k) * (th_st - threfv.at(i, j, k));
-                    }
+                        // Explicit star parts per center.
+                        #[allow(clippy::needless_range_loop)]
+                        for kc in 0..nz {
+                            let k = kc as isize;
+                            let dh_rho = (uv.at(i, j, k) - uv.at(i - 1, j, k)) * inv_dx
+                                + (vv.at(i, j, k) - vv.at(i, j - 1, k)) * inv_dy;
+                            let thu_p = half * (thcv.at(i, j, k) + thcv.at(i + 1, j, k));
+                            let thu_m = half * (thcv.at(i - 1, j, k) + thcv.at(i, j, k));
+                            let thv_p = half * (thcv.at(i, j, k) + thcv.at(i, j + 1, k));
+                            let thv_m = half * (thcv.at(i, j - 1, k) + thcv.at(i, j, k));
+                            let dh_th = (thu_p * uv.at(i, j, k) - thu_m * uv.at(i - 1, j, k))
+                                * inv_dx
+                                + (thv_p * vv.at(i, j, k) - thv_m * vv.at(i, j - 1, k)) * inv_dy;
+                            let dwz_old = (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_gdz;
+                            let dthwz_old = (thwv.at(i, j, k + 1) * wv.at(i, j, k + 1)
+                                - thwv.at(i, j, k) * wv.at(i, j, k))
+                                * inv_gdz;
+                            let rho_st = rhov.at(i, j, k)
+                                + dt * (frhov.at(i, j, k) - dh_rho - (one - bt) * dwz_old);
+                            let th_st = thv.at(i, j, k)
+                                + dt * (fthv.at(i, j, k) - dh_th - (one - bt) * dthwz_old);
+                            strho.set(i, j, k, rho_st);
+                            stth.set(i, j, k, th_st);
+                            p_st[kc] =
+                                prefv.at(i, j, k) + c2mv.at(i, j, k) * (th_st - threfv.at(i, j, k));
+                        }
 
-                    // Tridiagonal rows for interior w levels.
-                    let tb2 = (dt * bt) * (dt * bt);
-                    for kw in 1..nz {
-                        let row = kw - 1;
-                        let k = kw as isize;
-                        let c2m_lo = c2mv.at(i, j, k - 1);
-                        let c2m_hi = c2mv.at(i, j, k);
-                        let thw_m = thwv.at(i, j, k - 1);
-                        let thw_0 = thwv.at(i, j, k);
-                        let thw_p = thwv.at(i, j, k + 1);
-                        a[row] = -tb2 / gm * (c2m_lo * thw_m / (dz * dz) - grav / (R::TWO * dz));
-                        b[row] = one + tb2 / (gm * dz * dz) * thw_0 * (c2m_hi + c2m_lo);
-                        c[row] = -tb2 / gm * (c2m_hi * thw_p / (dz * dz) + grav / (R::TWO * dz));
-                        let p_old_grad = (pv.at(i, j, k) - pv.at(i, j, k - 1)) / dz;
-                        let buoy_old = grav
-                            * (half * (rhov.at(i, j, k - 1) + rhov.at(i, j, k)) - rbwv.at(i, j, k));
-                        let p_st_grad = (p_st[kw] - p_st[kw - 1]) / dz;
-                        let buoy_st = grav
-                            * (half * (strho.at(i, j, k - 1) + strho.at(i, j, k)) - rbwv.at(i, j, k));
-                        d[row] = wv.at(i, j, k)
-                            + dt * fwv.at(i, j, k)
-                            - dt * (one - bt) * (p_old_grad + buoy_old)
-                            - dt * bt * (p_st_grad + buoy_st);
-                    }
-                    if nz >= 2 {
-                        let a0 = a[0];
-                        d[0] -= a0 * w_surf;
-                        a[0] = R::ZERO;
-                        c[nz - 2] = R::ZERO;
-                    }
-                    numerics::tridiag::solve_in_place(
-                        &a[..nz - 1],
-                        &b[..nz - 1],
-                        &c[..nz - 1],
-                        &mut d[..nz - 1],
-                        &mut scr[..nz - 1],
-                    );
-                    wv.set(i, j, 0, w_surf);
-                    wv.set(i, j, nz as isize, R::ZERO);
-                    for kw in 1..nz {
-                        wv.set(i, j, kw as isize, d[kw - 1]);
+                        // Tridiagonal rows for interior w levels.
+                        let tb2 = (dt * bt) * (dt * bt);
+                        for kw in 1..nz {
+                            let row = kw - 1;
+                            let k = kw as isize;
+                            let c2m_lo = c2mv.at(i, j, k - 1);
+                            let c2m_hi = c2mv.at(i, j, k);
+                            let thw_m = thwv.at(i, j, k - 1);
+                            let thw_0 = thwv.at(i, j, k);
+                            let thw_p = thwv.at(i, j, k + 1);
+                            a[row] =
+                                -tb2 / gm * (c2m_lo * thw_m / (dz * dz) - grav / (R::TWO * dz));
+                            b[row] = one + tb2 / (gm * dz * dz) * thw_0 * (c2m_hi + c2m_lo);
+                            c[row] =
+                                -tb2 / gm * (c2m_hi * thw_p / (dz * dz) + grav / (R::TWO * dz));
+                            let p_old_grad = (pv.at(i, j, k) - pv.at(i, j, k - 1)) / dz;
+                            let buoy_old = grav
+                                * (half * (rhov.at(i, j, k - 1) + rhov.at(i, j, k))
+                                    - rbwv.at(i, j, k));
+                            let p_st_grad = (p_st[kw] - p_st[kw - 1]) / dz;
+                            let buoy_st = grav
+                                * (half * (strho.at(i, j, k - 1) + strho.at(i, j, k))
+                                    - rbwv.at(i, j, k));
+                            d[row] = wv.at(i, j, k) + dt * fwv.at(i, j, k)
+                                - dt * (one - bt) * (p_old_grad + buoy_old)
+                                - dt * bt * (p_st_grad + buoy_st);
+                        }
+                        if nz >= 2 {
+                            let a0 = a[0];
+                            d[0] -= a0 * w_surf;
+                            a[0] = R::ZERO;
+                            c[nz - 2] = R::ZERO;
+                        }
+                        numerics::tridiag::solve_in_place(
+                            &a[..nz - 1],
+                            &b[..nz - 1],
+                            &c[..nz - 1],
+                            &mut d[..nz - 1],
+                            &mut scr[..nz - 1],
+                        );
+                        wv.set(i, j, 0, w_surf);
+                        wv.set(i, j, nz as isize, R::ZERO);
+                        for kw in 1..nz {
+                            wv.set(i, j, kw as isize, d[kw - 1]);
+                        }
                     }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Back-substitute the new density:
@@ -255,27 +268,33 @@ pub fn density<R: Real>(
     let dz = R::from_f64(geom.dz);
     let fac = R::from_f64(dtau * beta);
     let nzi = nz as isize;
-    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
-        let st_r = mem.read(st_rho);
-        let w_r = mem.read(w);
-        let g_r = mem.read(g2);
-        let mut rho_w = mem.write(rho);
-        let st = V3::new(&st_r, dc);
-        let wv = V3::new(&w_r, dw);
-        let gv = V3::new(&g_r, dp);
-        let mut rv = V3Mut::new(&mut rho_w, dc);
-        for r in &rects {
-            for j in r.j0..r.j1 {
-                for k in 0..nzi {
-                    for i in r.i0..r.i1 {
-                        let inv_gdz = R::ONE / (gv.at(i, j, 0) * dz);
-                        let dwz = (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_gdz;
-                        rv.set(i, j, k, st.at(i, j, k) - fac * dwz);
+    dev.launch_par(
+        stream,
+        Launch::new(kn.get(region), gd, bd, cost),
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let st_r = mem.read(st_rho);
+            let w_r = mem.read(w);
+            let g_r = mem.read(g2);
+            let mut rho_s = mem.write_slab(rho, dc.slab(sj0, sj1));
+            let st = V3::new(&st_r, dc);
+            let wv = V3::new(&w_r, dw);
+            let gv = V3::new(&g_r, dp);
+            let mut rv = V3SlabMut::new(&mut rho_s, dc, sj0);
+            for r in &rects {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    for k in 0..nzi {
+                        for i in r.i0..r.i1 {
+                            let inv_gdz = R::ONE / (gv.at(i, j, 0) * dz);
+                            let dwz = (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_gdz;
+                            rv.set(i, j, k, st.at(i, j, k) - fac * dwz);
+                        }
                     }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Back-substitute the new potential temperature:
@@ -308,29 +327,35 @@ pub fn potential_temperature<R: Real>(
     let dz = R::from_f64(geom.dz);
     let fac = R::from_f64(dtau * beta);
     let nzi = nz as isize;
-    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
-        let st_r = mem.read(st_th);
-        let w_r = mem.read(w);
-        let g_r = mem.read(g2);
-        let thw_r = mem.read(thw_b);
-        let mut th_w2 = mem.write(th);
-        let st = V3::new(&st_r, dc);
-        let wv = V3::new(&w_r, dw);
-        let gv = V3::new(&g_r, dp);
-        let thwv = V3::new(&thw_r, dw);
-        let mut tv = V3Mut::new(&mut th_w2, dc);
-        for r in &rects {
-            for j in r.j0..r.j1 {
-                for k in 0..nzi {
-                    for i in r.i0..r.i1 {
-                        let inv_gdz = R::ONE / (gv.at(i, j, 0) * dz);
-                        let dthwz = (thwv.at(i, j, k + 1) * wv.at(i, j, k + 1)
-                            - thwv.at(i, j, k) * wv.at(i, j, k))
-                            * inv_gdz;
-                        tv.set(i, j, k, st.at(i, j, k) - fac * dthwz);
+    dev.launch_par(
+        stream,
+        Launch::new(kn.get(region), gd, bd, cost),
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let st_r = mem.read(st_th);
+            let w_r = mem.read(w);
+            let g_r = mem.read(g2);
+            let thw_r = mem.read(thw_b);
+            let mut th_s = mem.write_slab(th, dc.slab(sj0, sj1));
+            let st = V3::new(&st_r, dc);
+            let wv = V3::new(&w_r, dw);
+            let gv = V3::new(&g_r, dp);
+            let thwv = V3::new(&thw_r, dw);
+            let mut tv = V3SlabMut::new(&mut th_s, dc, sj0);
+            for r in &rects {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    for k in 0..nzi {
+                        for i in r.i0..r.i1 {
+                            let inv_gdz = R::ONE / (gv.at(i, j, 0) * dz);
+                            let dthwz = (thwv.at(i, j, k + 1) * wv.at(i, j, k + 1)
+                                - thwv.at(i, j, k) * wv.at(i, j, k))
+                                * inv_gdz;
+                            tv.set(i, j, k, st.at(i, j, k) - fac * dthwz);
+                        }
                     }
                 }
             }
-        }
-    });
+        },
+    );
 }

@@ -6,7 +6,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::region::{launch_cfg_region, KName, Region};
-use crate::view::{V3, V3Mut};
+use crate::view::{V3SlabMut, V3};
 use numerics::Real;
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
 
@@ -36,26 +36,32 @@ pub fn momentum_x<R: Real>(
     let dt = R::from_f64(dtau);
     let gub = geom.g_u;
     let nzi = nz as isize;
-    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
-        let p_r = mem.read(p);
-        let f_r = mem.read(fu);
-        let g_r = mem.read(gub);
-        let mut u_w = mem.write(u);
-        let pv = V3::new(&p_r, dc);
-        let fv = V3::new(&f_r, dc);
-        let gv = V3::new(&g_r, dp);
-        let mut uv = V3Mut::new(&mut u_w, dc);
-        for r in &rects {
-            for j in r.j0..r.j1 {
-                for k in 0..nzi {
-                    for i in r.i0..r.i1 {
-                        let dpdx = (pv.at(i + 1, j, k) - pv.at(i, j, k)) * inv_dx;
-                        uv.add(i, j, k, dt * (-gv.at(i, j, 0) * dpdx + fv.at(i, j, k)));
+    dev.launch_par(
+        stream,
+        Launch::new(kn.get(region), gd, bd, cost),
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let p_r = mem.read(p);
+            let f_r = mem.read(fu);
+            let g_r = mem.read(gub);
+            let mut u_s = mem.write_slab(u, dc.slab(sj0, sj1));
+            let pv = V3::new(&p_r, dc);
+            let fv = V3::new(&f_r, dc);
+            let gv = V3::new(&g_r, dp);
+            let mut uv = V3SlabMut::new(&mut u_s, dc, sj0);
+            for r in &rects {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    for k in 0..nzi {
+                        for i in r.i0..r.i1 {
+                            let dpdx = (pv.at(i + 1, j, k) - pv.at(i, j, k)) * inv_dx;
+                            uv.add(i, j, k, dt * (-gv.at(i, j, 0) * dpdx + fv.at(i, j, k)));
+                        }
                     }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// `V += Δτ (−G_v ∂y p + F_V)` over `region`.
@@ -84,24 +90,30 @@ pub fn momentum_y<R: Real>(
     let dt = R::from_f64(dtau);
     let gvb = geom.g_v;
     let nzi = nz as isize;
-    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
-        let p_r = mem.read(p);
-        let f_r = mem.read(fv_t);
-        let g_r = mem.read(gvb);
-        let mut v_w = mem.write(v);
-        let pv = V3::new(&p_r, dc);
-        let fv = V3::new(&f_r, dc);
-        let gv = V3::new(&g_r, dp);
-        let mut vv = V3Mut::new(&mut v_w, dc);
-        for r in &rects {
-            for j in r.j0..r.j1 {
-                for k in 0..nzi {
-                    for i in r.i0..r.i1 {
-                        let dpdy = (pv.at(i, j + 1, k) - pv.at(i, j, k)) * inv_dy;
-                        vv.add(i, j, k, dt * (-gv.at(i, j, 0) * dpdy + fv.at(i, j, k)));
+    dev.launch_par(
+        stream,
+        Launch::new(kn.get(region), gd, bd, cost),
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let p_r = mem.read(p);
+            let f_r = mem.read(fv_t);
+            let g_r = mem.read(gvb);
+            let mut v_s = mem.write_slab(v, dc.slab(sj0, sj1));
+            let pv = V3::new(&p_r, dc);
+            let fv = V3::new(&f_r, dc);
+            let gv = V3::new(&g_r, dp);
+            let mut vv = V3SlabMut::new(&mut v_s, dc, sj0);
+            for r in &rects {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    for k in 0..nzi {
+                        for i in r.i0..r.i1 {
+                            let dpdy = (pv.at(i, j + 1, k) - pv.at(i, j, k)) * inv_dy;
+                            vv.add(i, j, k, dt * (-gv.at(i, j, 0) * dpdy + fv.at(i, j, k)));
+                        }
                     }
                 }
             }
-        }
-    });
+        },
+    );
 }

@@ -5,7 +5,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::region::launch_cfg;
-use crate::view::{V3, V3Mut};
+use crate::view::{V3SlabMut, V3};
 use numerics::Real;
 use physics::eos;
 use physics::kessler::{self, PointState};
@@ -34,50 +34,63 @@ pub fn warm_rain<R: Real>(
     let g2 = geom.g;
     let dtr = R::from_f64(dt);
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
-    dev.launch(stream, Launch::new("warm_rain", g, b, cost), move |mem| {
-        let g_r = mem.read(g2);
-        let p_r = mem.read(p);
-        let mut rho_w = mem.write(rho);
-        let mut th_w = mem.write(th);
-        let mut qv_w = mem.write(qv);
-        let mut qc_w = mem.write(qc);
-        let mut qr_w = mem.write(qr);
-        let gv = V3::new(&g_r, dp2);
-        let pv = V3::new(&p_r, dc);
-        let rhov = V3Mut::new(&mut rho_w, dc);
-        let mut thv = V3Mut::new(&mut th_w, dc);
-        let mut qvv = V3Mut::new(&mut qv_w, dc);
-        let mut qcv = V3Mut::new(&mut qc_w, dc);
-        let mut qrv = V3Mut::new(&mut qr_w, dc);
-        for j in 0..ny {
-            for i in 0..nx {
-                let gm = gv.at(i, j, 0);
-                for k in 0..nz {
-                    let rho_star = rhov.at(i, j, k);
-                    let rho_phys = rho_star / gm;
-                    let qv_s = qvv.at(i, j, k) / rho_star;
-                    let qc_s = qcv.at(i, j, k) / rho_star;
-                    let qr_s = qrv.at(i, j, k) / rho_star;
-                    let pp = pv.at(i, j, k);
-                    let pi = eos::exner(pp);
-                    let fac = eos::theta_m_factor(qv_s, qc_s, qr_s);
-                    let theta = thv.at(i, j, k) / (rho_star * fac);
-                    let out = kessler::step_point(
-                        pp,
-                        pi,
-                        rho_phys,
-                        dtr,
-                        PointState { theta, qv: qv_s, qc: qc_s, qr: qr_s },
-                    );
-                    let fac_new = eos::theta_m_factor(out.qv, out.qc, out.qr);
-                    thv.set(i, j, k, rho_star * out.theta * fac_new);
-                    qvv.set(i, j, k, rho_star * out.qv);
-                    qcv.set(i, j, k, rho_star * out.qc);
-                    qrv.set(i, j, k, rho_star * out.qr);
+    dev.launch_par(
+        stream,
+        Launch::new("warm_rain", g, b, cost),
+        ny as usize,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let g_r = mem.read(g2);
+            let p_r = mem.read(p);
+            // rho is read-only in this kernel (the original whole-buffer
+            // write borrow never mutated it).
+            let rho_r = mem.read(rho);
+            let mut th_s = mem.write_slab(th, dc.slab(sj0, sj1));
+            let mut qv_s = mem.write_slab(qv, dc.slab(sj0, sj1));
+            let mut qc_s = mem.write_slab(qc, dc.slab(sj0, sj1));
+            let mut qr_s_g = mem.write_slab(qr, dc.slab(sj0, sj1));
+            let gv = V3::new(&g_r, dp2);
+            let pv = V3::new(&p_r, dc);
+            let rhov = V3::new(&rho_r, dc);
+            let mut thv = V3SlabMut::new(&mut th_s, dc, sj0);
+            let mut qvv = V3SlabMut::new(&mut qv_s, dc, sj0);
+            let mut qcv = V3SlabMut::new(&mut qc_s, dc, sj0);
+            let mut qrv = V3SlabMut::new(&mut qr_s_g, dc, sj0);
+            for j in sj0..sj1 {
+                for i in 0..nx {
+                    let gm = gv.at(i, j, 0);
+                    for k in 0..nz {
+                        let rho_star = rhov.at(i, j, k);
+                        let rho_phys = rho_star / gm;
+                        let qv_s = qvv.at(i, j, k) / rho_star;
+                        let qc_s = qcv.at(i, j, k) / rho_star;
+                        let qr_s = qrv.at(i, j, k) / rho_star;
+                        let pp = pv.at(i, j, k);
+                        let pi = eos::exner(pp);
+                        let fac = eos::theta_m_factor(qv_s, qc_s, qr_s);
+                        let theta = thv.at(i, j, k) / (rho_star * fac);
+                        let out = kessler::step_point(
+                            pp,
+                            pi,
+                            rho_phys,
+                            dtr,
+                            PointState {
+                                theta,
+                                qv: qv_s,
+                                qc: qc_s,
+                                qr: qr_s,
+                            },
+                        );
+                        let fac_new = eos::theta_m_factor(out.qv, out.qc, out.qr);
+                        thv.set(i, j, k, rho_star * out.theta * fac_new);
+                        qvv.set(i, j, k, rho_star * out.qv);
+                        qcv.set(i, j, k, rho_star * out.qc);
+                        qrv.set(i, j, k, rho_star * out.qr);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Rain sedimentation: upwind fall of qr with the Kessler terminal
@@ -103,42 +116,48 @@ pub fn sediment<R: Real>(
     let dz = R::from_f64(geom.dz);
     let (nx, ny) = (geom.nx as isize, geom.ny as isize);
     let nz = geom.nz;
-    dev.launch(stream, Launch::new("precipitation", g, b, cost), move |mem| {
-        let g_r = mem.read(g2);
-        let mut rho_w = mem.write(rho);
-        let mut qr_w = mem.write(qr);
-        let mut pr_w = mem.write(precip);
-        let gv = V3::new(&g_r, dpl);
-        let mut rhov = V3Mut::new(&mut rho_w, dc);
-        let mut qrv = V3Mut::new(&mut qr_w, dc);
-        let mut prv = V3Mut::new(&mut pr_w, dpl);
-        let inv_dz = R::ONE / dz;
-        let mut flux = vec![R::ZERO; nz + 1];
-        for j in 0..ny {
-            for i in 0..nx {
-                let gm = gv.at(i, j, 0);
-                let rho_sfc = rhov.at(i, j, 0) / gm;
-                for (kc, f) in flux.iter_mut().enumerate().take(nz) {
-                    let k = kc as isize;
-                    let rho_phys = rhov.at(i, j, k) / gm;
-                    let qr_s = (qrv.at(i, j, k) / rhov.at(i, j, k)).max(R::ZERO);
-                    let vt = kessler::terminal_velocity(rho_phys, qr_s, rho_sfc);
-                    let max_flux = qrv.at(i, j, k) * dz / dtr;
-                    *f = (rho_phys * qr_s * vt).min(max_flux.max(R::ZERO));
+    dev.launch_par(
+        stream,
+        Launch::new("precipitation", g, b, cost),
+        ny as usize,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let g_r = mem.read(g2);
+            let mut rho_s = mem.write_slab(rho, dc.slab(sj0, sj1));
+            let mut qr_s = mem.write_slab(qr, dc.slab(sj0, sj1));
+            let mut pr_s = mem.write_slab(precip, dpl.slab(sj0, sj1));
+            let gv = V3::new(&g_r, dpl);
+            let mut rhov = V3SlabMut::new(&mut rho_s, dc, sj0);
+            let mut qrv = V3SlabMut::new(&mut qr_s, dc, sj0);
+            let mut prv = V3SlabMut::new(&mut pr_s, dpl, sj0);
+            let inv_dz = R::ONE / dz;
+            let mut flux = vec![R::ZERO; nz + 1];
+            for j in sj0..sj1 {
+                for i in 0..nx {
+                    let gm = gv.at(i, j, 0);
+                    let rho_sfc = rhov.at(i, j, 0) / gm;
+                    for (kc, f) in flux.iter_mut().enumerate().take(nz) {
+                        let k = kc as isize;
+                        let rho_phys = rhov.at(i, j, k) / gm;
+                        let qr_s = (qrv.at(i, j, k) / rhov.at(i, j, k)).max(R::ZERO);
+                        let vt = kessler::terminal_velocity(rho_phys, qr_s, rho_sfc);
+                        let max_flux = qrv.at(i, j, k) * dz / dtr;
+                        *f = (rho_phys * qr_s * vt).min(max_flux.max(R::ZERO));
+                    }
+                    flux[nz] = R::ZERO;
+                    for kc in 0..nz {
+                        let k = kc as isize;
+                        let f_bottom = flux[kc];
+                        let f_top = flux[kc + 1];
+                        let dq = dtr * (f_top - f_bottom) * inv_dz;
+                        qrv.add(i, j, k, dq);
+                        rhov.add(i, j, k, dq);
+                    }
+                    prv.add(i, j, 0, dtr * flux[0]);
                 }
-                flux[nz] = R::ZERO;
-                for kc in 0..nz {
-                    let k = kc as isize;
-                    let f_bottom = flux[kc];
-                    let f_top = flux[kc + 1];
-                    let dq = dtr * (f_top - f_bottom) * inv_dz;
-                    qrv.add(i, j, k, dq);
-                    rhov.add(i, j, k, dq);
-                }
-                prv.add(i, j, 0, dtr * flux[0]);
             }
-        }
-    });
+        },
+    );
 }
 
 /// Rayleigh sponge: damp w and the Θ deviation above `z_bottom`
@@ -174,34 +193,42 @@ pub fn rayleigh<R: Real>(
     let damp_w: Vec<R> = dw64.iter().map(|&v| R::from_f64(v)).collect();
     let damp_c: Vec<R> = dc64.iter().map(|&v| R::from_f64(v)).collect();
     let th_b = geom.th_c;
-    dev.launch(stream, Launch::new("rayleigh_sponge", g, b, cost), move |mem| {
-        let rho_r = mem.read(rho);
-        let thb_r = mem.read(th_b);
-        let mut w_w = mem.write(w);
-        let mut th_w2 = mem.write(th);
-        let rhov = V3::new(&rho_r, dc);
-        let thbv = V3::new(&thb_r, dc);
-        let mut wv = V3Mut::new(&mut w_w, dw);
-        let mut thv = V3Mut::new(&mut th_w2, dc);
-        for j in 0..ny {
-            for i in 0..nx {
-                for k in 1..nz {
-                    let dmp = damp_w[k];
-                    if dmp < R::ONE {
-                        let v = wv.at(i, j, k as isize) * dmp;
-                        wv.set(i, j, k as isize, v);
+    dev.launch_par(
+        stream,
+        Launch::new("rayleigh_sponge", g, b, cost),
+        ny as usize,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let rho_r = mem.read(rho);
+            let thb_r = mem.read(th_b);
+            let mut w_s = mem.write_slab(w, dw.slab(sj0, sj1));
+            let mut th_s = mem.write_slab(th, dc.slab(sj0, sj1));
+            let rhov = V3::new(&rho_r, dc);
+            let thbv = V3::new(&thb_r, dc);
+            let mut wv = V3SlabMut::new(&mut w_s, dw, sj0);
+            let mut thv = V3SlabMut::new(&mut th_s, dc, sj0);
+            for j in sj0..sj1 {
+                for i in 0..nx {
+                    #[allow(clippy::needless_range_loop)]
+                    for k in 1..nz {
+                        let dmp = damp_w[k];
+                        if dmp < R::ONE {
+                            let v = wv.at(i, j, k as isize) * dmp;
+                            wv.set(i, j, k as isize, v);
+                        }
                     }
-                }
-                for k in 0..nz {
-                    let dmp = damp_c[k];
-                    if dmp < R::ONE {
-                        let kk = k as isize;
-                        let th_eq = rhov.at(i, j, kk) * thbv.at(i, j, kk);
-                        let v = th_eq + (thv.at(i, j, kk) - th_eq) * dmp;
-                        thv.set(i, j, kk, v);
+                    #[allow(clippy::needless_range_loop)]
+                    for k in 0..nz {
+                        let dmp = damp_c[k];
+                        if dmp < R::ONE {
+                            let kk = k as isize;
+                            let th_eq = rhov.at(i, j, kk) * thbv.at(i, j, kk);
+                            let v = th_eq + (thv.at(i, j, kk) - th_eq) * dmp;
+                            thv.set(i, j, kk, v);
+                        }
                     }
                 }
             }
-        }
-    });
+        },
+    );
 }

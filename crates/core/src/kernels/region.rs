@@ -42,15 +42,45 @@ impl Region {
     pub fn rects(self, nx: usize, ny: usize, w: usize) -> Vec<Rect> {
         let (nxi, nyi, wi) = (nx as isize, ny as isize, w as isize);
         match self {
-            Region::Whole => vec![Rect { i0: 0, i1: nxi, j0: 0, j1: nyi }],
-            Region::Inner => vec![Rect { i0: wi, i1: nxi - wi, j0: wi, j1: nyi - wi }],
+            Region::Whole => vec![Rect {
+                i0: 0,
+                i1: nxi,
+                j0: 0,
+                j1: nyi,
+            }],
+            Region::Inner => vec![Rect {
+                i0: wi,
+                i1: nxi - wi,
+                j0: wi,
+                j1: nyi - wi,
+            }],
             Region::XBound => vec![
-                Rect { i0: 0, i1: wi, j0: wi, j1: nyi - wi },
-                Rect { i0: nxi - wi, i1: nxi, j0: wi, j1: nyi - wi },
+                Rect {
+                    i0: 0,
+                    i1: wi,
+                    j0: wi,
+                    j1: nyi - wi,
+                },
+                Rect {
+                    i0: nxi - wi,
+                    i1: nxi,
+                    j0: wi,
+                    j1: nyi - wi,
+                },
             ],
             Region::YBound => vec![
-                Rect { i0: 0, i1: nxi, j0: 0, j1: wi },
-                Rect { i0: 0, i1: nxi, j0: nyi - wi, j1: nyi },
+                Rect {
+                    i0: 0,
+                    i1: nxi,
+                    j0: 0,
+                    j1: wi,
+                },
+                Rect {
+                    i0: 0,
+                    i1: nxi,
+                    j0: nyi - wi,
+                    j1: nyi,
+                },
             ],
         }
     }
@@ -116,7 +146,13 @@ pub fn launch_cfg(a: u64, b: u64) -> (Dim3, Dim3) {
 /// Launch config sized for a region of the horizontal plane (threads
 /// over (x, z); fewer threads for boundary slabs — the occupancy loss
 /// the paper measures in Fig. 9).
-pub fn launch_cfg_region(region: Region, nx: usize, ny: usize, nz: usize, w: usize) -> (Dim3, Dim3) {
+pub fn launch_cfg_region(
+    region: Region,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    w: usize,
+) -> (Dim3, Dim3) {
     let area = region.area(nx, ny, w).max(1);
     // Threads span (x-extent, z); approximate the x-extent by area / ny.
     let eff_x = (area / ny.max(1) as u64).max(1);

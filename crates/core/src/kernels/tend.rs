@@ -4,7 +4,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::region::{launch_cfg, launch_cfg_region, KName, Region};
-use crate::view::{V3, V3Mut};
+use crate::view::{V3SlabMut, V3};
 use numerics::Real;
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
 
@@ -30,28 +30,40 @@ pub fn coriolis<R: Real>(
     let f = R::from_f64(fcor);
     let quarter = R::from_f64(0.25);
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
-    dev.launch(stream, Launch::new("coriolis", g, b, cost), move |mem| {
-        let u_r = mem.read(u);
-        let v_r = mem.read(v);
-        let mut fu_w = mem.write(fu);
-        let mut fv_w = mem.write(fv);
-        let uv = V3::new(&u_r, dc);
-        let vv = V3::new(&v_r, dc);
-        let mut fuv = V3Mut::new(&mut fu_w, dc);
-        let mut fvv = V3Mut::new(&mut fv_w, dc);
-        for j in 0..ny {
-            for i in 0..nx {
-                for k in 0..nz {
-                    let v_at_u = quarter
-                        * (vv.at(i, j, k) + vv.at(i + 1, j, k) + vv.at(i, j - 1, k) + vv.at(i + 1, j - 1, k));
-                    fuv.add(i, j, k, f * v_at_u);
-                    let u_at_v = quarter
-                        * (uv.at(i, j, k) + uv.at(i - 1, j, k) + uv.at(i, j + 1, k) + uv.at(i - 1, j + 1, k));
-                    fvv.add(i, j, k, -f * u_at_v);
+    dev.launch_par(
+        stream,
+        Launch::new("coriolis", g, b, cost),
+        ny as usize,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let u_r = mem.read(u);
+            let v_r = mem.read(v);
+            let mut fu_s = mem.write_slab(fu, dc.slab(sj0, sj1));
+            let mut fv_s = mem.write_slab(fv, dc.slab(sj0, sj1));
+            let uv = V3::new(&u_r, dc);
+            let vv = V3::new(&v_r, dc);
+            let mut fuv = V3SlabMut::new(&mut fu_s, dc, sj0);
+            let mut fvv = V3SlabMut::new(&mut fv_s, dc, sj0);
+            for j in sj0..sj1 {
+                for i in 0..nx {
+                    for k in 0..nz {
+                        let v_at_u = quarter
+                            * (vv.at(i, j, k)
+                                + vv.at(i + 1, j, k)
+                                + vv.at(i, j - 1, k)
+                                + vv.at(i + 1, j - 1, k));
+                        fuv.add(i, j, k, f * v_at_u);
+                        let u_at_v = quarter
+                            * (uv.at(i, j, k)
+                                + uv.at(i - 1, j, k)
+                                + uv.at(i, j + 1, k)
+                                + uv.at(i - 1, j + 1, k));
+                        fvv.add(i, j, k, -f * u_at_v);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Metric part of the horizontal pressure gradient over terrain
@@ -76,34 +88,40 @@ pub fn metric_pg<R: Real>(
     let dz = geom.dz;
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
     let half = R::HALF;
-    dev.launch(stream, Launch::new("metric_pg", g, b, cost), move |mem| {
-        let p_r = mem.read(p);
-        let sx_r = mem.read(sx2);
-        let sy_r = mem.read(sy2);
-        let zf_r = mem.read(zf);
-        let mut fu_w = mem.write(fu);
-        let mut fv_w = mem.write(fv);
-        let pv = V3::new(&p_r, dc);
-        let sxv = V3::new(&sx_r, dp);
-        let syv = V3::new(&sy_r, dp);
-        let mut fuv = V3Mut::new(&mut fu_w, dc);
-        let mut fvv = V3Mut::new(&mut fv_w, dc);
-        for j in 0..ny {
-            for i in 0..nx {
-                for k in 0..nz {
-                    let km = (k - 1).max(0);
-                    let kp = (k + 1).min(nz - 1);
-                    let span = R::from_f64(((kp - km).max(1)) as f64 * dz);
-                    let dpdz_i = (pv.at(i, j, kp) - pv.at(i, j, km)) / span;
-                    let dpdz_ip = (pv.at(i + 1, j, kp) - pv.at(i + 1, j, km)) / span;
-                    let fac = zf_r[k as usize];
-                    fuv.add(i, j, k, sxv.at(i, j, 0) * fac * half * (dpdz_i + dpdz_ip));
-                    let dpdz_jp = (pv.at(i, j + 1, kp) - pv.at(i, j + 1, km)) / span;
-                    fvv.add(i, j, k, syv.at(i, j, 0) * fac * half * (dpdz_i + dpdz_jp));
+    dev.launch_par(
+        stream,
+        Launch::new("metric_pg", g, b, cost),
+        ny as usize,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let p_r = mem.read(p);
+            let sx_r = mem.read(sx2);
+            let sy_r = mem.read(sy2);
+            let zf_r = mem.read(zf);
+            let mut fu_s = mem.write_slab(fu, dc.slab(sj0, sj1));
+            let mut fv_s = mem.write_slab(fv, dc.slab(sj0, sj1));
+            let pv = V3::new(&p_r, dc);
+            let sxv = V3::new(&sx_r, dp);
+            let syv = V3::new(&sy_r, dp);
+            let mut fuv = V3SlabMut::new(&mut fu_s, dc, sj0);
+            let mut fvv = V3SlabMut::new(&mut fv_s, dc, sj0);
+            for j in sj0..sj1 {
+                for i in 0..nx {
+                    for k in 0..nz {
+                        let km = (k - 1).max(0);
+                        let kp = (k + 1).min(nz - 1);
+                        let span = R::from_f64(((kp - km).max(1)) as f64 * dz);
+                        let dpdz_i = (pv.at(i, j, kp) - pv.at(i, j, km)) / span;
+                        let dpdz_ip = (pv.at(i + 1, j, kp) - pv.at(i + 1, j, km)) / span;
+                        let fac = zf_r[k as usize];
+                        fuv.add(i, j, k, sxv.at(i, j, 0) * fac * half * (dpdz_i + dpdz_ip));
+                        let dpdz_jp = (pv.at(i, j + 1, kp) - pv.at(i, j + 1, km)) / span;
+                        fvv.add(i, j, k, syv.at(i, j, 0) * fac * half * (dpdz_i + dpdz_jp));
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Add the linear θ̄-weighted divergence to F_Θ
@@ -128,39 +146,46 @@ pub fn add_div_lin_theta<R: Real>(
     let (th_c_b, th_w_b, g2) = (geom.th_c, geom.th_w, geom.g);
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
     let half = R::HALF;
-    dev.launch(stream, Launch::new("div_lin_theta", g, b, cost), move |mem| {
-        let u_r = mem.read(u);
-        let v_r = mem.read(v);
-        let w_r = mem.read(w);
-        let thc_r = mem.read(th_c_b);
-        let thw_r = mem.read(th_w_b);
-        let g_r = mem.read(g2);
-        let mut f_w = mem.write(fth);
-        let uv = V3::new(&u_r, dc);
-        let vv = V3::new(&v_r, dc);
-        let wv = V3::new(&w_r, dw);
-        let thc = V3::new(&thc_r, dc);
-        let thw = V3::new(&thw_r, dw);
-        let gv = V3::new(&g_r, dp);
-        let mut fv = V3Mut::new(&mut f_w, dc);
-        for j in 0..ny {
-            for i in 0..nx {
-                let inv_g = R::ONE / gv.at(i, j, 0);
-                for k in 0..nz {
-                    let thu_p = half * (thc.at(i, j, k) + thc.at(i + 1, j, k));
-                    let thu_m = half * (thc.at(i - 1, j, k) + thc.at(i, j, k));
-                    let thv_p = half * (thc.at(i, j, k) + thc.at(i, j + 1, k));
-                    let thv_m = half * (thc.at(i, j - 1, k) + thc.at(i, j, k));
-                    let d = (thu_p * uv.at(i, j, k) - thu_m * uv.at(i - 1, j, k)) * inv_dx
-                        + (thv_p * vv.at(i, j, k) - thv_m * vv.at(i, j - 1, k)) * inv_dy
-                        + (thw.at(i, j, k + 1) * wv.at(i, j, k + 1) - thw.at(i, j, k) * wv.at(i, j, k))
-                            * inv_g
-                            * inv_dz;
-                    fv.add(i, j, k, d);
+    dev.launch_par(
+        stream,
+        Launch::new("div_lin_theta", g, b, cost),
+        ny as usize,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let u_r = mem.read(u);
+            let v_r = mem.read(v);
+            let w_r = mem.read(w);
+            let thc_r = mem.read(th_c_b);
+            let thw_r = mem.read(th_w_b);
+            let g_r = mem.read(g2);
+            let mut f_s = mem.write_slab(fth, dc.slab(sj0, sj1));
+            let uv = V3::new(&u_r, dc);
+            let vv = V3::new(&v_r, dc);
+            let wv = V3::new(&w_r, dw);
+            let thc = V3::new(&thc_r, dc);
+            let thw = V3::new(&thw_r, dw);
+            let gv = V3::new(&g_r, dp);
+            let mut fv = V3SlabMut::new(&mut f_s, dc, sj0);
+            for j in sj0..sj1 {
+                for i in 0..nx {
+                    let inv_g = R::ONE / gv.at(i, j, 0);
+                    for k in 0..nz {
+                        let thu_p = half * (thc.at(i, j, k) + thc.at(i + 1, j, k));
+                        let thu_m = half * (thc.at(i - 1, j, k) + thc.at(i, j, k));
+                        let thv_p = half * (thc.at(i, j, k) + thc.at(i, j + 1, k));
+                        let thv_m = half * (thc.at(i, j - 1, k) + thc.at(i, j, k));
+                        let d = (thu_p * uv.at(i, j, k) - thu_m * uv.at(i - 1, j, k)) * inv_dx
+                            + (thv_p * vv.at(i, j, k) - thv_m * vv.at(i, j - 1, k)) * inv_dy
+                            + (thw.at(i, j, k + 1) * wv.at(i, j, k + 1)
+                                - thw.at(i, j, k) * wv.at(i, j, k))
+                                * inv_g
+                                * inv_dz;
+                        fv.add(i, j, k, d);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Terrain metric continuity forcing: `F_ρ += div_lin − div_full`
@@ -188,33 +213,39 @@ pub fn continuity_residual<R: Real>(
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let g2 = geom.g;
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
-    dev.launch(stream, Launch::new("continuity_residual", g, b, cost), move |mem| {
-        let u_r = mem.read(u);
-        let v_r = mem.read(v);
-        let w_r = mem.read(w);
-        let mw_r = mem.read(mw);
-        let g_r = mem.read(g2);
-        let mut f_w = mem.write(frho);
-        let uv = V3::new(&u_r, dc);
-        let vv = V3::new(&v_r, dc);
-        let wv = V3::new(&w_r, dw);
-        let mwv = V3::new(&mw_r, dw);
-        let gv = V3::new(&g_r, dp);
-        let mut fv = V3Mut::new(&mut f_w, dc);
-        for j in 0..ny {
-            for i in 0..nx {
-                let inv_g = R::ONE / gv.at(i, j, 0);
-                for k in 0..nz {
-                    let dh = (uv.at(i, j, k) - uv.at(i - 1, j, k)) * inv_dx
-                        + (vv.at(i, j, k) - vv.at(i, j - 1, k)) * inv_dy;
-                    let full = dh + (mwv.at(i, j, k + 1) - mwv.at(i, j, k)) * inv_dz;
-                    let lin = dh + (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_g * inv_dz;
-                    fv.add(i, j, k, -full);
-                    fv.add(i, j, k, lin);
+    dev.launch_par(
+        stream,
+        Launch::new("continuity_residual", g, b, cost),
+        ny as usize,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let u_r = mem.read(u);
+            let v_r = mem.read(v);
+            let w_r = mem.read(w);
+            let mw_r = mem.read(mw);
+            let g_r = mem.read(g2);
+            let mut f_s = mem.write_slab(frho, dc.slab(sj0, sj1));
+            let uv = V3::new(&u_r, dc);
+            let vv = V3::new(&v_r, dc);
+            let wv = V3::new(&w_r, dw);
+            let mwv = V3::new(&mw_r, dw);
+            let gv = V3::new(&g_r, dp);
+            let mut fv = V3SlabMut::new(&mut f_s, dc, sj0);
+            for j in sj0..sj1 {
+                for i in 0..nx {
+                    let inv_g = R::ONE / gv.at(i, j, 0);
+                    for k in 0..nz {
+                        let dh = (uv.at(i, j, k) - uv.at(i - 1, j, k)) * inv_dx
+                            + (vv.at(i, j, k) - vv.at(i, j - 1, k)) * inv_dy;
+                        let full = dh + (mwv.at(i, j, k + 1) - mwv.at(i, j, k)) * inv_dz;
+                        let lin = dh + (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_g * inv_dz;
+                        fv.add(i, j, k, -full);
+                        fv.add(i, j, k, lin);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Which ρ* weight a diffusion kernel applies.
@@ -247,7 +278,11 @@ pub fn diffuse<R: Real>(
     if kdiff == 0.0 {
         return;
     }
-    let dims = if weight == DiffWeight::W { geom.dw } else { geom.dc };
+    let dims = if weight == DiffWeight::W {
+        geom.dw
+    } else {
+        geom.dc
+    };
     let dc = geom.dc;
     let points = geom.points();
     let (g, b) = launch_cfg(geom.nx as u64, geom.nz as u64);
@@ -258,41 +293,47 @@ pub fn diffuse<R: Real>(
     let kd = R::from_f64(kdiff);
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
     let half = R::HALF;
-    dev.launch(stream, Launch::new(name, g, b, cost), move |mem| {
-        let s_r = mem.read(spec);
-        let rho_r = mem.read(rho);
-        let ref_r = sub_ref.map(|r| mem.read(r));
-        let mut o_w = mem.write(out);
-        let sv = V3::new(&s_r, dims);
-        let rv = V3::new(&rho_r, dc);
-        let refv = ref_r.as_ref().map(|r| V3::new(r, dc));
-        let mut ov = V3Mut::new(&mut o_w, dims);
-        let tap = |i: isize, j: isize, k: isize| -> R {
-            match &refv {
-                Some(rf) => sv.at(i, j, k) - rf.at(i, j, k.clamp(0, nz - 1)),
-                None => sv.at(i, j, k),
-            }
-        };
-        for j in 0..ny {
-            for i in 0..nx {
-                for k in klo..khi {
-                    let c = tap(i, j, k);
-                    let lap = (tap(i - 1, j, k) - R::TWO * c + tap(i + 1, j, k)) * inv_dx2
-                        + (tap(i, j - 1, k) - R::TWO * c + tap(i, j + 1, k)) * inv_dy2
-                        + (tap(i, j, k - 1) - R::TWO * c + tap(i, j, k + 1)) * inv_dz2;
-                    let w = match weight {
-                        DiffWeight::Center => rv.at(i, j, k),
-                        DiffWeight::U => half * (rv.at(i, j, k) + rv.at(i + 1, j, k)),
-                        DiffWeight::V => half * (rv.at(i, j, k) + rv.at(i, j + 1, k)),
-                        DiffWeight::W => {
-                            half * (rv.at(i, j, (k - 1).max(0)) + rv.at(i, j, k.min(nz - 1)))
-                        }
-                    };
-                    ov.add(i, j, k, kd * w * lap);
+    dev.launch_par(
+        stream,
+        Launch::new(name, g, b, cost),
+        ny as usize,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let s_r = mem.read(spec);
+            let rho_r = mem.read(rho);
+            let ref_r = sub_ref.map(|r| mem.read(r));
+            let mut o_s = mem.write_slab(out, dims.slab(sj0, sj1));
+            let sv = V3::new(&s_r, dims);
+            let rv = V3::new(&rho_r, dc);
+            let refv = ref_r.as_ref().map(|r| V3::new(r, dc));
+            let mut ov = V3SlabMut::new(&mut o_s, dims, sj0);
+            let tap = |i: isize, j: isize, k: isize| -> R {
+                match &refv {
+                    Some(rf) => sv.at(i, j, k) - rf.at(i, j, k.clamp(0, nz - 1)),
+                    None => sv.at(i, j, k),
+                }
+            };
+            for j in sj0..sj1 {
+                for i in 0..nx {
+                    for k in klo..khi {
+                        let c = tap(i, j, k);
+                        let lap = (tap(i - 1, j, k) - R::TWO * c + tap(i + 1, j, k)) * inv_dx2
+                            + (tap(i, j - 1, k) - R::TWO * c + tap(i, j + 1, k)) * inv_dy2
+                            + (tap(i, j, k - 1) - R::TWO * c + tap(i, j, k + 1)) * inv_dz2;
+                        let w = match weight {
+                            DiffWeight::Center => rv.at(i, j, k),
+                            DiffWeight::U => half * (rv.at(i, j, k) + rv.at(i + 1, j, k)),
+                            DiffWeight::V => half * (rv.at(i, j, k) + rv.at(i, j + 1, k)),
+                            DiffWeight::W => {
+                                half * (rv.at(i, j, (k - 1).max(0)) + rv.at(i, j, k.min(nz - 1)))
+                            }
+                        };
+                        ov.add(i, j, k, kd * w * lap);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Long-step tracer update: `q = max(q_t + dts F_q, 0)` over `region`
@@ -320,22 +361,28 @@ pub fn tracer_update<R: Real>(
     let dc = geom.dc;
     let dt = R::from_f64(dts);
     let nzi = nz as isize;
-    dev.launch(stream, Launch::new(kn.get(region), gd, bd, cost), move |mem| {
-        let t_r = mem.read(q_t);
-        let f_r = mem.read(fq);
-        let mut q_w = mem.write(q);
-        let tv = V3::new(&t_r, dc);
-        let fv = V3::new(&f_r, dc);
-        let mut qv = V3Mut::new(&mut q_w, dc);
-        for r in &rects {
-            for j in r.j0..r.j1 {
-                for k in 0..nzi {
-                    for i in r.i0..r.i1 {
-                        let v = tv.at(i, j, k) + dt * fv.at(i, j, k);
-                        qv.set(i, j, k, v.max(R::ZERO));
+    dev.launch_par(
+        stream,
+        Launch::new(kn.get(region), gd, bd, cost),
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
+            let t_r = mem.read(q_t);
+            let f_r = mem.read(fq);
+            let mut q_s = mem.write_slab(q, dc.slab(sj0, sj1));
+            let tv = V3::new(&t_r, dc);
+            let fv = V3::new(&f_r, dc);
+            let mut qv = V3SlabMut::new(&mut q_s, dc, sj0);
+            for r in &rects {
+                for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    for k in 0..nzi {
+                        for i in r.i0..r.i1 {
+                            let v = tv.at(i, j, k) + dt * fv.at(i, j, k);
+                            qv.set(i, j, k, v.max(R::ZERO));
+                        }
                     }
                 }
             }
-        }
-    });
+        },
+    );
 }

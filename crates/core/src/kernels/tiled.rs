@@ -17,7 +17,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::advection::{advection_shared_mem_bytes, ADV_FLOPS, ADV_READS, ADV_WRITES};
-use crate::view::{V3, V3Mut};
+use crate::view::{V3SlabMut, V3};
 use numerics::limiter::{limited_flux, Limiter};
 use numerics::Real;
 use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId};
@@ -108,20 +108,22 @@ pub fn advect_scalar_tiled<R: Real>(
     let inv_dy = R::from_f64(1.0 / geom.dy);
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let nzi = nz as isize;
-    dev.launch(
+    dev.launch_par(
         stream,
         Launch::new(name, grid, block, cost).with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
-        move |mem| {
+        ny,
+        move |mem, sj0, sj1| {
+            let (sj0, sj1) = (sj0 as isize, sj1 as isize);
             let spec_r = mem.read(spec);
             let u_r = mem.read(u);
             let v_r = mem.read(v);
             let mw_r = mem.read(mw);
-            let mut out_w = mem.write(out);
+            let mut out_s = mem.write_slab(out, dc.slab(sj0, sj1));
             let s_glob = V3::new(&spec_r, dc);
             let uu = V3::new(&u_r, dc);
             let vv = V3::new(&v_r, dc);
             let ww = V3::new(&mw_r, dw);
-            let mut o = V3Mut::new(&mut out_w, dc);
+            let mut o = V3SlabMut::new(&mut out_s, dc, sj0);
 
             // One emulated block per (bx, bz) tile of the (x, z) plane.
             let mut tile_m: SharedTile<R> = SharedTile::new(); // row j-1
@@ -132,15 +134,17 @@ pub fn advect_scalar_tiled<R: Real>(
                 for bx in 0..(nx / BLOCK_X) {
                     let bi0 = (bx * BLOCK_X) as isize;
                     let bk0 = (bz * BLOCK_Z) as isize;
-                    // Prime the register pipeline: rows -1 and 0.
-                    tile_m.load(&s_glob, bi0, bk0, -1);
-                    tile_0.load(&s_glob, bi0, bk0, 0);
+                    // Prime the register pipeline at the slab's first row
+                    // (tile contents only depend on global memory, so the
+                    // march produces the same values from any start row).
+                    tile_m.load(&s_glob, bi0, bk0, sj0 - 1);
+                    tile_0.load(&s_glob, bi0, bk0, sj0);
 
                     // "Register" lanes for the j±2 taps (one per thread).
                     let mut reg_m2 = [R::ZERO; BLOCK_X * BLOCK_Z];
                     let mut reg_p2 = [R::ZERO; BLOCK_X * BLOCK_Z];
 
-                    for j in 0..ny as isize {
+                    for j in sj0..sj1 {
                         // March: load row j+1 into the third tile and the
                         // j−2 / j+2 taps into registers.
                         tile_p.load(&s_glob, bi0, bk0, j + 1);
@@ -260,7 +264,13 @@ mod tests {
         (dev, geom, ds)
     }
 
-    fn fill_pseudorandom<R: Real>(dev: &mut Device<R>, buf: vgpu::Buf<R>, seed: u64, scale: f64, offset: f64) {
+    fn fill_pseudorandom<R: Real>(
+        dev: &mut Device<R>,
+        buf: vgpu::Buf<R>,
+        seed: u64,
+        scale: f64,
+        offset: f64,
+    ) {
         let n = buf.len();
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
         let host: Vec<R> = (0..n)
@@ -284,13 +294,31 @@ mod tests {
         // plain
         let kn = kname!("adv_plain");
         advect_scalar(
-            &mut dev, StreamId::DEFAULT, &geom, Region::Whole, &kn, Limiter::Koren, true,
-            ds.spec, ds.u, ds.v, ds.mw, ds.fth,
+            &mut dev,
+            StreamId::DEFAULT,
+            &geom,
+            Region::Whole,
+            &kn,
+            Limiter::Koren,
+            true,
+            ds.spec,
+            ds.u,
+            ds.v,
+            ds.mw,
+            ds.fth,
         );
         // tiled
         advect_scalar_tiled(
-            &mut dev, StreamId::DEFAULT, &geom, "adv_tiled", Limiter::Koren,
-            ds.spec, ds.u, ds.v, ds.mw, ds.frho,
+            &mut dev,
+            StreamId::DEFAULT,
+            &geom,
+            "adv_tiled",
+            Limiter::Koren,
+            ds.spec,
+            ds.u,
+            ds.v,
+            ds.mw,
+            ds.frho,
         );
         let a = dev.read_vec(ds.fth);
         let b = dev.read_vec(ds.frho);
@@ -314,12 +342,30 @@ mod tests {
         fill_pseudorandom(&mut dev, ds.mw, 10, 0.5, 0.0);
         let kn = kname!("adv_plain");
         advect_scalar(
-            &mut dev, StreamId::DEFAULT, &geom, Region::Whole, &kn, Limiter::Koren, true,
-            ds.spec, ds.u, ds.v, ds.mw, ds.fth,
+            &mut dev,
+            StreamId::DEFAULT,
+            &geom,
+            Region::Whole,
+            &kn,
+            Limiter::Koren,
+            true,
+            ds.spec,
+            ds.u,
+            ds.v,
+            ds.mw,
+            ds.fth,
         );
         advect_scalar_tiled(
-            &mut dev, StreamId::DEFAULT, &geom, "adv_tiled", Limiter::Koren,
-            ds.spec, ds.u, ds.v, ds.mw, ds.frho,
+            &mut dev,
+            StreamId::DEFAULT,
+            &geom,
+            "adv_tiled",
+            Limiter::Koren,
+            ds.spec,
+            ds.u,
+            ds.v,
+            ds.mw,
+            ds.frho,
         );
         let a = dev.read_vec(ds.fth);
         let b = dev.read_vec(ds.frho);
@@ -348,8 +394,16 @@ mod tests {
         let geom = DeviceGeom::build(&mut dev, &grid, &base);
         let ds = DeviceState::alloc(&mut dev, &geom, 3).unwrap();
         advect_scalar_tiled(
-            &mut dev, StreamId::DEFAULT, &geom, "adv_tiled", Limiter::Koren,
-            ds.spec, ds.u, ds.v, ds.mw, ds.fth,
+            &mut dev,
+            StreamId::DEFAULT,
+            &geom,
+            "adv_tiled",
+            Limiter::Koren,
+            ds.spec,
+            ds.u,
+            ds.v,
+            ds.mw,
+            ds.fth,
         );
     }
 }

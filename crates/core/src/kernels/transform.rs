@@ -9,7 +9,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::region::launch_cfg;
-use crate::view::{V3, V3Mut};
+use crate::view::{V3SlabMut, V3};
 use numerics::Real;
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
 
@@ -28,21 +28,28 @@ pub fn specific_center<R: Real>(
     let points = dc.len() as u64;
     let (g, b) = launch_cfg((dc.px()) as u64, dc.pl() as u64);
     let cost = KernelCost::streaming(points, 1.0, 2.0, 1.0);
-    dev.launch(stream, Launch::new(name, g, b, cost), move |mem| {
-        let q_r = mem.read(q);
-        let r_r = mem.read(rho);
-        let mut s_w = mem.write(spec);
-        let qv = V3::new(&q_r, dc);
-        let rv = V3::new(&r_r, dc);
-        let mut sv = V3Mut::new(&mut s_w, dc);
-        for j in -h..dc.ny as isize + h {
-            for k in -h..dc.nl as isize + h {
-                for i in -h..dc.nx as isize + h {
-                    sv.set(i, j, k, qv.at(i, j, k) / rv.at(i, j, k));
+    dev.launch_par(
+        stream,
+        Launch::new(name, g, b, cost),
+        dc.py(),
+        move |mem, row0, row1| {
+            // Padded-box kernel: the span covers all py rows, row r = row j + h.
+            let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
+            let q_r = mem.read(q);
+            let r_r = mem.read(rho);
+            let mut s_s = mem.write_slab(spec, dc.slab(sj0, sj1));
+            let qv = V3::new(&q_r, dc);
+            let rv = V3::new(&r_r, dc);
+            let mut sv = V3SlabMut::new(&mut s_s, dc, sj0);
+            for j in sj0..sj1 {
+                for k in -h..dc.nl as isize + h {
+                    for i in -h..dc.nx as isize + h {
+                        sv.set(i, j, k, qv.at(i, j, k) / rv.at(i, j, k));
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// spec_u = U / avg_x(ρ*) over the padded box shrunk by one in x.
@@ -59,25 +66,31 @@ pub fn specific_u<R: Real>(
     let points = dc.len() as u64;
     let (g, b) = launch_cfg(dc.px() as u64, dc.pl() as u64);
     let cost = KernelCost::streaming(points, 3.0, 2.0, 1.0);
-    dev.launch(stream, Launch::new("spec_u", g, b, cost), move |mem| {
-        let u_r = mem.read(u);
-        let r_r = mem.read(rho);
-        let mut s_w = mem.write(spec);
-        let uv = V3::new(&u_r, dc);
-        let rv = V3::new(&r_r, dc);
-        let mut sv = V3Mut::new(&mut s_w, dc);
-        let half = R::HALF;
-        for j in -h..dc.ny as isize + h {
-            for k in -h..dc.nl as isize + h {
-                for i in -h..dc.nx as isize + h - 1 {
-                    let r = half * (rv.at(i, j, k) + rv.at(i + 1, j, k));
-                    sv.set(i, j, k, uv.at(i, j, k) / r);
+    dev.launch_par(
+        stream,
+        Launch::new("spec_u", g, b, cost),
+        dc.py(),
+        move |mem, row0, row1| {
+            let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
+            let u_r = mem.read(u);
+            let r_r = mem.read(rho);
+            let mut s_s = mem.write_slab(spec, dc.slab(sj0, sj1));
+            let uv = V3::new(&u_r, dc);
+            let rv = V3::new(&r_r, dc);
+            let mut sv = V3SlabMut::new(&mut s_s, dc, sj0);
+            let half = R::HALF;
+            for j in sj0..sj1 {
+                for k in -h..dc.nl as isize + h {
+                    for i in -h..dc.nx as isize + h - 1 {
+                        let r = half * (rv.at(i, j, k) + rv.at(i + 1, j, k));
+                        sv.set(i, j, k, uv.at(i, j, k) / r);
+                    }
+                    let edge = sv.at(dc.nx as isize + h - 2, j, k);
+                    sv.set(dc.nx as isize + h - 1, j, k, edge);
                 }
-                let edge = sv.at(dc.nx as isize + h - 2, j, k);
-                sv.set(dc.nx as isize + h - 1, j, k, edge);
             }
-        }
-    });
+        },
+    );
 }
 
 /// spec_v = V / avg_y(ρ*).
@@ -94,30 +107,34 @@ pub fn specific_v<R: Real>(
     let points = dc.len() as u64;
     let (g, b) = launch_cfg(dc.px() as u64, dc.pl() as u64);
     let cost = KernelCost::streaming(points, 3.0, 2.0, 1.0);
-    dev.launch(stream, Launch::new("spec_v", g, b, cost), move |mem| {
-        let v_r = mem.read(v);
-        let r_r = mem.read(rho);
-        let mut s_w = mem.write(spec);
-        let vv = V3::new(&v_r, dc);
-        let rv = V3::new(&r_r, dc);
-        let mut sv = V3Mut::new(&mut s_w, dc);
-        let half = R::HALF;
-        for j in -h..dc.ny as isize + h - 1 {
-            for k in -h..dc.nl as isize + h {
-                for i in -h..dc.nx as isize + h {
-                    let r = half * (rv.at(i, j, k) + rv.at(i, j + 1, k));
-                    sv.set(i, j, k, vv.at(i, j, k) / r);
+    dev.launch_par(
+        stream,
+        Launch::new("spec_v", g, b, cost),
+        dc.py(),
+        move |mem, row0, row1| {
+            let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
+            let v_r = mem.read(v);
+            let r_r = mem.read(rho);
+            let mut s_s = mem.write_slab(spec, dc.slab(sj0, sj1));
+            let vv = V3::new(&v_r, dc);
+            let rv = V3::new(&r_r, dc);
+            let mut sv = V3SlabMut::new(&mut s_s, dc, sj0);
+            let half = R::HALF;
+            let jlast = dc.ny as isize + h - 1;
+            for j in sj0..sj1 {
+                // The last padded row replicates row jlast-1; recompute that
+                // row's value here instead of reading a neighbouring slab
+                // (same expression, so the result is bitwise identical).
+                let js = if j == jlast { jlast - 1 } else { j };
+                for k in -h..dc.nl as isize + h {
+                    for i in -h..dc.nx as isize + h {
+                        let r = half * (rv.at(i, js, k) + rv.at(i, js + 1, k));
+                        sv.set(i, j, k, vv.at(i, js, k) / r);
+                    }
                 }
             }
-        }
-        let jlast = dc.ny as isize + h - 1;
-        for k in -h..dc.nl as isize + h {
-            for i in -h..dc.nx as isize + h {
-                let edge = sv.at(i, jlast - 1, k);
-                sv.set(i, jlast, k, edge);
-            }
-        }
-    });
+        },
+    );
 }
 
 /// spec_w = W / avg_z(ρ*) at w levels.
@@ -135,25 +152,31 @@ pub fn specific_w<R: Real>(
     let (g, b) = launch_cfg(dw.px() as u64, dw.pl() as u64);
     let cost = KernelCost::streaming(points, 3.0, 2.0, 1.0);
     let nz = geom.nz as isize;
-    dev.launch(stream, Launch::new("spec_w", g, b, cost), move |mem| {
-        let w_r = mem.read(w);
-        let r_r = mem.read(rho);
-        let mut s_w = mem.write(spec);
-        let wv = V3::new(&w_r, dw);
-        let rv = V3::new(&r_r, dc);
-        let mut sv = V3Mut::new(&mut s_w, dw);
-        let half = R::HALF;
-        for j in -h..dw.ny as isize + h {
-            for k in -h..dw.nl as isize + h {
-                let kc_hi = k.clamp(0, nz - 1);
-                let kc_lo = (k - 1).clamp(0, nz - 1);
-                for i in -h..dw.nx as isize + h {
-                    let r = half * (rv.at(i, j, kc_lo) + rv.at(i, j, kc_hi));
-                    sv.set(i, j, k, wv.at(i, j, k) / r);
+    dev.launch_par(
+        stream,
+        Launch::new("spec_w", g, b, cost),
+        dw.py(),
+        move |mem, row0, row1| {
+            let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
+            let w_r = mem.read(w);
+            let r_r = mem.read(rho);
+            let mut s_s = mem.write_slab(spec, dw.slab(sj0, sj1));
+            let wv = V3::new(&w_r, dw);
+            let rv = V3::new(&r_r, dc);
+            let mut sv = V3SlabMut::new(&mut s_s, dw, sj0);
+            let half = R::HALF;
+            for j in sj0..sj1 {
+                for k in -h..dw.nl as isize + h {
+                    let kc_hi = k.clamp(0, nz - 1);
+                    let kc_lo = (k - 1).clamp(0, nz - 1);
+                    for i in -h..dw.nx as isize + h {
+                        let r = half * (rv.at(i, j, kc_lo) + rv.at(i, j, kc_hi));
+                        sv.set(i, j, k, wv.at(i, j, k) / r);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Contravariant vertical mass flux ρ*W, zero at surface and lid, with
@@ -181,51 +204,59 @@ pub fn mass_flux_w<R: Real>(
     let (g2, gu2, gv2) = (geom.g, geom.dzsdx_u, geom.dzsdy_v);
     let zf = geom.zeta_fac;
     let nzl = nz;
-    dev.launch(stream, Launch::new("mass_flux_w", gd, bd, cost), move |mem| {
-        let u_r = mem.read(u);
-        let v_r = mem.read(v);
-        let w_r = mem.read(w);
-        let g_r = mem.read(g2);
-        let sx_r = mem.read(gu2);
-        let sy_r = mem.read(gv2);
-        let zf_r = mem.read(zf);
-        let mut mw_w = mem.write(mw);
-        let uv = V3::new(&u_r, dc);
-        let vv = V3::new(&v_r, dc);
-        let wv = V3::new(&w_r, dw);
-        let gv = V3::new(&g_r, dp);
-        let sxv = V3::new(&sx_r, dp);
-        let syv = V3::new(&sy_r, dp);
-        let mut mwv = V3Mut::new(&mut mw_w, dw);
-        let half = R::HALF;
-        for j in -1..dc.ny as isize + 1 {
-            for i in -1..dc.nx as isize + 1 {
-                mwv.set(i, j, 0, R::ZERO);
-                mwv.set(i, j, nzl as isize, R::ZERO);
-                let inv_g = R::ONE / gv.at(i, j, 0);
-                for k in 1..nzl as isize {
-                    let wk = wv.at(i, j, k);
-                    let cross = if flat {
-                        R::ZERO
-                    } else {
-                        let fac_lo = zf_r[(k - 1) as usize];
-                        let fac_hi = zf_r[k as usize];
-                        let ux = |kk: isize, fac: R| {
-                            half * (uv.at(i - 1, j, kk) * sxv.at(i - 1, j, 0) * fac
-                                + uv.at(i, j, kk) * sxv.at(i, j, 0) * fac)
+    let span = geom.ny + 2;
+    dev.launch_par(
+        stream,
+        Launch::new("mass_flux_w", gd, bd, cost),
+        span,
+        move |mem, row0, row1| {
+            // Writes one lateral halo ring: row r covers j = r - 1.
+            let (sj0, sj1) = (row0 as isize - 1, row1 as isize - 1);
+            let u_r = mem.read(u);
+            let v_r = mem.read(v);
+            let w_r = mem.read(w);
+            let g_r = mem.read(g2);
+            let sx_r = mem.read(gu2);
+            let sy_r = mem.read(gv2);
+            let zf_r = mem.read(zf);
+            let mut mw_s = mem.write_slab(mw, dw.slab(sj0, sj1));
+            let uv = V3::new(&u_r, dc);
+            let vv = V3::new(&v_r, dc);
+            let wv = V3::new(&w_r, dw);
+            let gv = V3::new(&g_r, dp);
+            let sxv = V3::new(&sx_r, dp);
+            let syv = V3::new(&sy_r, dp);
+            let mut mwv = V3SlabMut::new(&mut mw_s, dw, sj0);
+            let half = R::HALF;
+            for j in sj0..sj1 {
+                for i in -1..dc.nx as isize + 1 {
+                    mwv.set(i, j, 0, R::ZERO);
+                    mwv.set(i, j, nzl as isize, R::ZERO);
+                    let inv_g = R::ONE / gv.at(i, j, 0);
+                    for k in 1..nzl as isize {
+                        let wk = wv.at(i, j, k);
+                        let cross = if flat {
+                            R::ZERO
+                        } else {
+                            let fac_lo = zf_r[(k - 1) as usize];
+                            let fac_hi = zf_r[k as usize];
+                            let ux = |kk: isize, fac: R| {
+                                half * (uv.at(i - 1, j, kk) * sxv.at(i - 1, j, 0) * fac
+                                    + uv.at(i, j, kk) * sxv.at(i, j, 0) * fac)
+                            };
+                            let vy = |kk: isize, fac: R| {
+                                half * (vv.at(i, j - 1, kk) * syv.at(i, j - 1, 0) * fac
+                                    + vv.at(i, j, kk) * syv.at(i, j, 0) * fac)
+                            };
+                            half * (ux(k - 1, fac_lo) + ux(k, fac_hi))
+                                + half * (vy(k - 1, fac_lo) + vy(k, fac_hi))
                         };
-                        let vy = |kk: isize, fac: R| {
-                            half * (vv.at(i, j - 1, kk) * syv.at(i, j - 1, 0) * fac
-                                + vv.at(i, j, kk) * syv.at(i, j, 0) * fac)
-                        };
-                        half * (ux(k - 1, fac_lo) + ux(k, fac_hi))
-                            + half * (vy(k - 1, fac_lo) + vy(k, fac_hi))
-                    };
-                    mwv.set(i, j, k, (wk - cross) * inv_g);
+                        mwv.set(i, j, k, (wk - cross) * inv_g);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Device-to-device copy of a whole buffer ("array copy" of §IV-A).
@@ -239,11 +270,17 @@ pub fn copy_buf<R: Real>(
     let n = src.len();
     let (g, b) = launch_cfg(n as u64 / 4, 4);
     let cost = KernelCost::streaming(n as u64, 0.0, 1.0, 1.0);
-    dev.launch(stream, Launch::new(name, g, b, cost), move |mem| {
-        let s = mem.read(src);
-        let mut d = mem.write(dst);
-        d.copy_from_slice(&s);
-    });
+    dev.launch_par(
+        stream,
+        Launch::new(name, g, b, cost),
+        n,
+        move |mem, e0, e1| {
+            // Flat element-range split (no row structure needed for a copy).
+            let s = mem.read(src);
+            let mut d = mem.write_slab(dst, e0..e1);
+            d.copy_from_slice(&s[e0..e1]);
+        },
+    );
 }
 
 /// Zero-fill a buffer (tendency clear).
@@ -251,8 +288,13 @@ pub fn zero_buf<R: Real>(dev: &mut Device<R>, stream: StreamId, name: &'static s
     let n = buf.len();
     let (g, b) = launch_cfg(n as u64 / 4, 4);
     let cost = KernelCost::streaming(n as u64, 0.0, 0.0, 1.0);
-    dev.launch(stream, Launch::new(name, g, b, cost), move |mem| {
-        let mut d = mem.write(buf);
-        d.fill(R::ZERO);
-    });
+    dev.launch_par(
+        stream,
+        Launch::new(name, g, b, cost),
+        n,
+        move |mem, e0, e1| {
+            let mut d = mem.write_slab(buf, e0..e1);
+            d.fill(R::ZERO);
+        },
+    );
 }

@@ -16,8 +16,8 @@ use crate::fields::DeviceState;
 use crate::geom::DeviceGeom;
 use crate::halo::HaloExchanger;
 use crate::kernels::boundary;
-use crate::kernels::region::{KName, Region};
 use crate::kernels::physics as kphys;
+use crate::kernels::region::{KName, Region};
 use crate::kernels::{advection, eos, helmholtz, pgf, tend, transform};
 use crate::kname;
 use cluster::{Comm, NetworkSpec};
@@ -137,8 +137,15 @@ struct MultiRank<R: Real> {
 }
 
 impl<R: Real> MultiRank<R> {
-    fn exchange_c(&mut self, comm: &mut Comm<Vec<R>>, buf: vgpu::Buf<R>, dims: crate::view::Dims, id: u32) {
-        self.ex.exchange(&mut self.dev, comm, self.s_y, buf, dims, id);
+    fn exchange_c(
+        &mut self,
+        comm: &mut Comm<Vec<R>>,
+        buf: vgpu::Buf<R>,
+        dims: crate::view::Dims,
+        id: u32,
+    ) {
+        self.ex
+            .exchange(&mut self.dev, comm, self.s_y, buf, dims, id);
     }
 
     fn zgrad(&mut self, buf: vgpu::Buf<R>, dims: crate::view::Dims) {
@@ -146,7 +153,13 @@ impl<R: Real> MultiRank<R> {
     }
 
     /// Exchange + vertical halo of one field.
-    fn full_halo(&mut self, comm: &mut Comm<Vec<R>>, buf: vgpu::Buf<R>, dims: crate::view::Dims, id: u32) {
+    fn full_halo(
+        &mut self,
+        comm: &mut Comm<Vec<R>>,
+        buf: vgpu::Buf<R>,
+        dims: crate::view::Dims,
+        id: u32,
+    ) {
         self.exchange_c(comm, buf, dims, id);
         self.zgrad(buf, dims);
     }
@@ -168,6 +181,7 @@ impl<R: Real> MultiRank<R> {
         ] {
             transform::zero_buf(&mut self.dev, st, name, buf);
         }
+        #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
             transform::zero_buf(&mut self.dev, st, "clear_fq", self.ds.fq[t]);
         }
@@ -175,47 +189,254 @@ impl<R: Real> MultiRank<R> {
         // The one-cell ring of mw that the advection averages read is
         // computed locally from the (already exchanged) u/v/w halos —
         // no exchange needed, exactly as in the original code.
-        transform::mass_flux_w(&mut self.dev, st, &self.geom, self.ds.u, self.ds.v, self.ds.w, self.ds.mw);
+        transform::mass_flux_w(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.u,
+            self.ds.v,
+            self.ds.w,
+            self.ds.mw,
+        );
 
-        transform::specific_u(&mut self.dev, st, &self.geom, self.ds.u, self.ds.rho, self.ds.spec);
+        transform::specific_u(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.u,
+            self.ds.rho,
+            self.ds.spec,
+        );
         self.exchange_c(comm, self.ds.spec, self.geom.dc, fid::SPEC);
-        advection::advect_u(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_U, lim, self.ds.spec, self.ds.u, self.ds.v, self.ds.mw, self.ds.fu);
-        tend::diffuse(&mut self.dev, st, &self.geom, "diff_u", kdiff, self.ds.spec, None, tend::DiffWeight::U, self.ds.rho, self.ds.fu, 0, nz);
+        advection::advect_u(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_ADV_U,
+            lim,
+            self.ds.spec,
+            self.ds.u,
+            self.ds.v,
+            self.ds.mw,
+            self.ds.fu,
+        );
+        tend::diffuse(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "diff_u",
+            kdiff,
+            self.ds.spec,
+            None,
+            tend::DiffWeight::U,
+            self.ds.rho,
+            self.ds.fu,
+            0,
+            nz,
+        );
 
-        transform::specific_v(&mut self.dev, st, &self.geom, self.ds.v, self.ds.rho, self.ds.spec);
+        transform::specific_v(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.v,
+            self.ds.rho,
+            self.ds.spec,
+        );
         self.exchange_c(comm, self.ds.spec, self.geom.dc, fid::SPEC);
-        advection::advect_v(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_V, lim, self.ds.spec, self.ds.u, self.ds.v, self.ds.mw, self.ds.fv);
-        tend::diffuse(&mut self.dev, st, &self.geom, "diff_v", kdiff, self.ds.spec, None, tend::DiffWeight::V, self.ds.rho, self.ds.fv, 0, nz);
+        advection::advect_v(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_ADV_V,
+            lim,
+            self.ds.spec,
+            self.ds.u,
+            self.ds.v,
+            self.ds.mw,
+            self.ds.fv,
+        );
+        tend::diffuse(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "diff_v",
+            kdiff,
+            self.ds.spec,
+            None,
+            tend::DiffWeight::V,
+            self.ds.rho,
+            self.ds.fv,
+            0,
+            nz,
+        );
 
-        transform::specific_w(&mut self.dev, st, &self.geom, self.ds.w, self.ds.rho, self.ds.spec_w);
-        advection::advect_w(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_W, lim, self.ds.spec_w, self.ds.u, self.ds.v, self.ds.mw, self.ds.fw);
-        tend::diffuse(&mut self.dev, st, &self.geom, "diff_w", kdiff, self.ds.spec_w, None, tend::DiffWeight::W, self.ds.rho, self.ds.fw, 1, nz);
+        transform::specific_w(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.w,
+            self.ds.rho,
+            self.ds.spec_w,
+        );
+        advection::advect_w(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_ADV_W,
+            lim,
+            self.ds.spec_w,
+            self.ds.u,
+            self.ds.v,
+            self.ds.mw,
+            self.ds.fw,
+        );
+        tend::diffuse(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "diff_w",
+            kdiff,
+            self.ds.spec_w,
+            None,
+            tend::DiffWeight::W,
+            self.ds.rho,
+            self.ds.fw,
+            1,
+            nz,
+        );
 
-        tend::coriolis(&mut self.dev, st, &self.geom, self.cfg.coriolis_f, self.ds.u, self.ds.v, self.ds.fu, self.ds.fv);
-        tend::metric_pg(&mut self.dev, st, &self.geom, self.ds.p, self.ds.fu, self.ds.fv);
+        tend::coriolis(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.cfg.coriolis_f,
+            self.ds.u,
+            self.ds.v,
+            self.ds.fu,
+            self.ds.fv,
+        );
+        tend::metric_pg(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.p,
+            self.ds.fu,
+            self.ds.fv,
+        );
 
-        transform::specific_center(&mut self.dev, st, &self.geom, "transform_theta", self.ds.th, self.ds.rho, self.ds.spec);
-        advection::advect_scalar(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_TH, lim, true, self.ds.spec, self.ds.u, self.ds.v, self.ds.mw, self.ds.fth);
-        tend::diffuse(&mut self.dev, st, &self.geom, "diff_theta", kdiff, self.ds.spec, Some(self.geom.th_c), tend::DiffWeight::Center, self.ds.rho, self.ds.fth, 0, nz);
-        tend::add_div_lin_theta(&mut self.dev, st, &self.geom, self.ds.u, self.ds.v, self.ds.w, self.ds.fth);
+        transform::specific_center(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "transform_theta",
+            self.ds.th,
+            self.ds.rho,
+            self.ds.spec,
+        );
+        advection::advect_scalar(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_ADV_TH,
+            lim,
+            true,
+            self.ds.spec,
+            self.ds.u,
+            self.ds.v,
+            self.ds.mw,
+            self.ds.fth,
+        );
+        tend::diffuse(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "diff_theta",
+            kdiff,
+            self.ds.spec,
+            Some(self.geom.th_c),
+            tend::DiffWeight::Center,
+            self.ds.rho,
+            self.ds.fth,
+            0,
+            nz,
+        );
+        tend::add_div_lin_theta(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.u,
+            self.ds.v,
+            self.ds.w,
+            self.ds.fth,
+        );
 
-        tend::continuity_residual(&mut self.dev, st, &self.geom, self.ds.u, self.ds.v, self.ds.w, self.ds.mw, self.ds.frho);
+        tend::continuity_residual(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.u,
+            self.ds.v,
+            self.ds.w,
+            self.ds.mw,
+            self.ds.frho,
+        );
 
         // Overlap method 1 (Fig. 7): the tracer halo exchanges deferred
         // from the previous stage complete here, hidden under the
         // momentum/θ advection kernels issued above, just in time for
         // this stage's tracer advection.
         if self.tracers_pending {
+            #[allow(clippy::needless_range_loop)]
             for t in 0..self.ds.n_tracers {
                 let buf = self.ds.q[t];
                 self.full_halo(comm, buf, self.geom.dc, fid::Q0 + t as u32);
             }
             self.tracers_pending = false;
         }
+        #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
-            transform::specific_center(&mut self.dev, st, &self.geom, "transform_q", self.ds.q[t], self.ds.rho, self.ds.spec);
-            advection::advect_scalar(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_Q[t], lim, true, self.ds.spec, self.ds.u, self.ds.v, self.ds.mw, self.ds.fq[t]);
-            tend::diffuse(&mut self.dev, st, &self.geom, "diff_q", kdiff, self.ds.spec, None, tend::DiffWeight::Center, self.ds.rho, self.ds.fq[t], 0, nz);
+            transform::specific_center(
+                &mut self.dev,
+                st,
+                &self.geom,
+                "transform_q",
+                self.ds.q[t],
+                self.ds.rho,
+                self.ds.spec,
+            );
+            advection::advect_scalar(
+                &mut self.dev,
+                st,
+                &self.geom,
+                Region::Whole,
+                &KN_ADV_Q[t],
+                lim,
+                true,
+                self.ds.spec,
+                self.ds.u,
+                self.ds.v,
+                self.ds.mw,
+                self.ds.fq[t],
+            );
+            tend::diffuse(
+                &mut self.dev,
+                st,
+                &self.geom,
+                "diff_q",
+                kdiff,
+                self.ds.spec,
+                None,
+                tend::DiffWeight::Center,
+                self.ds.rho,
+                self.ds.fq[t],
+                0,
+                nz,
+            );
         }
     }
 
@@ -223,8 +444,28 @@ impl<R: Real> MultiRank<R> {
     /// serial exchanges.
     fn acoustic_substep_serial(&mut self, comm: &mut Comm<Vec<R>>, dtau: f64) {
         let st = self.s_comp;
-        pgf::momentum_x(&mut self.dev, st, &self.geom, Region::Whole, &KN_MOM_X, self.ds.p, self.ds.fu, dtau, self.ds.u);
-        pgf::momentum_y(&mut self.dev, st, &self.geom, Region::Whole, &KN_MOM_Y, self.ds.p, self.ds.fv, dtau, self.ds.v);
+        pgf::momentum_x(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_MOM_X,
+            self.ds.p,
+            self.ds.fu,
+            dtau,
+            self.ds.u,
+        );
+        pgf::momentum_y(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_MOM_Y,
+            self.ds.p,
+            self.ds.fv,
+            dtau,
+            self.ds.v,
+        );
         self.exchange_c(comm, self.ds.u, self.geom.dc, fid::U);
         self.exchange_c(comm, self.ds.v, self.geom.dc, fid::V);
         self.helmholtz_block(Region::Whole, dtau);
@@ -234,7 +475,15 @@ impl<R: Real> MultiRank<R> {
         self.full_halo(comm, self.ds.th, self.geom.dc, fid::TH);
         self.full_halo(comm, self.ds.rho, self.geom.dc, fid::RHO);
         self.full_halo(comm, self.ds.w, self.geom.dw, fid::W);
-        eos::eos_linear(&mut self.dev, self.s_comp, &self.geom, self.ds.th, self.ds.th_ref, self.ds.p_ref, self.ds.p);
+        eos::eos_linear(
+            &mut self.dev,
+            self.s_comp,
+            &self.geom,
+            self.ds.th,
+            self.ds.th_ref,
+            self.ds.p_ref,
+            self.ds.p,
+        );
     }
 
     fn helmholtz_block(&mut self, region: Region, dtau: f64) {
@@ -263,8 +512,30 @@ impl<R: Real> MultiRank<R> {
                 st_th: self.ds.flux,
             },
         );
-        helmholtz::density(&mut self.dev, st, &self.geom, region, &KN_DENS, self.cfg.beta, dtau, self.ds.spec, self.ds.w, self.ds.rho);
-        helmholtz::potential_temperature(&mut self.dev, st, &self.geom, region, &KN_PT, self.cfg.beta, dtau, self.ds.flux, self.ds.w, self.ds.th);
+        helmholtz::density(
+            &mut self.dev,
+            st,
+            &self.geom,
+            region,
+            &KN_DENS,
+            self.cfg.beta,
+            dtau,
+            self.ds.spec,
+            self.ds.w,
+            self.ds.rho,
+        );
+        helmholtz::potential_temperature(
+            &mut self.dev,
+            st,
+            &self.geom,
+            region,
+            &KN_PT,
+            self.cfg.beta,
+            dtau,
+            self.ds.flux,
+            self.ds.w,
+            self.ds.th,
+        );
     }
 
     /// One acoustic substep with overlap methods 2 and 3 (Fig. 8): the
@@ -273,8 +544,28 @@ impl<R: Real> MultiRank<R> {
     fn acoustic_substep_overlap(&mut self, comm: &mut Comm<Vec<R>>, dtau: f64) {
         // (1)+(2): boundary momentum kernels.
         for region in [Region::YBound, Region::XBound] {
-            pgf::momentum_x(&mut self.dev, self.s_comp, &self.geom, region, &KN_MOM_X, self.ds.p, self.ds.fu, dtau, self.ds.u);
-            pgf::momentum_y(&mut self.dev, self.s_comp, &self.geom, region, &KN_MOM_Y, self.ds.p, self.ds.fv, dtau, self.ds.v);
+            pgf::momentum_x(
+                &mut self.dev,
+                self.s_comp,
+                &self.geom,
+                region,
+                &KN_MOM_X,
+                self.ds.p,
+                self.ds.fu,
+                dtau,
+                self.ds.u,
+            );
+            pgf::momentum_y(
+                &mut self.dev,
+                self.s_comp,
+                &self.geom,
+                region,
+                &KN_MOM_Y,
+                self.ds.p,
+                self.ds.fv,
+                dtau,
+                self.ds.v,
+            );
         }
         // Order streams: comm streams wait for the boundary values.
         let ev = self.dev.record_event(self.s_comp);
@@ -282,13 +573,41 @@ impl<R: Real> MultiRank<R> {
         self.dev.stream_wait_event(self.s_x, ev);
         // (4): inner kernels issued *before* the host blocks on MPI, so
         // the DES overlaps them with the transfers.
-        pgf::momentum_x(&mut self.dev, self.s_comp, &self.geom, Region::Inner, &KN_MOM_X, self.ds.p, self.ds.fu, dtau, self.ds.u);
-        pgf::momentum_y(&mut self.dev, self.s_comp, &self.geom, Region::Inner, &KN_MOM_Y, self.ds.p, self.ds.fv, dtau, self.ds.v);
+        pgf::momentum_x(
+            &mut self.dev,
+            self.s_comp,
+            &self.geom,
+            Region::Inner,
+            &KN_MOM_X,
+            self.ds.p,
+            self.ds.fu,
+            dtau,
+            self.ds.u,
+        );
+        pgf::momentum_y(
+            &mut self.dev,
+            self.s_comp,
+            &self.geom,
+            Region::Inner,
+            &KN_MOM_Y,
+            self.ds.p,
+            self.ds.fv,
+            dtau,
+            self.ds.v,
+        );
         // (5)+(6): batched exchanges on the comm streams (y carries the
         // corners, then x).
         let uv = [
-            crate::halo::FieldRef { buf: self.ds.u, dims: self.geom.dc, id: fid::U },
-            crate::halo::FieldRef { buf: self.ds.v, dims: self.geom.dc, id: fid::V },
+            crate::halo::FieldRef {
+                buf: self.ds.u,
+                dims: self.geom.dc,
+                id: fid::U,
+            },
+            crate::halo::FieldRef {
+                buf: self.ds.v,
+                dims: self.geom.dc,
+                id: fid::V,
+            },
         ];
         self.ex.exchange_y_many(&mut self.dev, comm, self.s_y, &uv);
         self.ex.exchange_x_many(&mut self.dev, comm, self.s_x, &uv);
@@ -306,17 +625,39 @@ impl<R: Real> MultiRank<R> {
         // Fused ρ+Θ(+w) logical-kernel exchange (overlap method 3),
         // hidden under the inner Helmholtz block.
         let thrho = [
-            crate::halo::FieldRef { buf: self.ds.th, dims: self.geom.dc, id: fid::TH },
-            crate::halo::FieldRef { buf: self.ds.rho, dims: self.geom.dc, id: fid::RHO },
-            crate::halo::FieldRef { buf: self.ds.w, dims: self.geom.dw, id: fid::W },
+            crate::halo::FieldRef {
+                buf: self.ds.th,
+                dims: self.geom.dc,
+                id: fid::TH,
+            },
+            crate::halo::FieldRef {
+                buf: self.ds.rho,
+                dims: self.geom.dc,
+                id: fid::RHO,
+            },
+            crate::halo::FieldRef {
+                buf: self.ds.w,
+                dims: self.geom.dw,
+                id: fid::W,
+            },
         ];
-        self.ex.exchange_y_many(&mut self.dev, comm, self.s_y, &thrho);
-        self.ex.exchange_x_many(&mut self.dev, comm, self.s_x, &thrho);
+        self.ex
+            .exchange_y_many(&mut self.dev, comm, self.s_y, &thrho);
+        self.ex
+            .exchange_x_many(&mut self.dev, comm, self.s_x, &thrho);
         self.dev.sync_all();
         self.zgrad(self.ds.th, self.geom.dc);
         self.zgrad(self.ds.rho, self.geom.dc);
         self.zgrad(self.ds.w, self.geom.dw);
-        eos::eos_linear(&mut self.dev, self.s_comp, &self.geom, self.ds.th, self.ds.th_ref, self.ds.p_ref, self.ds.p);
+        eos::eos_linear(
+            &mut self.dev,
+            self.s_comp,
+            &self.geom,
+            self.ds.th,
+            self.ds.th_ref,
+            self.ds.p_ref,
+            self.ds.p,
+        );
     }
 
     /// One long step.
@@ -329,6 +670,7 @@ impl<R: Real> MultiRank<R> {
         transform::copy_buf(&mut self.dev, st, "save_v_t", self.ds.v, self.ds.v_t);
         transform::copy_buf(&mut self.dev, st, "save_w_t", self.ds.w, self.ds.w_t);
         transform::copy_buf(&mut self.dev, st, "save_th_t", self.ds.th, self.ds.th_t);
+        #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
             transform::copy_buf(&mut self.dev, st, "save_q_t", self.ds.q[t], self.ds.q_t[t]);
         }
@@ -339,15 +681,36 @@ impl<R: Real> MultiRank<R> {
             let dtau = dts / nsub as f64;
 
             self.compute_slow(comm);
-            transform::copy_buf(&mut self.dev, st, "capture_th_ref", self.ds.th, self.ds.th_ref);
-            eos::eos_full(&mut self.dev, st, &self.geom, "eos_ref", self.ds.th_ref, self.ds.p_ref);
+            transform::copy_buf(
+                &mut self.dev,
+                st,
+                "capture_th_ref",
+                self.ds.th,
+                self.ds.th_ref,
+            );
+            eos::eos_full(
+                &mut self.dev,
+                st,
+                &self.geom,
+                "eos_ref",
+                self.ds.th_ref,
+                self.ds.p_ref,
+            );
 
             transform::copy_buf(&mut self.dev, st, "restore_rho", self.ds.rho_t, self.ds.rho);
             transform::copy_buf(&mut self.dev, st, "restore_u", self.ds.u_t, self.ds.u);
             transform::copy_buf(&mut self.dev, st, "restore_v", self.ds.v_t, self.ds.v);
             transform::copy_buf(&mut self.dev, st, "restore_w", self.ds.w_t, self.ds.w);
             transform::copy_buf(&mut self.dev, st, "restore_th", self.ds.th_t, self.ds.th);
-            eos::eos_linear(&mut self.dev, st, &self.geom, self.ds.th, self.ds.th_ref, self.ds.p_ref, self.ds.p);
+            eos::eos_linear(
+                &mut self.dev,
+                st,
+                &self.geom,
+                self.ds.th,
+                self.ds.th_ref,
+                self.ds.p_ref,
+                self.ds.p,
+            );
 
             for _ in 0..nsub {
                 match self.overlap {
@@ -360,9 +723,21 @@ impl<R: Real> MultiRank<R> {
             // Tracers: overlap method 1 — the update kernel for variable
             // t+1 is issued before variable t's halo exchange blocks.
             match self.overlap {
-                OverlapMode::None => {
+                OverlapMode::None =>
+                {
+                    #[allow(clippy::needless_range_loop)]
                     for t in 0..self.ds.n_tracers {
-                        tend::tracer_update(&mut self.dev, st, &self.geom, Region::Whole, &KN_TRACER[t], dts, self.ds.q_t[t], self.ds.fq[t], self.ds.q[t]);
+                        tend::tracer_update(
+                            &mut self.dev,
+                            st,
+                            &self.geom,
+                            Region::Whole,
+                            &KN_TRACER[t],
+                            dts,
+                            self.ds.q_t[t],
+                            self.ds.fq[t],
+                            self.ds.q[t],
+                        );
                         self.full_halo(comm, self.ds.q[t], self.geom.dc, fid::Q0 + t as u32);
                     }
                 }
@@ -371,8 +746,19 @@ impl<R: Real> MultiRank<R> {
                     // deferred into the next slow-tendency phase where
                     // they hide under the advection kernels.
                     let n = self.ds.n_tracers;
+                    #[allow(clippy::needless_range_loop)]
                     for t in 0..n {
-                        tend::tracer_update(&mut self.dev, st, &self.geom, Region::Whole, &KN_TRACER[t], dts, self.ds.q_t[t], self.ds.fq[t], self.ds.q[t]);
+                        tend::tracer_update(
+                            &mut self.dev,
+                            st,
+                            &self.geom,
+                            Region::Whole,
+                            &KN_TRACER[t],
+                            dts,
+                            self.ds.q_t[t],
+                            self.ds.fq[t],
+                            self.ds.q[t],
+                        );
                         self.zgrad(self.ds.q[t], self.geom.dc);
                     }
                     self.tracers_pending = true;
@@ -381,8 +767,27 @@ impl<R: Real> MultiRank<R> {
         }
 
         if self.cfg.microphysics && self.ds.n_tracers >= 3 {
-            kphys::warm_rain(&mut self.dev, st, &self.geom, dt, self.ds.rho, self.ds.th, self.ds.p, self.ds.q[0], self.ds.q[1], self.ds.q[2]);
-            kphys::sediment(&mut self.dev, st, &self.geom, dt, self.ds.rho, self.ds.q[2], self.ds.precip);
+            kphys::warm_rain(
+                &mut self.dev,
+                st,
+                &self.geom,
+                dt,
+                self.ds.rho,
+                self.ds.th,
+                self.ds.p,
+                self.ds.q[0],
+                self.ds.q[1],
+                self.ds.q[2],
+            );
+            kphys::sediment(
+                &mut self.dev,
+                st,
+                &self.geom,
+                dt,
+                self.ds.rho,
+                self.ds.q[2],
+                self.ds.precip,
+            );
         }
         kphys::rayleigh(
             &mut self.dev,
@@ -405,6 +810,7 @@ impl<R: Real> MultiRank<R> {
                 self.full_halo(comm, self.ds.v, self.geom.dc, fid::V);
                 self.full_halo(comm, self.ds.w, self.geom.dw, fid::W);
                 self.full_halo(comm, self.ds.th, self.geom.dc, fid::TH);
+                #[allow(clippy::needless_range_loop)]
                 for t in 0..self.ds.n_tracers {
                     self.full_halo(comm, self.ds.q[t], self.geom.dc, fid::Q0 + t as u32);
                 }
@@ -414,8 +820,16 @@ impl<R: Real> MultiRank<R> {
                 // exchange proceeds while warm rain / sedimentation /
                 // sponge still run on the compute engine.
                 let uv = [
-                    crate::halo::FieldRef { buf: self.ds.u, dims: self.geom.dc, id: fid::U },
-                    crate::halo::FieldRef { buf: self.ds.v, dims: self.geom.dc, id: fid::V },
+                    crate::halo::FieldRef {
+                        buf: self.ds.u,
+                        dims: self.geom.dc,
+                        id: fid::U,
+                    },
+                    crate::halo::FieldRef {
+                        buf: self.ds.v,
+                        dims: self.geom.dc,
+                        id: fid::V,
+                    },
                 ];
                 self.ex.exchange_y_many(&mut self.dev, comm, self.s_y, &uv);
                 self.ex.exchange_x_many(&mut self.dev, comm, self.s_x, &uv);
@@ -425,9 +839,21 @@ impl<R: Real> MultiRank<R> {
                 self.dev.stream_wait_event(self.s_y, ev);
                 self.dev.stream_wait_event(self.s_x, ev);
                 let rtw = [
-                    crate::halo::FieldRef { buf: self.ds.rho, dims: self.geom.dc, id: fid::RHO },
-                    crate::halo::FieldRef { buf: self.ds.th, dims: self.geom.dc, id: fid::TH },
-                    crate::halo::FieldRef { buf: self.ds.w, dims: self.geom.dw, id: fid::W },
+                    crate::halo::FieldRef {
+                        buf: self.ds.rho,
+                        dims: self.geom.dc,
+                        id: fid::RHO,
+                    },
+                    crate::halo::FieldRef {
+                        buf: self.ds.th,
+                        dims: self.geom.dc,
+                        id: fid::TH,
+                    },
+                    crate::halo::FieldRef {
+                        buf: self.ds.w,
+                        dims: self.geom.dw,
+                        id: fid::W,
+                    },
                 ];
                 self.ex.exchange_y_many(&mut self.dev, comm, self.s_y, &rtw);
                 self.ex.exchange_x_many(&mut self.dev, comm, self.s_x, &rtw);
@@ -444,7 +870,14 @@ impl<R: Real> MultiRank<R> {
                 // of the next stage's slow-tendency phase)
             }
         }
-        eos::eos_full(&mut self.dev, st, &self.geom, "eos_full", self.ds.th, self.ds.p);
+        eos::eos_full(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "eos_full",
+            self.ds.th,
+            self.ds.p,
+        );
         self.dev.sync_all();
     }
 }
@@ -456,107 +889,141 @@ pub type InitFn = dyn Fn(usize, &Grid, &BaseFields, &mut State) + Sync;
 /// Run a multi-GPU simulation; `init` receives (rank, local grid,
 /// base fields, state-at-rest) and may modify the state.
 pub fn run_multi<R: Real>(mc: &MultiGpuConfig, init: &InitFn) -> MultiGpuReport {
-    let decomp = Decomp::disjoint(mc.px, mc.py, mc.local_cfg.nx, mc.local_cfg.ny, mc.local_cfg.nz);
+    let decomp = Decomp::disjoint(
+        mc.px,
+        mc.py,
+        mc.local_cfg.nx,
+        mc.local_cfg.ny,
+        mc.local_cfg.nz,
+    );
     let ranks = decomp.ranks();
     let (gnx, gny) = decomp.global_disjoint();
 
-    let results: Vec<(f64, f64, f64, f64, f64, Vec<(String, u64, f64)>, Option<State>)> =
-        cluster::spawn_ranks::<Vec<R>, _, _>(ranks, mc.net, |mut comm| {
-            let rank = comm.rank();
-            let (x0, y0) = decomp.origin_disjoint(rank);
-            let grid = Grid::build_sub(&mc.local_cfg, x0, y0, gnx, gny);
-            let functional = mc.mode == ExecMode::Functional;
-            let mut dev = Device::<R>::new(mc.spec.clone(), mc.mode);
-            // Detailed records only where the breakdown harness reads
-            // them (rank 0); totals accumulate everywhere.
-            dev.profiler.set_detailed(mc.detailed_profile && rank == 0);
-            // Host base fields are only materialized when the run is
-            // functional; paper-scale phantom runs skip the (large)
-            // 3-D host arrays entirely.
-            let base = if functional {
-                let profile = BaseState {
-                    profile: mc.local_cfg.base,
-                    p_surface: physics::consts::P00,
-                };
-                Some(BaseFields::build(&grid, &profile))
-            } else {
-                None
+    #[allow(clippy::type_complexity)]
+    let results: Vec<(
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        Vec<(String, u64, f64)>,
+        Option<State>,
+    )> = cluster::spawn_ranks::<Vec<R>, _, _>(ranks, mc.net, |mut comm| {
+        let rank = comm.rank();
+        let (x0, y0) = decomp.origin_disjoint(rank);
+        let grid = Grid::build_sub(&mc.local_cfg, x0, y0, gnx, gny);
+        let functional = mc.mode == ExecMode::Functional;
+        let threads = if mc.local_cfg.threads == 0 {
+            numerics::par::default_threads()
+        } else {
+            mc.local_cfg.threads
+        };
+        let mut dev = Device::<R>::new(mc.spec.clone().with_host_threads(threads), mc.mode);
+        // Detailed records only where the breakdown harness reads
+        // them (rank 0); totals accumulate everywhere.
+        dev.profiler.set_detailed(mc.detailed_profile && rank == 0);
+        // Host base fields are only materialized when the run is
+        // functional; paper-scale phantom runs skip the (large)
+        // 3-D host arrays entirely.
+        let base = if functional {
+            let profile = BaseState {
+                profile: mc.local_cfg.base,
+                p_surface: physics::consts::P00,
             };
-            let geom = match &base {
-                Some(b) => DeviceGeom::build(&mut dev, &grid, b),
-                None => DeviceGeom::build_phantom(&mut dev, &grid),
-            };
-            let ds = DeviceState::alloc(&mut dev, &geom, mc.local_cfg.n_tracers)
-                .expect("subdomain does not fit in device memory");
-            let s_y = dev.create_stream();
-            let s_x = dev.create_stream();
-            let ex = HaloExchanger::new(&mut dev, &decomp.topo, rank, geom.dc, geom.dw);
+            Some(BaseFields::build(&grid, &profile))
+        } else {
+            None
+        };
+        let geom = match &base {
+            Some(b) => DeviceGeom::build(&mut dev, &grid, b),
+            None => DeviceGeom::build_phantom(&mut dev, &grid),
+        };
+        let ds = DeviceState::alloc(&mut dev, &geom, mc.local_cfg.n_tracers)
+            .expect("subdomain does not fit in device memory");
+        let s_y = dev.create_stream();
+        let s_x = dev.create_stream();
+        let ex = HaloExchanger::new(&mut dev, &decomp.topo, rank, geom.dc, geom.dw);
 
-            let mut mr = MultiRank {
-                cfg: mc.local_cfg.clone(),
-                grid,
-                dev,
-                geom,
-                ds,
-                ex,
-                s_comp: StreamId::DEFAULT,
-                s_y,
-                s_x,
-                overlap: mc.overlap,
-                tracers_pending: false,
-            };
+        let mut mr = MultiRank {
+            cfg: mc.local_cfg.clone(),
+            grid,
+            dev,
+            geom,
+            ds,
+            ex,
+            s_comp: StreamId::DEFAULT,
+            s_y,
+            s_x,
+            overlap: mc.overlap,
+            tracers_pending: false,
+        };
 
-            // Initial condition on the host, then upload.
-            if let Some(b) = &base {
-                let mut s = State::zeros(&mr.grid, mc.local_cfg.n_tracers);
-                dycore::model::install_base_state(&mr.grid, b, &mut s);
-                s.fill_halos_periodic();
-                init(rank, &mr.grid, b, &mut s);
-                mr.ds.upload(&mut mr.dev, &mr.geom, &s);
-            } else {
-                mr.ds.upload_phantom(&mut mr.dev, &mr.geom);
-            }
-            // Initial halo consistency + EOS.
-            mr.full_halo(&mut comm, mr.ds.rho, mr.geom.dc, fid::RHO);
-            mr.full_halo(&mut comm, mr.ds.u, mr.geom.dc, fid::U);
-            mr.full_halo(&mut comm, mr.ds.v, mr.geom.dc, fid::V);
-            mr.full_halo(&mut comm, mr.ds.w, mr.geom.dw, fid::W);
-            mr.full_halo(&mut comm, mr.ds.th, mr.geom.dc, fid::TH);
-            for t in 0..mr.ds.n_tracers {
-                let buf = mr.ds.q[t];
-                mr.full_halo(&mut comm, buf, mr.geom.dc, fid::Q0 + t as u32);
-            }
-            eos::eos_full(&mut mr.dev, mr.s_comp, &mr.geom, "eos_full", mr.ds.th, mr.ds.p);
-            mr.dev.sync_all();
+        // Initial condition on the host, then upload.
+        if let Some(b) = &base {
+            let mut s = State::zeros(&mr.grid, mc.local_cfg.n_tracers);
+            dycore::model::install_base_state(&mr.grid, b, &mut s);
+            s.fill_halos_periodic();
+            init(rank, &mr.grid, b, &mut s);
+            mr.ds.upload(&mut mr.dev, &mr.geom, &s);
+        } else {
+            mr.ds.upload_phantom(&mut mr.dev, &mr.geom);
+        }
+        // Initial halo consistency + EOS.
+        mr.full_halo(&mut comm, mr.ds.rho, mr.geom.dc, fid::RHO);
+        mr.full_halo(&mut comm, mr.ds.u, mr.geom.dc, fid::U);
+        mr.full_halo(&mut comm, mr.ds.v, mr.geom.dc, fid::V);
+        mr.full_halo(&mut comm, mr.ds.w, mr.geom.dw, fid::W);
+        mr.full_halo(&mut comm, mr.ds.th, mr.geom.dc, fid::TH);
+        for t in 0..mr.ds.n_tracers {
+            let buf = mr.ds.q[t];
+            mr.full_halo(&mut comm, buf, mr.geom.dc, fid::Q0 + t as u32);
+        }
+        eos::eos_full(
+            &mut mr.dev,
+            mr.s_comp,
+            &mr.geom,
+            "eos_full",
+            mr.ds.th,
+            mr.ds.p,
+        );
+        mr.dev.sync_all();
 
-            // Measure only the time-step loop (the paper's benchmarks
-            // exclude initialization).
-            mr.dev.profiler.reset();
-            mr.ex.stats = Default::default();
-            let t_start = mr.dev.host_time();
-            for _ in 0..mc.steps {
-                mr.step(&mut comm);
-            }
-            let elapsed = mr.dev.host_time() - t_start;
+        // Measure only the time-step loop (the paper's benchmarks
+        // exclude initialization).
+        mr.dev.profiler.reset();
+        mr.ex.stats = Default::default();
+        let t_start = mr.dev.host_time();
+        for _ in 0..mc.steps {
+            mr.step(&mut comm);
+        }
+        let elapsed = mr.dev.host_time() - t_start;
 
-            let (flops, kbusy) = mr.dev.profiler.flops_and_time();
-            let pcie = mr.dev.profiler.total_copy_time;
-            let breakdown: Vec<(String, u64, f64)> = mr
-                .dev
-                .profiler
-                .by_name()
-                .into_iter()
-                .map(|a| (a.name.to_string(), a.calls, a.seconds))
-                .collect();
-            let final_state = if mc.mode == ExecMode::Functional {
-                let mut out = State::zeros(&mr.grid, mc.local_cfg.n_tracers);
-                mr.ds.download(&mut mr.dev, &mr.geom, &mut out);
-                Some(out)
-            } else {
-                None
-            };
-            (elapsed, kbusy, mr.ex.stats.mpi_wait_s, pcie, flops, breakdown, final_state)
-        });
+        let (flops, kbusy) = mr.dev.profiler.flops_and_time();
+        let pcie = mr.dev.profiler.total_copy_time;
+        let breakdown: Vec<(String, u64, f64)> = mr
+            .dev
+            .profiler
+            .by_name()
+            .into_iter()
+            .map(|a| (a.name.to_string(), a.calls, a.seconds))
+            .collect();
+        let final_state = if mc.mode == ExecMode::Functional {
+            let mut out = State::zeros(&mr.grid, mc.local_cfg.n_tracers);
+            mr.ds.download(&mut mr.dev, &mr.geom, &mut out);
+            Some(out)
+        } else {
+            None
+        };
+        (
+            elapsed,
+            kbusy,
+            mr.ex.stats.mpi_wait_s,
+            pcie,
+            flops,
+            breakdown,
+            final_state,
+        )
+    });
 
     let total_time_s = results.iter().map(|r| r.0).fold(0.0f64, f64::max);
     let compute_s = results.iter().map(|r| r.1).fold(0.0f64, f64::max);

@@ -8,8 +8,8 @@
 
 use crate::fields::DeviceState;
 use crate::geom::DeviceGeom;
-use crate::kernels::region::{KName, Region};
 use crate::kernels::physics as kphys;
+use crate::kernels::region::{KName, Region};
 use crate::kernels::{advection, boundary, eos, helmholtz, pgf, tend, transform};
 use crate::kname;
 use dycore::config::ModelConfig;
@@ -75,7 +75,14 @@ impl<R: Real> SingleGpu<R> {
             p_surface: physics::consts::P00,
         };
         let base = BaseFields::build(&grid, &profile);
-        let mut dev = Device::new(spec, mode);
+        // Functional-mode kernel bodies run slab-parallel on this many
+        // host workers (cfg.threads == 0 → ASUCA_THREADS / all cores).
+        let threads = if cfg.threads == 0 {
+            numerics::par::default_threads()
+        } else {
+            cfg.threads
+        };
+        let mut dev = Device::new(spec.with_host_threads(threads), mode);
         let geom = DeviceGeom::build(&mut dev, &grid, &base);
         let ds = DeviceState::alloc(&mut dev, &geom, cfg.n_tracers)
             .expect("grid does not fit in device memory");
@@ -102,7 +109,14 @@ impl<R: Real> SingleGpu<R> {
         self.ds.upload(&mut self.dev, &self.geom, s);
         // Halos + full EOS once on device.
         self.fill_all_halos();
-        eos::eos_full(&mut self.dev, StreamId::DEFAULT, &self.geom, "eos_full", self.ds.th, self.ds.p);
+        eos::eos_full(
+            &mut self.dev,
+            StreamId::DEFAULT,
+            &self.geom,
+            "eos_full",
+            self.ds.th,
+            self.ds.p,
+        );
     }
 
     /// Download the prognostics into a host state (Fig. 1 "Output").
@@ -123,6 +137,7 @@ impl<R: Real> SingleGpu<R> {
         self.fill_halo_field(self.ds.w, dw, "halo_w");
         self.fill_halo_field(self.ds.th, dc, "halo_theta");
         self.fill_halo_field(self.ds.p, dc, "halo_p");
+        #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
             self.fill_halo_field(self.ds.q[t], dc, "halo_q");
         }
@@ -147,46 +162,253 @@ impl<R: Real> SingleGpu<R> {
         ] {
             transform::zero_buf(&mut self.dev, st, name, buf);
         }
+        #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
             transform::zero_buf(&mut self.dev, st, "clear_fq", self.ds.fq[t]);
         }
 
-        transform::mass_flux_w(&mut self.dev, st, &self.geom, self.ds.u, self.ds.v, self.ds.w, self.ds.mw);
+        transform::mass_flux_w(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.u,
+            self.ds.v,
+            self.ds.w,
+            self.ds.mw,
+        );
         boundary::halo_periodic_xy(&mut self.dev, st, "halo_mw", self.ds.mw, self.geom.dw);
 
         // Momentum advection + diffusion (staggered specific velocities
         // get a lateral halo refresh; see dycore::tendency for why).
-        transform::specific_u(&mut self.dev, st, &self.geom, self.ds.u, self.ds.rho, self.ds.spec);
+        transform::specific_u(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.u,
+            self.ds.rho,
+            self.ds.spec,
+        );
         boundary::halo_periodic_xy(&mut self.dev, st, "halo_spec", self.ds.spec, self.geom.dc);
-        advection::advect_u(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_U, lim, self.ds.spec, self.ds.u, self.ds.v, self.ds.mw, self.ds.fu);
-        tend::diffuse(&mut self.dev, st, &self.geom, "diff_u", kdiff, self.ds.spec, None, tend::DiffWeight::U, self.ds.rho, self.ds.fu, 0, nz);
+        advection::advect_u(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_ADV_U,
+            lim,
+            self.ds.spec,
+            self.ds.u,
+            self.ds.v,
+            self.ds.mw,
+            self.ds.fu,
+        );
+        tend::diffuse(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "diff_u",
+            kdiff,
+            self.ds.spec,
+            None,
+            tend::DiffWeight::U,
+            self.ds.rho,
+            self.ds.fu,
+            0,
+            nz,
+        );
 
-        transform::specific_v(&mut self.dev, st, &self.geom, self.ds.v, self.ds.rho, self.ds.spec);
+        transform::specific_v(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.v,
+            self.ds.rho,
+            self.ds.spec,
+        );
         boundary::halo_periodic_xy(&mut self.dev, st, "halo_spec", self.ds.spec, self.geom.dc);
-        advection::advect_v(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_V, lim, self.ds.spec, self.ds.u, self.ds.v, self.ds.mw, self.ds.fv);
-        tend::diffuse(&mut self.dev, st, &self.geom, "diff_v", kdiff, self.ds.spec, None, tend::DiffWeight::V, self.ds.rho, self.ds.fv, 0, nz);
+        advection::advect_v(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_ADV_V,
+            lim,
+            self.ds.spec,
+            self.ds.u,
+            self.ds.v,
+            self.ds.mw,
+            self.ds.fv,
+        );
+        tend::diffuse(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "diff_v",
+            kdiff,
+            self.ds.spec,
+            None,
+            tend::DiffWeight::V,
+            self.ds.rho,
+            self.ds.fv,
+            0,
+            nz,
+        );
 
-        transform::specific_w(&mut self.dev, st, &self.geom, self.ds.w, self.ds.rho, self.ds.spec_w);
-        advection::advect_w(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_W, lim, self.ds.spec_w, self.ds.u, self.ds.v, self.ds.mw, self.ds.fw);
-        tend::diffuse(&mut self.dev, st, &self.geom, "diff_w", kdiff, self.ds.spec_w, None, tend::DiffWeight::W, self.ds.rho, self.ds.fw, 1, nz);
+        transform::specific_w(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.w,
+            self.ds.rho,
+            self.ds.spec_w,
+        );
+        advection::advect_w(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_ADV_W,
+            lim,
+            self.ds.spec_w,
+            self.ds.u,
+            self.ds.v,
+            self.ds.mw,
+            self.ds.fw,
+        );
+        tend::diffuse(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "diff_w",
+            kdiff,
+            self.ds.spec_w,
+            None,
+            tend::DiffWeight::W,
+            self.ds.rho,
+            self.ds.fw,
+            1,
+            nz,
+        );
 
-        tend::coriolis(&mut self.dev, st, &self.geom, self.cfg.coriolis_f, self.ds.u, self.ds.v, self.ds.fu, self.ds.fv);
-        tend::metric_pg(&mut self.dev, st, &self.geom, self.ds.p, self.ds.fu, self.ds.fv);
+        tend::coriolis(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.cfg.coriolis_f,
+            self.ds.u,
+            self.ds.v,
+            self.ds.fu,
+            self.ds.fv,
+        );
+        tend::metric_pg(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.p,
+            self.ds.fu,
+            self.ds.fv,
+        );
 
         // Θ: advection + deviation diffusion + linear-divergence credit.
-        transform::specific_center(&mut self.dev, st, &self.geom, "transform_theta", self.ds.th, self.ds.rho, self.ds.spec);
-        advection::advect_scalar(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_TH, lim, true, self.ds.spec, self.ds.u, self.ds.v, self.ds.mw, self.ds.fth);
-        tend::diffuse(&mut self.dev, st, &self.geom, "diff_theta", kdiff, self.ds.spec, Some(self.geom.th_c), tend::DiffWeight::Center, self.ds.rho, self.ds.fth, 0, nz);
-        tend::add_div_lin_theta(&mut self.dev, st, &self.geom, self.ds.u, self.ds.v, self.ds.w, self.ds.fth);
+        transform::specific_center(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "transform_theta",
+            self.ds.th,
+            self.ds.rho,
+            self.ds.spec,
+        );
+        advection::advect_scalar(
+            &mut self.dev,
+            st,
+            &self.geom,
+            Region::Whole,
+            &KN_ADV_TH,
+            lim,
+            true,
+            self.ds.spec,
+            self.ds.u,
+            self.ds.v,
+            self.ds.mw,
+            self.ds.fth,
+        );
+        tend::diffuse(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "diff_theta",
+            kdiff,
+            self.ds.spec,
+            Some(self.geom.th_c),
+            tend::DiffWeight::Center,
+            self.ds.rho,
+            self.ds.fth,
+            0,
+            nz,
+        );
+        tend::add_div_lin_theta(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.u,
+            self.ds.v,
+            self.ds.w,
+            self.ds.fth,
+        );
 
         // ρ*: terrain metric residual.
-        tend::continuity_residual(&mut self.dev, st, &self.geom, self.ds.u, self.ds.v, self.ds.w, self.ds.mw, self.ds.frho);
+        tend::continuity_residual(
+            &mut self.dev,
+            st,
+            &self.geom,
+            self.ds.u,
+            self.ds.v,
+            self.ds.w,
+            self.ds.mw,
+            self.ds.frho,
+        );
 
         // Tracers ("13 variables related to water substances").
+        #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
-            transform::specific_center(&mut self.dev, st, &self.geom, "transform_q", self.ds.q[t], self.ds.rho, self.ds.spec);
-            advection::advect_scalar(&mut self.dev, st, &self.geom, Region::Whole, &KN_ADV_Q[t], lim, true, self.ds.spec, self.ds.u, self.ds.v, self.ds.mw, self.ds.fq[t]);
-            tend::diffuse(&mut self.dev, st, &self.geom, "diff_q", kdiff, self.ds.spec, None, tend::DiffWeight::Center, self.ds.rho, self.ds.fq[t], 0, nz);
+            transform::specific_center(
+                &mut self.dev,
+                st,
+                &self.geom,
+                "transform_q",
+                self.ds.q[t],
+                self.ds.rho,
+                self.ds.spec,
+            );
+            advection::advect_scalar(
+                &mut self.dev,
+                st,
+                &self.geom,
+                Region::Whole,
+                &KN_ADV_Q[t],
+                lim,
+                true,
+                self.ds.spec,
+                self.ds.u,
+                self.ds.v,
+                self.ds.mw,
+                self.ds.fq[t],
+            );
+            tend::diffuse(
+                &mut self.dev,
+                st,
+                &self.geom,
+                "diff_q",
+                kdiff,
+                self.ds.spec,
+                None,
+                tend::DiffWeight::Center,
+                self.ds.rho,
+                self.ds.fq[t],
+                0,
+                nz,
+            );
         }
         let _ = ds;
     }
@@ -202,6 +424,7 @@ impl<R: Real> SingleGpu<R> {
         transform::copy_buf(&mut self.dev, st, "save_v_t", self.ds.v, self.ds.v_t);
         transform::copy_buf(&mut self.dev, st, "save_w_t", self.ds.w, self.ds.w_t);
         transform::copy_buf(&mut self.dev, st, "save_th_t", self.ds.th, self.ds.th_t);
+        #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
             transform::copy_buf(&mut self.dev, st, "save_q_t", self.ds.q[t], self.ds.q_t[t]);
         }
@@ -214,8 +437,21 @@ impl<R: Real> SingleGpu<R> {
             // Slow tendencies + linearization reference from the latest
             // stage state (the prognostics currently on device).
             self.compute_slow_tendencies();
-            transform::copy_buf(&mut self.dev, st, "capture_th_ref", self.ds.th, self.ds.th_ref);
-            eos::eos_full(&mut self.dev, st, &self.geom, "eos_ref", self.ds.th_ref, self.ds.p_ref);
+            transform::copy_buf(
+                &mut self.dev,
+                st,
+                "capture_th_ref",
+                self.ds.th,
+                self.ds.th_ref,
+            );
+            eos::eos_full(
+                &mut self.dev,
+                st,
+                &self.geom,
+                "eos_ref",
+                self.ds.th_ref,
+                self.ds.p_ref,
+            );
 
             // Restart the acoustic integration from time t.
             transform::copy_buf(&mut self.dev, st, "restore_rho", self.ds.rho_t, self.ds.rho);
@@ -223,11 +459,39 @@ impl<R: Real> SingleGpu<R> {
             transform::copy_buf(&mut self.dev, st, "restore_v", self.ds.v_t, self.ds.v);
             transform::copy_buf(&mut self.dev, st, "restore_w", self.ds.w_t, self.ds.w);
             transform::copy_buf(&mut self.dev, st, "restore_th", self.ds.th_t, self.ds.th);
-            eos::eos_linear(&mut self.dev, st, &self.geom, self.ds.th, self.ds.th_ref, self.ds.p_ref, self.ds.p);
+            eos::eos_linear(
+                &mut self.dev,
+                st,
+                &self.geom,
+                self.ds.th,
+                self.ds.th_ref,
+                self.ds.p_ref,
+                self.ds.p,
+            );
 
             for _ in 0..nsub {
-                pgf::momentum_x(&mut self.dev, st, &self.geom, Region::Whole, &KN_MOM_X, self.ds.p, self.ds.fu, dtau, self.ds.u);
-                pgf::momentum_y(&mut self.dev, st, &self.geom, Region::Whole, &KN_MOM_Y, self.ds.p, self.ds.fv, dtau, self.ds.v);
+                pgf::momentum_x(
+                    &mut self.dev,
+                    st,
+                    &self.geom,
+                    Region::Whole,
+                    &KN_MOM_X,
+                    self.ds.p,
+                    self.ds.fu,
+                    dtau,
+                    self.ds.u,
+                );
+                pgf::momentum_y(
+                    &mut self.dev,
+                    st,
+                    &self.geom,
+                    Region::Whole,
+                    &KN_MOM_Y,
+                    self.ds.p,
+                    self.ds.fv,
+                    dtau,
+                    self.ds.v,
+                );
                 boundary::halo_periodic_xy(&mut self.dev, st, "halo_u", self.ds.u, self.geom.dc);
                 boundary::halo_periodic_xy(&mut self.dev, st, "halo_v", self.ds.v, self.geom.dc);
                 helmholtz::helmholtz(
@@ -254,25 +518,85 @@ impl<R: Real> SingleGpu<R> {
                         st_th: self.ds.flux,
                     },
                 );
-                helmholtz::density(&mut self.dev, st, &self.geom, Region::Whole, &KN_DENS, self.cfg.beta, dtau, self.ds.spec, self.ds.w, self.ds.rho);
-                helmholtz::potential_temperature(&mut self.dev, st, &self.geom, Region::Whole, &KN_PT, self.cfg.beta, dtau, self.ds.flux, self.ds.w, self.ds.th);
+                helmholtz::density(
+                    &mut self.dev,
+                    st,
+                    &self.geom,
+                    Region::Whole,
+                    &KN_DENS,
+                    self.cfg.beta,
+                    dtau,
+                    self.ds.spec,
+                    self.ds.w,
+                    self.ds.rho,
+                );
+                helmholtz::potential_temperature(
+                    &mut self.dev,
+                    st,
+                    &self.geom,
+                    Region::Whole,
+                    &KN_PT,
+                    self.cfg.beta,
+                    dtau,
+                    self.ds.flux,
+                    self.ds.w,
+                    self.ds.th,
+                );
                 self.fill_halo_field(self.ds.th, self.geom.dc, "halo_theta");
                 self.fill_halo_field(self.ds.rho, self.geom.dc, "halo_rho");
-                eos::eos_linear(&mut self.dev, st, &self.geom, self.ds.th, self.ds.th_ref, self.ds.p_ref, self.ds.p);
+                eos::eos_linear(
+                    &mut self.dev,
+                    st,
+                    &self.geom,
+                    self.ds.th,
+                    self.ds.th_ref,
+                    self.ds.p_ref,
+                    self.ds.p,
+                );
             }
             self.fill_halo_field(self.ds.w, self.geom.dw, "halo_w");
 
             // Tracers from their time-t values.
+            #[allow(clippy::needless_range_loop)]
             for t in 0..self.ds.n_tracers {
-                tend::tracer_update(&mut self.dev, st, &self.geom, Region::Whole, &KN_TRACER[t], dts, self.ds.q_t[t], self.ds.fq[t], self.ds.q[t]);
+                tend::tracer_update(
+                    &mut self.dev,
+                    st,
+                    &self.geom,
+                    Region::Whole,
+                    &KN_TRACER[t],
+                    dts,
+                    self.ds.q_t[t],
+                    self.ds.fq[t],
+                    self.ds.q[t],
+                );
                 self.fill_halo_field(self.ds.q[t], self.geom.dc, "halo_q");
             }
         }
 
         // Physics.
         if self.cfg.microphysics && self.ds.n_tracers >= 3 {
-            kphys::warm_rain(&mut self.dev, st, &self.geom, dt, self.ds.rho, self.ds.th, self.ds.p, self.ds.q[0], self.ds.q[1], self.ds.q[2]);
-            kphys::sediment(&mut self.dev, st, &self.geom, dt, self.ds.rho, self.ds.q[2], self.ds.precip);
+            kphys::warm_rain(
+                &mut self.dev,
+                st,
+                &self.geom,
+                dt,
+                self.ds.rho,
+                self.ds.th,
+                self.ds.p,
+                self.ds.q[0],
+                self.ds.q[1],
+                self.ds.q[2],
+            );
+            kphys::sediment(
+                &mut self.dev,
+                st,
+                &self.geom,
+                dt,
+                self.ds.rho,
+                self.ds.q[2],
+                self.ds.precip,
+            );
         }
         kphys::rayleigh(
             &mut self.dev,
@@ -289,7 +613,14 @@ impl<R: Real> SingleGpu<R> {
 
         // Final halos + full EOS.
         self.fill_all_halos();
-        eos::eos_full(&mut self.dev, st, &self.geom, "eos_full", self.ds.th, self.ds.p);
+        eos::eos_full(
+            &mut self.dev,
+            st,
+            &self.geom,
+            "eos_full",
+            self.ds.th,
+            self.ds.p,
+        );
 
         self.dev.sync_all();
         self.time += dt;

@@ -20,16 +20,31 @@ pub struct Dims {
 
 impl Dims {
     pub fn center(nx: usize, ny: usize, nz: usize, halo: usize) -> Self {
-        Dims { nx, ny, nl: nz, halo }
+        Dims {
+            nx,
+            ny,
+            nl: nz,
+            halo,
+        }
     }
 
     pub fn wlevel(nx: usize, ny: usize, nz: usize, halo: usize) -> Self {
-        Dims { nx, ny, nl: nz + 1, halo }
+        Dims {
+            nx,
+            ny,
+            nl: nz + 1,
+            halo,
+        }
     }
 
     /// A 2-D horizontal field (one level, no vertical halo).
     pub fn plane(nx: usize, ny: usize, halo: usize) -> Self {
-        Dims { nx, ny, nl: 1, halo }
+        Dims {
+            nx,
+            ny,
+            nl: 1,
+            halo,
+        }
     }
 
     #[inline(always)]
@@ -72,6 +87,16 @@ impl Dims {
             ((k + h) as usize, self.pl())
         };
         (i + h) as usize + self.px() * (kk + pl * (j + h) as usize)
+    }
+
+    /// Flat element range covering logical rows `[j0, j1)` — a
+    /// contiguous y-slab (the XZY property the slab-parallel launch path
+    /// builds on). Halo rows via negative / past-the-end indices.
+    pub fn slab(&self, j0: isize, j1: isize) -> std::ops::Range<usize> {
+        let h = self.halo as isize;
+        debug_assert!(-h <= j0 && j0 <= j1 && j1 <= self.ny as isize + h);
+        let stride = self.px() * self.pl();
+        stride * (j0 + h) as usize..stride * (j1 + h) as usize
     }
 }
 
@@ -120,6 +145,46 @@ impl<'a, R: Real> V3Mut<'a, R> {
     #[inline(always)]
     pub fn add(&mut self, i: isize, j: isize, k: isize, v: R) {
         let off = self.m.off(i, j, k);
+        self.d[off] += v;
+    }
+}
+
+/// Mutable view over one claimed y-slab of a device buffer: `d` holds
+/// only the rows `[j0, …)` (see [`Dims::slab`]), and indexing subtracts
+/// the slab's base offset so kernels keep using global `(i, j, k)`
+/// coordinates. Out-of-slab access lands outside `d` and panics.
+pub struct V3SlabMut<'a, R> {
+    pub d: &'a mut [R],
+    pub m: Dims,
+    base: usize,
+}
+
+impl<'a, R: Real> V3SlabMut<'a, R> {
+    /// Wrap a slab slice whose first element is global row `j0`'s origin.
+    pub fn new(d: &'a mut [R], m: Dims, j0: isize) -> Self {
+        let base = m.slab(j0, j0).start;
+        V3SlabMut { d, m, base }
+    }
+
+    #[inline(always)]
+    fn idx(&self, i: isize, j: isize, k: isize) -> usize {
+        self.m.off(i, j, k) - self.base
+    }
+
+    #[inline(always)]
+    pub fn at(&self, i: isize, j: isize, k: isize) -> R {
+        self.d[self.idx(i, j, k)]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, i: isize, j: isize, k: isize, v: R) {
+        let off = self.idx(i, j, k);
+        self.d[off] = v;
+    }
+
+    #[inline(always)]
+    pub fn add(&mut self, i: isize, j: isize, k: isize, v: R) {
+        let off = self.idx(i, j, k);
         self.d[off] += v;
     }
 }
@@ -176,6 +241,48 @@ mod tests {
         let v = V3::new(&data, m);
         assert_eq!(v.at(0, 0, 0), 7.0);
         assert_eq!(v.at(-1, 1, 2), 9.0);
+    }
+
+    #[test]
+    fn slab_ranges_tile_the_buffer() {
+        let m = Dims::center(4, 3, 2, 2);
+        assert_eq!(m.slab(-2, m.ny as isize + 2), 0..m.len());
+        // Interior rows [0, ny) are exactly the union of per-row slabs.
+        let whole = m.slab(0, 3);
+        let mut cursor = whole.start;
+        for j in 0..3isize {
+            let r = m.slab(j, j + 1);
+            assert_eq!(r.start, cursor);
+            assert_eq!(r.len(), m.px() * m.pl());
+            cursor = r.end;
+        }
+        assert_eq!(cursor, whole.end);
+    }
+
+    #[test]
+    fn slab_view_matches_whole_view() {
+        let m = Dims::center(3, 4, 2, 1);
+        let mut data = vec![0.0f64; m.len()];
+        {
+            let r = m.slab(1, 3);
+            let mut s = V3SlabMut::new(&mut data[r], m, 1);
+            s.set(0, 1, 0, 5.0);
+            s.add(2, 2, 1, 2.5);
+            assert_eq!(s.at(0, 1, 0), 5.0);
+        }
+        let v = V3::new(&data, m);
+        assert_eq!(v.at(0, 1, 0), 5.0);
+        assert_eq!(v.at(2, 2, 1), 2.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slab_view_rejects_out_of_slab_rows() {
+        let m = Dims::center(3, 4, 2, 1);
+        let mut data = vec![0.0f64; m.len()];
+        let r = m.slab(1, 3);
+        let mut s = V3SlabMut::new(&mut data[r], m, 1);
+        s.set(0, 3, 0, 1.0);
     }
 
     #[test]

@@ -60,7 +60,12 @@ pub fn compute_eos_pressure(grid: &Grid, th: &Field3<f64>, p: &mut Field3<f64>) 
         for i in -h..nx + h {
             let inv_g = 1.0 / grid.g.at(i.clamp(-2, nx + 1), j.clamp(-2, ny + 1));
             for k in -h..nz + h {
-                p.set(i, j, k, eos::pressure_from_rho_theta(th.at(i, j, k) * inv_g));
+                p.set(
+                    i,
+                    j,
+                    k,
+                    eos::pressure_from_rho_theta(th.at(i, j, k) * inv_g),
+                );
             }
         }
     }
@@ -214,8 +219,7 @@ pub fn implicit_vertical(
                 let thw_0 = base.th_w.at(i, j, k);
                 let thw_p = base.th_w.at(i, j, k + 1);
                 scratch.solver.a[r] = -tb2 / gm * (c2m_lo * thw_m / (dz * dz) - GRAV / (2.0 * dz));
-                scratch.solver.b[r] =
-                    1.0 + tb2 / (gm * dz * dz) * thw_0 * (c2m_hi + c2m_lo);
+                scratch.solver.b[r] = 1.0 + tb2 / (gm * dz * dz) * thw_0 * (c2m_hi + c2m_lo);
                 scratch.solver.c[r] = -tb2 / gm * (c2m_hi * thw_p / (dz * dz) + GRAV / (2.0 * dz));
 
                 let p_old_grad = (s.p.at(i, j, k) - s.p.at(i, j, k - 1)) / dz;
@@ -224,8 +228,7 @@ pub fn implicit_vertical(
                 let p_st_grad = (scratch.p_st[kw] - scratch.p_st[kw - 1]) / dz;
                 let buoy_st = GRAV
                     * (0.5 * (scratch.rho_st[kw - 1] + scratch.rho_st[kw]) - base.rbw.at(i, j, k));
-                scratch.solver.d[r] = s.w.at(i, j, k)
-                    + dtau * f.fw.at(i, j, k)
+                scratch.solver.d[r] = s.w.at(i, j, k) + dtau * f.fw.at(i, j, k)
                     - dtau * (1.0 - beta) * (p_old_grad + buoy_old)
                     - dtau * beta * (p_st_grad + buoy_st);
             }
@@ -319,11 +322,7 @@ mod tests {
             update_linear_pressure(&grid, &base, &sref, &s.th, &mut s.p);
         }
         assert!(s.u.max_abs() < 1e-10, "u grew: {}", s.u.max_abs());
-        assert!(
-            s.w.max_abs() - w_before < 1e-9,
-            "w grew: {}",
-            s.w.max_abs()
-        );
+        assert!(s.w.max_abs() - w_before < 1e-9, "w grew: {}", s.w.max_abs());
     }
 
     #[test]
@@ -332,7 +331,10 @@ mod tests {
         // must be (almost exactly) cancelled by the slow metric term
         // (∂z/∂x)|ζ ∂ζ p — together they form the true ∂x p|z = 0.
         let (_cfg, grid, base) = setup(
-            Terrain::AgnesiRidge { height: 400.0, half_width: 8000.0 },
+            Terrain::AgnesiRidge {
+                height: 400.0,
+                half_width: 8000.0,
+            },
             16,
             4,
             12,
@@ -428,7 +430,7 @@ mod tests {
             update_linear_pressure(&grid, &base, &sref, &s.th, &mut s.p);
         }
         // Expected travel distance in cells.
-        let cs = (base.c2m.at(32, 1, kc as isize) * base.th_c.at(32, 1, kc as isize)).sqrt();
+        let cs = (base.c2m.at(32, 1, kc) * base.th_c.at(32, 1, kc)).sqrt();
         let cells = cs * dtau * nsteps as f64 / grid.dx;
         // Find the front: outermost cell where |u| exceeds 1% of max.
         let umax = s.u.max_abs();

@@ -73,7 +73,10 @@ pub struct ModelConfig {
     pub n_tracers: usize,
     /// Enable the Kessler warm-rain scheme (first 3 tracers).
     pub microphysics: bool,
-    /// Worker threads for slab-parallel sweeps.
+    /// Worker threads for slab-parallel sweeps (CPU reference loops and
+    /// Functional-mode device kernels). 0 = auto: the `ASUCA_THREADS`
+    /// environment variable if set, else all available cores. Results
+    /// are bitwise identical for any thread count.
     pub threads: usize,
 }
 
@@ -103,10 +106,13 @@ impl ModelConfig {
                 height: 400.0,
                 half_width: 10_000.0,
             },
-            base: Profile::ConstantN { theta0: 288.0, n: 0.01 },
+            base: Profile::ConstantN {
+                theta0: 288.0,
+                n: 0.01,
+            },
             n_tracers: 3,
             microphysics: true,
-            threads: 1,
+            threads: 0,
         }
     }
 
@@ -114,7 +120,7 @@ impl ModelConfig {
     pub fn substeps_for_stage(&self, s: usize) -> usize {
         match s {
             1 => 1,
-            2 => (self.ns_acoustic + 1) / 2,
+            2 => self.ns_acoustic.div_ceil(2),
             3 => self.ns_acoustic,
             _ => panic!("RK3 has stages 1..=3"),
         }
@@ -136,7 +142,10 @@ impl ModelConfig {
     }
 
     pub fn validate(&self) {
-        assert!(self.nx >= 4 && self.ny >= 4 && self.nz >= 4, "grid too small for the 4-point stencil");
+        assert!(
+            self.nx >= 4 && self.ny >= 4 && self.nz >= 4,
+            "grid too small for the 4-point stencil"
+        );
         assert!(self.dt > 0.0 && self.dx > 0.0 && self.dy > 0.0 && self.z_top > 0.0);
         assert!(self.ns_acoustic >= 1);
         assert!((0.5..=1.0).contains(&self.beta), "beta must be in [0.5, 1]");

@@ -57,7 +57,11 @@ pub fn wind_speed_slice(grid: &Grid, s: &State, k: usize) -> Slice2D {
             data[j * grid.nx + i] = (u * u + v * v).sqrt();
         }
     }
-    Slice2D { nx: grid.nx, ny: grid.ny, data }
+    Slice2D {
+        nx: grid.nx,
+        ny: grid.ny,
+        data,
+    }
 }
 
 /// Pressure at cell centers for level `k` [Pa].
@@ -68,7 +72,11 @@ pub fn pressure_slice(grid: &Grid, s: &State, k: usize) -> Slice2D {
             data[j * grid.nx + i] = s.p.at(i as isize, j as isize, k as isize);
         }
     }
-    Slice2D { nx: grid.nx, ny: grid.ny, data }
+    Slice2D {
+        nx: grid.nx,
+        ny: grid.ny,
+        data,
+    }
 }
 
 /// Accumulated surface precipitation [kg m⁻²].
@@ -79,7 +87,11 @@ pub fn precipitation_slice(grid: &Grid, s: &State) -> Slice2D {
             data[j * grid.nx + i] = s.precip.at(i as isize, j as isize, 0);
         }
     }
-    Slice2D { nx: grid.nx, ny: grid.ny, data }
+    Slice2D {
+        nx: grid.nx,
+        ny: grid.ny,
+        data,
+    }
 }
 
 /// Specific vertical velocity in an (x, z) cross-section at row `j`.
@@ -95,7 +107,11 @@ pub fn w_cross_section(grid: &Grid, s: &State, j: usize) -> Slice2D {
             data[k * grid.nx + i] = s.w.at(ii, jj, kk) / rho;
         }
     }
-    Slice2D { nx: grid.nx, ny: grid.nz + 1, data }
+    Slice2D {
+        nx: grid.nx,
+        ny: grid.nz + 1,
+        data,
+    }
 }
 
 /// CSV dump of a slice (header `i,j,value`).
@@ -162,7 +178,11 @@ mod tests {
 
     #[test]
     fn min_max_detects_range() {
-        let s = Slice2D { nx: 2, ny: 2, data: vec![1.0, -3.0, 5.0, 0.0] };
+        let s = Slice2D {
+            nx: 2,
+            ny: 2,
+            data: vec![1.0, -3.0, 5.0, 0.0],
+        };
         assert_eq!(s.min_max(), (-3.0, 5.0));
     }
 }

@@ -116,7 +116,13 @@ impl Grid {
 
     /// Build a subdomain grid of a `global_nx × global_ny` domain whose
     /// local origin is at global cell `(x0, y0)`.
-    pub fn build_sub(cfg: &ModelConfig, x0: usize, y0: usize, global_nx: usize, global_ny: usize) -> Self {
+    pub fn build_sub(
+        cfg: &ModelConfig,
+        x0: usize,
+        y0: usize,
+        global_nx: usize,
+        global_ny: usize,
+    ) -> Self {
         let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
         let dzeta = cfg.dzeta();
         let mut zs = Pad2::new(nx, ny);
@@ -334,7 +340,10 @@ mod tests {
     #[test]
     fn agnesi_ridge_peaks_at_center() {
         let mut c = ModelConfig::mountain_wave(32, 8, 10);
-        c.terrain = Terrain::AgnesiRidge { height: 500.0, half_width: 8000.0 };
+        c.terrain = Terrain::AgnesiRidge {
+            height: 500.0,
+            half_width: 8000.0,
+        };
         let g = Grid::build(&c);
         // max zs near the domain-center column
         let mut max_zs = 0.0;
@@ -358,7 +367,10 @@ mod tests {
     #[test]
     fn terrain_height_consistency() {
         let mut c = ModelConfig::mountain_wave(24, 24, 12);
-        c.terrain = Terrain::AgnesiHill { height: 300.0, half_width: 6000.0 };
+        c.terrain = Terrain::AgnesiHill {
+            height: 300.0,
+            half_width: 6000.0,
+        };
         let g = Grid::build(&c);
         // z at surface w-level equals terrain height; z at top equals lid.
         for (i, j) in [(0isize, 0isize), (12, 12), (5, 20)] {
@@ -372,7 +384,10 @@ mod tests {
         // A subdomain of a larger global domain must see the same terrain
         // as the corresponding region of the global grid.
         let mut cg = ModelConfig::mountain_wave(32, 16, 8);
-        cg.terrain = Terrain::AgnesiHill { height: 250.0, half_width: 5000.0 };
+        cg.terrain = Terrain::AgnesiHill {
+            height: 250.0,
+            half_width: 5000.0,
+        };
         let global = Grid::build(&cg);
         let mut cl = cg.clone();
         cl.nx = 16;
@@ -388,7 +403,10 @@ mod tests {
     #[test]
     fn base_state_discretely_balanced() {
         let mut c = cfg_flat();
-        c.terrain = Terrain::AgnesiRidge { height: 600.0, half_width: 9000.0 };
+        c.terrain = Terrain::AgnesiRidge {
+            height: 600.0,
+            half_width: 9000.0,
+        };
         let g = Grid::build(&c);
         let bs = BaseState::constant_n(288.0, 0.01);
         let b = BaseFields::build(&g, &bs);

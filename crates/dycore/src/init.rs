@@ -33,13 +33,17 @@ pub fn mountain_wave_inflow(m: &mut Model, u0: f64) {
 /// Warm, moist bubble: +`dtheta` K thermal with `rh` relative humidity
 /// inside, centred at fractions (`fx`, `fy`, `fz`) of the domain with
 /// radius `radius_cells` grid cells. Drives convection and rain.
-pub fn warm_moist_bubble(m: &mut Model, dtheta: f64, rh: f64, fx: f64, fy: f64, fz: f64, radius_cells: f64) {
+pub fn warm_moist_bubble(
+    m: &mut Model,
+    dtheta: f64,
+    rh: f64,
+    fx: f64,
+    fy: f64,
+    fz: f64,
+    radius_cells: f64,
+) {
     let (nx, ny, nz) = (m.grid.nx as isize, m.grid.ny as isize, m.grid.nz as isize);
-    let (cx, cy, cz) = (
-        fx * nx as f64,
-        fy * ny as f64,
-        fz * nz as f64,
-    );
+    let (cx, cy, cz) = (fx * nx as f64, fy * ny as f64, fz * nz as f64);
     for j in 0..ny {
         for i in 0..nx {
             for k in 0..nz {
@@ -48,7 +52,9 @@ pub fn warm_moist_bubble(m: &mut Model, dtheta: f64, rh: f64, fx: f64, fy: f64, 
                 let dz = (k as f64 + 0.5 - cz) / radius_cells;
                 let r2 = dx * dx + dy * dy + dz * dz;
                 if r2 < 1.0 {
-                    let amp = (std::f64::consts::FRAC_PI_2 * (1.0 - r2.sqrt())).sin().powi(2);
+                    let amp = (std::f64::consts::FRAC_PI_2 * (1.0 - r2.sqrt()))
+                        .sin()
+                        .powi(2);
                     let rho = m.state.rho.at(i, j, k);
                     let th = m.state.th.at(i, j, k);
                     m.state.th.set(i, j, k, th + rho * dtheta * amp);

@@ -37,13 +37,7 @@ pub fn apply_kessler(grid: &Grid, s: &mut State, dt: f64) {
                 let pi = eos::exner(p);
                 let fac = eos::theta_m_factor(qv, qc, qr);
                 let theta = s.th.at(i, j, k) / (rho_star * fac);
-                let out = kessler::step_point(
-                    p,
-                    pi,
-                    rho,
-                    dt,
-                    PointState { theta, qv, qc, qr },
-                );
+                let out = kessler::step_point(p, pi, rho, dt, PointState { theta, qv, qc, qr });
                 let fac_new = eos::theta_m_factor(out.qv, out.qc, out.qr);
                 s.th.set(i, j, k, rho_star * out.theta * fac_new);
                 s.q[QV].set(i, j, k, rho_star * out.qv);
@@ -142,8 +136,16 @@ pub fn rayleigh_tables(grid: &Grid, z_bottom: f64, rate: f64, dt: f64) -> (Vec<f
             rate * s * s
         }
     };
-    let damp_w: Vec<f64> = grid.zeta_w.iter().map(|&z| 1.0 / (1.0 + dt * ramp(z))).collect();
-    let damp_c: Vec<f64> = grid.zeta_c.iter().map(|&z| 1.0 / (1.0 + dt * ramp(z))).collect();
+    let damp_w: Vec<f64> = grid
+        .zeta_w
+        .iter()
+        .map(|&z| 1.0 / (1.0 + dt * ramp(z)))
+        .collect();
+    let damp_c: Vec<f64> = grid
+        .zeta_c
+        .iter()
+        .map(|&z| 1.0 / (1.0 + dt * ramp(z)))
+        .collect();
     (damp_w, damp_c)
 }
 
@@ -275,7 +277,10 @@ mod tests {
     #[test]
     fn rayleigh_damps_w_only_in_the_sponge() {
         let (mut c, g, b) = setup();
-        c.rayleigh = crate::config::RayleighConfig { z_bottom: 9000.0, rate: 0.1 };
+        c.rayleigh = crate::config::RayleighConfig {
+            z_bottom: 9000.0,
+            rate: 0.1,
+        };
         let mut s = moist_state(&g, &b);
         s.w.fill(1.0);
         rayleigh_damping(&c, &g, &b, &mut s, 5.0);

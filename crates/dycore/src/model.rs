@@ -355,14 +355,19 @@ mod tests {
             for i in -2..17isize {
                 for k in -2..14isize {
                     let kk = k.clamp(0, 11);
-                    let r = 0.5 * (m.state.rho.at(i, j, kk) + m.state.rho.at((i + 1).min(17), j, kk));
+                    let r =
+                        0.5 * (m.state.rho.at(i, j, kk) + m.state.rho.at((i + 1).min(17), j, kk));
                     m.state.u.set(i, j, k, u0 * r);
                 }
             }
         }
         m.finalize_init();
         let stats = m.run(3);
-        assert!((stats.max_u - u0).abs() < 0.05, "u drifted to {}", stats.max_u);
+        assert!(
+            (stats.max_u - u0).abs() < 0.05,
+            "u drifted to {}",
+            stats.max_u
+        );
         assert!(stats.max_w < 1e-6, "spurious w {}", stats.max_w);
     }
 

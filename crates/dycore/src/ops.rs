@@ -191,7 +191,12 @@ pub fn advect_scalar(
         }
         for i in 0..nx {
             for k in 0..nz {
-                out.add_at(i, j, k, -(ws_flux_a.at(i, j, k) - ws_flux_a.at(i - 1, j, k)) * inv_dx);
+                out.add_at(
+                    i,
+                    j,
+                    k,
+                    -(ws_flux_a.at(i, j, k) - ws_flux_a.at(i - 1, j, k)) * inv_dx,
+                );
             }
         }
     }
@@ -215,7 +220,12 @@ pub fn advect_scalar(
     for j in 0..ny {
         for i in 0..nx {
             for k in 0..nz {
-                out.add_at(i, j, k, -(ws_flux_a.at(i, j, k) - ws_flux_a.at(i, j - 1, k)) * inv_dy);
+                out.add_at(
+                    i,
+                    j,
+                    k,
+                    -(ws_flux_a.at(i, j, k) - ws_flux_a.at(i, j - 1, k)) * inv_dy,
+                );
             }
         }
     }
@@ -237,7 +247,12 @@ pub fn advect_scalar(
                 ws_flux_w.set(i, j, k, f);
             }
             for k in 0..nz {
-                out.add_at(i, j, k, -(ws_flux_w.at(i, j, k + 1) - ws_flux_w.at(i, j, k)) * inv_dz);
+                out.add_at(
+                    i,
+                    j,
+                    k,
+                    -(ws_flux_w.at(i, j, k + 1) - ws_flux_w.at(i, j, k)) * inv_dz,
+                );
             }
         }
     }
@@ -265,31 +280,78 @@ pub fn advect_u(
                 // x faces of the u CV sit at cell centers i and i+1.
                 let fxm = {
                     let vel = 0.5 * (u.at(i - 1, j, k) + u.at(i, j, k));
-                    limited_flux(lim, vel, uspec.at(i - 2, j, k), uspec.at(i - 1, j, k), uspec.at(i, j, k), uspec.at(i + 1, j, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        uspec.at(i - 2, j, k),
+                        uspec.at(i - 1, j, k),
+                        uspec.at(i, j, k),
+                        uspec.at(i + 1, j, k),
+                    )
                 };
                 let fxp = {
                     let vel = 0.5 * (u.at(i, j, k) + u.at(i + 1, j, k));
-                    limited_flux(lim, vel, uspec.at(i - 1, j, k), uspec.at(i, j, k), uspec.at(i + 1, j, k), uspec.at(i + 2, j, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        uspec.at(i - 1, j, k),
+                        uspec.at(i, j, k),
+                        uspec.at(i + 1, j, k),
+                        uspec.at(i + 2, j, k),
+                    )
                 };
                 // y faces at corners (i+1/2, j±1/2).
                 let fym = {
                     let vel = 0.5 * (v.at(i, j - 1, k) + v.at(i + 1, j - 1, k));
-                    limited_flux(lim, vel, uspec.at(i, j - 2, k), uspec.at(i, j - 1, k), uspec.at(i, j, k), uspec.at(i, j + 1, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        uspec.at(i, j - 2, k),
+                        uspec.at(i, j - 1, k),
+                        uspec.at(i, j, k),
+                        uspec.at(i, j + 1, k),
+                    )
                 };
                 let fyp = {
                     let vel = 0.5 * (v.at(i, j, k) + v.at(i + 1, j, k));
-                    limited_flux(lim, vel, uspec.at(i, j - 1, k), uspec.at(i, j, k), uspec.at(i, j + 1, k), uspec.at(i, j + 2, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        uspec.at(i, j - 1, k),
+                        uspec.at(i, j, k),
+                        uspec.at(i, j + 1, k),
+                        uspec.at(i, j + 2, k),
+                    )
                 };
                 // z faces at (i+1/2, j, k∓1/2); boundary mass flux is 0.
                 let fzm = {
                     let vel = 0.5 * (mw.at(i, j, k) + mw.at(i + 1, j, k));
-                    limited_flux(lim, vel, uspec.at(i, j, k - 2), uspec.at(i, j, k - 1), uspec.at(i, j, k), uspec.at(i, j, k + 1))
+                    limited_flux(
+                        lim,
+                        vel,
+                        uspec.at(i, j, k - 2),
+                        uspec.at(i, j, k - 1),
+                        uspec.at(i, j, k),
+                        uspec.at(i, j, k + 1),
+                    )
                 };
                 let fzp = {
                     let vel = 0.5 * (mw.at(i, j, k + 1) + mw.at(i + 1, j, k + 1));
-                    limited_flux(lim, vel, uspec.at(i, j, k - 1), uspec.at(i, j, k), uspec.at(i, j, k + 1), uspec.at(i, j, k + 2))
+                    limited_flux(
+                        lim,
+                        vel,
+                        uspec.at(i, j, k - 1),
+                        uspec.at(i, j, k),
+                        uspec.at(i, j, k + 1),
+                        uspec.at(i, j, k + 2),
+                    )
                 };
-                out.add_at(i, j, k, -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz));
+                out.add_at(
+                    i,
+                    j,
+                    k,
+                    -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz),
+                );
             }
         }
     }
@@ -315,29 +377,76 @@ pub fn advect_v(
             for k in 0..nz {
                 let fxm = {
                     let vel = 0.5 * (u.at(i - 1, j, k) + u.at(i - 1, j + 1, k));
-                    limited_flux(lim, vel, vspec.at(i - 2, j, k), vspec.at(i - 1, j, k), vspec.at(i, j, k), vspec.at(i + 1, j, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        vspec.at(i - 2, j, k),
+                        vspec.at(i - 1, j, k),
+                        vspec.at(i, j, k),
+                        vspec.at(i + 1, j, k),
+                    )
                 };
                 let fxp = {
                     let vel = 0.5 * (u.at(i, j, k) + u.at(i, j + 1, k));
-                    limited_flux(lim, vel, vspec.at(i - 1, j, k), vspec.at(i, j, k), vspec.at(i + 1, j, k), vspec.at(i + 2, j, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        vspec.at(i - 1, j, k),
+                        vspec.at(i, j, k),
+                        vspec.at(i + 1, j, k),
+                        vspec.at(i + 2, j, k),
+                    )
                 };
                 let fym = {
                     let vel = 0.5 * (v.at(i, j - 1, k) + v.at(i, j, k));
-                    limited_flux(lim, vel, vspec.at(i, j - 2, k), vspec.at(i, j - 1, k), vspec.at(i, j, k), vspec.at(i, j + 1, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        vspec.at(i, j - 2, k),
+                        vspec.at(i, j - 1, k),
+                        vspec.at(i, j, k),
+                        vspec.at(i, j + 1, k),
+                    )
                 };
                 let fyp = {
                     let vel = 0.5 * (v.at(i, j, k) + v.at(i, j + 1, k));
-                    limited_flux(lim, vel, vspec.at(i, j - 1, k), vspec.at(i, j, k), vspec.at(i, j + 1, k), vspec.at(i, j + 2, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        vspec.at(i, j - 1, k),
+                        vspec.at(i, j, k),
+                        vspec.at(i, j + 1, k),
+                        vspec.at(i, j + 2, k),
+                    )
                 };
                 let fzm = {
                     let vel = 0.5 * (mw.at(i, j, k) + mw.at(i, j + 1, k));
-                    limited_flux(lim, vel, vspec.at(i, j, k - 2), vspec.at(i, j, k - 1), vspec.at(i, j, k), vspec.at(i, j, k + 1))
+                    limited_flux(
+                        lim,
+                        vel,
+                        vspec.at(i, j, k - 2),
+                        vspec.at(i, j, k - 1),
+                        vspec.at(i, j, k),
+                        vspec.at(i, j, k + 1),
+                    )
                 };
                 let fzp = {
                     let vel = 0.5 * (mw.at(i, j, k + 1) + mw.at(i, j + 1, k + 1));
-                    limited_flux(lim, vel, vspec.at(i, j, k - 1), vspec.at(i, j, k), vspec.at(i, j, k + 1), vspec.at(i, j, k + 2))
+                    limited_flux(
+                        lim,
+                        vel,
+                        vspec.at(i, j, k - 1),
+                        vspec.at(i, j, k),
+                        vspec.at(i, j, k + 1),
+                        vspec.at(i, j, k + 2),
+                    )
                 };
-                out.add_at(i, j, k, -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz));
+                out.add_at(
+                    i,
+                    j,
+                    k,
+                    -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz),
+                );
             }
         }
     }
@@ -366,30 +475,77 @@ pub fn advect_w(
                 // x faces at (i±1/2, j, k-1/2): average u to the w level.
                 let fxm = {
                     let vel = 0.5 * (u.at(i - 1, j, k - 1) + u.at(i - 1, j, k));
-                    limited_flux(lim, vel, wspec.at(i - 2, j, k), wspec.at(i - 1, j, k), wspec.at(i, j, k), wspec.at(i + 1, j, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        wspec.at(i - 2, j, k),
+                        wspec.at(i - 1, j, k),
+                        wspec.at(i, j, k),
+                        wspec.at(i + 1, j, k),
+                    )
                 };
                 let fxp = {
                     let vel = 0.5 * (u.at(i, j, k - 1) + u.at(i, j, k));
-                    limited_flux(lim, vel, wspec.at(i - 1, j, k), wspec.at(i, j, k), wspec.at(i + 1, j, k), wspec.at(i + 2, j, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        wspec.at(i - 1, j, k),
+                        wspec.at(i, j, k),
+                        wspec.at(i + 1, j, k),
+                        wspec.at(i + 2, j, k),
+                    )
                 };
                 let fym = {
                     let vel = 0.5 * (v.at(i, j - 1, k - 1) + v.at(i, j - 1, k));
-                    limited_flux(lim, vel, wspec.at(i, j - 2, k), wspec.at(i, j - 1, k), wspec.at(i, j, k), wspec.at(i, j + 1, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        wspec.at(i, j - 2, k),
+                        wspec.at(i, j - 1, k),
+                        wspec.at(i, j, k),
+                        wspec.at(i, j + 1, k),
+                    )
                 };
                 let fyp = {
                     let vel = 0.5 * (v.at(i, j, k - 1) + v.at(i, j, k));
-                    limited_flux(lim, vel, wspec.at(i, j - 1, k), wspec.at(i, j, k), wspec.at(i, j + 1, k), wspec.at(i, j + 2, k))
+                    limited_flux(
+                        lim,
+                        vel,
+                        wspec.at(i, j - 1, k),
+                        wspec.at(i, j, k),
+                        wspec.at(i, j + 1, k),
+                        wspec.at(i, j + 2, k),
+                    )
                 };
                 // z faces at cell centers k-1 and k: average mw.
                 let fzm = {
                     let vel = 0.5 * (mw.at(i, j, k - 1) + mw.at(i, j, k));
-                    limited_flux(lim, vel, wspec.at(i, j, k - 2), wspec.at(i, j, k - 1), wspec.at(i, j, k), wspec.at(i, j, k + 1))
+                    limited_flux(
+                        lim,
+                        vel,
+                        wspec.at(i, j, k - 2),
+                        wspec.at(i, j, k - 1),
+                        wspec.at(i, j, k),
+                        wspec.at(i, j, k + 1),
+                    )
                 };
                 let fzp = {
                     let vel = 0.5 * (mw.at(i, j, k) + mw.at(i, j, k + 1));
-                    limited_flux(lim, vel, wspec.at(i, j, k - 1), wspec.at(i, j, k), wspec.at(i, j, k + 1), wspec.at(i, j, k + 2))
+                    limited_flux(
+                        lim,
+                        vel,
+                        wspec.at(i, j, k - 1),
+                        wspec.at(i, j, k),
+                        wspec.at(i, j, k + 1),
+                        wspec.at(i, j, k + 2),
+                    )
                 };
-                out.add_at(i, j, k, -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz));
+                out.add_at(
+                    i,
+                    j,
+                    k,
+                    -((fxp - fxm) * inv_dx + (fyp - fym) * inv_dy + (fzp - fzm) * inv_dz),
+                );
             }
         }
     }
@@ -398,7 +554,13 @@ pub fn advect_w(
 /// Linear mass divergence `∂x U + ∂y V + ∂ζ(W/G)` at centers — the exact
 /// operator the acoustic step integrates (so the slow continuity forcing
 /// is the difference between the full and this linear divergence).
-pub fn div_lin_mass(grid: &Grid, u: &Field3<f64>, v: &Field3<f64>, w: &Field3<f64>, out: &mut Field3<f64>) {
+pub fn div_lin_mass(
+    grid: &Grid,
+    u: &Field3<f64>,
+    v: &Field3<f64>,
+    w: &Field3<f64>,
+    out: &mut Field3<f64>,
+) {
     let (nx, ny, nz) = (grid.nx as isize, grid.ny as isize, grid.nz as isize);
     let inv_dx = 1.0 / grid.dx;
     let inv_dy = 1.0 / grid.dy;
@@ -533,7 +695,17 @@ mod tests {
         let mut out = g.center_field();
         let mut fa = g.center_field();
         let mut fw = g.w_field();
-        advect_scalar(&g, Limiter::Koren, &spec, &s.u, &s.v, &mw, &mut out, &mut fa, &mut fw);
+        advect_scalar(
+            &g,
+            Limiter::Koren,
+            &spec,
+            &s.u,
+            &s.v,
+            &mw,
+            &mut out,
+            &mut fa,
+            &mut fw,
+        );
         assert!(out.max_abs() < 1e-12);
     }
 
@@ -577,7 +749,17 @@ mod tests {
         let mut out = g.center_field();
         let mut fa = g.center_field();
         let mut fw = g.w_field();
-        advect_scalar(&g, Limiter::Koren, &spec, &s.u, &s.v, &mw, &mut out, &mut fa, &mut fw);
+        advect_scalar(
+            &g,
+            Limiter::Koren,
+            &spec,
+            &s.u,
+            &s.v,
+            &mw,
+            &mut out,
+            &mut fa,
+            &mut fw,
+        );
         // Sum of tendencies * cell volume = 0 (periodic, fluxes cancel).
         assert!(
             out.sum_interior().abs() < 1e-9 * out.max_abs().max(1e-30) * out.interior_len() as f64,
@@ -605,7 +787,17 @@ mod tests {
         let mut out = g.center_field();
         let mut fa = g.center_field();
         let mut fw = g.w_field();
-        advect_scalar(&g, Limiter::Koren, &spec, &s.u, &s.v, &mw, &mut out, &mut fa, &mut fw);
+        advect_scalar(
+            &g,
+            Limiter::Koren,
+            &spec,
+            &s.u,
+            &s.v,
+            &mw,
+            &mut out,
+            &mut fa,
+            &mut fw,
+        );
         // Tendency must be positive at the leading edge (i=10) and
         // negative at the trailing edge (i=6).
         assert!(out.at(10, 1, 1) > 0.0);

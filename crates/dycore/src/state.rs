@@ -43,7 +43,13 @@ impl State {
             th: grid.center_field(),
             q: (0..n_tracers).map(|_| grid.center_field()).collect(),
             p: grid.center_field(),
-            precip: Field3::new(grid.nx, grid.ny, 1, crate::grid::HALO, numerics::Layout::KIJ),
+            precip: Field3::new(
+                grid.nx,
+                grid.ny,
+                1,
+                crate::grid::HALO,
+                numerics::Layout::KIJ,
+            ),
         }
     }
 
@@ -67,7 +73,13 @@ impl State {
     /// extend vertical halos with zero gradient (single-domain BCs; the
     /// multi-GPU version replaces the lateral part with MPI exchange).
     pub fn fill_halos_periodic(&mut self) {
-        for f in [&mut self.rho, &mut self.u, &mut self.v, &mut self.th, &mut self.p] {
+        for f in [
+            &mut self.rho,
+            &mut self.u,
+            &mut self.v,
+            &mut self.th,
+            &mut self.p,
+        ] {
             f.fill_halo_periodic_xy();
             f.fill_halo_zero_gradient_z();
         }
@@ -103,7 +115,7 @@ impl State {
         if check(&self.th) {
             return Some("th");
         }
-        if self.q.iter().any(|q| check(q)) {
+        if self.q.iter().any(&check) {
             return Some("q");
         }
         if check(&self.p) {

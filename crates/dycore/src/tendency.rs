@@ -74,7 +74,8 @@ pub fn compute_slow(
         cfg.k_diffusion,
         &ws.spec_w,
         |i, j, k| {
-            0.5 * (stage.rho.at(i, j, (k - 1).max(0)) + stage.rho.at(i, j, k.min(grid.nz as isize - 1)))
+            0.5 * (stage.rho.at(i, j, (k - 1).max(0))
+                + stage.rho.at(i, j, k.min(grid.nz as isize - 1)))
         },
         &mut f.fw,
         1,
@@ -128,7 +129,15 @@ pub fn compute_slow(
         0,
         grid.nz as isize,
     );
-    ops::div_lin_theta(grid, &base.th_c, &base.th_w, &stage.u, &stage.v, &stage.w, &mut ws.flux_b);
+    ops::div_lin_theta(
+        grid,
+        &base.th_c,
+        &base.th_w,
+        &stage.u,
+        &stage.v,
+        &stage.w,
+        &mut ws.flux_b,
+    );
     add_field(&mut f.fth, &ws.flux_b, grid);
 
     // --- ρ*: full minus linear mass divergence (metric cross-flux). ---
@@ -176,10 +185,16 @@ pub fn coriolis(grid: &Grid, fcor: f64, s: &State, f: &mut Tendencies) {
         for i in 0..nx {
             for k in 0..nz {
                 let v_at_u = 0.25
-                    * (s.v.at(i, j, k) + s.v.at(i + 1, j, k) + s.v.at(i, j - 1, k) + s.v.at(i + 1, j - 1, k));
+                    * (s.v.at(i, j, k)
+                        + s.v.at(i + 1, j, k)
+                        + s.v.at(i, j - 1, k)
+                        + s.v.at(i + 1, j - 1, k));
                 f.fu.add_at(i, j, k, fcor * v_at_u);
                 let u_at_v = 0.25
-                    * (s.u.at(i, j, k) + s.u.at(i - 1, j, k) + s.u.at(i, j + 1, k) + s.u.at(i - 1, j + 1, k));
+                    * (s.u.at(i, j, k)
+                        + s.u.at(i - 1, j, k)
+                        + s.u.at(i, j + 1, k)
+                        + s.u.at(i - 1, j + 1, k));
                 f.fv.add_at(i, j, k, -fcor * u_at_v);
             }
         }
@@ -201,9 +216,19 @@ pub fn metric_pressure_gradient(grid: &Grid, p: &Field3<f64>, f: &mut Tendencies
                 let span = ((kp - km).max(1)) as f64 * grid.dzeta;
                 let dpdz_i = (p.at(i, j, kp) - p.at(i, j, km)) / span;
                 let dpdz_ip = (p.at(i + 1, j, kp) - p.at(i + 1, j, km)) / span;
-                f.fu.add_at(i, j, k, grid.dzdx_u(i, j, k as usize) * 0.5 * (dpdz_i + dpdz_ip));
+                f.fu.add_at(
+                    i,
+                    j,
+                    k,
+                    grid.dzdx_u(i, j, k as usize) * 0.5 * (dpdz_i + dpdz_ip),
+                );
                 let dpdz_jp = (p.at(i, j + 1, kp) - p.at(i, j + 1, km)) / span;
-                f.fv.add_at(i, j, k, grid.dzdy_v(i, j, k as usize) * 0.5 * (dpdz_i + dpdz_jp));
+                f.fv.add_at(
+                    i,
+                    j,
+                    k,
+                    grid.dzdy_v(i, j, k as usize) * 0.5 * (dpdz_i + dpdz_jp),
+                );
             }
         }
     }
@@ -360,7 +385,10 @@ mod tests {
         // Over terrain the discrete metric terms leave truncation-level
         // residuals, but a resting balanced state must not feel O(1)
         // forcing.
-        let (c, g, b) = setup(Terrain::AgnesiRidge { height: 300.0, half_width: 8000.0 });
+        let (c, g, b) = setup(Terrain::AgnesiRidge {
+            height: 300.0,
+            half_width: 8000.0,
+        });
         let s = base_state(&g, &b);
         let mut ws = ops::Workspace::new(&g);
         let mut f = Tendencies::zeros(&g, 3);
@@ -370,7 +398,11 @@ mod tests {
         // the fast PG part (checked end-to-end in the model tests). Here
         // just bound it by the hydrostatic scale.
         let scale = 1.0; // Gρ g dz/dx ~ 1 * 10 * 0.05 ~ 0.5 kg m-2 s-2
-        assert!(f.fu.max_abs() < 60.0 * scale, "metric PG blew up: {}", f.fu.max_abs());
+        assert!(
+            f.fu.max_abs() < 60.0 * scale,
+            "metric PG blew up: {}",
+            f.fu.max_abs()
+        );
         assert!(f.frho.max_abs() < 1e-8, "frho = {}", f.frho.max_abs());
     }
 }

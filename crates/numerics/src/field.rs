@@ -36,7 +36,10 @@ impl<R: Real> Field3<R> {
     /// Zero-filled field of interior size `(nx, ny, nz)` with `halo` ghost
     /// cells on every face, stored in `layout` order.
     pub fn new(nx: usize, ny: usize, nz: usize, halo: usize, layout: Layout) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "field dimensions must be positive");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "field dimensions must be positive"
+        );
         let (px, py, pz) = (nx + 2 * halo, ny + 2 * halo, nz + 2 * halo);
         let (sx, sy, sz) = layout.strides(px, py, pz);
         Field3 {
@@ -355,7 +358,9 @@ mod tests {
 
     #[test]
     fn from_fn_fills_interior() {
-        let f = Field3::<f32>::from_fn(3, 3, 3, 1, Layout::XZY, |i, j, k| (i + 10 * j + 100 * k) as f32);
+        let f = Field3::<f32>::from_fn(3, 3, 3, 1, Layout::XZY, |i, j, k| {
+            (i + 10 * j + 100 * k) as f32
+        });
         assert_eq!(f.at(2, 1, 0), 12.0);
         assert_eq!(f.at(0, 0, 2), 200.0);
         // halo untouched
@@ -399,7 +404,14 @@ mod tests {
 
     #[test]
     fn sum_and_max_abs() {
-        let f = Field3::<f64>::from_fn(3, 3, 3, 1, Layout::KIJ, |i, _, _| if i == 0 { -2.0 } else { 1.0 });
+        let f = Field3::<f64>::from_fn(
+            3,
+            3,
+            3,
+            1,
+            Layout::KIJ,
+            |i, _, _| if i == 0 { -2.0 } else { 1.0 },
+        );
         assert_eq!(f.max_abs(), 2.0);
         // 9 cells at -2, 18 cells at 1
         assert_eq!(f.sum_interior(), -18.0 + 18.0);

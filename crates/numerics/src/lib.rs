@@ -13,7 +13,7 @@
 //!   advection, plus alternatives used by the ablation benches.
 //! * [`tridiag`] — Thomas-algorithm solvers for the 1-D Helmholtz-like
 //!   vertical implicit problem of the HE-VI scheme (§IV-A.3).
-//! * [`par`] — lightweight slab-parallel iteration built on crossbeam
+//! * [`par`] — lightweight slab-parallel iteration built on scoped threads
 //!   scoped threads.
 
 pub mod field;

@@ -84,7 +84,7 @@ impl Limiter {
 pub fn limited_face_value<R: Real>(lim: Limiter, qm1: R, q0: R, qp1: R) -> R {
     let dq_dn = qp1 - q0; // downwind gradient
     let dq_up = q0 - qm1; // upwind gradient
-    // Ratio r = upwind / downwind gradient; guard the zero-gradient case.
+                          // Ratio r = upwind / downwind gradient; guard the zero-gradient case.
     let eps = R::from_f64(1e-30);
     let denom = if dq_dn.abs() < eps {
         if dq_dn >= R::ZERO {
@@ -128,7 +128,12 @@ mod tests {
     #[test]
     fn koren_is_second_order_at_r_one() {
         // φ(1) = 1 is required for second-order accuracy at smooth extrema-free data.
-        for lim in [Limiter::Koren, Limiter::Minmod, Limiter::VanLeer, Limiter::Superbee] {
+        for lim in [
+            Limiter::Koren,
+            Limiter::Minmod,
+            Limiter::VanLeer,
+            Limiter::Superbee,
+        ] {
             assert!(
                 (lim.phi(1.0f64) - 1.0).abs() < 1e-14,
                 "{} violates phi(1)=1",
@@ -204,7 +209,11 @@ mod tests {
                 let r = n as f64 * 0.07 - 2.0;
                 let d = lim.phi(r);
                 let s = lim.phi(r as f32) as f64;
-                assert!((d - s).abs() < 1e-6, "{} differs across precision", lim.name());
+                assert!(
+                    (d - s).abs() < 1e-6,
+                    "{} differs across precision",
+                    lim.name()
+                );
             }
         }
     }

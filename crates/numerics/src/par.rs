@@ -3,7 +3,7 @@
 //! Both array layouts in this workspace place `y` outermost, so splitting
 //! the domain into `[j0, j1)` slabs gives contiguous, disjoint memory
 //! ranges — the natural shared-memory parallelization for stencil sweeps.
-//! Implemented with crossbeam scoped threads; with one worker it degrades
+//! Implemented with `std::thread::scope`; with one worker it degrades
 //! to a plain loop with no thread spawn.
 
 /// Number of worker threads to use by default: the machine's parallelism,
@@ -14,7 +14,9 @@ pub fn default_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Split `[0, n)` into at most `parts` contiguous, balanced ranges.
@@ -48,13 +50,15 @@ where
         }
         return;
     }
-    crossbeam::scope(|scope| {
-        for &(j0, j1) in &ranges {
+    std::thread::scope(|scope| {
+        // The caller's thread takes the first slab; workers take the rest.
+        let (&(f0, f1), rest) = ranges.split_first().expect("ranges non-empty");
+        for &(j0, j1) in rest {
             let body = &body;
-            scope.spawn(move |_| body(j0, j1));
+            scope.spawn(move || body(j0, j1));
         }
-    })
-    .expect("worker thread panicked in par_slabs");
+        body(f0, f1);
+    });
 }
 
 /// Map each slab to a value and reduce the results in slab order
@@ -72,17 +76,19 @@ where
             None => init,
         };
     }
-    let results: Vec<T> = crossbeam::scope(|scope| {
+    let results: Vec<T> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(j0, j1)| {
                 let map = &map;
-                scope.spawn(move |_| map(j0, j1))
+                scope.spawn(move || map(j0, j1))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("slab worker panicked")).collect()
-    })
-    .expect("scope failed in par_map_reduce");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("slab worker panicked"))
+            .collect()
+    });
     results.into_iter().fold(init, reduce)
 }
 
@@ -121,8 +127,8 @@ mod tests {
         let ny = 37;
         let counts: Vec<AtomicUsize> = (0..ny).map(|_| AtomicUsize::new(0)).collect();
         par_slabs(ny, 4, |j0, j1| {
-            for j in j0..j1 {
-                counts[j].fetch_add(1, Ordering::Relaxed);
+            for c in &counts[j0..j1] {
+                c.fetch_add(1, Ordering::Relaxed);
             }
         });
         for (j, c) in counts.iter().enumerate() {

@@ -26,7 +26,10 @@ pub fn max_abs<R: Real>(xs: &[R]) -> f64 {
 
 /// L2 norm of a slice accumulated in `f64`.
 pub fn l2_norm<R: Real>(xs: &[R]) -> f64 {
-    xs.iter().map(|&x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+    xs.iter()
+        .map(|&x| x.to_f64() * x.to_f64())
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Relative difference `|a - b| / max(|a|, |b|, floor)`; used to express
@@ -43,7 +46,7 @@ mod tests {
     fn kahan_beats_naive_for_adversarial_input() {
         // 1 + many tiny values that individually vanish in f32 naive sums.
         let mut xs = vec![1.0f32];
-        xs.extend(std::iter::repeat(1e-8f32).take(100_000));
+        xs.extend(std::iter::repeat_n(1e-8f32, 100_000));
         let exact = 1.0 + 1e-8 * 100_000.0;
         let kahan = kahan_sum(&xs);
         assert!((kahan - exact).abs() < 1e-6, "kahan={kahan} exact={exact}");

@@ -30,7 +30,10 @@ pub fn solve_in_place<R: Real>(a: &[R], b: &[R], c: &[R], d: &mut [R], scratch: 
 
     // Forward elimination.
     let mut beta = b[0];
-    assert!(beta.abs() > R::ZERO, "zero pivot in tridiagonal solve (row 0)");
+    assert!(
+        beta.abs() > R::ZERO,
+        "zero pivot in tridiagonal solve (row 0)"
+    );
     d[0] /= beta;
     scratch[0] = c[0] / beta;
     for k in 1..n {
@@ -42,7 +45,7 @@ pub fn solve_in_place<R: Real>(a: &[R], b: &[R], c: &[R], d: &mut [R], scratch: 
     // Back substitution.
     for k in (0..n - 1).rev() {
         let next = d[k + 1];
-        d[k] = d[k] - scratch[k] * next;
+        d[k] -= scratch[k] * next;
     }
 }
 
@@ -133,10 +136,16 @@ mod tests {
         let mut s = vec![0.0; n];
         solve_in_place(&a, &b, &c, &mut d, &mut s);
         let h = 1.0 / (n + 1) as f64;
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             let x = (k + 1) as f64 * h;
             let exact = x * (1.0 - x);
-            assert!((d[k] - exact).abs() < 1e-12, "row {k}: {} vs {}", d[k], exact);
+            assert!(
+                (d[k] - exact).abs() < 1e-12,
+                "row {k}: {} vs {}",
+                d[k],
+                exact
+            );
         }
     }
 
@@ -179,8 +188,8 @@ mod tests {
             cs.solve();
             let y = matvec(&cs.a, &cs.b, &cs.c, &cs.d);
             // note: a/c endpoints multiply absent neighbors; matvec skips them.
-            for k in 0..8 {
-                assert!((y[k] - 1.0).abs() < 1e-5);
+            for yk in y.iter().take(8) {
+                assert!((yk - 1.0).abs() < 1e-5);
             }
         }
     }
@@ -189,6 +198,12 @@ mod tests {
     #[should_panic(expected = "zero pivot")]
     fn singular_matrix_panics() {
         let mut d = vec![1.0f64, 1.0];
-        solve_in_place(&[0.0, 0.0], &[0.0, 1.0], &[0.0, 0.0], &mut d, &mut [0.0, 0.0]);
+        solve_in_place(
+            &[0.0, 0.0],
+            &[0.0, 1.0],
+            &[0.0, 0.0],
+            &mut d,
+            &mut [0.0, 0.0],
+        );
     }
 }

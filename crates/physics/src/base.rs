@@ -215,7 +215,10 @@ mod tests {
 
     #[test]
     fn density_decreases_with_height() {
-        for bs in [BaseState::isothermal(270.0), BaseState::constant_n(300.0, 0.01)] {
+        for bs in [
+            BaseState::isothermal(270.0),
+            BaseState::constant_n(300.0, 0.01),
+        ] {
             let mut prev = f64::INFINITY;
             for k in 0..30 {
                 let rho = bs.at(k as f64 * 600.0).rho;

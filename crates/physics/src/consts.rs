@@ -37,11 +37,11 @@ mod tests {
         assert!((GAMMA - 1.4).abs() < 0.01);
         assert!((KAPPA - 0.2857).abs() < 0.001);
         assert!((EPS_RD_RV - 0.622).abs() < 0.001);
-        assert!(EPS_RV_RD > 1.6 && EPS_RV_RD < 1.61);
+        const { assert!(EPS_RV_RD > 1.6 && EPS_RV_RD < 1.61) }
     }
 
     #[test]
     fn coriolis_at_midlatitude() {
-        assert!(F_CORIOLIS_35N > 8.0e-5 && F_CORIOLIS_35N < 9.0e-5);
+        const { assert!(F_CORIOLIS_35N > 8.0e-5 && F_CORIOLIS_35N < 9.0e-5) }
     }
 }

@@ -97,8 +97,7 @@ pub fn step_point<R: Real>(p: R, pi: R, rho: R, dt: R, s: PointState<R>) -> Poin
         let qvs2 = moist::saturation_mixing_ratio(p, t2);
         if qv < qvs2 {
             let rho_qr = rho * qr;
-            let vent = R::from_f64(1.6)
-                + R::from_f64(124.9) * rho_qr.powf(R::from_f64(0.2046));
+            let vent = R::from_f64(1.6) + R::from_f64(124.9) * rho_qr.powf(R::from_f64(0.2046));
             let denom = R::from_f64(5.4e5) + R::from_f64(2.55e6) / (p * qvs2);
             let er = (R::ONE - qv / qvs2) * vent * rho_qr.powf(R::from_f64(0.525)) / (denom * rho);
             let dqv = (er * dt).max(zero).min(qr).min(qvs2 - qv);
@@ -140,11 +139,19 @@ mod tests {
     fn total_water_is_conserved() {
         let p = 9.0e4;
         let (pi, _t, rho) = env(p, 295.0);
-        let s0 = PointState { theta: 295.0, qv: 0.018, qc: 0.002, qr: 0.001 };
+        let s0 = PointState {
+            theta: 295.0,
+            qv: 0.018,
+            qc: 0.002,
+            qr: 0.001,
+        };
         let s1 = step_point(p, pi, rho, 5.0, s0);
         let before = s0.qv + s0.qc + s0.qr;
         let after = s1.qv + s1.qc + s1.qr;
-        assert!((before - after).abs() < 1e-15, "water not conserved: {before} vs {after}");
+        assert!(
+            (before - after).abs() < 1e-15,
+            "water not conserved: {before} vs {after}"
+        );
     }
 
     #[test]
@@ -153,7 +160,12 @@ mod tests {
         let theta = 290.0;
         let (pi, t, rho) = env(p, theta);
         let qvs = moist::saturation_mixing_ratio(p, t);
-        let s0 = PointState { theta, qv: qvs * 1.2, qc: 0.0, qr: 0.0 };
+        let s0 = PointState {
+            theta,
+            qv: qvs * 1.2,
+            qc: 0.0,
+            qr: 0.0,
+        };
         let s1 = step_point(p, pi, rho, 5.0, s0);
         assert!(s1.qc > 0.0, "no condensation");
         assert!(s1.qv < s0.qv);
@@ -166,7 +178,12 @@ mod tests {
         let theta = 290.0;
         let (pi, t, rho) = env(p, theta);
         let qvs = moist::saturation_mixing_ratio(p, t);
-        let s0 = PointState { theta, qv: qvs * 0.5, qc: 5e-4, qr: 0.0 };
+        let s0 = PointState {
+            theta,
+            qv: qvs * 0.5,
+            qc: 5e-4,
+            qr: 0.0,
+        };
         let s1 = step_point(p, pi, rho, 5.0, s0);
         assert!(s1.qc < s0.qc);
         assert!(s1.qv > s0.qv);
@@ -180,10 +197,20 @@ mod tests {
         let (pi, t, rho) = env(p, theta);
         // Saturate exactly so adjustment is a no-op.
         let qvs = moist::saturation_mixing_ratio(p, t);
-        let below = PointState { theta, qv: qvs, qc: 0.5e-3, qr: 0.0 };
+        let below = PointState {
+            theta,
+            qv: qvs,
+            qc: 0.5e-3,
+            qr: 0.0,
+        };
         let s = step_point(p, pi, rho, 10.0, below);
         assert_eq!(s.qr, 0.0, "autoconversion fired below threshold");
-        let above = PointState { theta, qv: qvs, qc: 3.0e-3, qr: 0.0 };
+        let above = PointState {
+            theta,
+            qv: qvs,
+            qc: 3.0e-3,
+            qr: 0.0,
+        };
         let s = step_point(p, pi, rho, 10.0, above);
         assert!(s.qr > 0.0, "autoconversion did not fire above threshold");
     }
@@ -194,7 +221,12 @@ mod tests {
         let theta = 300.0;
         let (pi, t, rho) = env(p, theta);
         let qvs = moist::saturation_mixing_ratio(p, t);
-        let s0 = PointState { theta, qv: qvs, qc: 0.8e-3, qr: 2.0e-3 };
+        let s0 = PointState {
+            theta,
+            qv: qvs,
+            qc: 0.8e-3,
+            qr: 2.0e-3,
+        };
         let s1 = step_point(p, pi, rho, 10.0, s0);
         assert!(s1.qr > s0.qr);
         assert!(s1.qc < s0.qc);
@@ -206,7 +238,12 @@ mod tests {
         let theta = 300.0;
         let (pi, t, rho) = env(p, theta);
         let qvs = moist::saturation_mixing_ratio(p, t);
-        let s0 = PointState { theta, qv: qvs * 0.2, qc: 0.0, qr: 1.5e-3 };
+        let s0 = PointState {
+            theta,
+            qv: qvs * 0.2,
+            qc: 0.0,
+            qr: 1.5e-3,
+        };
         let s1 = step_point(p, pi, rho, 10.0, s0);
         assert!(s1.qr < s0.qr, "rain did not evaporate");
         assert!(s1.qv > s0.qv);
@@ -225,9 +262,17 @@ mod tests {
                         pi,
                         rho,
                         30.0,
-                        PointState { theta: 285.0, qv, qc, qr },
+                        PointState {
+                            theta: 285.0,
+                            qv,
+                            qc,
+                            qr,
+                        },
                     );
-                    assert!(s.qv >= 0.0 && s.qc >= 0.0 && s.qr >= 0.0, "negative water from qv={qv} qc={qc} qr={qr}: {s:?}");
+                    assert!(
+                        s.qv >= 0.0 && s.qc >= 0.0 && s.qr >= 0.0,
+                        "negative water from qv={qv} qc={qc} qr={qr}: {s:?}"
+                    );
                 }
             }
         }
@@ -260,7 +305,12 @@ mod tests {
             pi,
             rho,
             5.0,
-            PointState { theta, qv: qvs * 1.1, qc: 1e-3, qr: 5e-4 },
+            PointState {
+                theta,
+                qv: qvs * 1.1,
+                qc: 1e-3,
+                qr: 5e-4,
+            },
         );
         let s = step_point(
             p as f32,

@@ -87,7 +87,8 @@ mod tests {
         let p = 9.0e4;
         for &t in &[263.15f64, 283.15, 303.15] {
             let h = 1e-3;
-            let fd = (saturation_mixing_ratio(p, t + h) - saturation_mixing_ratio(p, t - h)) / (2.0 * h);
+            let fd =
+                (saturation_mixing_ratio(p, t + h) - saturation_mixing_ratio(p, t - h)) / (2.0 * h);
             let an = dqvs_dt(p, t);
             assert!((fd - an).abs() / fd < 1e-4, "t={t}: {an} vs {fd}");
         }

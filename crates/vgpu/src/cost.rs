@@ -98,7 +98,12 @@ pub struct Launch {
 }
 
 impl Launch {
-    pub fn new(name: &'static str, grid: impl Into<Dim3>, block: impl Into<Dim3>, cost: KernelCost) -> Self {
+    pub fn new(
+        name: &'static str,
+        grid: impl Into<Dim3>,
+        block: impl Into<Dim3>,
+        cost: KernelCost,
+    ) -> Self {
         Launch {
             name,
             grid: grid.into(),
@@ -149,11 +154,7 @@ pub fn kernel_time(spec: &DeviceSpec, launch: &Launch, elem_bytes: usize) -> f64
     // 32-thread warp wastes the remainder lanes of each warp (both
     // compute and memory transactions).
     let bx = launch.block.x.max(1);
-    let warp_eff = if bx >= 32 {
-        1.0
-    } else {
-        bx as f64 / 32.0
-    };
+    let warp_eff = if bx >= 32 { 1.0 } else { bx as f64 / 32.0 };
     let occupancy_eff = occupancy_eff * warp_eff.max(0.25);
 
     let bpeak = spec.peak_bw() * spec.achievable_bw_fraction * coalescing_eff * occupancy_eff;
@@ -272,7 +273,12 @@ mod tests {
 
     #[test]
     fn launch_threads_product() {
-        let l = Launch::new("k", (5, 12, 1), (64, 4, 1), KernelCost::streaming(1, 1.0, 1.0, 1.0));
+        let l = Launch::new(
+            "k",
+            (5, 12, 1),
+            (64, 4, 1),
+            KernelCost::streaming(1, 1.0, 1.0, 1.0),
+        );
         assert_eq!(l.threads(), 5 * 12 * 64 * 4);
     }
 }

@@ -107,12 +107,10 @@ impl<R: Real> Device<R> {
         self.arena.dealloc(buf)
     }
 
-    /// Launch a kernel asynchronously in `stream`.
-    ///
-    /// In [`ExecMode::Functional`] the body `f` runs immediately (issue
-    /// order equals program order, which our drivers keep
-    /// dependency-correct); simulated timing is computed either way.
-    pub fn launch(&mut self, stream: StreamId, launch: Launch, f: impl FnOnce(&MemView<'_, R>)) {
+    /// Simulated-timing bookkeeping shared by [`launch`](Self::launch)
+    /// and [`launch_par`](Self::launch_par): issue overhead, in-order
+    /// stream tail, exclusive compute engine, profiler record.
+    fn note_kernel(&mut self, stream: StreamId, launch: &Launch) {
         assert!(
             launch.shared_mem_per_block <= self.spec.shared_mem_per_sm,
             "kernel '{}' requests {}B shared memory/block, SM has {}B",
@@ -124,8 +122,9 @@ impl<R: Real> Device<R> {
         self.host_time += self.spec.host_issue_overhead_s;
 
         // Timing: in-order within stream, serialized on the compute engine.
-        let dur = kernel_time(&self.spec, &launch, R::BYTES);
-        let start = self.host_time
+        let dur = kernel_time(&self.spec, launch, R::BYTES);
+        let start = self
+            .host_time
             .max(self.streams[stream.0 as usize].tail)
             .max(self.engines.compute_free);
         let end = start + dur;
@@ -141,10 +140,43 @@ impl<R: Real> Device<R> {
             flops: launch.cost.total_flops(),
             bytes: launch.cost.total_bytes(R::BYTES),
         });
+    }
 
+    /// Launch a kernel asynchronously in `stream`.
+    ///
+    /// In [`ExecMode::Functional`] the body `f` runs immediately (issue
+    /// order equals program order, which our drivers keep
+    /// dependency-correct); simulated timing is computed either way.
+    pub fn launch(&mut self, stream: StreamId, launch: Launch, f: impl FnOnce(&MemView<'_, R>)) {
+        self.note_kernel(stream, &launch);
         if self.mode == ExecMode::Functional {
             let view = MemView { arena: &self.arena };
             f(&view);
+        }
+    }
+
+    /// Launch a kernel whose body executes slab-parallel over `[0, span)`
+    /// on the host: the body is invoked as `f(&view, j0, j1)` for a
+    /// balanced, disjoint partition of the span across
+    /// [`DeviceSpec::host_threads`] workers (`numerics::par::par_slabs`).
+    ///
+    /// Simulated timing is **identical** to [`launch`](Self::launch) —
+    /// host parallelism accelerates the wall clock of Functional runs,
+    /// never the simulated GT200 timeline. Bodies must restrict their
+    /// writes to the `[j0, j1)` slab they are handed (enforced per buffer
+    /// by [`MemView::write_slab`]'s overlap checking).
+    pub fn launch_par(
+        &mut self,
+        stream: StreamId,
+        launch: Launch,
+        span: usize,
+        f: impl Fn(&MemView<'_, R>, usize, usize) + Sync,
+    ) {
+        self.note_kernel(stream, &launch);
+        if self.mode == ExecMode::Functional {
+            let threads = self.spec.host_threads.max(1);
+            let view = MemView { arena: &self.arena };
+            numerics::par::par_slabs(span, threads, |j0, j1| f(&view, j0, j1));
         }
     }
 
@@ -182,7 +214,8 @@ impl<R: Real> Device<R> {
     fn enqueue_copy(&mut self, stream: StreamId, kind: OpKind, name: &'static str, bytes: u64) {
         self.host_time += self.spec.host_issue_overhead_s;
         let dur = copy_time(&self.spec, bytes);
-        let start = self.host_time
+        let start = self
+            .host_time
             .max(self.streams[stream.0 as usize].tail)
             .max(self.engines.copy_free);
         let end = start + dur;
@@ -225,24 +258,28 @@ impl<R: Real> Device<R> {
     /// Block the host until the whole device drains
     /// (`cudaDeviceSynchronize`).
     pub fn sync_all(&mut self) {
-        let tail = self
-            .streams
-            .iter()
-            .map(|s| s.tail)
-            .fold(0.0f64, f64::max);
+        let tail = self.streams.iter().map(|s| s.tail).fold(0.0f64, f64::max);
         self.host_at_least(tail);
     }
 
     /// Functional read of a whole buffer (test/diagnostic helper).
     pub fn read_vec(&self, buf: Buf<R>) -> Vec<R> {
-        assert_eq!(self.mode, ExecMode::Functional, "read_vec needs functional mode");
+        assert_eq!(
+            self.mode,
+            ExecMode::Functional,
+            "read_vec needs functional mode"
+        );
         self.arena.borrow(buf).to_vec()
     }
 
     /// Functional overwrite of a whole buffer (test/init helper);
     /// performs no simulated transfer.
     pub fn write_vec(&mut self, buf: Buf<R>, data: &[R]) {
-        assert_eq!(self.mode, ExecMode::Functional, "write_vec needs functional mode");
+        assert_eq!(
+            self.mode,
+            ExecMode::Functional,
+            "write_vec needs functional mode"
+        );
         let mut d = self.arena.borrow_mut(buf);
         d[..data.len()].copy_from_slice(data);
     }
@@ -333,7 +370,10 @@ mod tests {
         d.copy_h2d(s1, &host, buf, 0);
         let r = d.profiler.records();
         let (k, c) = (&r[0], &r[1]);
-        assert!(c.start < k.end, "copy did not overlap compute: {c:?} vs {k:?}");
+        assert!(
+            c.start < k.end,
+            "copy did not overlap compute: {c:?} vs {k:?}"
+        );
     }
 
     #[test]
@@ -360,7 +400,10 @@ mod tests {
         let host = vec![0.0f32; 64];
         d.copy_h2d(s1, &host, buf, 0);
         let r = d.profiler.records();
-        assert!(r[1].start >= r[0].end, "event did not order the copy after the kernel");
+        assert!(
+            r[1].start >= r[0].end,
+            "event did not order the copy after the kernel"
+        );
     }
 
     #[test]
@@ -379,7 +422,11 @@ mod tests {
         // Host time after an async launch is (nearly) just issue cost.
         let mut d = dev();
         d.launch(StreamId::DEFAULT, small_launch("k", 1 << 24), |_| {});
-        assert!(d.host_time() < 1e-4, "launch blocked the host: {}", d.host_time());
+        assert!(
+            d.host_time() < 1e-4,
+            "launch blocked the host: {}",
+            d.host_time()
+        );
         d.sync_all();
         assert!(d.host_time() > 1e-4);
     }

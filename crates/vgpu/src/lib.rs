@@ -37,7 +37,7 @@ pub mod stream;
 
 pub use cost::{copy_time, kernel_time, Dim3, KernelCost, Launch};
 pub use device::{Device, ExecMode};
-pub use mem::{Buf, MemError};
+pub use mem::{Buf, MemError, MemView, ReadGuard, SlabGuard, WriteGuard};
 pub use profile::{OpKind, OpRecord, Profiler};
 pub use spec::DeviceSpec;
 pub use stream::{Event, StreamId};

@@ -5,9 +5,18 @@
 //! 4 GB of a Tesla S1070 GPU, and the multi-GPU decomposition is sized
 //! around exactly that limit. The arena enforces the spec's capacity in
 //! both functional and phantom modes.
+//!
+//! Functional storage is shared across kernel worker threads (the
+//! slab-parallel launch path hands one [`MemView`] to every worker), so
+//! per-buffer borrow rules are enforced with a small mutex-guarded state
+//! instead of `RefCell`: any number of concurrent readers, one exclusive
+//! whole-buffer writer, or any number of *disjoint* mutable slab views
+//! ([`MemView::write_slab`]) with overlap detection at claim time.
 
 use numerics::Real;
-use std::cell::RefCell;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut, Range};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Typed handle to a device allocation (like a `CUdeviceptr`).
 #[derive(Debug)]
@@ -58,13 +67,150 @@ impl std::fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// Runtime borrow accounting of one functional allocation.
+#[derive(Default)]
+struct BorrowState {
+    readers: usize,
+    writer: bool,
+    /// Active mutable slab claims (element ranges), checked for overlap.
+    slabs: Vec<Range<usize>>,
+}
+
+/// Functional allocation: stable heap storage plus borrow accounting.
+///
+/// The storage pointer is captured once at allocation and never changes
+/// (the `Box` owns a fixed heap block); all guard slices are formed from
+/// it via `from_raw_parts`, so no `&mut Box` is ever re-created while
+/// guards exist.
+struct DataSlot<R> {
+    /// Owns the heap block `ptr` points into; never read directly.
+    #[allow(dead_code)]
+    data: UnsafeCell<Box<[R]>>,
+    ptr: *mut R,
+    len: usize,
+    state: Mutex<BorrowState>,
+}
+
+// Safety: all access to `data` goes through the borrow protocol in
+// `state` (readers xor one writer xor disjoint slabs), which makes the
+// raw-pointer slices race-free; `R: Send + Sync` via the `Real` bound.
+unsafe impl<R: Send + Sync> Sync for DataSlot<R> {}
+unsafe impl<R: Send> Send for DataSlot<R> {}
+
+impl<R> DataSlot<R> {
+    /// Lock the borrow state, ignoring poisoning: a borrow-rule panic
+    /// fires while the state lock is held, and the unwinding guards must
+    /// still be able to release their claims.
+    fn lock_state(&self) -> MutexGuard<'_, BorrowState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<R: Real> DataSlot<R> {
+    fn new(storage: Box<[R]>) -> Self {
+        let mut storage = storage;
+        let ptr = storage.as_mut_ptr();
+        let len = storage.len();
+        DataSlot {
+            data: UnsafeCell::new(storage),
+            ptr,
+            len,
+            state: Mutex::new(BorrowState::default()),
+        }
+    }
+}
+
 enum Slot<R> {
     /// Functional allocation with real storage.
-    Data(RefCell<Box<[R]>>),
+    Data(DataSlot<R>),
     /// Phantom allocation: bytes accounted, no storage.
     Phantom { len: usize },
     /// Freed.
     Empty,
+}
+
+/// Shared read access to a buffer's contents.
+pub struct ReadGuard<'a, R> {
+    slot: &'a DataSlot<R>,
+}
+
+impl<R> Deref for ReadGuard<'_, R> {
+    type Target = [R];
+    fn deref(&self) -> &[R] {
+        unsafe { std::slice::from_raw_parts(self.slot.ptr, self.slot.len) }
+    }
+}
+
+impl<R> Drop for ReadGuard<'_, R> {
+    fn drop(&mut self) {
+        self.slot.lock_state().readers -= 1;
+    }
+}
+
+/// Exclusive whole-buffer write access.
+pub struct WriteGuard<'a, R> {
+    slot: &'a DataSlot<R>,
+}
+
+impl<R> Deref for WriteGuard<'_, R> {
+    type Target = [R];
+    fn deref(&self) -> &[R] {
+        unsafe { std::slice::from_raw_parts(self.slot.ptr, self.slot.len) }
+    }
+}
+
+impl<R> DerefMut for WriteGuard<'_, R> {
+    fn deref_mut(&mut self) -> &mut [R] {
+        unsafe { std::slice::from_raw_parts_mut(self.slot.ptr, self.slot.len) }
+    }
+}
+
+impl<R> Drop for WriteGuard<'_, R> {
+    fn drop(&mut self) {
+        self.slot.lock_state().writer = false;
+    }
+}
+
+/// Mutable access to one claimed element range of a buffer. Multiple
+/// slab guards of the same buffer may coexist as long as their ranges
+/// are disjoint (checked when the claim is made).
+pub struct SlabGuard<'a, R> {
+    slot: &'a DataSlot<R>,
+    range: Range<usize>,
+}
+
+impl<R> SlabGuard<'_, R> {
+    /// First element (flat index into the buffer) this view covers.
+    pub fn start(&self) -> usize {
+        self.range.start
+    }
+}
+
+impl<R> Deref for SlabGuard<'_, R> {
+    type Target = [R];
+    fn deref(&self) -> &[R] {
+        unsafe { std::slice::from_raw_parts(self.slot.ptr.add(self.range.start), self.range.len()) }
+    }
+}
+
+impl<R> DerefMut for SlabGuard<'_, R> {
+    fn deref_mut(&mut self) -> &mut [R] {
+        unsafe {
+            std::slice::from_raw_parts_mut(self.slot.ptr.add(self.range.start), self.range.len())
+        }
+    }
+}
+
+impl<R> Drop for SlabGuard<'_, R> {
+    fn drop(&mut self) {
+        let mut st = self.slot.lock_state();
+        let pos = st
+            .slabs
+            .iter()
+            .position(|r| r.start == self.range.start && r.end == self.range.end)
+            .expect("slab claim vanished");
+        st.slabs.swap_remove(pos);
+    }
 }
 
 /// The arena owning all allocations of one device.
@@ -103,7 +249,7 @@ impl<R: Real> Arena<R> {
         let slot = if phantom {
             Slot::Phantom { len }
         } else {
-            Slot::Data(RefCell::new(vec![R::ZERO; len].into_boxed_slice()))
+            Slot::Data(DataSlot::new(vec![R::ZERO; len].into_boxed_slice()))
         };
         self.slots.push(slot);
         Ok(Buf {
@@ -119,7 +265,7 @@ impl<R: Real> Arena<R> {
             .get_mut(buf.id as usize)
             .ok_or(MemError::InvalidHandle)?;
         let len = match slot {
-            Slot::Data(d) => d.borrow().len(),
+            Slot::Data(d) => d.len,
             Slot::Phantom { len } => *len,
             Slot::Empty => return Err(MemError::InvalidHandle),
         };
@@ -132,39 +278,96 @@ impl<R: Real> Arena<R> {
         matches!(self.slots.get(buf.id as usize), Some(Slot::Phantom { .. }))
     }
 
-    pub fn borrow(&self, buf: Buf<R>) -> std::cell::Ref<'_, Box<[R]>> {
+    fn data_slot(&self, buf: Buf<R>) -> &DataSlot<R> {
         match &self.slots[buf.id as usize] {
-            Slot::Data(d) => d.borrow(),
+            Slot::Data(d) => d,
             Slot::Phantom { .. } => panic!("functional access to phantom buffer {}", buf.id),
             Slot::Empty => panic!("use after free of device buffer {}", buf.id),
         }
     }
 
-    pub fn borrow_mut(&self, buf: Buf<R>) -> std::cell::RefMut<'_, Box<[R]>> {
-        match &self.slots[buf.id as usize] {
-            Slot::Data(d) => d.borrow_mut(),
-            Slot::Phantom { .. } => panic!("functional access to phantom buffer {}", buf.id),
-            Slot::Empty => panic!("use after free of device buffer {}", buf.id),
+    pub fn borrow(&self, buf: Buf<R>) -> ReadGuard<'_, R> {
+        let slot = self.data_slot(buf);
+        {
+            let mut st = slot.lock_state();
+            assert!(
+                !st.writer && st.slabs.is_empty(),
+                "buffer {} already mutably borrowed",
+                buf.id
+            );
+            st.readers += 1;
         }
+        ReadGuard { slot }
+    }
+
+    pub fn borrow_mut(&self, buf: Buf<R>) -> WriteGuard<'_, R> {
+        let slot = self.data_slot(buf);
+        {
+            let mut st = slot.lock_state();
+            assert!(
+                !st.writer && st.readers == 0 && st.slabs.is_empty(),
+                "buffer {} already borrowed",
+                buf.id
+            );
+            st.writer = true;
+        }
+        WriteGuard { slot }
+    }
+
+    pub fn borrow_slab(&self, buf: Buf<R>, range: Range<usize>) -> SlabGuard<'_, R> {
+        let slot = self.data_slot(buf);
+        assert!(
+            range.start <= range.end && range.end <= slot.len,
+            "slab {range:?} out of bounds for buffer {} (len {})",
+            buf.id,
+            slot.len
+        );
+        {
+            let mut st = slot.lock_state();
+            assert!(
+                !st.writer && st.readers == 0,
+                "buffer {} already borrowed",
+                buf.id
+            );
+            assert!(
+                st.slabs
+                    .iter()
+                    .all(|r| r.end <= range.start || range.end <= r.start),
+                "overlapping mutable slabs of buffer {}: {range:?} vs {:?}",
+                buf.id,
+                st.slabs
+            );
+            st.slabs.push(range.clone());
+        }
+        SlabGuard { slot, range }
     }
 }
 
 /// Read/write view of device memory handed to a kernel body — the kernel's
 /// window onto "global memory". Borrow rules are enforced at runtime per
-/// buffer (a kernel may read one field while writing another).
+/// buffer (a kernel may read one field while writing another), and the
+/// view is `Sync`: the slab-parallel launch path shares one view across
+/// all worker threads, each claiming its own disjoint slab.
 pub struct MemView<'a, R> {
     pub(crate) arena: &'a Arena<R>,
 }
 
 impl<'a, R: Real> MemView<'a, R> {
     /// Immutable access to a buffer's contents.
-    pub fn read(&self, buf: Buf<R>) -> std::cell::Ref<'a, Box<[R]>> {
+    pub fn read(&self, buf: Buf<R>) -> ReadGuard<'a, R> {
         self.arena.borrow(buf)
     }
 
     /// Mutable access to a buffer's contents.
-    pub fn write(&self, buf: Buf<R>) -> std::cell::RefMut<'a, Box<[R]>> {
+    pub fn write(&self, buf: Buf<R>) -> WriteGuard<'a, R> {
         self.arena.borrow_mut(buf)
+    }
+
+    /// Mutable access to one element range of a buffer; disjoint ranges
+    /// of the same buffer may be claimed concurrently by different
+    /// workers (overlap panics).
+    pub fn write_slab(&self, buf: Buf<R>, range: Range<usize>) -> SlabGuard<'a, R> {
+        self.arena.borrow_slab(buf, range)
     }
 }
 
@@ -266,5 +469,65 @@ mod tests {
             d[2] = s[2] * 2.0;
         }
         assert_eq!(a.borrow(dst)[2], 10.0);
+    }
+
+    #[test]
+    fn disjoint_slabs_coexist_and_land() {
+        let mut a = Arena::<f64>::new(1024);
+        let b = a.alloc(16, false).unwrap();
+        let view = MemView { arena: &a };
+        {
+            let mut lo = view.write_slab(b, 0..8);
+            let mut hi = view.write_slab(b, 8..16);
+            assert_eq!(lo.start(), 0);
+            assert_eq!(hi.start(), 8);
+            lo[3] = 1.5;
+            hi[3] = 2.5;
+        }
+        let d = a.borrow(b);
+        assert_eq!(d[3], 1.5);
+        assert_eq!(d[11], 2.5);
+    }
+
+    #[test]
+    fn slabs_are_written_from_threads() {
+        let mut a = Arena::<f64>::new(8192);
+        let b = a.alloc(64, false).unwrap();
+        let view = MemView { arena: &a };
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let view = &view;
+                scope.spawn(move || {
+                    let mut s = view.write_slab(b, t * 16..(t + 1) * 16);
+                    for (i, v) in s.iter_mut().enumerate() {
+                        *v = (t * 16 + i) as f64;
+                    }
+                });
+            }
+        });
+        let d = a.borrow(b);
+        for (i, v) in d.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping mutable slabs")]
+    fn overlapping_slabs_panic() {
+        let mut a = Arena::<f64>::new(1024);
+        let b = a.alloc(16, false).unwrap();
+        let view = MemView { arena: &a };
+        let _lo = view.write_slab(b, 0..9);
+        let _hi = view.write_slab(b, 8..16);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutably borrowed")]
+    fn read_during_slab_write_panics() {
+        let mut a = Arena::<f64>::new(1024);
+        let b = a.alloc(16, false).unwrap();
+        let view = MemView { arena: &a };
+        let _s = view.write_slab(b, 0..8);
+        let _r = view.read(b);
     }
 }

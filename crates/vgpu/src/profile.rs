@@ -101,7 +101,11 @@ impl Profiler {
 
     /// Sum of durations of operations whose name passes `pred`.
     pub fn time_where(&self, mut pred: impl FnMut(&OpRecord) -> bool) -> f64 {
-        self.records.iter().filter(|r| pred(r)).map(|r| r.duration()).sum()
+        self.records
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| r.duration())
+            .sum()
     }
 
     /// (total flops, total kernel-busy seconds) — the GFlops numerator /
@@ -113,7 +117,8 @@ impl Profiler {
     /// Aggregate by kernel name: (name, calls, total seconds, total
     /// flops, total bytes), sorted by descending time.
     pub fn by_name(&self) -> Vec<NameAgg> {
-        let mut map: std::collections::HashMap<&'static str, NameAgg> = std::collections::HashMap::new();
+        let mut map: std::collections::HashMap<&'static str, NameAgg> =
+            std::collections::HashMap::new();
         for r in &self.records {
             let e = map.entry(r.name).or_insert(NameAgg {
                 name: r.name,

@@ -43,6 +43,10 @@ pub struct DeviceSpec {
     /// Speed-up factor on transcendental-heavy kernels from the special
     /// function units (SFU); 1.0 on CPU.
     pub sfu_transcendental_boost: f64,
+    /// Host worker threads used to execute Functional-mode kernel bodies
+    /// in parallel over y-slabs. Affects only the host wall clock of
+    /// functional runs — never the simulated timeline.
+    pub host_threads: usize,
 }
 
 impl DeviceSpec {
@@ -66,6 +70,7 @@ impl DeviceSpec {
             achievable_bw_fraction: 0.72,
             uncoalesced_penalty: 8.0,
             sfu_transcendental_boost: 1.8,
+            host_threads: 1,
         }
     }
 
@@ -90,6 +95,7 @@ impl DeviceSpec {
             achievable_bw_fraction: 0.75,
             uncoalesced_penalty: 6.0,
             sfu_transcendental_boost: 4.0,
+            host_threads: 1,
         }
     }
 
@@ -118,7 +124,15 @@ impl DeviceSpec {
             achievable_bw_fraction: 0.85,
             uncoalesced_penalty: 1.0, // caches hide ordering on CPU
             sfu_transcendental_boost: 1.0,
+            host_threads: 1,
         }
+    }
+
+    /// Builder: set the number of host worker threads for slab-parallel
+    /// Functional-mode kernel execution.
+    pub fn with_host_threads(mut self, n: usize) -> Self {
+        self.host_threads = n.max(1);
+        self
     }
 
     /// Peak floating-point throughput [Flop/s] for an element size.

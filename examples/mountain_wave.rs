@@ -57,7 +57,13 @@ fn main() {
     let mut ridge = String::new();
     for i in 0..96isize {
         let h = (m.grid.zs.at(i, 4) / 50.0) as usize;
-        ridge.push(if h > 4 { '^' } else if h > 1 { '-' } else { '_' });
+        ridge.push(if h > 4 {
+            '^'
+        } else if h > 1 {
+            '-'
+        } else {
+            '_'
+        });
     }
     println!("{ridge}");
 }

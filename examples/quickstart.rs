@@ -19,14 +19,18 @@ fn main() {
     // bell-shaped ridge, 10 m/s inflow, warm-rain microphysics on.
     let mut cfg = ModelConfig::mountain_wave(48, 16, 16);
     cfg.dt = 4.0;
-    println!("grid {}x{}x{}, dt = {} s, limiter = {:?}", cfg.nx, cfg.ny, cfg.nz, cfg.dt, cfg.limiter);
+    println!(
+        "grid {}x{}x{}, dt = {} s, limiter = {:?}",
+        cfg.nx, cfg.ny, cfg.nz, cfg.dt, cfg.limiter
+    );
 
     // CPU reference (the "original Fortran code" stand-in).
     let mut cpu = Model::new(cfg.clone());
     init::mountain_wave_inflow(&mut cpu, 10.0);
 
     // Full GPU port, fed the identical initial state.
-    let mut gpu = SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
+    let mut gpu =
+        SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
     gpu.load_state(&cpu.state);
 
     let steps = 5;
@@ -45,7 +49,10 @@ fn main() {
     let diff_u = cpu.state.u.max_diff(&gpu_state.u);
     let diff_th = cpu.state.th.max_diff(&gpu_state.th);
     println!("\nGPU vs CPU after {steps} steps: max|Δu| = {diff_u:.3e}, max|ΔΘ| = {diff_th:.3e}");
-    assert!(diff_u < 1e-8 && diff_th < 1e-6, "GPU port diverged from the CPU reference");
+    assert!(
+        diff_u < 1e-8 && diff_th < 1e-6,
+        "GPU port diverged from the CPU reference"
+    );
     println!("agreement within machine round-off — the paper's correctness criterion holds.");
 
     // Simulated performance on the Tesla S1070 model.

@@ -37,7 +37,10 @@ fn main() {
                 stats.total_precip
             );
         }
-        assert!(m.state.find_non_finite().is_none(), "non-finite at step {n}");
+        assert!(
+            m.state.find_non_finite().is_none(),
+            "non-finite at step {n}"
+        );
     }
 
     let wind = diag::wind_speed_slice(&m.grid, &m.state, 1);

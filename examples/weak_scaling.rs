@@ -20,10 +20,16 @@ fn main() {
     };
 
     println!("weak scaling, 320x256x48 per GPU, single precision, simulated TSUBAME 1.2");
-    println!("{:>5} {:>7} {:>16} {:>18} {:>10}", "gpus", "grid", "overlap TFlops", "no-overlap TFlops", "gain");
+    println!(
+        "{:>5} {:>7} {:>16} {:>18} {:>10}",
+        "gpus", "grid", "overlap TFlops", "no-overlap TFlops", "gain"
+    );
     for (px, py) in [(1, 2), (2, 2), (2, 3), (3, 4), (4, 5), (6, 8)] {
         let mut t = [0.0f64; 2];
-        for (i, overlap) in [OverlapMode::Overlap, OverlapMode::None].into_iter().enumerate() {
+        for (i, overlap) in [OverlapMode::Overlap, OverlapMode::None]
+            .into_iter()
+            .enumerate()
+        {
             let mc = MultiGpuConfig {
                 local_cfg: cfg.clone(),
                 px,

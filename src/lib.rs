@@ -1,4 +1,4 @@
 //! Umbrella crate: re-exports the workspace members for integration tests
 //! and examples.
-pub use {cluster, dycore, numerics, physics, vgpu};
 pub use asuca_gpu;
+pub use {cluster, dycore, numerics, physics, vgpu};

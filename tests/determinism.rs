@@ -1,0 +1,58 @@
+//! The slab-parallel launch path's contract: host worker threads change
+//! only the wall clock of a Functional run — never the results and never
+//! the simulated timeline. Every prognostic field must be *bitwise*
+//! identical for any thread count (each grid point is computed by
+//! exactly one worker from the same inputs with the same operation
+//! order, so there is no summation-order ambiguity to hide behind).
+
+use asuca_gpu::SingleGpu;
+use dycore::config::ModelConfig;
+use dycore::{init, Model};
+use vgpu::{DeviceSpec, ExecMode};
+
+fn run_with_threads(threads: usize, steps: usize) -> (dycore::State, f64) {
+    let mut cfg = ModelConfig::mountain_wave(16, 12, 10);
+    cfg.dt = 4.0;
+    cfg.threads = threads;
+    // Identical initial state on every run.
+    let mut seed = Model::new(cfg.clone());
+    init::warm_moist_bubble(&mut seed, 1.5, 0.95, 0.5, 0.5, 0.3, 3.5);
+    let mut gpu =
+        SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
+    gpu.load_state(&seed.state);
+    gpu.run(steps);
+    let mut out = dycore::State::zeros(&gpu.grid, cfg.n_tracers);
+    gpu.save_state(&mut out);
+    (out, gpu.dev.host_time())
+}
+
+#[test]
+fn thread_count_never_changes_results_or_simulated_time() {
+    let steps = 12;
+    let (base, t1) = run_with_threads(1, steps);
+    assert_eq!(base.find_non_finite(), None);
+    for threads in [2, 3, 8] {
+        let (par, tn) = run_with_threads(threads, steps);
+        assert_eq!(par.find_non_finite(), None);
+        let pairs: Vec<(&str, f64)> = vec![
+            ("rho", base.rho.max_diff(&par.rho)),
+            ("u", base.u.max_diff(&par.u)),
+            ("v", base.v.max_diff(&par.v)),
+            ("w", base.w.max_diff(&par.w)),
+            ("th", base.th.max_diff(&par.th)),
+            ("p", base.p.max_diff(&par.p)),
+            ("qv", base.q[0].max_diff(&par.q[0])),
+            ("qc", base.q[1].max_diff(&par.q[1])),
+            ("qr", base.q[2].max_diff(&par.q[2])),
+        ];
+        for (name, diff) in pairs {
+            assert_eq!(
+                diff, 0.0,
+                "field {name} not bitwise identical at threads={threads} (max diff {diff:e})"
+            );
+        }
+        // Host parallelism must leave the simulated GT200 timeline
+        // untouched to the last bit.
+        assert_eq!(t1, tn, "simulated time changed with threads={threads}");
+    }
+}

@@ -40,7 +40,8 @@ fn run_pair(cfg: ModelConfig, steps: usize, seed_bubble: bool) -> (dycore::State
         init::mountain_wave_inflow(&mut cpu, 10.0);
     }
     // GPU port, fed the identical initial state.
-    let mut gpu = SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
+    let mut gpu =
+        SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
     gpu.load_state(&cpu.state);
 
     for _ in 0..steps {
@@ -88,7 +89,8 @@ fn single_precision_gpu_tracks_double_closely() {
     cfg.dt = 4.0;
     let mut cpu = Model::new(cfg.clone());
     init::mountain_wave_inflow(&mut cpu, 10.0);
-    let mut gpu32 = SingleGpu::<f32>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
+    let mut gpu32 =
+        SingleGpu::<f32>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
     gpu32.load_state(&cpu.state);
     for _ in 0..4 {
         cpu.step();
@@ -121,11 +123,15 @@ fn gpu_transfers_only_at_init_and_output() {
     assert_eq!(gpu.dev.profiler.total_d2h_bytes, 0.0);
     let mut out = dycore::State::zeros(&gpu.grid, 3);
     gpu.save_state(&mut out);
-    assert!(gpu.dev.profiler.total_d2h_bytes > 0.0, "output download must happen");
+    assert!(
+        gpu.dev.profiler.total_d2h_bytes > 0.0,
+        "output download must happen"
+    );
 }
 
 fn mass_drift(cfg: ModelConfig, steps: usize) -> f64 {
-    let mut gpu = SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
+    let mut gpu =
+        SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
     let mut cpu_seed = Model::new(cfg.clone());
     init::mountain_wave_inflow(&mut cpu_seed, 10.0);
     gpu.load_state(&cpu_seed.state);

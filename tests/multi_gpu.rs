@@ -32,7 +32,14 @@ fn seeded_init(grid: &Grid, s: &mut State, x0: usize, y0: usize, gnx: usize, gny
     s.fill_halos_periodic();
 }
 
-fn multi_config(px: usize, py: usize, sub_nx: usize, sub_ny: usize, overlap: OverlapMode, steps: usize) -> MultiGpuConfig {
+fn multi_config(
+    px: usize,
+    py: usize,
+    sub_nx: usize,
+    sub_ny: usize,
+    overlap: OverlapMode,
+    steps: usize,
+) -> MultiGpuConfig {
     let mut local = ModelConfig::mountain_wave(sub_nx, sub_ny, 8);
     local.terrain = Terrain::Flat;
     local.dt = 4.0;
@@ -49,7 +56,14 @@ fn multi_config(px: usize, py: usize, sub_nx: usize, sub_ny: usize, overlap: Ove
     }
 }
 
-fn run_decomposed(px: usize, py: usize, sub_nx: usize, sub_ny: usize, overlap: OverlapMode, steps: usize) -> Vec<State> {
+fn run_decomposed(
+    px: usize,
+    py: usize,
+    sub_nx: usize,
+    sub_ny: usize,
+    overlap: OverlapMode,
+    steps: usize,
+) -> Vec<State> {
     let mc = multi_config(px, py, sub_nx, sub_ny, overlap, steps);
     let (gnx, gny) = (px * sub_nx, py * sub_ny);
     let report = run_multi::<f64>(&mc, &move |rank, grid, _base, s| {
@@ -64,7 +78,8 @@ fn run_reference(gnx: usize, gny: usize, steps: usize) -> State {
     let mut cfg = ModelConfig::mountain_wave(gnx, gny, 8);
     cfg.terrain = Terrain::Flat;
     cfg.dt = 4.0;
-    let mut gpu = SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
+    let mut gpu =
+        SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
     // Same seeded field on the global grid.
     let profile = physics::base::BaseState {
         profile: cfg.base,
@@ -83,7 +98,15 @@ fn run_reference(gnx: usize, gny: usize, steps: usize) -> State {
     out
 }
 
-fn compare_rank_interiors(states: &[State], global: &State, px: usize, _py: usize, sub_nx: usize, sub_ny: usize, tol: f64) {
+fn compare_rank_interiors(
+    states: &[State],
+    global: &State,
+    px: usize,
+    _py: usize,
+    sub_nx: usize,
+    sub_ny: usize,
+    tol: f64,
+) {
     for (rank, local) in states.iter().enumerate() {
         let cx = rank % px;
         let cy = rank / px;
@@ -93,17 +116,32 @@ fn compare_rank_interiors(states: &[State], global: &State, px: usize, _py: usiz
             for i in 0..sub_nx as isize {
                 for k in 0..8isize {
                     for (a, b) in [
-                        (local.th.at(i, j, k), global.th.at(i + x0 as isize, j + y0 as isize, k)),
-                        (local.u.at(i, j, k), global.u.at(i + x0 as isize, j + y0 as isize, k)),
-                        (local.rho.at(i, j, k), global.rho.at(i + x0 as isize, j + y0 as isize, k)),
-                        (local.q[0].at(i, j, k), global.q[0].at(i + x0 as isize, j + y0 as isize, k)),
+                        (
+                            local.th.at(i, j, k),
+                            global.th.at(i + x0 as isize, j + y0 as isize, k),
+                        ),
+                        (
+                            local.u.at(i, j, k),
+                            global.u.at(i + x0 as isize, j + y0 as isize, k),
+                        ),
+                        (
+                            local.rho.at(i, j, k),
+                            global.rho.at(i + x0 as isize, j + y0 as isize, k),
+                        ),
+                        (
+                            local.q[0].at(i, j, k),
+                            global.q[0].at(i + x0 as isize, j + y0 as isize, k),
+                        ),
                     ] {
                         worst = worst.max((a - b).abs());
                     }
                 }
             }
         }
-        assert!(worst <= tol, "rank {rank}: max diff {worst:e} vs tol {tol:e}");
+        assert!(
+            worst <= tol,
+            "rank {rank}: max diff {worst:e} vs tol {tol:e}"
+        );
     }
 }
 

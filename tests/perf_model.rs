@@ -59,7 +59,10 @@ fn flop_counts_are_device_independent() {
     b.dev.profiler.reset();
     b.run(1);
     assert_eq!(a.dev.profiler.total_flops, b.dev.profiler.total_flops);
-    assert_eq!(a.dev.profiler.kernel_launches, b.dev.profiler.kernel_launches);
+    assert_eq!(
+        a.dev.profiler.kernel_launches,
+        b.dev.profiler.kernel_launches
+    );
 }
 
 #[test]
