@@ -1,0 +1,159 @@
+//! Wall-clock trajectory of the Functional backend: full mountain-wave
+//! steps at 64×64×32 and 320×256×48, at host threads 1 and max, written
+//! to `results/BENCH_wallclock.json`.
+//!
+//! This is the *other* clock of the repository: the simulated GT200
+//! seconds (reported by the fig* harnesses) must be bit-identical
+//! across thread counts — asserted here before timing — while the wall
+//! clock is what the persistent worker pool and the row cursors buy.
+//!
+//! Step counts can be overridden for quick runs:
+//! `ASUCA_WALLCLOCK_STEPS_SMALL` (default 5) and
+//! `ASUCA_WALLCLOCK_STEPS_LARGE` (default 2).
+
+use asuca_gpu::SingleGpu;
+use dycore::config::ModelConfig;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+use vgpu::{DeviceSpec, ExecMode};
+
+struct Case {
+    label: &'static str,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    steps: usize,
+    threads: usize,
+    wall_s: f64,
+    sim_s: f64,
+}
+
+fn env_steps(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_case(
+    label: &'static str,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    steps: usize,
+    threads: usize,
+) -> Case {
+    let mut cfg = ModelConfig::mountain_wave(nx, ny, nz);
+    cfg.dt = 5.0;
+    cfg.threads = threads;
+    let mut gpu = SingleGpu::<f64>::new(cfg, DeviceSpec::tesla_s1070(), ExecMode::Functional);
+    // Warm up one step so pool creation, lazy allocations and page
+    // faults don't land inside the timed region.
+    gpu.run(1);
+    let sim0 = gpu.dev.host_time();
+    let t0 = Instant::now();
+    gpu.run(steps);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let sim_s = gpu.dev.host_time() - sim0;
+    eprintln!(
+        "{label} threads={threads}: {steps} steps in {wall_s:.3} s wall ({:.3} s/step), simulated {sim_s:.4} s",
+        wall_s / steps as f64
+    );
+    Case {
+        label,
+        nx,
+        ny,
+        nz,
+        steps,
+        threads,
+        wall_s,
+        sim_s,
+    }
+}
+
+fn results_path() -> PathBuf {
+    // crates/bench → repo root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    p.push("BENCH_wallclock.json");
+    p
+}
+
+fn main() {
+    let max = numerics::par::default_threads();
+    let steps_small = env_steps("ASUCA_WALLCLOCK_STEPS_SMALL", 5);
+    let steps_large = env_steps("ASUCA_WALLCLOCK_STEPS_LARGE", 2);
+
+    let mut cases = Vec::new();
+    for &(label, nx, ny, nz, steps) in &[
+        (
+            "mountain_wave_64x64x32",
+            64usize,
+            64usize,
+            32usize,
+            steps_small,
+        ),
+        ("mountain_wave_320x256x48", 320, 256, 48, steps_large),
+    ] {
+        let single = run_case(label, nx, ny, nz, steps, 1);
+        if max > 1 {
+            let pooled = run_case(label, nx, ny, nz, steps, max);
+            // The two-clock rule: thread count must not move the
+            // simulated timeline by a single bit.
+            assert_eq!(
+                single.sim_s, pooled.sim_s,
+                "{label}: simulated seconds changed with threads={max}"
+            );
+            cases.push(single);
+            cases.push(pooled);
+        } else {
+            cases.push(single);
+        }
+    }
+
+    // Perf gate. Multi-core hosts must see the pool win at the large
+    // grid; a single-core container only checks that the pooled path
+    // introduced no regression (nothing to compare against but itself).
+    let large: Vec<&Case> = cases
+        .iter()
+        .filter(|c| c.label == "mountain_wave_320x256x48")
+        .collect();
+    let speedup = if large.len() == 2 {
+        let s = large[0].wall_s / large[1].wall_s;
+        eprintln!("320x256x48 speedup threads {max} vs 1: {s:.2}x");
+        assert!(
+            s > 1.0,
+            "pooled path slower than single-threaded at 320x256x48 ({s:.2}x)"
+        );
+        Some(s)
+    } else {
+        None
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_threads_max\": {max},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_320x256x48\": {},",
+        speedup.map_or("null".to_string(), |s| format!("{s:.4}"))
+    );
+    json.push_str("  \"cases\": [\n");
+    for (n, c) in cases.iter().enumerate() {
+        let sep = if n + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"case\": \"{}\", \"nx\": {}, \"ny\": {}, \"nz\": {}, \"steps\": {}, \"threads\": {}, \"wall_seconds\": {:.6}, \"wall_seconds_per_step\": {:.6}, \"simulated_seconds\": {:.6}}}{sep}",
+            c.label, c.nx, c.ny, c.nz, c.steps, c.threads, c.wall_s,
+            c.wall_s / c.steps as f64, c.sim_s
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = results_path();
+    std::fs::write(&path, &json).expect("failed to write BENCH_wallclock.json");
+    println!("wrote {}", path.display());
+}

@@ -89,39 +89,58 @@ pub fn advect_scalar<R: Real>(
             for r in &rects {
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
                     for k in 0..nzi {
+                        // Row cursors: base offsets computed once per
+                        // (j, k); stencil taps are ±1/±2 x-offsets (x
+                        // faces) or same-i taps on ±y/±z rows. HALO = 2,
+                        // so k±2 / j±2 rows always exist.
+                        let s0 = s.row(j, k);
+                        let sjm2 = s.row(j - 2, k);
+                        let sjm1 = s.row(j - 1, k);
+                        let sjp1 = s.row(j + 1, k);
+                        let sjp2 = s.row(j + 2, k);
+                        let skm2 = s.row(j, k - 2);
+                        let skm1 = s.row(j, k - 1);
+                        let skp1 = s.row(j, k + 1);
+                        let skp2 = s.row(j, k + 2);
+                        let u0 = uu.row(j, k);
+                        let vjm1 = vv.row(j - 1, k);
+                        let v0 = vv.row(j, k);
+                        let w0 = ww.row(j, k);
+                        let wp = ww.row(j, k + 1);
+                        let mut orow = o.row_mut(j, k);
                         for i in r.i0..r.i1 {
                             // x faces at i-1/2 (vel u[i-1]) and i+1/2 (u[i]).
                             let fxm = limited_flux(
                                 lim,
-                                uu.at(i - 1, j, k),
-                                s.at(i - 2, j, k),
-                                s.at(i - 1, j, k),
-                                s.at(i, j, k),
-                                s.at(i + 1, j, k),
+                                u0.at(i - 1),
+                                s0.at(i - 2),
+                                s0.at(i - 1),
+                                s0.at(i),
+                                s0.at(i + 1),
                             );
                             let fxp = limited_flux(
                                 lim,
-                                uu.at(i, j, k),
-                                s.at(i - 1, j, k),
-                                s.at(i, j, k),
-                                s.at(i + 1, j, k),
-                                s.at(i + 2, j, k),
+                                u0.at(i),
+                                s0.at(i - 1),
+                                s0.at(i),
+                                s0.at(i + 1),
+                                s0.at(i + 2),
                             );
                             let fym = limited_flux(
                                 lim,
-                                vv.at(i, j - 1, k),
-                                s.at(i, j - 2, k),
-                                s.at(i, j - 1, k),
-                                s.at(i, j, k),
-                                s.at(i, j + 1, k),
+                                vjm1.at(i),
+                                sjm2.at(i),
+                                sjm1.at(i),
+                                s0.at(i),
+                                sjp1.at(i),
                             );
                             let fyp = limited_flux(
                                 lim,
-                                vv.at(i, j, k),
-                                s.at(i, j - 1, k),
-                                s.at(i, j, k),
-                                s.at(i, j + 1, k),
-                                s.at(i, j + 2, k),
+                                v0.at(i),
+                                sjm1.at(i),
+                                s0.at(i),
+                                sjp1.at(i),
+                                sjp2.at(i),
                             );
                             // z faces: boundary mass flux is zero by the
                             // kinematic conditions baked into mw.
@@ -130,11 +149,11 @@ pub fn advect_scalar<R: Real>(
                             } else {
                                 limited_flux(
                                     lim,
-                                    ww.at(i, j, k),
-                                    s.at(i, j, k - 2),
-                                    s.at(i, j, k - 1),
-                                    s.at(i, j, k),
-                                    s.at(i, j, k + 1),
+                                    w0.at(i),
+                                    skm2.at(i),
+                                    skm1.at(i),
+                                    s0.at(i),
+                                    skp1.at(i),
                                 )
                             };
                             let fzp = if k == nzi - 1 {
@@ -142,17 +161,15 @@ pub fn advect_scalar<R: Real>(
                             } else {
                                 limited_flux(
                                     lim,
-                                    ww.at(i, j, k + 1),
-                                    s.at(i, j, k - 1),
-                                    s.at(i, j, k),
-                                    s.at(i, j, k + 1),
-                                    s.at(i, j, k + 2),
+                                    wp.at(i),
+                                    skm1.at(i),
+                                    s0.at(i),
+                                    skp1.at(i),
+                                    skp2.at(i),
                                 )
                             };
-                            o.add(
+                            orow.add(
                                 i,
-                                j,
-                                k,
                                 -((fxp - fxm) * inv_dx
                                     + (fyp - fym) * inv_dy
                                     + (fzp - fzm) * inv_dz),
@@ -214,81 +231,66 @@ pub fn advect_u<R: Real>(
             for r in &rects {
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
                     for k in 0..nzi {
+                        let s0 = s.row(j, k);
+                        let sjm2 = s.row(j - 2, k);
+                        let sjm1 = s.row(j - 1, k);
+                        let sjp1 = s.row(j + 1, k);
+                        let sjp2 = s.row(j + 2, k);
+                        let skm2 = s.row(j, k - 2);
+                        let skm1 = s.row(j, k - 1);
+                        let skp1 = s.row(j, k + 1);
+                        let skp2 = s.row(j, k + 2);
+                        let u0 = uu.row(j, k);
+                        let vjm1 = vv.row(j - 1, k);
+                        let v0 = vv.row(j, k);
+                        let w0 = ww.row(j, k);
+                        let wp = ww.row(j, k + 1);
+                        let mut orow = o.row_mut(j, k);
                         for i in r.i0..r.i1 {
                             let fxm = {
-                                let vel = half * (uu.at(i - 1, j, k) + uu.at(i, j, k));
+                                let vel = half * (u0.at(i - 1) + u0.at(i));
                                 limited_flux(
                                     lim,
                                     vel,
-                                    s.at(i - 2, j, k),
-                                    s.at(i - 1, j, k),
-                                    s.at(i, j, k),
-                                    s.at(i + 1, j, k),
+                                    s0.at(i - 2),
+                                    s0.at(i - 1),
+                                    s0.at(i),
+                                    s0.at(i + 1),
                                 )
                             };
                             let fxp = {
-                                let vel = half * (uu.at(i, j, k) + uu.at(i + 1, j, k));
+                                let vel = half * (u0.at(i) + u0.at(i + 1));
                                 limited_flux(
                                     lim,
                                     vel,
-                                    s.at(i - 1, j, k),
-                                    s.at(i, j, k),
-                                    s.at(i + 1, j, k),
-                                    s.at(i + 2, j, k),
+                                    s0.at(i - 1),
+                                    s0.at(i),
+                                    s0.at(i + 1),
+                                    s0.at(i + 2),
                                 )
                             };
                             let fym = {
-                                let vel = half * (vv.at(i, j - 1, k) + vv.at(i + 1, j - 1, k));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j - 2, k),
-                                    s.at(i, j - 1, k),
-                                    s.at(i, j, k),
-                                    s.at(i, j + 1, k),
-                                )
+                                let vel = half * (vjm1.at(i) + vjm1.at(i + 1));
+                                limited_flux(lim, vel, sjm2.at(i), sjm1.at(i), s0.at(i), sjp1.at(i))
                             };
                             let fyp = {
-                                let vel = half * (vv.at(i, j, k) + vv.at(i + 1, j, k));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j - 1, k),
-                                    s.at(i, j, k),
-                                    s.at(i, j + 1, k),
-                                    s.at(i, j + 2, k),
-                                )
+                                let vel = half * (v0.at(i) + v0.at(i + 1));
+                                limited_flux(lim, vel, sjm1.at(i), s0.at(i), sjp1.at(i), sjp2.at(i))
                             };
                             let fzm = if k == 0 {
                                 R::ZERO
                             } else {
-                                let vel = half * (ww.at(i, j, k) + ww.at(i + 1, j, k));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j, k - 2),
-                                    s.at(i, j, k - 1),
-                                    s.at(i, j, k),
-                                    s.at(i, j, k + 1),
-                                )
+                                let vel = half * (w0.at(i) + w0.at(i + 1));
+                                limited_flux(lim, vel, skm2.at(i), skm1.at(i), s0.at(i), skp1.at(i))
                             };
                             let fzp = if k == nzi - 1 {
                                 R::ZERO
                             } else {
-                                let vel = half * (ww.at(i, j, k + 1) + ww.at(i + 1, j, k + 1));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j, k - 1),
-                                    s.at(i, j, k),
-                                    s.at(i, j, k + 1),
-                                    s.at(i, j, k + 2),
-                                )
+                                let vel = half * (wp.at(i) + wp.at(i + 1));
+                                limited_flux(lim, vel, skm1.at(i), s0.at(i), skp1.at(i), skp2.at(i))
                             };
-                            o.add(
+                            orow.add(
                                 i,
-                                j,
-                                k,
                                 -((fxp - fxm) * inv_dx
                                     + (fyp - fym) * inv_dy
                                     + (fzp - fzm) * inv_dz),
@@ -350,81 +352,70 @@ pub fn advect_v<R: Real>(
             for r in &rects {
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
                     for k in 0..nzi {
+                        let s0 = s.row(j, k);
+                        let sjm2 = s.row(j - 2, k);
+                        let sjm1 = s.row(j - 1, k);
+                        let sjp1 = s.row(j + 1, k);
+                        let sjp2 = s.row(j + 2, k);
+                        let skm2 = s.row(j, k - 2);
+                        let skm1 = s.row(j, k - 1);
+                        let skp1 = s.row(j, k + 1);
+                        let skp2 = s.row(j, k + 2);
+                        let u0 = uu.row(j, k);
+                        let ujp1 = uu.row(j + 1, k);
+                        let vjm1 = vv.row(j - 1, k);
+                        let v0 = vv.row(j, k);
+                        let vjp1 = vv.row(j + 1, k);
+                        let w0 = ww.row(j, k);
+                        let wjp1 = ww.row(j + 1, k);
+                        let wp0 = ww.row(j, k + 1);
+                        let wpjp1 = ww.row(j + 1, k + 1);
+                        let mut orow = o.row_mut(j, k);
                         for i in r.i0..r.i1 {
                             let fxm = {
-                                let vel = half * (uu.at(i - 1, j, k) + uu.at(i - 1, j + 1, k));
+                                let vel = half * (u0.at(i - 1) + ujp1.at(i - 1));
                                 limited_flux(
                                     lim,
                                     vel,
-                                    s.at(i - 2, j, k),
-                                    s.at(i - 1, j, k),
-                                    s.at(i, j, k),
-                                    s.at(i + 1, j, k),
+                                    s0.at(i - 2),
+                                    s0.at(i - 1),
+                                    s0.at(i),
+                                    s0.at(i + 1),
                                 )
                             };
                             let fxp = {
-                                let vel = half * (uu.at(i, j, k) + uu.at(i, j + 1, k));
+                                let vel = half * (u0.at(i) + ujp1.at(i));
                                 limited_flux(
                                     lim,
                                     vel,
-                                    s.at(i - 1, j, k),
-                                    s.at(i, j, k),
-                                    s.at(i + 1, j, k),
-                                    s.at(i + 2, j, k),
+                                    s0.at(i - 1),
+                                    s0.at(i),
+                                    s0.at(i + 1),
+                                    s0.at(i + 2),
                                 )
                             };
                             let fym = {
-                                let vel = half * (vv.at(i, j - 1, k) + vv.at(i, j, k));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j - 2, k),
-                                    s.at(i, j - 1, k),
-                                    s.at(i, j, k),
-                                    s.at(i, j + 1, k),
-                                )
+                                let vel = half * (vjm1.at(i) + v0.at(i));
+                                limited_flux(lim, vel, sjm2.at(i), sjm1.at(i), s0.at(i), sjp1.at(i))
                             };
                             let fyp = {
-                                let vel = half * (vv.at(i, j, k) + vv.at(i, j + 1, k));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j - 1, k),
-                                    s.at(i, j, k),
-                                    s.at(i, j + 1, k),
-                                    s.at(i, j + 2, k),
-                                )
+                                let vel = half * (v0.at(i) + vjp1.at(i));
+                                limited_flux(lim, vel, sjm1.at(i), s0.at(i), sjp1.at(i), sjp2.at(i))
                             };
                             let fzm = if k == 0 {
                                 R::ZERO
                             } else {
-                                let vel = half * (ww.at(i, j, k) + ww.at(i, j + 1, k));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j, k - 2),
-                                    s.at(i, j, k - 1),
-                                    s.at(i, j, k),
-                                    s.at(i, j, k + 1),
-                                )
+                                let vel = half * (w0.at(i) + wjp1.at(i));
+                                limited_flux(lim, vel, skm2.at(i), skm1.at(i), s0.at(i), skp1.at(i))
                             };
                             let fzp = if k == nzi - 1 {
                                 R::ZERO
                             } else {
-                                let vel = half * (ww.at(i, j, k + 1) + ww.at(i, j + 1, k + 1));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j, k - 1),
-                                    s.at(i, j, k),
-                                    s.at(i, j, k + 1),
-                                    s.at(i, j, k + 2),
-                                )
+                                let vel = half * (wp0.at(i) + wpjp1.at(i));
+                                limited_flux(lim, vel, skm1.at(i), s0.at(i), skp1.at(i), skp2.at(i))
                             };
-                            o.add(
+                            orow.add(
                                 i,
-                                j,
-                                k,
                                 -((fxp - fxm) * inv_dx
                                     + (fyp - fym) * inv_dy
                                     + (fzp - fzm) * inv_dz),
@@ -486,77 +477,66 @@ pub fn advect_w<R: Real>(
             for r in &rects {
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
                     for k in 1..nzi {
+                        let s0 = s.row(j, k);
+                        let sjm2 = s.row(j - 2, k);
+                        let sjm1 = s.row(j - 1, k);
+                        let sjp1 = s.row(j + 1, k);
+                        let sjp2 = s.row(j + 2, k);
+                        let skm2 = s.row(j, k - 2);
+                        let skm1 = s.row(j, k - 1);
+                        let skp1 = s.row(j, k + 1);
+                        let skp2 = s.row(j, k + 2);
+                        let ukm1 = uu.row(j, k - 1);
+                        let uk = uu.row(j, k);
+                        let vjm1km1 = vv.row(j - 1, k - 1);
+                        let vjm1k = vv.row(j - 1, k);
+                        let v0km1 = vv.row(j, k - 1);
+                        let v0k = vv.row(j, k);
+                        let wkm1 = ww.row(j, k - 1);
+                        let wk = ww.row(j, k);
+                        let wkp1 = ww.row(j, k + 1);
+                        let mut orow = o.row_mut(j, k);
                         for i in r.i0..r.i1 {
                             let fxm = {
-                                let vel = half * (uu.at(i - 1, j, k - 1) + uu.at(i - 1, j, k));
+                                let vel = half * (ukm1.at(i - 1) + uk.at(i - 1));
                                 limited_flux(
                                     lim,
                                     vel,
-                                    s.at(i - 2, j, k),
-                                    s.at(i - 1, j, k),
-                                    s.at(i, j, k),
-                                    s.at(i + 1, j, k),
+                                    s0.at(i - 2),
+                                    s0.at(i - 1),
+                                    s0.at(i),
+                                    s0.at(i + 1),
                                 )
                             };
                             let fxp = {
-                                let vel = half * (uu.at(i, j, k - 1) + uu.at(i, j, k));
+                                let vel = half * (ukm1.at(i) + uk.at(i));
                                 limited_flux(
                                     lim,
                                     vel,
-                                    s.at(i - 1, j, k),
-                                    s.at(i, j, k),
-                                    s.at(i + 1, j, k),
-                                    s.at(i + 2, j, k),
+                                    s0.at(i - 1),
+                                    s0.at(i),
+                                    s0.at(i + 1),
+                                    s0.at(i + 2),
                                 )
                             };
                             let fym = {
-                                let vel = half * (vv.at(i, j - 1, k - 1) + vv.at(i, j - 1, k));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j - 2, k),
-                                    s.at(i, j - 1, k),
-                                    s.at(i, j, k),
-                                    s.at(i, j + 1, k),
-                                )
+                                let vel = half * (vjm1km1.at(i) + vjm1k.at(i));
+                                limited_flux(lim, vel, sjm2.at(i), sjm1.at(i), s0.at(i), sjp1.at(i))
                             };
                             let fyp = {
-                                let vel = half * (vv.at(i, j, k - 1) + vv.at(i, j, k));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j - 1, k),
-                                    s.at(i, j, k),
-                                    s.at(i, j + 1, k),
-                                    s.at(i, j + 2, k),
-                                )
+                                let vel = half * (v0km1.at(i) + v0k.at(i));
+                                limited_flux(lim, vel, sjm1.at(i), s0.at(i), sjp1.at(i), sjp2.at(i))
                             };
                             let fzm = {
-                                let vel = half * (ww.at(i, j, k - 1) + ww.at(i, j, k));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j, k - 2),
-                                    s.at(i, j, k - 1),
-                                    s.at(i, j, k),
-                                    s.at(i, j, k + 1),
-                                )
+                                let vel = half * (wkm1.at(i) + wk.at(i));
+                                limited_flux(lim, vel, skm2.at(i), skm1.at(i), s0.at(i), skp1.at(i))
                             };
                             let fzp = {
-                                let vel = half * (ww.at(i, j, k) + ww.at(i, j, k + 1));
-                                limited_flux(
-                                    lim,
-                                    vel,
-                                    s.at(i, j, k - 1),
-                                    s.at(i, j, k),
-                                    s.at(i, j, k + 1),
-                                    s.at(i, j, k + 2),
-                                )
+                                let vel = half * (wk.at(i) + wkp1.at(i));
+                                limited_flux(lim, vel, skm1.at(i), s0.at(i), skp1.at(i), skp2.at(i))
                             };
-                            o.add(
+                            orow.add(
                                 i,
-                                j,
-                                k,
                                 -((fxp - fxm) * inv_dx
                                     + (fyp - fym) * inv_dy
                                     + (fzp - fzm) * inv_dz),

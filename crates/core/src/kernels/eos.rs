@@ -44,10 +44,14 @@ pub fn eos_linear<R: Real>(
             for j in sj0..sj1 {
                 for k in -h..dc.nl as isize + h {
                     let kk = k.clamp(0, nzi - 1);
+                    let th_row = thv.row(j, k);
+                    let tr_row = trv.row(j, k);
+                    let pr_row = prv.row(j, k);
+                    let c_row = cv.row(j, kk);
+                    let mut p_row = pv.row_mut(j, k);
                     for i in -h..dc.nx as isize + h {
-                        let v =
-                            prv.at(i, j, k) + cv.at(i, j, kk) * (thv.at(i, j, k) - trv.at(i, j, k));
-                        pv.set(i, j, k, v);
+                        let v = pr_row.at(i) + c_row.at(i) * (th_row.at(i) - tr_row.at(i));
+                        p_row.set(i, v);
                     }
                 }
             }
@@ -84,15 +88,23 @@ pub fn eos_full<R: Real>(
             let thv = V3::new(&th_r, dc);
             let gv = V3::new(&g_r, dp);
             let mut pv = V3SlabMut::new(&mut p_s, dc, sj0);
+            // One division per (i, j) as before, hoisted into a per-j row
+            // over the full padded i range (indexed i + h).
+            let mut inv_g_row = vec![R::ZERO; dc.px()];
             for j in sj0..sj1 {
-                for i in -h..dc.nx as isize + h {
-                    let inv_g = R::ONE / gv.at(i, j, 0);
-                    for k in -h..dc.nl as isize + h {
-                        pv.set(
+                let g_row = gv.row(j, 0);
+                for (ii, slot) in inv_g_row.iter_mut().enumerate() {
+                    *slot = R::ONE / g_row.at(ii as isize - h);
+                }
+                for k in -h..dc.nl as isize + h {
+                    let th_row = thv.row(j, k);
+                    let mut p_row = pv.row_mut(j, k);
+                    for i in -h..dc.nx as isize + h {
+                        p_row.set(
                             i,
-                            j,
-                            k,
-                            eos::pressure_from_rho_theta(thv.at(i, j, k) * inv_g),
+                            eos::pressure_from_rho_theta(
+                                th_row.at(i) * inv_g_row[(i + h) as usize],
+                            ),
                         );
                     }
                 }

@@ -135,103 +135,204 @@ pub fn helmholtz<R: Real>(
             let mut strho = V3SlabMut::new(&mut strho_s, dc, sj0);
             let mut stth = V3SlabMut::new(&mut stth_s, dc, sj0);
 
-            // Column work vectors (the per-thread register/local arrays of
-            // the CUDA kernel), one set per worker.
-            let mut a = vec![R::ZERO; nz];
-            let mut b = vec![R::ZERO; nz];
-            let mut c = vec![R::ZERO; nz];
-            let mut d = vec![R::ZERO; nz];
-            let mut scr = vec![R::ZERO; nz];
-            let mut p_st = vec![R::ZERO; nz];
-
+            // The column march is restructured row-at-a-time: every phase
+            // sweeps contiguous x with row cursors, carrying the per-column
+            // work vectors (the per-thread register/local arrays of the
+            // CUDA kernel) as (level, x) scratch planes. Columns are
+            // independent and each column's operation sequence is exactly
+            // the per-column original, so results are bitwise identical.
             for r in &rects {
+                let i0 = r.i0;
+                let nxs = (r.i1 - r.i0).max(0) as usize;
+                if nxs == 0 {
+                    continue;
+                }
+                let li = |i: isize| (i - i0) as usize;
+                let mut gm_row = vec![R::ZERO; nxs];
+                let mut inv_gdz_row = vec![R::ZERO; nxs];
+                let mut w_surf = vec![R::ZERO; nxs];
+                let mut p_st = vec![R::ZERO; nz * nxs];
+                let mut ta = vec![R::ZERO; nz * nxs];
+                let mut tb = vec![R::ZERO; nz * nxs];
+                let mut tc = vec![R::ZERO; nz * nxs];
+                let mut td = vec![R::ZERO; nz * nxs];
+                let mut tscr = vec![R::ZERO; nz * nxs];
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
-                    for i in r.i0..r.i1 {
-                        let gm = gv.at(i, j, 0);
-                        let inv_gdz = one / (gm * dz);
-
-                        let w_surf = if flat {
-                            R::ZERO
-                        } else {
-                            let rho0 = rhov.at(i, j, 0);
-                            let uspec = half * (uv.at(i - 1, j, 0) + uv.at(i, j, 0)) / rho0;
-                            let vspec = half * (vv.at(i, j - 1, 0) + vv.at(i, j, 0)) / rho0;
-                            let slopex = half * (sxv.at(i - 1, j, 0) + sxv.at(i, j, 0));
-                            let slopey = half * (syv.at(i, j - 1, 0) + syv.at(i, j, 0));
-                            rho0 * (uspec * slopex + vspec * slopey)
-                        };
-
-                        // Explicit star parts per center.
-                        #[allow(clippy::needless_range_loop)]
-                        for kc in 0..nz {
-                            let k = kc as isize;
-                            let dh_rho = (uv.at(i, j, k) - uv.at(i - 1, j, k)) * inv_dx
-                                + (vv.at(i, j, k) - vv.at(i, j - 1, k)) * inv_dy;
-                            let thu_p = half * (thcv.at(i, j, k) + thcv.at(i + 1, j, k));
-                            let thu_m = half * (thcv.at(i - 1, j, k) + thcv.at(i, j, k));
-                            let thv_p = half * (thcv.at(i, j, k) + thcv.at(i, j + 1, k));
-                            let thv_m = half * (thcv.at(i, j - 1, k) + thcv.at(i, j, k));
-                            let dh_th = (thu_p * uv.at(i, j, k) - thu_m * uv.at(i - 1, j, k))
-                                * inv_dx
-                                + (thv_p * vv.at(i, j, k) - thv_m * vv.at(i, j - 1, k)) * inv_dy;
-                            let dwz_old = (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_gdz;
-                            let dthwz_old = (thwv.at(i, j, k + 1) * wv.at(i, j, k + 1)
-                                - thwv.at(i, j, k) * wv.at(i, j, k))
-                                * inv_gdz;
-                            let rho_st = rhov.at(i, j, k)
-                                + dt * (frhov.at(i, j, k) - dh_rho - (one - bt) * dwz_old);
-                            let th_st = thv.at(i, j, k)
-                                + dt * (fthv.at(i, j, k) - dh_th - (one - bt) * dthwz_old);
-                            strho.set(i, j, k, rho_st);
-                            stth.set(i, j, k, th_st);
-                            p_st[kc] =
-                                prefv.at(i, j, k) + c2mv.at(i, j, k) * (th_st - threfv.at(i, j, k));
+                    // Surface row: metric factors and the kinematic
+                    // lower-boundary w.
+                    {
+                        let g_row = gv.row(j, 0);
+                        let rho0_row = rhov.row(j, 0);
+                        let u0 = uv.row(j, 0);
+                        let vjm1 = vv.row(j - 1, 0);
+                        let v0 = vv.row(j, 0);
+                        let sx_row = sxv.row(j, 0);
+                        let sy_jm1 = syv.row(j - 1, 0);
+                        let sy_0 = syv.row(j, 0);
+                        for i in r.i0..r.i1 {
+                            let gm = g_row.at(i);
+                            gm_row[li(i)] = gm;
+                            inv_gdz_row[li(i)] = one / (gm * dz);
+                            w_surf[li(i)] = if flat {
+                                R::ZERO
+                            } else {
+                                let rho0 = rho0_row.at(i);
+                                let uspec = half * (u0.at(i - 1) + u0.at(i)) / rho0;
+                                let vspec = half * (vjm1.at(i) + v0.at(i)) / rho0;
+                                let slopex = half * (sx_row.at(i - 1) + sx_row.at(i));
+                                let slopey = half * (sy_jm1.at(i) + sy_0.at(i));
+                                rho0 * (uspec * slopex + vspec * slopey)
+                            };
                         }
+                    }
 
-                        // Tridiagonal rows for interior w levels.
-                        let tb2 = (dt * bt) * (dt * bt);
-                        for kw in 1..nz {
-                            let row = kw - 1;
-                            let k = kw as isize;
-                            let c2m_lo = c2mv.at(i, j, k - 1);
-                            let c2m_hi = c2mv.at(i, j, k);
-                            let thw_m = thwv.at(i, j, k - 1);
-                            let thw_0 = thwv.at(i, j, k);
-                            let thw_p = thwv.at(i, j, k + 1);
-                            a[row] =
+                    // Explicit star parts per center.
+                    for kc in 0..nz {
+                        let k = kc as isize;
+                        let u0 = uv.row(j, k);
+                        let vjm1 = vv.row(j - 1, k);
+                        let v0 = vv.row(j, k);
+                        let thc_jm1 = thcv.row(j - 1, k);
+                        let thc_0 = thcv.row(j, k);
+                        let thc_jp1 = thcv.row(j + 1, k);
+                        let w_k = wv.row(j, k);
+                        let w_kp = wv.row(j, k + 1);
+                        let thw_k = thwv.row(j, k);
+                        let thw_kp = thwv.row(j, k + 1);
+                        let rho_0 = rhov.row(j, k);
+                        let th_0 = thv.row(j, k);
+                        let frho_0 = frhov.row(j, k);
+                        let fth_0 = fthv.row(j, k);
+                        let pref_0 = prefv.row(j, k);
+                        let thref_0 = threfv.row(j, k);
+                        let c2m_0 = c2mv.row(j, k);
+                        let mut strho_row = strho.row_mut(j, k);
+                        let mut stth_row = stth.row_mut(j, k);
+                        for i in r.i0..r.i1 {
+                            let dh_rho = (u0.at(i) - u0.at(i - 1)) * inv_dx
+                                + (v0.at(i) - vjm1.at(i)) * inv_dy;
+                            let thu_p = half * (thc_0.at(i) + thc_0.at(i + 1));
+                            let thu_m = half * (thc_0.at(i - 1) + thc_0.at(i));
+                            let thv_p = half * (thc_0.at(i) + thc_jp1.at(i));
+                            let thv_m = half * (thc_jm1.at(i) + thc_0.at(i));
+                            let dh_th = (thu_p * u0.at(i) - thu_m * u0.at(i - 1)) * inv_dx
+                                + (thv_p * v0.at(i) - thv_m * vjm1.at(i)) * inv_dy;
+                            let dwz_old = (w_kp.at(i) - w_k.at(i)) * inv_gdz_row[li(i)];
+                            let dthwz_old = (thw_kp.at(i) * w_kp.at(i) - thw_k.at(i) * w_k.at(i))
+                                * inv_gdz_row[li(i)];
+                            let rho_st =
+                                rho_0.at(i) + dt * (frho_0.at(i) - dh_rho - (one - bt) * dwz_old);
+                            let th_st =
+                                th_0.at(i) + dt * (fth_0.at(i) - dh_th - (one - bt) * dthwz_old);
+                            strho_row.set(i, rho_st);
+                            stth_row.set(i, th_st);
+                            p_st[kc * nxs + li(i)] =
+                                pref_0.at(i) + c2m_0.at(i) * (th_st - thref_0.at(i));
+                        }
+                    }
+
+                    // Tridiagonal rows for interior w levels.
+                    let tb2 = (dt * bt) * (dt * bt);
+                    for kw in 1..nz {
+                        let row = kw - 1;
+                        let k = kw as isize;
+                        let c2m_lo_row = c2mv.row(j, k - 1);
+                        let c2m_hi_row = c2mv.row(j, k);
+                        let thw_m_row = thwv.row(j, k - 1);
+                        let thw_0_row = thwv.row(j, k);
+                        let thw_p_row = thwv.row(j, k + 1);
+                        let p_km1 = pv.row(j, k - 1);
+                        let p_k = pv.row(j, k);
+                        let rho_km1 = rhov.row(j, k - 1);
+                        let rho_k = rhov.row(j, k);
+                        let rbw_k = rbwv.row(j, k);
+                        let strho_km1 = strho.row(j, k - 1);
+                        let strho_k = strho.row(j, k);
+                        let w_k = wv.row(j, k);
+                        let fw_k = fwv.row(j, k);
+                        for i in r.i0..r.i1 {
+                            let gm = gm_row[li(i)];
+                            let c2m_lo = c2m_lo_row.at(i);
+                            let c2m_hi = c2m_hi_row.at(i);
+                            let thw_m = thw_m_row.at(i);
+                            let thw_0 = thw_0_row.at(i);
+                            let thw_p = thw_p_row.at(i);
+                            ta[row * nxs + li(i)] =
                                 -tb2 / gm * (c2m_lo * thw_m / (dz * dz) - grav / (R::TWO * dz));
-                            b[row] = one + tb2 / (gm * dz * dz) * thw_0 * (c2m_hi + c2m_lo);
-                            c[row] =
+                            tb[row * nxs + li(i)] =
+                                one + tb2 / (gm * dz * dz) * thw_0 * (c2m_hi + c2m_lo);
+                            tc[row * nxs + li(i)] =
                                 -tb2 / gm * (c2m_hi * thw_p / (dz * dz) + grav / (R::TWO * dz));
-                            let p_old_grad = (pv.at(i, j, k) - pv.at(i, j, k - 1)) / dz;
-                            let buoy_old = grav
-                                * (half * (rhov.at(i, j, k - 1) + rhov.at(i, j, k))
-                                    - rbwv.at(i, j, k));
-                            let p_st_grad = (p_st[kw] - p_st[kw - 1]) / dz;
-                            let buoy_st = grav
-                                * (half * (strho.at(i, j, k - 1) + strho.at(i, j, k))
-                                    - rbwv.at(i, j, k));
-                            d[row] = wv.at(i, j, k) + dt * fwv.at(i, j, k)
+                            let p_old_grad = (p_k.at(i) - p_km1.at(i)) / dz;
+                            let buoy_old =
+                                grav * (half * (rho_km1.at(i) + rho_k.at(i)) - rbw_k.at(i));
+                            let p_st_grad =
+                                (p_st[kw * nxs + li(i)] - p_st[(kw - 1) * nxs + li(i)]) / dz;
+                            let buoy_st =
+                                grav * (half * (strho_km1.at(i) + strho_k.at(i)) - rbw_k.at(i));
+                            td[row * nxs + li(i)] = w_k.at(i) + dt * fw_k.at(i)
                                 - dt * (one - bt) * (p_old_grad + buoy_old)
                                 - dt * bt * (p_st_grad + buoy_st);
                         }
-                        if nz >= 2 {
-                            let a0 = a[0];
-                            d[0] -= a0 * w_surf;
-                            a[0] = R::ZERO;
-                            c[nz - 2] = R::ZERO;
+                    }
+                    if nz >= 2 {
+                        for l in 0..nxs {
+                            let a0 = ta[l];
+                            td[l] -= a0 * w_surf[l];
+                            ta[l] = R::ZERO;
+                            tc[(nz - 2) * nxs + l] = R::ZERO;
                         }
-                        numerics::tridiag::solve_in_place(
-                            &a[..nz - 1],
-                            &b[..nz - 1],
-                            &c[..nz - 1],
-                            &mut d[..nz - 1],
-                            &mut scr[..nz - 1],
+                    }
+
+                    // Thomas algorithm over the row's columns — the exact
+                    // per-column sequence of `numerics::tridiag::
+                    // solve_in_place` on rows [0, nz-1).
+                    let n = nz - 1;
+                    assert!(n >= 1);
+                    for l in 0..nxs {
+                        let beta = tb[l];
+                        assert!(
+                            beta.abs() > R::ZERO,
+                            "zero pivot in tridiagonal solve (row 0)"
                         );
-                        wv.set(i, j, 0, w_surf);
-                        wv.set(i, j, nz as isize, R::ZERO);
-                        for kw in 1..nz {
-                            wv.set(i, j, kw as isize, d[kw - 1]);
+                        td[l] /= beta;
+                        tscr[l] = tc[l] / beta;
+                    }
+                    for kr in 1..n {
+                        for l in 0..nxs {
+                            let beta =
+                                tb[kr * nxs + l] - ta[kr * nxs + l] * tscr[(kr - 1) * nxs + l];
+                            assert!(beta.abs() > R::ZERO, "zero pivot in tridiagonal solve");
+                            tscr[kr * nxs + l] = tc[kr * nxs + l] / beta;
+                            td[kr * nxs + l] = (td[kr * nxs + l]
+                                - ta[kr * nxs + l] * td[(kr - 1) * nxs + l])
+                                / beta;
+                        }
+                    }
+                    for kr in (0..n - 1).rev() {
+                        for l in 0..nxs {
+                            let next = td[(kr + 1) * nxs + l];
+                            td[kr * nxs + l] -= tscr[kr * nxs + l] * next;
+                        }
+                    }
+
+                    // Write the new w levels.
+                    {
+                        let mut w_row = wv.row_mut(j, 0);
+                        for i in r.i0..r.i1 {
+                            w_row.set(i, w_surf[li(i)]);
+                        }
+                    }
+                    {
+                        let mut w_row = wv.row_mut(j, nz as isize);
+                        for i in r.i0..r.i1 {
+                            w_row.set(i, R::ZERO);
+                        }
+                    }
+                    for kw in 1..nz {
+                        let mut w_row = wv.row_mut(j, kw as isize);
+                        for i in r.i0..r.i1 {
+                            w_row.set(i, td[(kw - 1) * nxs + li(i)]);
                         }
                     }
                 }
@@ -284,11 +385,16 @@ pub fn density<R: Real>(
             let mut rv = V3SlabMut::new(&mut rho_s, dc, sj0);
             for r in &rects {
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    let g_row = gv.row(j, 0);
                     for k in 0..nzi {
+                        let st_row = st.row(j, k);
+                        let w_k = wv.row(j, k);
+                        let w_kp = wv.row(j, k + 1);
+                        let mut rho_row = rv.row_mut(j, k);
                         for i in r.i0..r.i1 {
-                            let inv_gdz = R::ONE / (gv.at(i, j, 0) * dz);
-                            let dwz = (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_gdz;
-                            rv.set(i, j, k, st.at(i, j, k) - fac * dwz);
+                            let inv_gdz = R::ONE / (g_row.at(i) * dz);
+                            let dwz = (w_kp.at(i) - w_k.at(i)) * inv_gdz;
+                            rho_row.set(i, st_row.at(i) - fac * dwz);
                         }
                     }
                 }
@@ -345,13 +451,19 @@ pub fn potential_temperature<R: Real>(
             let mut tv = V3SlabMut::new(&mut th_s, dc, sj0);
             for r in &rects {
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    let g_row = gv.row(j, 0);
                     for k in 0..nzi {
+                        let st_row = st.row(j, k);
+                        let w_k = wv.row(j, k);
+                        let w_kp = wv.row(j, k + 1);
+                        let thw_k = thwv.row(j, k);
+                        let thw_kp = thwv.row(j, k + 1);
+                        let mut th_row = tv.row_mut(j, k);
                         for i in r.i0..r.i1 {
-                            let inv_gdz = R::ONE / (gv.at(i, j, 0) * dz);
-                            let dthwz = (thwv.at(i, j, k + 1) * wv.at(i, j, k + 1)
-                                - thwv.at(i, j, k) * wv.at(i, j, k))
-                                * inv_gdz;
-                            tv.set(i, j, k, st.at(i, j, k) - fac * dthwz);
+                            let inv_gdz = R::ONE / (g_row.at(i) * dz);
+                            let dthwz =
+                                (thw_kp.at(i) * w_kp.at(i) - thw_k.at(i) * w_k.at(i)) * inv_gdz;
+                            th_row.set(i, st_row.at(i) - fac * dthwz);
                         }
                     }
                 }

@@ -52,10 +52,14 @@ pub fn momentum_x<R: Real>(
             let mut uv = V3SlabMut::new(&mut u_s, dc, sj0);
             for r in &rects {
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    let g_row = gv.row(j, 0);
                     for k in 0..nzi {
+                        let p_row = pv.row(j, k);
+                        let f_row = fv.row(j, k);
+                        let mut u_row = uv.row_mut(j, k);
                         for i in r.i0..r.i1 {
-                            let dpdx = (pv.at(i + 1, j, k) - pv.at(i, j, k)) * inv_dx;
-                            uv.add(i, j, k, dt * (-gv.at(i, j, 0) * dpdx + fv.at(i, j, k)));
+                            let dpdx = (p_row.at(i + 1) - p_row.at(i)) * inv_dx;
+                            u_row.add(i, dt * (-g_row.at(i) * dpdx + f_row.at(i)));
                         }
                     }
                 }
@@ -106,10 +110,15 @@ pub fn momentum_y<R: Real>(
             let mut vv = V3SlabMut::new(&mut v_s, dc, sj0);
             for r in &rects {
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
+                    let g_row = gv.row(j, 0);
                     for k in 0..nzi {
+                        let p_row = pv.row(j, k);
+                        let pjp1_row = pv.row(j + 1, k);
+                        let f_row = fv.row(j, k);
+                        let mut v_row = vv.row_mut(j, k);
                         for i in r.i0..r.i1 {
-                            let dpdy = (pv.at(i, j + 1, k) - pv.at(i, j, k)) * inv_dy;
-                            vv.add(i, j, k, dt * (-gv.at(i, j, 0) * dpdy + fv.at(i, j, k)));
+                            let dpdy = (pjp1_row.at(i) - p_row.at(i)) * inv_dy;
+                            v_row.add(i, dt * (-g_row.at(i) * dpdy + f_row.at(i)));
                         }
                     }
                 }

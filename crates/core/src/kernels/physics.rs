@@ -57,18 +57,25 @@ pub fn warm_rain<R: Real>(
             let mut qcv = V3SlabMut::new(&mut qc_s, dc, sj0);
             let mut qrv = V3SlabMut::new(&mut qr_s_g, dc, sj0);
             for j in sj0..sj1 {
-                for i in 0..nx {
-                    let gm = gv.at(i, j, 0);
-                    for k in 0..nz {
-                        let rho_star = rhov.at(i, j, k);
+                let g_row = gv.row(j, 0);
+                for k in 0..nz {
+                    let p_row = pv.row(j, k);
+                    let rho_row = rhov.row(j, k);
+                    let mut th_row = thv.row_mut(j, k);
+                    let mut qv_row = qvv.row_mut(j, k);
+                    let mut qc_row = qcv.row_mut(j, k);
+                    let mut qr_row = qrv.row_mut(j, k);
+                    for i in 0..nx {
+                        let gm = g_row.at(i);
+                        let rho_star = rho_row.at(i);
                         let rho_phys = rho_star / gm;
-                        let qv_s = qvv.at(i, j, k) / rho_star;
-                        let qc_s = qcv.at(i, j, k) / rho_star;
-                        let qr_s = qrv.at(i, j, k) / rho_star;
-                        let pp = pv.at(i, j, k);
+                        let qv_s = qv_row.at(i) / rho_star;
+                        let qc_s = qc_row.at(i) / rho_star;
+                        let qr_s = qr_row.at(i) / rho_star;
+                        let pp = p_row.at(i);
                         let pi = eos::exner(pp);
                         let fac = eos::theta_m_factor(qv_s, qc_s, qr_s);
-                        let theta = thv.at(i, j, k) / (rho_star * fac);
+                        let theta = th_row.at(i) / (rho_star * fac);
                         let out = kessler::step_point(
                             pp,
                             pi,
@@ -82,10 +89,10 @@ pub fn warm_rain<R: Real>(
                             },
                         );
                         let fac_new = eos::theta_m_factor(out.qv, out.qc, out.qr);
-                        thv.set(i, j, k, rho_star * out.theta * fac_new);
-                        qvv.set(i, j, k, rho_star * out.qv);
-                        qcv.set(i, j, k, rho_star * out.qc);
-                        qrv.set(i, j, k, rho_star * out.qr);
+                        th_row.set(i, rho_star * out.theta * fac_new);
+                        qv_row.set(i, rho_star * out.qv);
+                        qc_row.set(i, rho_star * out.qc);
+                        qr_row.set(i, rho_star * out.qr);
                     }
                 }
             }
@@ -131,29 +138,58 @@ pub fn sediment<R: Real>(
             let mut qrv = V3SlabMut::new(&mut qr_s, dc, sj0);
             let mut prv = V3SlabMut::new(&mut pr_s, dpl, sj0);
             let inv_dz = R::ONE / dz;
-            let mut flux = vec![R::ZERO; nz + 1];
+            // Per-row flux plane indexed [level * nx + i] plus the
+            // surface density row; columns stay independent, each doing
+            // the exact per-column operation sequence of the original.
+            let nxs = nx as usize;
+            let mut flux = vec![R::ZERO; (nz + 1) * nxs];
+            let mut rho_sfc_row = vec![R::ZERO; nxs];
             for j in sj0..sj1 {
-                for i in 0..nx {
-                    let gm = gv.at(i, j, 0);
-                    let rho_sfc = rhov.at(i, j, 0) / gm;
-                    for (kc, f) in flux.iter_mut().enumerate().take(nz) {
-                        let k = kc as isize;
-                        let rho_phys = rhov.at(i, j, k) / gm;
-                        let qr_s = (qrv.at(i, j, k) / rhov.at(i, j, k)).max(R::ZERO);
-                        let vt = kessler::terminal_velocity(rho_phys, qr_s, rho_sfc);
-                        let max_flux = qrv.at(i, j, k) * dz / dtr;
-                        *f = (rho_phys * qr_s * vt).min(max_flux.max(R::ZERO));
+                let g_row = gv.row(j, 0);
+                {
+                    let rho0_row = rhov.row(j, 0);
+                    for i in 0..nx {
+                        rho_sfc_row[i as usize] = rho0_row.at(i) / g_row.at(i);
                     }
-                    flux[nz] = R::ZERO;
-                    for kc in 0..nz {
-                        let k = kc as isize;
-                        let f_bottom = flux[kc];
-                        let f_top = flux[kc + 1];
+                }
+                for kc in 0..nz {
+                    let k = kc as isize;
+                    let rho_row = rhov.row(j, k);
+                    let qr_row = qrv.row(j, k);
+                    for i in 0..nx {
+                        let gm = g_row.at(i);
+                        let rho_phys = rho_row.at(i) / gm;
+                        let qr_s = (qr_row.at(i) / rho_row.at(i)).max(R::ZERO);
+                        let vt =
+                            kessler::terminal_velocity(rho_phys, qr_s, rho_sfc_row[i as usize]);
+                        let max_flux = qr_row.at(i) * dz / dtr;
+                        flux[kc * nxs + i as usize] =
+                            (rho_phys * qr_s * vt).min(max_flux.max(R::ZERO));
+                    }
+                }
+                for f in &mut flux[nz * nxs..] {
+                    *f = R::ZERO;
+                }
+                for kc in 0..nz {
+                    let k = kc as isize;
+                    let mut qr_row = qrv.row_mut(j, k);
+                    for i in 0..nx {
+                        let f_bottom = flux[kc * nxs + i as usize];
+                        let f_top = flux[(kc + 1) * nxs + i as usize];
                         let dq = dtr * (f_top - f_bottom) * inv_dz;
-                        qrv.add(i, j, k, dq);
-                        rhov.add(i, j, k, dq);
+                        qr_row.add(i, dq);
                     }
-                    prv.add(i, j, 0, dtr * flux[0]);
+                    let mut rho_row = rhov.row_mut(j, k);
+                    for i in 0..nx {
+                        let f_bottom = flux[kc * nxs + i as usize];
+                        let f_top = flux[(kc + 1) * nxs + i as usize];
+                        let dq = dtr * (f_top - f_bottom) * inv_dz;
+                        rho_row.add(i, dq);
+                    }
+                }
+                let mut pr_row = prv.row_mut(j, 0);
+                for i in 0..nx {
+                    pr_row.add(i, dtr * flux[i as usize]);
                 }
             }
         },
@@ -208,23 +244,29 @@ pub fn rayleigh<R: Real>(
             let mut wv = V3SlabMut::new(&mut w_s, dw, sj0);
             let mut thv = V3SlabMut::new(&mut th_s, dc, sj0);
             for j in sj0..sj1 {
-                for i in 0..nx {
-                    #[allow(clippy::needless_range_loop)]
-                    for k in 1..nz {
-                        let dmp = damp_w[k];
-                        if dmp < R::ONE {
-                            let v = wv.at(i, j, k as isize) * dmp;
-                            wv.set(i, j, k as isize, v);
+                #[allow(clippy::needless_range_loop)]
+                for k in 1..nz {
+                    let dmp = damp_w[k];
+                    if dmp < R::ONE {
+                        let mut w_row = wv.row_mut(j, k as isize);
+                        for i in 0..nx {
+                            let v = w_row.at(i) * dmp;
+                            w_row.set(i, v);
                         }
                     }
-                    #[allow(clippy::needless_range_loop)]
-                    for k in 0..nz {
-                        let dmp = damp_c[k];
-                        if dmp < R::ONE {
-                            let kk = k as isize;
-                            let th_eq = rhov.at(i, j, kk) * thbv.at(i, j, kk);
-                            let v = th_eq + (thv.at(i, j, kk) - th_eq) * dmp;
-                            thv.set(i, j, kk, v);
+                }
+                #[allow(clippy::needless_range_loop)]
+                for k in 0..nz {
+                    let dmp = damp_c[k];
+                    if dmp < R::ONE {
+                        let kk = k as isize;
+                        let rho_row = rhov.row(j, kk);
+                        let thb_row = thbv.row(j, kk);
+                        let mut th_row = thv.row_mut(j, kk);
+                        for i in 0..nx {
+                            let th_eq = rho_row.at(i) * thb_row.at(i);
+                            let v = th_eq + (th_row.at(i) - th_eq) * dmp;
+                            th_row.set(i, v);
                         }
                     }
                 }

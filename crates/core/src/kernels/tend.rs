@@ -4,7 +4,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::region::{launch_cfg, launch_cfg_region, KName, Region};
-use crate::view::{V3SlabMut, V3};
+use crate::view::{Row, V3SlabMut, V3};
 use numerics::Real;
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
 
@@ -45,20 +45,20 @@ pub fn coriolis<R: Real>(
             let mut fuv = V3SlabMut::new(&mut fu_s, dc, sj0);
             let mut fvv = V3SlabMut::new(&mut fv_s, dc, sj0);
             for j in sj0..sj1 {
-                for i in 0..nx {
-                    for k in 0..nz {
-                        let v_at_u = quarter
-                            * (vv.at(i, j, k)
-                                + vv.at(i + 1, j, k)
-                                + vv.at(i, j - 1, k)
-                                + vv.at(i + 1, j - 1, k));
-                        fuv.add(i, j, k, f * v_at_u);
-                        let u_at_v = quarter
-                            * (uv.at(i, j, k)
-                                + uv.at(i - 1, j, k)
-                                + uv.at(i, j + 1, k)
-                                + uv.at(i - 1, j + 1, k));
-                        fvv.add(i, j, k, -f * u_at_v);
+                for k in 0..nz {
+                    let v0 = vv.row(j, k);
+                    let vjm1 = vv.row(j - 1, k);
+                    let u0 = uv.row(j, k);
+                    let ujp1 = uv.row(j + 1, k);
+                    let mut fu_row = fuv.row_mut(j, k);
+                    let mut fv_row = fvv.row_mut(j, k);
+                    for i in 0..nx {
+                        let v_at_u =
+                            quarter * (v0.at(i) + v0.at(i + 1) + vjm1.at(i) + vjm1.at(i + 1));
+                        fu_row.add(i, f * v_at_u);
+                        let u_at_v =
+                            quarter * (u0.at(i) + u0.at(i - 1) + ujp1.at(i) + ujp1.at(i - 1));
+                        fv_row.add(i, -f * u_at_v);
                     }
                 }
             }
@@ -106,17 +106,25 @@ pub fn metric_pg<R: Real>(
             let mut fuv = V3SlabMut::new(&mut fu_s, dc, sj0);
             let mut fvv = V3SlabMut::new(&mut fv_s, dc, sj0);
             for j in sj0..sj1 {
-                for i in 0..nx {
-                    for k in 0..nz {
-                        let km = (k - 1).max(0);
-                        let kp = (k + 1).min(nz - 1);
-                        let span = R::from_f64(((kp - km).max(1)) as f64 * dz);
-                        let dpdz_i = (pv.at(i, j, kp) - pv.at(i, j, km)) / span;
-                        let dpdz_ip = (pv.at(i + 1, j, kp) - pv.at(i + 1, j, km)) / span;
-                        let fac = zf_r[k as usize];
-                        fuv.add(i, j, k, sxv.at(i, j, 0) * fac * half * (dpdz_i + dpdz_ip));
-                        let dpdz_jp = (pv.at(i, j + 1, kp) - pv.at(i, j + 1, km)) / span;
-                        fvv.add(i, j, k, syv.at(i, j, 0) * fac * half * (dpdz_i + dpdz_jp));
+                let sx_row = sxv.row(j, 0);
+                let sy_row = syv.row(j, 0);
+                for k in 0..nz {
+                    let km = (k - 1).max(0);
+                    let kp = (k + 1).min(nz - 1);
+                    let span = R::from_f64(((kp - km).max(1)) as f64 * dz);
+                    let fac = zf_r[k as usize];
+                    let p_km = pv.row(j, km);
+                    let p_kp = pv.row(j, kp);
+                    let pjp_km = pv.row(j + 1, km);
+                    let pjp_kp = pv.row(j + 1, kp);
+                    let mut fu_row = fuv.row_mut(j, k);
+                    let mut fv_row = fvv.row_mut(j, k);
+                    for i in 0..nx {
+                        let dpdz_i = (p_kp.at(i) - p_km.at(i)) / span;
+                        let dpdz_ip = (p_kp.at(i + 1) - p_km.at(i + 1)) / span;
+                        fu_row.add(i, sx_row.at(i) * fac * half * (dpdz_i + dpdz_ip));
+                        let dpdz_jp = (pjp_kp.at(i) - pjp_km.at(i)) / span;
+                        fv_row.add(i, sy_row.at(i) * fac * half * (dpdz_i + dpdz_jp));
                     }
                 }
             }
@@ -166,21 +174,36 @@ pub fn add_div_lin_theta<R: Real>(
             let thw = V3::new(&thw_r, dw);
             let gv = V3::new(&g_r, dp);
             let mut fv = V3SlabMut::new(&mut f_s, dc, sj0);
+            // One division per (i, j) as before, hoisted into a per-j row.
+            let mut inv_g_row = vec![R::ZERO; nx as usize];
             for j in sj0..sj1 {
-                for i in 0..nx {
-                    let inv_g = R::ONE / gv.at(i, j, 0);
-                    for k in 0..nz {
-                        let thu_p = half * (thc.at(i, j, k) + thc.at(i + 1, j, k));
-                        let thu_m = half * (thc.at(i - 1, j, k) + thc.at(i, j, k));
-                        let thv_p = half * (thc.at(i, j, k) + thc.at(i, j + 1, k));
-                        let thv_m = half * (thc.at(i, j - 1, k) + thc.at(i, j, k));
-                        let d = (thu_p * uv.at(i, j, k) - thu_m * uv.at(i - 1, j, k)) * inv_dx
-                            + (thv_p * vv.at(i, j, k) - thv_m * vv.at(i, j - 1, k)) * inv_dy
-                            + (thw.at(i, j, k + 1) * wv.at(i, j, k + 1)
-                                - thw.at(i, j, k) * wv.at(i, j, k))
-                                * inv_g
+                let g_row = gv.row(j, 0);
+                for (ii, slot) in inv_g_row.iter_mut().enumerate() {
+                    *slot = R::ONE / g_row.at(ii as isize);
+                }
+                for k in 0..nz {
+                    let thc0 = thc.row(j, k);
+                    let thcjm1 = thc.row(j - 1, k);
+                    let thcjp1 = thc.row(j + 1, k);
+                    let u0 = uv.row(j, k);
+                    let vjm1 = vv.row(j - 1, k);
+                    let v0 = vv.row(j, k);
+                    let w_k = wv.row(j, k);
+                    let w_kp = wv.row(j, k + 1);
+                    let thw_k = thw.row(j, k);
+                    let thw_kp = thw.row(j, k + 1);
+                    let mut f_row = fv.row_mut(j, k);
+                    for i in 0..nx {
+                        let thu_p = half * (thc0.at(i) + thc0.at(i + 1));
+                        let thu_m = half * (thc0.at(i - 1) + thc0.at(i));
+                        let thv_p = half * (thc0.at(i) + thcjp1.at(i));
+                        let thv_m = half * (thcjm1.at(i) + thc0.at(i));
+                        let d = (thu_p * u0.at(i) - thu_m * u0.at(i - 1)) * inv_dx
+                            + (thv_p * v0.at(i) - thv_m * vjm1.at(i)) * inv_dy
+                            + (thw_kp.at(i) * w_kp.at(i) - thw_k.at(i) * w_k.at(i))
+                                * inv_g_row[i as usize]
                                 * inv_dz;
-                        fv.add(i, j, k, d);
+                        f_row.add(i, d);
                     }
                 }
             }
@@ -231,16 +254,28 @@ pub fn continuity_residual<R: Real>(
             let mwv = V3::new(&mw_r, dw);
             let gv = V3::new(&g_r, dp);
             let mut fv = V3SlabMut::new(&mut f_s, dc, sj0);
+            let mut inv_g_row = vec![R::ZERO; nx as usize];
             for j in sj0..sj1 {
-                for i in 0..nx {
-                    let inv_g = R::ONE / gv.at(i, j, 0);
-                    for k in 0..nz {
-                        let dh = (uv.at(i, j, k) - uv.at(i - 1, j, k)) * inv_dx
-                            + (vv.at(i, j, k) - vv.at(i, j - 1, k)) * inv_dy;
-                        let full = dh + (mwv.at(i, j, k + 1) - mwv.at(i, j, k)) * inv_dz;
-                        let lin = dh + (wv.at(i, j, k + 1) - wv.at(i, j, k)) * inv_g * inv_dz;
-                        fv.add(i, j, k, -full);
-                        fv.add(i, j, k, lin);
+                let g_row = gv.row(j, 0);
+                for (ii, slot) in inv_g_row.iter_mut().enumerate() {
+                    *slot = R::ONE / g_row.at(ii as isize);
+                }
+                for k in 0..nz {
+                    let u0 = uv.row(j, k);
+                    let vjm1 = vv.row(j - 1, k);
+                    let v0 = vv.row(j, k);
+                    let w_k = wv.row(j, k);
+                    let w_kp = wv.row(j, k + 1);
+                    let mw_k = mwv.row(j, k);
+                    let mw_kp = mwv.row(j, k + 1);
+                    let mut f_row = fv.row_mut(j, k);
+                    for i in 0..nx {
+                        let dh =
+                            (u0.at(i) - u0.at(i - 1)) * inv_dx + (v0.at(i) - vjm1.at(i)) * inv_dy;
+                        let full = dh + (mw_kp.at(i) - mw_k.at(i)) * inv_dz;
+                        let lin = dh + (w_kp.at(i) - w_k.at(i)) * inv_g_row[i as usize] * inv_dz;
+                        f_row.add(i, -full);
+                        f_row.add(i, lin);
                     }
                 }
             }
@@ -307,28 +342,45 @@ pub fn diffuse<R: Real>(
             let rv = V3::new(&rho_r, dc);
             let refv = ref_r.as_ref().map(|r| V3::new(r, dc));
             let mut ov = V3SlabMut::new(&mut o_s, dims, sj0);
-            let tap = |i: isize, j: isize, k: isize| -> R {
-                match &refv {
-                    Some(rf) => sv.at(i, j, k) - rf.at(i, j, k.clamp(0, nz - 1)),
-                    None => sv.at(i, j, k),
+            // A tap is the spec row plus (when diffusing a deviation) the
+            // k-clamped reference row — prepared once per (j, k).
+            let tap_rows = |jj: isize, kk: isize| -> (Row<'_, R>, Option<Row<'_, R>>) {
+                (
+                    sv.row(jj, kk),
+                    refv.as_ref().map(|rf| rf.row(jj, kk.clamp(0, nz - 1))),
+                )
+            };
+            let tap = |rows: &(Row<'_, R>, Option<Row<'_, R>>), i: isize| -> R {
+                match &rows.1 {
+                    Some(rf) => rows.0.at(i) - rf.at(i),
+                    None => rows.0.at(i),
                 }
             };
             for j in sj0..sj1 {
-                for i in 0..nx {
-                    for k in klo..khi {
-                        let c = tap(i, j, k);
-                        let lap = (tap(i - 1, j, k) - R::TWO * c + tap(i + 1, j, k)) * inv_dx2
-                            + (tap(i, j - 1, k) - R::TWO * c + tap(i, j + 1, k)) * inv_dy2
-                            + (tap(i, j, k - 1) - R::TWO * c + tap(i, j, k + 1)) * inv_dz2;
+                for k in klo..khi {
+                    let c_rows = tap_rows(j, k);
+                    let ym_rows = tap_rows(j - 1, k);
+                    let yp_rows = tap_rows(j + 1, k);
+                    let zm_rows = tap_rows(j, k - 1);
+                    let zp_rows = tap_rows(j, k + 1);
+                    let (wa, wb) = match weight {
+                        DiffWeight::Center | DiffWeight::U => (rv.row(j, k), rv.row(j, k)),
+                        DiffWeight::V => (rv.row(j, k), rv.row(j + 1, k)),
+                        DiffWeight::W => (rv.row(j, (k - 1).max(0)), rv.row(j, k.min(nz - 1))),
+                    };
+                    let mut o_row = ov.row_mut(j, k);
+                    for i in 0..nx {
+                        let c = tap(&c_rows, i);
+                        let lap = (tap(&c_rows, i - 1) - R::TWO * c + tap(&c_rows, i + 1))
+                            * inv_dx2
+                            + (tap(&ym_rows, i) - R::TWO * c + tap(&yp_rows, i)) * inv_dy2
+                            + (tap(&zm_rows, i) - R::TWO * c + tap(&zp_rows, i)) * inv_dz2;
                         let w = match weight {
-                            DiffWeight::Center => rv.at(i, j, k),
-                            DiffWeight::U => half * (rv.at(i, j, k) + rv.at(i + 1, j, k)),
-                            DiffWeight::V => half * (rv.at(i, j, k) + rv.at(i, j + 1, k)),
-                            DiffWeight::W => {
-                                half * (rv.at(i, j, (k - 1).max(0)) + rv.at(i, j, k.min(nz - 1)))
-                            }
+                            DiffWeight::Center => wa.at(i),
+                            DiffWeight::U => half * (wa.at(i) + wa.at(i + 1)),
+                            DiffWeight::V | DiffWeight::W => half * (wa.at(i) + wb.at(i)),
                         };
-                        ov.add(i, j, k, kd * w * lap);
+                        o_row.add(i, kd * w * lap);
                     }
                 }
             }
@@ -376,9 +428,12 @@ pub fn tracer_update<R: Real>(
             for r in &rects {
                 for j in r.j0.max(sj0)..r.j1.min(sj1) {
                     for k in 0..nzi {
+                        let t_row = tv.row(j, k);
+                        let f_row = fv.row(j, k);
+                        let mut q_row = qv.row_mut(j, k);
                         for i in r.i0..r.i1 {
-                            let v = tv.at(i, j, k) + dt * fv.at(i, j, k);
-                            qv.set(i, j, k, v.max(R::ZERO));
+                            let v = t_row.at(i) + dt * f_row.at(i);
+                            q_row.set(i, v.max(R::ZERO));
                         }
                     }
                 }

@@ -43,8 +43,11 @@ pub fn specific_center<R: Real>(
             let mut sv = V3SlabMut::new(&mut s_s, dc, sj0);
             for j in sj0..sj1 {
                 for k in -h..dc.nl as isize + h {
+                    let q_row = qv.row(j, k);
+                    let r_row = rv.row(j, k);
+                    let mut s_row = sv.row_mut(j, k);
                     for i in -h..dc.nx as isize + h {
-                        sv.set(i, j, k, qv.at(i, j, k) / rv.at(i, j, k));
+                        s_row.set(i, q_row.at(i) / r_row.at(i));
                     }
                 }
             }
@@ -81,12 +84,15 @@ pub fn specific_u<R: Real>(
             let half = R::HALF;
             for j in sj0..sj1 {
                 for k in -h..dc.nl as isize + h {
+                    let u_row = uv.row(j, k);
+                    let r_row = rv.row(j, k);
+                    let mut s_row = sv.row_mut(j, k);
                     for i in -h..dc.nx as isize + h - 1 {
-                        let r = half * (rv.at(i, j, k) + rv.at(i + 1, j, k));
-                        sv.set(i, j, k, uv.at(i, j, k) / r);
+                        let r = half * (r_row.at(i) + r_row.at(i + 1));
+                        s_row.set(i, u_row.at(i) / r);
                     }
-                    let edge = sv.at(dc.nx as isize + h - 2, j, k);
-                    sv.set(dc.nx as isize + h - 1, j, k, edge);
+                    let edge = s_row.at(dc.nx as isize + h - 2);
+                    s_row.set(dc.nx as isize + h - 1, edge);
                 }
             }
         },
@@ -127,9 +133,13 @@ pub fn specific_v<R: Real>(
                 // (same expression, so the result is bitwise identical).
                 let js = if j == jlast { jlast - 1 } else { j };
                 for k in -h..dc.nl as isize + h {
+                    let v_row = vv.row(js, k);
+                    let r_row = rv.row(js, k);
+                    let rjp_row = rv.row(js + 1, k);
+                    let mut s_row = sv.row_mut(j, k);
                     for i in -h..dc.nx as isize + h {
-                        let r = half * (rv.at(i, js, k) + rv.at(i, js + 1, k));
-                        sv.set(i, j, k, vv.at(i, js, k) / r);
+                        let r = half * (r_row.at(i) + rjp_row.at(i));
+                        s_row.set(i, v_row.at(i) / r);
                     }
                 }
             }
@@ -169,9 +179,13 @@ pub fn specific_w<R: Real>(
                 for k in -h..dw.nl as isize + h {
                     let kc_hi = k.clamp(0, nz - 1);
                     let kc_lo = (k - 1).clamp(0, nz - 1);
+                    let w_row = wv.row(j, k);
+                    let r_lo = rv.row(j, kc_lo);
+                    let r_hi = rv.row(j, kc_hi);
+                    let mut s_row = sv.row_mut(j, k);
                     for i in -h..dw.nx as isize + h {
-                        let r = half * (rv.at(i, j, kc_lo) + rv.at(i, j, kc_hi));
-                        sv.set(i, j, k, wv.at(i, j, k) / r);
+                        let r = half * (r_lo.at(i) + r_hi.at(i));
+                        s_row.set(i, w_row.at(i) / r);
                     }
                 }
             }
@@ -228,30 +242,61 @@ pub fn mass_flux_w<R: Real>(
             let syv = V3::new(&sy_r, dp);
             let mut mwv = V3SlabMut::new(&mut mw_s, dw, sj0);
             let half = R::HALF;
+            // One division per (i, j) as before, hoisted into a per-j row
+            // over the i range -1..nx+1 (indexed i + 1).
+            let mut inv_g_row = vec![R::ZERO; dc.nx + 2];
             for j in sj0..sj1 {
-                for i in -1..dc.nx as isize + 1 {
-                    mwv.set(i, j, 0, R::ZERO);
-                    mwv.set(i, j, nzl as isize, R::ZERO);
-                    let inv_g = R::ONE / gv.at(i, j, 0);
-                    for k in 1..nzl as isize {
-                        let wk = wv.at(i, j, k);
+                let g_row = gv.row(j, 0);
+                for (ii, slot) in inv_g_row.iter_mut().enumerate() {
+                    *slot = R::ONE / g_row.at(ii as isize - 1);
+                }
+                {
+                    let mut surf = mwv.row_mut(j, 0);
+                    for i in -1..dc.nx as isize + 1 {
+                        surf.set(i, R::ZERO);
+                    }
+                }
+                {
+                    let mut lid = mwv.row_mut(j, nzl as isize);
+                    for i in -1..dc.nx as isize + 1 {
+                        lid.set(i, R::ZERO);
+                    }
+                }
+                let sx_row = sxv.row(j, 0);
+                let sy_jm1 = syv.row(j - 1, 0);
+                let sy_0 = syv.row(j, 0);
+                for k in 1..nzl as isize {
+                    let w_row = wv.row(j, k);
+                    let u_km1 = uv.row(j, k - 1);
+                    let u_k = uv.row(j, k);
+                    let v_jm1_km1 = vv.row(j - 1, k - 1);
+                    let v_jm1_k = vv.row(j - 1, k);
+                    let v_0_km1 = vv.row(j, k - 1);
+                    let v_0_k = vv.row(j, k);
+                    let fac_lo = zf_r[(k - 1) as usize];
+                    let fac_hi = zf_r[k as usize];
+                    let mut mw_row = mwv.row_mut(j, k);
+                    for i in -1..dc.nx as isize + 1 {
+                        let wk = w_row.at(i);
                         let cross = if flat {
                             R::ZERO
                         } else {
-                            let fac_lo = zf_r[(k - 1) as usize];
-                            let fac_hi = zf_r[k as usize];
-                            let ux = |kk: isize, fac: R| {
-                                half * (uv.at(i - 1, j, kk) * sxv.at(i - 1, j, 0) * fac
-                                    + uv.at(i, j, kk) * sxv.at(i, j, 0) * fac)
+                            let ux = |u_row: &crate::view::Row<'_, R>, fac: R| {
+                                half * (u_row.at(i - 1) * sx_row.at(i - 1) * fac
+                                    + u_row.at(i) * sx_row.at(i) * fac)
                             };
-                            let vy = |kk: isize, fac: R| {
-                                half * (vv.at(i, j - 1, kk) * syv.at(i, j - 1, 0) * fac
-                                    + vv.at(i, j, kk) * syv.at(i, j, 0) * fac)
+                            let vy = |vm_row: &crate::view::Row<'_, R>,
+                                      v0_row: &crate::view::Row<'_, R>,
+                                      fac: R| {
+                                half * (vm_row.at(i) * sy_jm1.at(i) * fac
+                                    + v0_row.at(i) * sy_0.at(i) * fac)
                             };
-                            half * (ux(k - 1, fac_lo) + ux(k, fac_hi))
-                                + half * (vy(k - 1, fac_lo) + vy(k, fac_hi))
+                            half * (ux(&u_km1, fac_lo) + ux(&u_k, fac_hi))
+                                + half
+                                    * (vy(&v_jm1_km1, &v_0_km1, fac_lo)
+                                        + vy(&v_jm1_k, &v_0_k, fac_hi))
                         };
-                        mwv.set(i, j, k, (wk - cross) * inv_g);
+                        mw_row.set(i, (wk - cross) * inv_g_row[(i + 1) as usize]);
                     }
                 }
             }

@@ -100,6 +100,49 @@ impl Dims {
     }
 }
 
+/// Read cursor over one padded x-row at fixed `(j, k)`: the row's base
+/// offset is computed once, and every stencil tap is a single add off the
+/// logical `i` — the Rust analog of the paper's register-marching loops,
+/// where neighbor values are reached by fixed ±1/±2 offsets inside a
+/// coalesced x-walk instead of re-deriving a 3-D offset per access.
+#[derive(Clone, Copy)]
+pub struct Row<'a, R> {
+    /// The full padded row: `px` elements, starting at logical `i = -h`.
+    d: &'a [R],
+    h: isize,
+}
+
+impl<'a, R: Real> Row<'a, R> {
+    #[inline(always)]
+    pub fn at(&self, i: isize) -> R {
+        self.d[(i + self.h) as usize]
+    }
+}
+
+/// Mutable counterpart of [`Row`]; obtained from [`V3SlabMut::row_mut`]
+/// so writes stay confined to the claimed y-slab.
+pub struct RowMut<'a, R> {
+    d: &'a mut [R],
+    h: isize,
+}
+
+impl<'a, R: Real> RowMut<'a, R> {
+    #[inline(always)]
+    pub fn at(&self, i: isize) -> R {
+        self.d[(i + self.h) as usize]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, i: isize, v: R) {
+        self.d[(i + self.h) as usize] = v;
+    }
+
+    #[inline(always)]
+    pub fn add(&mut self, i: isize, v: R) {
+        self.d[(i + self.h) as usize] += v;
+    }
+}
+
 /// Read-only view of a device buffer.
 #[derive(Clone, Copy)]
 pub struct V3<'a, R> {
@@ -116,6 +159,17 @@ impl<'a, R: Real> V3<'a, R> {
     #[inline(always)]
     pub fn at(&self, i: isize, j: isize, k: isize) -> R {
         self.d[self.m.off(i, j, k)]
+    }
+
+    /// Cursor over the padded x-row at `(j, k)`.
+    #[inline(always)]
+    pub fn row(&self, j: isize, k: isize) -> Row<'a, R> {
+        let h = self.m.halo as isize;
+        let base = self.m.off(-h, j, k);
+        Row {
+            d: &self.d[base..base + self.m.px()],
+            h,
+        }
     }
 }
 
@@ -157,18 +211,25 @@ pub struct V3SlabMut<'a, R> {
     pub d: &'a mut [R],
     pub m: Dims,
     base: usize,
+    j0: isize,
 }
 
 impl<'a, R: Real> V3SlabMut<'a, R> {
     /// Wrap a slab slice whose first element is global row `j0`'s origin.
     pub fn new(d: &'a mut [R], m: Dims, j0: isize) -> Self {
         let base = m.slab(j0, j0).start;
-        V3SlabMut { d, m, base }
+        V3SlabMut { d, m, base, j0 }
     }
 
     #[inline(always)]
     fn idx(&self, i: isize, j: isize, k: isize) -> usize {
-        self.m.off(i, j, k) - self.base
+        let off = self.m.off(i, j, k);
+        debug_assert!(
+            off >= self.base,
+            "row j={j} is below this slab (slab starts at row j0={})",
+            self.j0
+        );
+        off.wrapping_sub(self.base)
     }
 
     #[inline(always)]
@@ -186,6 +247,31 @@ impl<'a, R: Real> V3SlabMut<'a, R> {
     pub fn add(&mut self, i: isize, j: isize, k: isize, v: R) {
         let off = self.idx(i, j, k);
         self.d[off] += v;
+    }
+
+    /// Read cursor over the padded x-row at `(j, k)` — the row must lie
+    /// inside the claimed slab (unlike [`V3::row`], which sees the whole
+    /// buffer).
+    #[inline(always)]
+    pub fn row(&self, j: isize, k: isize) -> Row<'_, R> {
+        let h = self.m.halo as isize;
+        let base = self.idx(-h, j, k);
+        Row {
+            d: &self.d[base..base + self.m.px()],
+            h,
+        }
+    }
+
+    /// Mutable cursor over the padded x-row at `(j, k)`.
+    #[inline(always)]
+    pub fn row_mut(&mut self, j: isize, k: isize) -> RowMut<'_, R> {
+        let h = self.m.halo as isize;
+        let base = self.idx(-h, j, k);
+        let px = self.m.px();
+        RowMut {
+            d: &mut self.d[base..base + px],
+            h,
+        }
     }
 }
 
@@ -283,6 +369,75 @@ mod tests {
         let r = m.slab(1, 3);
         let mut s = V3SlabMut::new(&mut data[r], m, 1);
         s.set(0, 3, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below this slab")]
+    fn slab_view_rejects_rows_below_slab() {
+        // j < j0 used to die as a raw usize subtraction overflow; it must
+        // name the offending row and the slab's first row instead.
+        let m = Dims::center(3, 4, 2, 1);
+        let mut data = vec![0.0f64; m.len()];
+        let r = m.slab(1, 3);
+        let mut s = V3SlabMut::new(&mut data[r], m, 1);
+        s.set(0, 0, 0, 1.0);
+    }
+
+    #[test]
+    fn row_cursor_matches_at() {
+        let m = Dims::center(5, 3, 4, 2);
+        let mut data = vec![0.0f64; m.len()];
+        {
+            let mut v = V3Mut::new(&mut data, m);
+            for j in -2..5isize {
+                for k in -2..6isize {
+                    for i in -2..7isize {
+                        v.set(i, j, k, (i * 100 + j * 10 + k) as f64);
+                    }
+                }
+            }
+        }
+        let v = V3::new(&data, m);
+        for j in -2..5isize {
+            for k in -2..6isize {
+                let row = v.row(j, k);
+                for i in -2..7isize {
+                    assert_eq!(row.at(i), v.at(i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slab_row_cursors_read_and_write() {
+        let m = Dims::center(3, 4, 2, 1);
+        let mut data = vec![0.0f64; m.len()];
+        {
+            let r = m.slab(1, 3);
+            let mut s = V3SlabMut::new(&mut data[r], m, 1);
+            {
+                let mut row = s.row_mut(2, 1);
+                row.set(0, 4.0);
+                row.add(0, 0.5);
+                row.set(-1, 7.0); // halo column
+                assert_eq!(row.at(0), 4.5);
+            }
+            assert_eq!(s.row(2, 1).at(0), 4.5);
+            assert_eq!(s.at(2, 2, 1), 0.0);
+        }
+        let v = V3::new(&data, m);
+        assert_eq!(v.at(0, 2, 1), 4.5);
+        assert_eq!(v.at(-1, 2, 1), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below this slab")]
+    fn slab_row_cursor_rejects_rows_below_slab() {
+        let m = Dims::center(3, 4, 2, 1);
+        let mut data = vec![0.0f64; m.len()];
+        let r = m.slab(1, 3);
+        let s = V3SlabMut::new(&mut data[r], m, 1);
+        let _ = s.row(0, 0);
     }
 
     #[test]

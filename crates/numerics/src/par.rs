@@ -1,10 +1,12 @@
-//! Slab-parallel iteration over the slowest-varying (y) dimension.
+//! Slab-partitioning helpers for parallel iteration over the
+//! slowest-varying (y) dimension.
 //!
 //! Both array layouts in this workspace place `y` outermost, so splitting
 //! the domain into `[j0, j1)` slabs gives contiguous, disjoint memory
 //! ranges — the natural shared-memory parallelization for stencil sweeps.
-//! Implemented with `std::thread::scope`; with one worker it degrades
-//! to a plain loop with no thread spawn.
+//! This module only *computes* the partition; execution lives in the one
+//! thread-pool implementation of the workspace, `vgpu::pool::WorkerPool`
+//! (this crate sits below `vgpu` in the dependency graph).
 
 /// Number of worker threads to use by default: the machine's parallelism,
 /// overridable with the `ASUCA_THREADS` environment variable.
@@ -37,65 +39,9 @@ pub fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Run `body(j0, j1)` over a balanced partition of `[0, ny)` using up to
-/// `threads` workers. `body` must only touch the y-slab it is given.
-pub fn par_slabs<F>(ny: usize, threads: usize, body: F)
-where
-    F: Fn(usize, usize) + Sync,
-{
-    let ranges = split_ranges(ny, threads);
-    if ranges.len() <= 1 {
-        if let Some(&(j0, j1)) = ranges.first() {
-            body(j0, j1);
-        }
-        return;
-    }
-    std::thread::scope(|scope| {
-        // The caller's thread takes the first slab; workers take the rest.
-        let (&(f0, f1), rest) = ranges.split_first().expect("ranges non-empty");
-        for &(j0, j1) in rest {
-            let body = &body;
-            scope.spawn(move || body(j0, j1));
-        }
-        body(f0, f1);
-    });
-}
-
-/// Map each slab to a value and reduce the results in slab order
-/// (deterministic regardless of thread scheduling).
-pub fn par_map_reduce<T, M, Rd>(ny: usize, threads: usize, map: M, init: T, reduce: Rd) -> T
-where
-    T: Send,
-    M: Fn(usize, usize) -> T + Sync,
-    Rd: Fn(T, T) -> T,
-{
-    let ranges = split_ranges(ny, threads);
-    if ranges.len() <= 1 {
-        return match ranges.first() {
-            Some(&(j0, j1)) => reduce(init, map(j0, j1)),
-            None => init,
-        };
-    }
-    let results: Vec<T> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(j0, j1)| {
-                let map = &map;
-                scope.spawn(move || map(j0, j1))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("slab worker panicked"))
-            .collect()
-    });
-    results.into_iter().fold(init, reduce)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn split_is_balanced_and_covers() {
@@ -123,39 +69,13 @@ mod tests {
     }
 
     #[test]
-    fn par_slabs_visits_every_j_once() {
-        let ny = 37;
-        let counts: Vec<AtomicUsize> = (0..ny).map(|_| AtomicUsize::new(0)).collect();
-        par_slabs(ny, 4, |j0, j1| {
-            for c in &counts[j0..j1] {
-                c.fetch_add(1, Ordering::Relaxed);
-            }
-        });
-        for (j, c) in counts.iter().enumerate() {
-            assert_eq!(c.load(Ordering::Relaxed), 1, "j={j}");
-        }
-    }
-
-    #[test]
-    fn par_map_reduce_is_deterministic_sum() {
-        let ny = 101;
-        let serial: usize = (0..ny).sum();
-        for threads in [1, 2, 3, 7] {
-            let got = par_map_reduce(
-                ny,
-                threads,
-                |j0, j1| (j0..j1).sum::<usize>(),
-                0usize,
-                |a, b| a + b,
-            );
-            assert_eq!(got, serial);
-        }
-    }
-
-    #[test]
-    fn zero_work_is_fine() {
-        par_slabs(0, 4, |_, _| panic!("must not be called"));
-        let r = par_map_reduce(0, 4, |_, _| 1usize, 0usize, |a, b| a + b);
-        assert_eq!(r, 0);
+    fn split_is_pure() {
+        // Same inputs, same partition — the foundation of the pool's
+        // determinism contract.
+        assert_eq!(split_ranges(37, 4), split_ranges(37, 4));
+        assert_eq!(
+            split_ranges(37, 4),
+            vec![(0, 10), (10, 19), (19, 28), (28, 37)]
+        );
     }
 }

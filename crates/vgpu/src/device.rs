@@ -2,6 +2,7 @@
 
 use crate::cost::{copy_time, kernel_time, Launch};
 use crate::mem::{Arena, Buf, MemError, MemView};
+use crate::pool::WorkerPool;
 use crate::profile::{OpKind, OpRecord, Profiler};
 use crate::spec::DeviceSpec;
 use crate::stream::{Engines, Event, StreamId, StreamState};
@@ -31,6 +32,10 @@ pub struct Device<R: Real> {
     streams: Vec<StreamState>,
     engines: Engines,
     host_time: f64,
+    /// Persistent slab workers for Functional `launch_par` bodies;
+    /// created lazily on the first multi-threaded launch and reused for
+    /// the device's lifetime (no per-launch thread spawns).
+    pool: Option<WorkerPool>,
     pub profiler: Profiler,
 }
 
@@ -44,6 +49,7 @@ impl<R: Real> Device<R> {
             streams: vec![StreamState::new()],
             engines: Engines::default(),
             host_time: 0.0,
+            pool: None,
             profiler: Profiler::new(),
         }
     }
@@ -158,13 +164,16 @@ impl<R: Real> Device<R> {
     /// Launch a kernel whose body executes slab-parallel over `[0, span)`
     /// on the host: the body is invoked as `f(&view, j0, j1)` for a
     /// balanced, disjoint partition of the span across
-    /// [`DeviceSpec::host_threads`] workers (`numerics::par::par_slabs`).
+    /// [`DeviceSpec::host_threads`] workers of the device's persistent
+    /// [`WorkerPool`](crate::pool::WorkerPool) (created once, lazily, and
+    /// reused by every launch — no per-launch thread spawns).
     ///
     /// Simulated timing is **identical** to [`launch`](Self::launch) —
     /// host parallelism accelerates the wall clock of Functional runs,
-    /// never the simulated GT200 timeline. Bodies must restrict their
-    /// writes to the `[j0, j1)` slab they are handed (enforced per buffer
-    /// by [`MemView::write_slab`]'s overlap checking).
+    /// never the simulated GT200 timeline (see the determinism contract
+    /// in [`crate::pool`]). Bodies must restrict their writes to the
+    /// `[j0, j1)` slab they are handed (enforced per buffer by
+    /// [`MemView::write_slab`]'s overlap checking).
     pub fn launch_par(
         &mut self,
         stream: StreamId,
@@ -175,9 +184,25 @@ impl<R: Real> Device<R> {
         self.note_kernel(stream, &launch);
         if self.mode == ExecMode::Functional {
             let threads = self.spec.host_threads.max(1);
+            if threads > 1 && self.pool.is_none() {
+                self.pool = Some(WorkerPool::new(threads));
+            }
             let view = MemView { arena: &self.arena };
-            numerics::par::par_slabs(span, threads, |j0, j1| f(&view, j0, j1));
+            match &self.pool {
+                Some(pool) => pool.run_slabs(span, threads, |j0, j1| f(&view, j0, j1)),
+                None => {
+                    if span > 0 {
+                        f(&view, 0, span);
+                    }
+                }
+            }
         }
+    }
+
+    /// The device's persistent slab-worker pool, if a multi-threaded
+    /// Functional launch has created it yet.
+    pub fn worker_pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
     }
 
     /// Asynchronous host→device copy (like `cudaMemcpyAsync`). `host` may

@@ -31,6 +31,7 @@
 pub mod cost;
 pub mod device;
 pub mod mem;
+pub mod pool;
 pub mod profile;
 pub mod spec;
 pub mod stream;
@@ -38,6 +39,7 @@ pub mod stream;
 pub use cost::{copy_time, kernel_time, Dim3, KernelCost, Launch};
 pub use device::{Device, ExecMode};
 pub use mem::{Buf, MemError, MemView, ReadGuard, SlabGuard, WriteGuard};
+pub use pool::WorkerPool;
 pub use profile::{OpKind, OpRecord, Profiler};
 pub use spec::DeviceSpec;
 pub use stream::{Event, StreamId};

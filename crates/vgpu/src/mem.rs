@@ -494,15 +494,11 @@ mod tests {
         let mut a = Arena::<f64>::new(8192);
         let b = a.alloc(64, false).unwrap();
         let view = MemView { arena: &a };
-        std::thread::scope(|scope| {
-            for t in 0..4usize {
-                let view = &view;
-                scope.spawn(move || {
-                    let mut s = view.write_slab(b, t * 16..(t + 1) * 16);
-                    for (i, v) in s.iter_mut().enumerate() {
-                        *v = (t * 16 + i) as f64;
-                    }
-                });
+        let pool = crate::pool::WorkerPool::new(4);
+        pool.run_slabs(64, 4, |j0, j1| {
+            let mut s = view.write_slab(b, j0..j1);
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = (j0 + i) as f64;
             }
         });
         let d = a.borrow(b);

@@ -1,0 +1,420 @@
+//! Persistent worker pool for slab-parallel Functional execution.
+//!
+//! PR 1 introduced slab-parallel kernel bodies but dispatched them with
+//! `std::thread::scope`, spawning and joining fresh OS threads on every
+//! launch — thousands of spawns per simulated timestep. This module is
+//! the single thread-pool implementation of the workspace: a fixed set
+//! of workers created once, parked on a condvar between launches, and
+//! handed type-erased slab jobs by [`WorkerPool::run_slabs`].
+//!
+//! # Determinism contract
+//!
+//! The pool must never change *what* a Functional run computes, only how
+//! fast the wall clock gets there:
+//!
+//! * **Fixed partition.** A span is split by
+//!   [`numerics::par::split_ranges`] into `parts` balanced, contiguous,
+//!   disjoint ranges — the same partition for the same `(span, parts)`
+//!   on every call, independent of how many pool workers exist.
+//! * **One owner per element.** Each range is executed by exactly one
+//!   participant; bodies restrict their writes to the range they are
+//!   handed (enforced per buffer by `MemView::write_slab` overlap
+//!   checking). Every grid point is therefore computed once, from the
+//!   same inputs, with the same operation order, for *any* thread
+//!   count — results are bitwise identical, with no summation-order
+//!   ambiguity to hide behind.
+//! * **Static assignment.** Range `idx` always runs on participant
+//!   `idx % threads` (participant 0 is the submitting thread, the rest
+//!   are pool workers). Assignment does not affect results — it exists
+//!   so that launches are reproducible down to which worker touched
+//!   which slab, which the pool-reuse tests assert.
+//! * **No simulated time.** The pool knows nothing of the device clock;
+//!   `Device::note_kernel` runs before dispatch and is identical for
+//!   every thread count (the "two-clock rule": host parallelism moves
+//!   wall-clock seconds only, never simulated GT200 seconds).
+//!
+//! # Panics
+//!
+//! A panic in any slab body is caught, the remaining slabs still
+//! complete, and the payload is re-raised on the submitting thread once
+//! the launch has drained — like `thread::scope`, but the workers
+//! survive and the pool stays usable. Nested submission from inside a
+//! slab body deadlocks (kernel bodies never launch kernels).
+
+use numerics::par::split_ranges;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Lock, recovering from poisoning: a panicking slab body is caught and
+/// re-raised *after* the pool's state has been restored to idle, so a
+/// poisoned mutex here never guards broken invariants.
+fn lock_pool<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Type-erased slab call: `(ctx, range_idx, j0, j1)`.
+type ErasedCall = unsafe fn(usize, usize, usize, usize);
+
+struct State {
+    /// Bumped once per submitted job; workers wake on a change.
+    epoch: u64,
+    shutdown: bool,
+    call: Option<ErasedCall>,
+    /// `&body` as an integer; valid only while `remaining > 0` for the
+    /// current epoch (the submitter blocks until then, keeping the
+    /// closure alive).
+    ctx: usize,
+    ranges: Vec<(usize, usize)>,
+    /// Workers that have not yet finished the current epoch.
+    remaining: usize,
+    /// First panic payload from any worker of the current epoch.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// The submitter parks here until `remaining == 0`.
+    done: Condvar,
+    /// Total participants (submitter + workers) — the assignment stride.
+    threads: usize,
+}
+
+/// A persistent pool of `threads - 1` parked OS workers; the submitting
+/// thread is participant 0 of every launch. See the module docs for the
+/// determinism contract.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Serializes submitters (the device hot path has exactly one).
+    submit: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Create a pool with `threads` total participants: the calling
+    /// thread plus `threads - 1` parked workers. `threads <= 1` creates
+    /// no workers and every launch runs inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                shutdown: false,
+                call: None,
+                ctx: 0,
+                ranges: Vec::new(),
+                remaining: 0,
+                panic: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            threads,
+        });
+        let handles = (1..threads)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vgpu-slab-{slot}"))
+                    .spawn(move || worker_main(shared, slot))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            submit: Mutex::new(()),
+            handles,
+        }
+    }
+
+    /// Total participants per launch (submitter included).
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Parked worker threads (0 for a single-threaded pool).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `body(j0, j1)` over the balanced partition of `[0, span)`
+    /// into at most `parts` ranges. Returns after every range has
+    /// completed; re-raises the first panic from any participant.
+    pub fn run_slabs<F>(&self, span: usize, parts: usize, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        self.run_indexed(split_ranges(span, parts), |_, j0, j1| body(j0, j1));
+    }
+
+    /// Map each range of the partition to a value and fold the results
+    /// in range order — deterministic regardless of scheduling.
+    pub fn map_reduce<T, M, Rd>(&self, span: usize, parts: usize, map: M, init: T, reduce: Rd) -> T
+    where
+        T: Send,
+        M: Fn(usize, usize) -> T + Sync,
+        Rd: Fn(T, T) -> T,
+    {
+        let ranges = split_ranges(span, parts);
+        let slots: Vec<Mutex<Option<T>>> = ranges.iter().map(|_| Mutex::new(None)).collect();
+        self.run_indexed(ranges, |idx, j0, j1| {
+            *slots[idx].lock().expect("slot poisoned") = Some(map(j0, j1));
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot poisoned")
+                    .expect("range not executed")
+            })
+            .fold(init, reduce)
+    }
+
+    /// Core dispatch: execute `body(idx, j0, j1)` for every range, range
+    /// `idx` on participant `idx % threads`.
+    fn run_indexed<F>(&self, ranges: Vec<(usize, usize)>, body: F)
+    where
+        F: Fn(usize, usize, usize) + Sync,
+    {
+        if ranges.len() <= 1 || self.handles.is_empty() {
+            for (idx, &(j0, j1)) in ranges.iter().enumerate() {
+                body(idx, j0, j1);
+            }
+            return;
+        }
+        // Monomorphic trampoline restoring the erased closure type.
+        unsafe fn call<F: Fn(usize, usize, usize) + Sync>(
+            ctx: usize,
+            idx: usize,
+            j0: usize,
+            j1: usize,
+        ) {
+            let f = unsafe { &*(ctx as *const F) };
+            f(idx, j0, j1);
+        }
+        let _submit = lock_pool(&self.submit);
+        let stride = self.shared.threads;
+        {
+            let mut st = lock_pool(&self.shared.state);
+            debug_assert_eq!(st.remaining, 0, "previous launch still draining");
+            st.call = Some(call::<F>);
+            st.ctx = &body as *const F as usize;
+            st.ranges.clear();
+            st.ranges.extend_from_slice(&ranges);
+            st.remaining = self.handles.len();
+            st.epoch += 1;
+            self.shared.work.notify_all();
+        }
+        // Participant 0: the submitting thread takes ranges 0, stride, …
+        let mine = catch_unwind(AssertUnwindSafe(|| {
+            let mut idx = 0;
+            while idx < ranges.len() {
+                let (j0, j1) = ranges[idx];
+                body(idx, j0, j1);
+                idx += stride;
+            }
+        }));
+        // SAFETY of the erased `ctx` pointer: `body` stays alive until
+        // this wait observes `remaining == 0`, and workers only call the
+        // job of the epoch they were woken for.
+        let worker_panic = {
+            let mut st = lock_pool(&self.shared.state);
+            while st.remaining != 0 {
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            st.call = None;
+            st.ctx = 0;
+            st.panic.take()
+        };
+        if let Err(p) = mine {
+            resume_unwind(p);
+        }
+        if let Some(p) = worker_panic {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_pool(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, slot: usize) {
+    let mut seen = 0u64;
+    loop {
+        let (call, ctx, ranges) = {
+            let mut st = lock_pool(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    break;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            seen = st.epoch;
+            (st.call, st.ctx, st.ranges.clone())
+        };
+        if let Some(call) = call {
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                let mut idx = slot;
+                while idx < ranges.len() {
+                    let (j0, j1) = ranges[idx];
+                    // SAFETY: ctx points at the submitter's live closure
+                    // for this epoch (see `run_indexed`), and `call` is
+                    // the matching monomorphic trampoline.
+                    unsafe { call(ctx, idx, j0, j1) };
+                    idx += shared.threads;
+                }
+            }));
+            let mut st = lock_pool(&shared.state);
+            if let Err(p) = res {
+                if st.panic.is_none() {
+                    st.panic = Some(p);
+                }
+            }
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread::ThreadId;
+
+    #[test]
+    fn visits_every_j_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let ny = 37;
+        let counts: Vec<AtomicUsize> = (0..ny).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_slabs(ny, 4, |j0, j1| {
+            for c in &counts[j0..j1] {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (j, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "j={j}");
+        }
+    }
+
+    #[test]
+    fn consecutive_launches_reuse_the_same_workers() {
+        // Static assignment: range idx runs on participant idx % threads,
+        // so the (range → thread) map must be identical across launches —
+        // the whole point of a persistent pool.
+        let pool = WorkerPool::new(3);
+        let observe = || {
+            let seen: Mutex<HashMap<usize, ThreadId>> = Mutex::new(HashMap::new());
+            pool.run_slabs(3, 3, |j0, _| {
+                seen.lock().unwrap().insert(j0, std::thread::current().id());
+            });
+            seen.into_inner().unwrap()
+        };
+        let first = observe();
+        let second = observe();
+        assert_eq!(first.len(), 3);
+        assert_eq!(first, second, "launches landed on different threads");
+        let distinct: std::collections::HashSet<_> = first.values().collect();
+        assert_eq!(distinct.len(), 3, "expected 3 distinct participants");
+        assert_eq!(first[&0], std::thread::current().id());
+    }
+
+    #[test]
+    fn more_parts_than_threads_all_execute() {
+        let pool = WorkerPool::new(2);
+        let ny = 23;
+        let counts: Vec<AtomicUsize> = (0..ny).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_slabs(ny, 8, |j0, j1| {
+            for c in &counts[j0..j1] {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_reduce_is_deterministic_sum() {
+        let pool = WorkerPool::new(3);
+        let ny = 101;
+        let serial: usize = (0..ny).sum();
+        for parts in [1, 2, 3, 7] {
+            let got = pool.map_reduce(
+                ny,
+                parts,
+                |j0, j1| (j0..j1).sum::<usize>(),
+                0usize,
+                |a, b| a + b,
+            );
+            assert_eq!(got, serial);
+        }
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_slabs(8, 4, |j0, _| {
+                if j0 >= 4 {
+                    panic!("slab body failure");
+                }
+            });
+        }));
+        assert!(res.is_err(), "worker panic was swallowed");
+        // The pool must still work after a failed launch.
+        let count = AtomicUsize::new(0);
+        pool.run_slabs(8, 4, |j0, j1| {
+            count.fetch_add(j1 - j0, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn zero_and_tiny_work_run_inline() {
+        let pool = WorkerPool::new(4);
+        pool.run_slabs(0, 4, |_, _| panic!("must not be called"));
+        let tid = Mutex::new(None);
+        pool.run_slabs(1, 4, |_, _| {
+            *tid.lock().unwrap() = Some(std::thread::current().id());
+        });
+        assert_eq!(
+            tid.into_inner().unwrap(),
+            Some(std::thread::current().id()),
+            "single range must run on the submitter"
+        );
+    }
+
+    #[test]
+    fn single_threaded_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 0);
+        let me = std::thread::current().id();
+        let count = AtomicUsize::new(0);
+        pool.run_slabs(10, 4, |j0, j1| {
+            assert_eq!(std::thread::current().id(), me);
+            count.fetch_add(j1 - j0, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+}

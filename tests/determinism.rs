@@ -8,7 +8,7 @@
 use asuca_gpu::SingleGpu;
 use dycore::config::ModelConfig;
 use dycore::{init, Model};
-use vgpu::{DeviceSpec, ExecMode};
+use vgpu::{Device, DeviceSpec, ExecMode, KernelCost, Launch, StreamId};
 
 fn run_with_threads(threads: usize, steps: usize) -> (dycore::State, f64) {
     let mut cfg = ModelConfig::mountain_wave(16, 12, 10);
@@ -55,4 +55,51 @@ fn thread_count_never_changes_results_or_simulated_time() {
         // untouched to the last bit.
         assert_eq!(t1, tn, "simulated time changed with threads={threads}");
     }
+}
+
+/// The worker pool is created once per device and every subsequent
+/// `launch_par` reuses the same parked OS threads — no per-launch
+/// spawns, and the slab → thread assignment is static (slab 0 always on
+/// the submitting thread).
+#[test]
+fn consecutive_launches_reuse_the_same_worker_threads() {
+    use std::collections::{HashMap, HashSet};
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
+
+    let mut dev = Device::<f64>::new(
+        DeviceSpec::tesla_s1070().with_host_threads(3),
+        ExecMode::Functional,
+    );
+    let cost = KernelCost::streaming(3, 1.0, 1.0, 1.0);
+    let record = |dev: &mut Device<f64>| -> HashMap<usize, ThreadId> {
+        let seen: Mutex<HashMap<usize, ThreadId>> = Mutex::new(HashMap::new());
+        dev.launch_par(
+            StreamId::DEFAULT,
+            Launch::new("pool_probe", (1, 1, 1), (1, 1, 1), cost),
+            3,
+            |_mem, j0, _j1| {
+                seen.lock().unwrap().insert(j0, std::thread::current().id());
+            },
+        );
+        seen.into_inner().unwrap()
+    };
+    let first = record(&mut dev);
+    let second = record(&mut dev);
+    assert_eq!(first.len(), 3, "expected one slab per pool participant");
+    let distinct: HashSet<&ThreadId> = first.values().collect();
+    assert_eq!(distinct.len(), 3, "slabs must run on distinct threads");
+    assert_eq!(
+        first[&0],
+        std::thread::current().id(),
+        "slab 0 must run inline on the submitting thread"
+    );
+    assert_eq!(
+        first, second,
+        "a second launch_par must reuse the exact same worker threads"
+    );
+    assert!(
+        dev.worker_pool().is_some(),
+        "multi-threaded Functional launches must instantiate the persistent pool"
+    );
 }
