@@ -6,13 +6,19 @@
 //! and taps at fixed ±1/±2 x-offsets, like the paper's
 //! register-marching loops walking coalesced x.
 //!
-//! Both variants run the same Koren-limited scalar advection stencil on
-//! the same data single-threaded; identical results are asserted
-//! bitwise before timing.
+//! A third variant runs the SIMD x-walk of PR 3 (lane loads at the same
+//! ±1/±2 offsets, remainder loop per row, inside the AVX2+FMA dispatch
+//! frame) — the inner loop now used by the Functional kernels when
+//! `ASUCA_SIMD` is on.
+//!
+//! All variants run the same Koren-limited advection stencil on the
+//! same data single-threaded; identical results are asserted bitwise
+//! before timing.
 
 use asuca_gpu::view::{Dims, V3SlabMut, V3};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use numerics::limiter::{limited_flux, Limiter};
+use numerics::limiter::{limited_flux, limited_flux_lanes, Limiter};
+use numerics::simd::{Lane, LANES};
 
 const NX: usize = 320;
 const NY: usize = 256;
@@ -200,15 +206,176 @@ fn advect_rows(f: &Fields, out: &mut [f64]) {
     }
 }
 
+/// The SIMD x-walk, as now used by
+/// `asuca_gpu::kernels::advection::advect_scalar` with lanes on: lane
+/// loads at the same stencil offsets, scalar remainder loop per row.
+/// Like the kernels (`numerics::simd_kernel!`), the loop body is
+/// stamped into an AVX2+FMA `#[target_feature]` twin when the CPU has
+/// the ISA — the results are bitwise identical either way.
+fn advect_lanes(f: &Fields, out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if numerics::simd::lanes_native() {
+        // SAFETY: AVX2+FMA presence was verified by `lanes_native`.
+        return unsafe { advect_lanes_arch(f, out) };
+    }
+    advect_lanes_body(f, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn advect_lanes_arch(f: &Fields, out: &mut [f64]) {
+    advect_lanes_body(f, out)
+}
+
+#[inline(always)]
+fn advect_lanes_body(f: &Fields, out: &mut [f64]) {
+    type L = <f64 as numerics::Real>::Lane;
+    let s = V3::new(&f.spec, f.dc);
+    let uu = V3::new(&f.u, f.dc);
+    let vv = V3::new(&f.v, f.dc);
+    let ww = V3::new(&f.mw, f.dw);
+    let mut o = V3SlabMut::new(out, f.dc, -(HALO as isize));
+    let (nxi, nyi, nzi) = (NX as isize, NY as isize, NZ as isize);
+    let nl = LANES as isize;
+    let vdx = L::splat(INV_DX);
+    let vdy = L::splat(INV_DY);
+    let vdz = L::splat(INV_DZ);
+    let zl = L::splat(0.0);
+    for j in 0..nyi {
+        for k in 0..nzi {
+            let s0 = s.row(j, k);
+            let sjm2 = s.row(j - 2, k);
+            let sjm1 = s.row(j - 1, k);
+            let sjp1 = s.row(j + 1, k);
+            let sjp2 = s.row(j + 2, k);
+            let skm2 = s.row(j, k - 2);
+            let skm1 = s.row(j, k - 1);
+            let skp1 = s.row(j, k + 1);
+            let skp2 = s.row(j, k + 2);
+            let u0 = uu.row(j, k);
+            let vjm1 = vv.row(j - 1, k);
+            let v0 = vv.row(j, k);
+            let w0 = ww.row(j, k);
+            let wp = ww.row(j, k + 1);
+            let mut orow = o.row_mut(j, k);
+            let mut i = 0isize;
+            while i + nl <= nxi {
+                let sm1 = s0.lanes(i - 1);
+                let sc = s0.lanes(i);
+                let sp1 = s0.lanes(i + 1);
+                let fxm =
+                    limited_flux_lanes::<f64>(LIM, u0.lanes(i - 1), s0.lanes(i - 2), sm1, sc, sp1);
+                let fxp =
+                    limited_flux_lanes::<f64>(LIM, u0.lanes(i), sm1, sc, sp1, s0.lanes(i + 2));
+                let fym = limited_flux_lanes::<f64>(
+                    LIM,
+                    vjm1.lanes(i),
+                    sjm2.lanes(i),
+                    sjm1.lanes(i),
+                    sc,
+                    sjp1.lanes(i),
+                );
+                let fyp = limited_flux_lanes::<f64>(
+                    LIM,
+                    v0.lanes(i),
+                    sjm1.lanes(i),
+                    sc,
+                    sjp1.lanes(i),
+                    sjp2.lanes(i),
+                );
+                let fzm = if k == 0 {
+                    zl
+                } else {
+                    limited_flux_lanes::<f64>(
+                        LIM,
+                        w0.lanes(i),
+                        skm2.lanes(i),
+                        skm1.lanes(i),
+                        sc,
+                        skp1.lanes(i),
+                    )
+                };
+                let fzp = if k == nzi - 1 {
+                    zl
+                } else {
+                    limited_flux_lanes::<f64>(
+                        LIM,
+                        wp.lanes(i),
+                        skm1.lanes(i),
+                        sc,
+                        skp1.lanes(i),
+                        skp2.lanes(i),
+                    )
+                };
+                orow.add_lanes(
+                    i,
+                    -((fxp - fxm) * vdx + (fyp - fym) * vdy + (fzp - fzm) * vdz),
+                );
+                i += nl;
+            }
+            for i in i..nxi {
+                let fxm = limited_flux(
+                    LIM,
+                    u0.at(i - 1),
+                    s0.at(i - 2),
+                    s0.at(i - 1),
+                    s0.at(i),
+                    s0.at(i + 1),
+                );
+                let fxp = limited_flux(
+                    LIM,
+                    u0.at(i),
+                    s0.at(i - 1),
+                    s0.at(i),
+                    s0.at(i + 1),
+                    s0.at(i + 2),
+                );
+                let fym = limited_flux(
+                    LIM,
+                    vjm1.at(i),
+                    sjm2.at(i),
+                    sjm1.at(i),
+                    s0.at(i),
+                    sjp1.at(i),
+                );
+                let fyp = limited_flux(LIM, v0.at(i), sjm1.at(i), s0.at(i), sjp1.at(i), sjp2.at(i));
+                let fzm = if k == 0 {
+                    0.0
+                } else {
+                    limited_flux(LIM, w0.at(i), skm2.at(i), skm1.at(i), s0.at(i), skp1.at(i))
+                };
+                let fzp = if k == nzi - 1 {
+                    0.0
+                } else {
+                    limited_flux(LIM, wp.at(i), skm1.at(i), s0.at(i), skp1.at(i), skp2.at(i))
+                };
+                orow.add(
+                    i,
+                    -((fxp - fxm) * INV_DX + (fyp - fym) * INV_DY + (fzp - fzm) * INV_DZ),
+                );
+            }
+        }
+    }
+}
+
 fn bench_kernel_inner_loop(c: &mut Criterion) {
     let f = fields();
     let mut out_at = vec![0.0f64; f.dc.len()];
     let mut out_rows = vec![0.0f64; f.dc.len()];
+    let mut out_lanes = vec![0.0f64; f.dc.len()];
     advect_at(&f, &mut out_at);
     advect_rows(&f, &mut out_rows);
+    advect_lanes(&f, &mut out_lanes);
     assert_eq!(
         out_at, out_rows,
         "row-cursor advection diverged from at()-indexed advection"
+    );
+    assert!(
+        out_rows
+            .iter()
+            .zip(&out_lanes)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "SIMD x-walk advection diverged bitwise from the row-cursor walk"
     );
 
     let points = (NX * NY * NZ) as u64;
@@ -221,6 +388,9 @@ fn bench_kernel_inner_loop(c: &mut Criterion) {
     });
     group.bench_function("advection_row_cursor_320x256x48", |b| {
         b.iter(|| advect_rows(&f, &mut out_rows))
+    });
+    group.bench_function("advection_simd_lanes_320x256x48", |b| {
+        b.iter(|| advect_lanes(&f, &mut out_lanes))
     });
     group.finish();
 }

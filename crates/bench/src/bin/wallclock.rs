@@ -1,15 +1,20 @@
 //! Wall-clock trajectory of the Functional backend: full mountain-wave
-//! steps at 64×64×32 and 320×256×48, at host threads 1 and max, written
-//! to `results/BENCH_wallclock.json`.
+//! steps at 64×64×32 and 320×256×48, at host threads 1 and max, with the
+//! SIMD x-walks off and on, written to `BENCH_wallclock.json` at the
+//! repository root.
 //!
 //! This is the *other* clock of the repository: the simulated GT200
 //! seconds (reported by the fig* harnesses) must be bit-identical
-//! across thread counts — asserted here before timing — while the wall
-//! clock is what the persistent worker pool and the row cursors buy.
+//! across thread counts AND lane settings — asserted here before
+//! timing — while the wall clock is what the persistent worker pool,
+//! the row cursors and the lane walks buy.
 //!
 //! Step counts can be overridden for quick runs:
 //! `ASUCA_WALLCLOCK_STEPS_SMALL` (default 5) and
-//! `ASUCA_WALLCLOCK_STEPS_LARGE` (default 2).
+//! `ASUCA_WALLCLOCK_STEPS_LARGE` (default 2); a count of 0 skips that
+//! grid entirely. `ASUCA_SIMD=0` turns the binary into a
+//! scalar-walk-only smoke run (the CI A/B leg); any other setting, or
+//! leaving it unset, runs both walks and compares them.
 
 use asuca_gpu::SingleGpu;
 use dycore::config::ModelConfig;
@@ -25,6 +30,7 @@ struct Case {
     nz: usize,
     steps: usize,
     threads: usize,
+    simd: bool,
     wall_s: f64,
     sim_s: f64,
 }
@@ -36,6 +42,7 @@ fn env_steps(var: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_case(
     label: &'static str,
     nx: usize,
@@ -43,10 +50,12 @@ fn run_case(
     nz: usize,
     steps: usize,
     threads: usize,
+    simd: bool,
 ) -> Case {
     let mut cfg = ModelConfig::mountain_wave(nx, ny, nz);
     cfg.dt = 5.0;
     cfg.threads = threads;
+    cfg.simd = Some(simd);
     let mut gpu = SingleGpu::<f64>::new(cfg, DeviceSpec::tesla_s1070(), ExecMode::Functional);
     // Warm up one step so pool creation, lazy allocations and page
     // faults don't land inside the timed region.
@@ -57,7 +66,7 @@ fn run_case(
     let wall_s = t0.elapsed().as_secs_f64();
     let sim_s = gpu.dev.host_time() - sim0;
     eprintln!(
-        "{label} threads={threads}: {steps} steps in {wall_s:.3} s wall ({:.3} s/step), simulated {sim_s:.4} s",
+        "{label} threads={threads} simd={simd}: {steps} steps in {wall_s:.3} s wall ({:.3} s/step), simulated {sim_s:.4} s",
         wall_s / steps as f64
     );
     Case {
@@ -67,6 +76,7 @@ fn run_case(
         nz,
         steps,
         threads,
+        simd,
         wall_s,
         sim_s,
     }
@@ -77,13 +87,19 @@ fn results_path() -> PathBuf {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();
     p.pop();
-    p.push("results");
     p.push("BENCH_wallclock.json");
     p
 }
 
 fn main() {
     let max = numerics::par::default_threads();
+    let simd_native = numerics::simd::lanes_native();
+    let run_lanes = std::env::var("ASUCA_SIMD").map_or(true, |v| {
+        !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        )
+    });
     let steps_small = env_steps("ASUCA_WALLCLOCK_STEPS_SMALL", 5);
     let steps_large = env_steps("ASUCA_WALLCLOCK_STEPS_LARGE", 2);
 
@@ -98,56 +114,90 @@ fn main() {
         ),
         ("mountain_wave_320x256x48", 320, 256, 48, steps_large),
     ] {
-        let single = run_case(label, nx, ny, nz, steps, 1);
-        if max > 1 {
-            let pooled = run_case(label, nx, ny, nz, steps, max);
-            // The two-clock rule: thread count must not move the
-            // simulated timeline by a single bit.
+        if steps == 0 {
+            continue;
+        }
+        let scalar = run_case(label, nx, ny, nz, steps, 1, false);
+        let scalar_sim = scalar.sim_s;
+        cases.push(scalar);
+        if run_lanes {
+            let lanes = run_case(label, nx, ny, nz, steps, 1, true);
+            // The two-clock rule: neither the lane width nor the thread
+            // count may move the simulated timeline by a single bit.
             assert_eq!(
-                single.sim_s, pooled.sim_s,
+                scalar_sim, lanes.sim_s,
+                "{label}: simulated seconds changed with simd on"
+            );
+            cases.push(lanes);
+        }
+        if max > 1 {
+            let pooled = run_case(label, nx, ny, nz, steps, max, run_lanes);
+            assert_eq!(
+                scalar_sim, pooled.sim_s,
                 "{label}: simulated seconds changed with threads={max}"
             );
-            cases.push(single);
             cases.push(pooled);
-        } else {
-            cases.push(single);
         }
     }
 
-    // Perf gate. Multi-core hosts must see the pool win at the large
-    // grid; a single-core container only checks that the pooled path
-    // introduced no regression (nothing to compare against but itself).
+    // Perf gates at the large grid. Multi-core hosts must see the pool
+    // win; hosts with the vector ISA must see the lane walk win over the
+    // scalar walk at equal thread count.
     let large: Vec<&Case> = cases
         .iter()
         .filter(|c| c.label == "mountain_wave_320x256x48")
         .collect();
-    let speedup = if large.len() == 2 {
-        let s = large[0].wall_s / large[1].wall_s;
-        eprintln!("320x256x48 speedup threads {max} vs 1: {s:.2}x");
-        assert!(
-            s > 1.0,
-            "pooled path slower than single-threaded at 320x256x48 ({s:.2}x)"
-        );
-        Some(s)
-    } else {
-        None
-    };
+    let simd_speedup = large
+        .iter()
+        .find(|c| c.threads == 1 && !c.simd)
+        .zip(large.iter().find(|c| c.threads == 1 && c.simd))
+        .map(|(s, v)| {
+            let sp = s.wall_s / v.wall_s;
+            eprintln!("320x256x48 speedup simd on vs off (threads 1): {sp:.2}x");
+            if simd_native {
+                assert!(
+                    sp > 1.0,
+                    "lane walk slower than scalar walk at 320x256x48 ({sp:.2}x)"
+                );
+            }
+            sp
+        });
+    let thread_speedup = large
+        .iter()
+        .find(|c| c.threads == 1 && c.simd == run_lanes)
+        .zip(large.iter().find(|c| c.threads == max && max > 1))
+        .map(|(s, p)| {
+            let sp = s.wall_s / p.wall_s;
+            eprintln!("320x256x48 speedup threads {max} vs 1 (simd={run_lanes}): {sp:.2}x");
+            assert!(
+                sp > 1.0,
+                "pooled path slower than single-threaded at 320x256x48 ({sp:.2}x)"
+            );
+            sp
+        });
 
+    let fmt_opt = |o: Option<f64>| o.map_or("null".to_string(), |s| format!("{s:.4}"));
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"host_threads_max\": {max},");
+    let _ = writeln!(json, "  \"simd_native\": {simd_native},");
+    let _ = writeln!(
+        json,
+        "  \"simd_speedup_320x256x48\": {},",
+        fmt_opt(simd_speedup)
+    );
     let _ = writeln!(
         json,
         "  \"speedup_320x256x48\": {},",
-        speedup.map_or("null".to_string(), |s| format!("{s:.4}"))
+        fmt_opt(thread_speedup)
     );
     json.push_str("  \"cases\": [\n");
     for (n, c) in cases.iter().enumerate() {
         let sep = if n + 1 < cases.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"case\": \"{}\", \"nx\": {}, \"ny\": {}, \"nz\": {}, \"steps\": {}, \"threads\": {}, \"wall_seconds\": {:.6}, \"wall_seconds_per_step\": {:.6}, \"simulated_seconds\": {:.6}}}{sep}",
-            c.label, c.nx, c.ny, c.nz, c.steps, c.threads, c.wall_s,
+            "    {{\"case\": \"{}\", \"nx\": {}, \"ny\": {}, \"nz\": {}, \"steps\": {}, \"threads\": {}, \"simd\": {}, \"wall_seconds\": {:.6}, \"wall_seconds_per_step\": {:.6}, \"simulated_seconds\": {:.6}}}{sep}",
+            c.label, c.nx, c.ny, c.nz, c.steps, c.threads, c.simd, c.wall_s,
             c.wall_s / c.steps as f64, c.sim_s
         );
     }

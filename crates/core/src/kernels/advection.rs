@@ -10,9 +10,19 @@
 use crate::geom::DeviceGeom;
 use crate::kernels::region::{launch_cfg_region, KName, Region};
 use crate::view::{V3SlabMut, V3};
-use numerics::limiter::{limited_flux, Limiter};
-use numerics::Real;
+use numerics::limiter::{limited_flux, limited_flux_lanes, Limiter};
+use numerics::simd::{Lane, LANES};
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+
+/// Lane width recorded on a launch: `LANES` on the SIMD x-walk, 1 on the
+/// scalar walk (informational — never priced by the cost model).
+pub(crate) fn lane_width(lanes_on: bool) -> u32 {
+    if lanes_on {
+        LANES as u32
+    } else {
+        1
+    }
+}
 
 /// Shared-memory tile of the advection kernels: (64+3)*(4+3) elements
 /// (Fig. 3), in the element size of the precision in use.
@@ -30,6 +40,7 @@ pub const ADV_WRITES: f64 = 1.0;
 /// global memory (used by the `ablation_shared_memory` bench).
 pub const ADV_READS_NO_SMEM: f64 = 19.0;
 
+numerics::simd_kernel! {
 /// Flux-form advection tendency of a center scalar, accumulated into
 /// `out`: `out -= div(massflux * reconstruct(spec))`.
 #[allow(clippy::too_many_arguments)]
@@ -70,9 +81,12 @@ pub fn advect_scalar<R: Real>(
     let inv_dy = R::from_f64(1.0 / geom.dy);
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let nzi = nz as isize;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gdim, bdim, cost).with_shared_mem(smem),
+        Launch::new(kn.get(region), gdim, bdim, cost)
+            .with_shared_mem(smem)
+            .with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -108,7 +122,85 @@ pub fn advect_scalar<R: Real>(
                         let w0 = ww.row(j, k);
                         let wp = ww.row(j, k + 1);
                         let mut orow = o.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            // SIMD x-walk: 4 faces per iteration, each
+                            // stencil tap one shifted unaligned lane
+                            // load; per-point op order is the scalar
+                            // body's, so bits match the remainder loop.
+                            let nl = LANES as isize;
+                            let vdx = R::Lane::splat(inv_dx);
+                            let vdy = R::Lane::splat(inv_dy);
+                            let vdz = R::Lane::splat(inv_dz);
+                            let zl = R::Lane::splat(R::ZERO);
+                            while i + nl <= i1 {
+                                let sm1 = s0.lanes(i - 1);
+                                let sc = s0.lanes(i);
+                                let sp1 = s0.lanes(i + 1);
+                                let fxm = limited_flux_lanes::<R>(
+                                    lim,
+                                    u0.lanes(i - 1),
+                                    s0.lanes(i - 2),
+                                    sm1,
+                                    sc,
+                                    sp1,
+                                );
+                                let fxp = limited_flux_lanes::<R>(
+                                    lim,
+                                    u0.lanes(i),
+                                    sm1,
+                                    sc,
+                                    sp1,
+                                    s0.lanes(i + 2),
+                                );
+                                let fym = limited_flux_lanes::<R>(
+                                    lim,
+                                    vjm1.lanes(i),
+                                    sjm2.lanes(i),
+                                    sjm1.lanes(i),
+                                    sc,
+                                    sjp1.lanes(i),
+                                );
+                                let fyp = limited_flux_lanes::<R>(
+                                    lim,
+                                    v0.lanes(i),
+                                    sjm1.lanes(i),
+                                    sc,
+                                    sjp1.lanes(i),
+                                    sjp2.lanes(i),
+                                );
+                                let fzm = if k == 0 {
+                                    zl
+                                } else {
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        w0.lanes(i),
+                                        skm2.lanes(i),
+                                        skm1.lanes(i),
+                                        sc,
+                                        skp1.lanes(i),
+                                    )
+                                };
+                                let fzp = if k == nzi - 1 {
+                                    zl
+                                } else {
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        wp.lanes(i),
+                                        skm1.lanes(i),
+                                        sc,
+                                        skp1.lanes(i),
+                                        skp2.lanes(i),
+                                    )
+                                };
+                                orow.add_lanes(
+                                    i,
+                                    -((fxp - fxm) * vdx + (fyp - fym) * vdy + (fzp - fzm) * vdz),
+                                );
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             // x faces at i-1/2 (vel u[i-1]) and i+1/2 (u[i]).
                             let fxm = limited_flux(
                                 lim,
@@ -181,7 +273,9 @@ pub fn advect_scalar<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Advection of u momentum (control volumes on u points).
 #[allow(clippy::too_many_arguments)]
 pub fn advect_u<R: Real>(
@@ -211,10 +305,12 @@ pub fn advect_u<R: Real>(
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let nzi = nz as isize;
     let half = R::HALF;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
-            .with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
+            .with_shared_mem(advection_shared_mem_bytes(R::BYTES))
+            .with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -246,7 +342,85 @@ pub fn advect_u<R: Real>(
                         let w0 = ww.row(j, k);
                         let wp = ww.row(j, k + 1);
                         let mut orow = o.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vdx = R::Lane::splat(inv_dx);
+                            let vdy = R::Lane::splat(inv_dy);
+                            let vdz = R::Lane::splat(inv_dz);
+                            let vh = R::Lane::splat(half);
+                            let zl = R::Lane::splat(R::ZERO);
+                            while i + nl <= i1 {
+                                let um1 = u0.lanes(i - 1);
+                                let uc = u0.lanes(i);
+                                let up1 = u0.lanes(i + 1);
+                                let sm1 = s0.lanes(i - 1);
+                                let sc = s0.lanes(i);
+                                let sp1 = s0.lanes(i + 1);
+                                let fxm = {
+                                    let vel = vh * (um1 + uc);
+                                    limited_flux_lanes::<R>(lim, vel, s0.lanes(i - 2), sm1, sc, sp1)
+                                };
+                                let fxp = {
+                                    let vel = vh * (uc + up1);
+                                    limited_flux_lanes::<R>(lim, vel, sm1, sc, sp1, s0.lanes(i + 2))
+                                };
+                                let fym = {
+                                    let vel = vh * (vjm1.lanes(i) + vjm1.lanes(i + 1));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        sjm2.lanes(i),
+                                        sjm1.lanes(i),
+                                        sc,
+                                        sjp1.lanes(i),
+                                    )
+                                };
+                                let fyp = {
+                                    let vel = vh * (v0.lanes(i) + v0.lanes(i + 1));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        sjm1.lanes(i),
+                                        sc,
+                                        sjp1.lanes(i),
+                                        sjp2.lanes(i),
+                                    )
+                                };
+                                let fzm = if k == 0 {
+                                    zl
+                                } else {
+                                    let vel = vh * (w0.lanes(i) + w0.lanes(i + 1));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        skm2.lanes(i),
+                                        skm1.lanes(i),
+                                        sc,
+                                        skp1.lanes(i),
+                                    )
+                                };
+                                let fzp = if k == nzi - 1 {
+                                    zl
+                                } else {
+                                    let vel = vh * (wp.lanes(i) + wp.lanes(i + 1));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        skm1.lanes(i),
+                                        sc,
+                                        skp1.lanes(i),
+                                        skp2.lanes(i),
+                                    )
+                                };
+                                orow.add_lanes(
+                                    i,
+                                    -((fxp - fxm) * vdx + (fyp - fym) * vdy + (fzp - fzm) * vdz),
+                                );
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let fxm = {
                                 let vel = half * (u0.at(i - 1) + u0.at(i));
                                 limited_flux(
@@ -302,7 +476,9 @@ pub fn advect_u<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Advection of v momentum (mirror of [`advect_u`]).
 #[allow(clippy::too_many_arguments)]
 pub fn advect_v<R: Real>(
@@ -332,10 +508,12 @@ pub fn advect_v<R: Real>(
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let nzi = nz as isize;
     let half = R::HALF;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
-            .with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
+            .with_shared_mem(advection_shared_mem_bytes(R::BYTES))
+            .with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -371,7 +549,82 @@ pub fn advect_v<R: Real>(
                         let wp0 = ww.row(j, k + 1);
                         let wpjp1 = ww.row(j + 1, k + 1);
                         let mut orow = o.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vdx = R::Lane::splat(inv_dx);
+                            let vdy = R::Lane::splat(inv_dy);
+                            let vdz = R::Lane::splat(inv_dz);
+                            let vh = R::Lane::splat(half);
+                            let zl = R::Lane::splat(R::ZERO);
+                            while i + nl <= i1 {
+                                let sm1 = s0.lanes(i - 1);
+                                let sc = s0.lanes(i);
+                                let sp1 = s0.lanes(i + 1);
+                                let fxm = {
+                                    let vel = vh * (u0.lanes(i - 1) + ujp1.lanes(i - 1));
+                                    limited_flux_lanes::<R>(lim, vel, s0.lanes(i - 2), sm1, sc, sp1)
+                                };
+                                let fxp = {
+                                    let vel = vh * (u0.lanes(i) + ujp1.lanes(i));
+                                    limited_flux_lanes::<R>(lim, vel, sm1, sc, sp1, s0.lanes(i + 2))
+                                };
+                                let fym = {
+                                    let vel = vh * (vjm1.lanes(i) + v0.lanes(i));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        sjm2.lanes(i),
+                                        sjm1.lanes(i),
+                                        sc,
+                                        sjp1.lanes(i),
+                                    )
+                                };
+                                let fyp = {
+                                    let vel = vh * (v0.lanes(i) + vjp1.lanes(i));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        sjm1.lanes(i),
+                                        sc,
+                                        sjp1.lanes(i),
+                                        sjp2.lanes(i),
+                                    )
+                                };
+                                let fzm = if k == 0 {
+                                    zl
+                                } else {
+                                    let vel = vh * (w0.lanes(i) + wjp1.lanes(i));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        skm2.lanes(i),
+                                        skm1.lanes(i),
+                                        sc,
+                                        skp1.lanes(i),
+                                    )
+                                };
+                                let fzp = if k == nzi - 1 {
+                                    zl
+                                } else {
+                                    let vel = vh * (wp0.lanes(i) + wpjp1.lanes(i));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        skm1.lanes(i),
+                                        sc,
+                                        skp1.lanes(i),
+                                        skp2.lanes(i),
+                                    )
+                                };
+                                orow.add_lanes(
+                                    i,
+                                    -((fxp - fxm) * vdx + (fyp - fym) * vdy + (fzp - fzm) * vdz),
+                                );
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let fxm = {
                                 let vel = half * (u0.at(i - 1) + ujp1.at(i - 1));
                                 limited_flux(
@@ -427,7 +680,9 @@ pub fn advect_v<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Advection of w momentum at interior w levels.
 #[allow(clippy::too_many_arguments)]
 pub fn advect_w<R: Real>(
@@ -457,10 +712,12 @@ pub fn advect_w<R: Real>(
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let nzi = nz as isize;
     let half = R::HALF;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
-            .with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
+            .with_shared_mem(advection_shared_mem_bytes(R::BYTES))
+            .with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -496,7 +753,77 @@ pub fn advect_w<R: Real>(
                         let wk = ww.row(j, k);
                         let wkp1 = ww.row(j, k + 1);
                         let mut orow = o.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vdx = R::Lane::splat(inv_dx);
+                            let vdy = R::Lane::splat(inv_dy);
+                            let vdz = R::Lane::splat(inv_dz);
+                            let vh = R::Lane::splat(half);
+                            while i + nl <= i1 {
+                                let sm1 = s0.lanes(i - 1);
+                                let sc = s0.lanes(i);
+                                let sp1 = s0.lanes(i + 1);
+                                let fxm = {
+                                    let vel = vh * (ukm1.lanes(i - 1) + uk.lanes(i - 1));
+                                    limited_flux_lanes::<R>(lim, vel, s0.lanes(i - 2), sm1, sc, sp1)
+                                };
+                                let fxp = {
+                                    let vel = vh * (ukm1.lanes(i) + uk.lanes(i));
+                                    limited_flux_lanes::<R>(lim, vel, sm1, sc, sp1, s0.lanes(i + 2))
+                                };
+                                let fym = {
+                                    let vel = vh * (vjm1km1.lanes(i) + vjm1k.lanes(i));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        sjm2.lanes(i),
+                                        sjm1.lanes(i),
+                                        sc,
+                                        sjp1.lanes(i),
+                                    )
+                                };
+                                let fyp = {
+                                    let vel = vh * (v0km1.lanes(i) + v0k.lanes(i));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        sjm1.lanes(i),
+                                        sc,
+                                        sjp1.lanes(i),
+                                        sjp2.lanes(i),
+                                    )
+                                };
+                                let fzm = {
+                                    let vel = vh * (wkm1.lanes(i) + wk.lanes(i));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        skm2.lanes(i),
+                                        skm1.lanes(i),
+                                        sc,
+                                        skp1.lanes(i),
+                                    )
+                                };
+                                let fzp = {
+                                    let vel = vh * (wk.lanes(i) + wkp1.lanes(i));
+                                    limited_flux_lanes::<R>(
+                                        lim,
+                                        vel,
+                                        skm1.lanes(i),
+                                        sc,
+                                        skp1.lanes(i),
+                                        skp2.lanes(i),
+                                    )
+                                };
+                                orow.add_lanes(
+                                    i,
+                                    -((fxp - fxm) * vdx + (fyp - fym) * vdy + (fzp - fzm) * vdz),
+                                );
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let fxm = {
                                 let vel = half * (ukm1.at(i - 1) + uk.at(i - 1));
                                 limited_flux(
@@ -547,4 +874,5 @@ pub fn advect_w<R: Real>(
             }
         },
     );
+}
 }

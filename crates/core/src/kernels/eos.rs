@@ -1,12 +1,14 @@
 //! Equation-of-state kernels (Fig. 1 "Update pressure (EOS)").
 
 use crate::geom::DeviceGeom;
+use crate::kernels::advection::lane_width;
 use crate::kernels::region::launch_cfg;
 use crate::view::{V3SlabMut, V3};
-use numerics::Real;
+use numerics::simd::{Lane, LANES};
 use physics::eos;
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
 
+numerics::simd_kernel! {
 /// Linearized pressure update `p = p_ref + c2m (Θ − Θ_ref)` over the
 /// padded box (run once per acoustic substep).
 pub fn eos_linear<R: Real>(
@@ -25,9 +27,10 @@ pub fn eos_linear<R: Real>(
     let cost = KernelCost::streaming(points, 3.0, 4.0, 1.0);
     let c2m_b = geom.c2m;
     let nzi = geom.nz as isize;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("eos_linear", g, b, cost),
+        Launch::new("eos_linear", g, b, cost).with_lanes(lane_width(lanes_on)),
         dc.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
@@ -49,7 +52,17 @@ pub fn eos_linear<R: Real>(
                     let pr_row = prv.row(j, k);
                     let c_row = cv.row(j, kk);
                     let mut p_row = pv.row_mut(j, k);
-                    for i in -h..dc.nx as isize + h {
+                    let (mut i, i1) = (-h, dc.nx as isize + h);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        while i + nl <= i1 {
+                            let v = pr_row.lanes(i)
+                                + c_row.lanes(i) * (th_row.lanes(i) - tr_row.lanes(i));
+                            p_row.set_lanes(i, v);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let v = pr_row.at(i) + c_row.at(i) * (th_row.at(i) - tr_row.at(i));
                         p_row.set(i, v);
                     }
@@ -58,7 +71,9 @@ pub fn eos_linear<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Full nonlinear EOS `p = p00 (Rd Θ/(G p00))^(cp/cv)` over the padded
 /// box (run at stage capture and step end).
 pub fn eos_full<R: Real>(
@@ -76,9 +91,10 @@ pub fn eos_full<R: Real>(
     let (g, b) = launch_cfg(dc.px() as u64, dc.pl() as u64);
     let cost = KernelCost::streaming(points, 14.0, 2.0, 1.0).with_transcendental(0.7);
     let g2 = geom.g;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(name, g, b, cost),
+        Launch::new(name, g, b, cost).with_lanes(lane_width(lanes_on)),
         dc.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
@@ -99,7 +115,20 @@ pub fn eos_full<R: Real>(
                 for k in -h..dc.nl as isize + h {
                     let th_row = thv.row(j, k);
                     let mut p_row = pv.row_mut(j, k);
-                    for i in -h..dc.nx as isize + h {
+                    let (mut i, i1) = (-h, dc.nx as isize + h);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        while i + nl <= i1 {
+                            // The powf core stays scalar per lane: `map`
+                            // applies the identical scalar function, so the
+                            // bits match the scalar walk exactly.
+                            let rho_th =
+                                th_row.lanes(i) * R::Lane::load(&inv_g_row[(i + h) as usize..]);
+                            p_row.set_lanes(i, rho_th.map(eos::pressure_from_rho_theta));
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         p_row.set(
                             i,
                             eos::pressure_from_rho_theta(
@@ -111,4 +140,5 @@ pub fn eos_full<R: Real>(
             }
         },
     );
+}
 }

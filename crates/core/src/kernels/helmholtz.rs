@@ -15,9 +15,10 @@
 //! GPU port agrees with the CPU reference to round-off.
 
 use crate::geom::DeviceGeom;
+use crate::kernels::advection::lane_width;
 use crate::kernels::region::{KName, Region};
 use crate::view::{V3SlabMut, V3};
-use numerics::Real;
+use numerics::simd::{Lane, LANES};
 use physics::consts::GRAV;
 use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId};
 
@@ -49,6 +50,7 @@ fn column_launch(area: u64) -> (Dim3, Dim3) {
     (Dim3::new(bx, 4, 1), block)
 }
 
+numerics::simd_kernel! {
 /// Solve the tridiagonal system for the new W in every column of
 /// `region` and write ρ*‡/Θ‡ to scratch.
 #[allow(clippy::too_many_arguments)]
@@ -85,9 +87,10 @@ pub fn helmholtz<R: Real>(
     let sx2 = geom.dzsdx_u;
     let sy2 = geom.dzsdy_v;
     let (th_c_b, th_w_b, c2m_b, rbw_b) = (geom.th_c, geom.th_w, geom.c2m, geom.rbw);
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost),
+        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -169,7 +172,31 @@ pub fn helmholtz<R: Real>(
                         let sx_row = sxv.row(j, 0);
                         let sy_jm1 = syv.row(j - 1, 0);
                         let sy_0 = syv.row(j, 0);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vone = R::Lane::splat(one);
+                            let vh = R::Lane::splat(half);
+                            let vdz = R::Lane::splat(dz);
+                            while i + nl <= i1 {
+                                let gm = g_row.lanes(i);
+                                gm.store(&mut gm_row[li(i)..]);
+                                (vone / (gm * vdz)).store(&mut inv_gdz_row[li(i)..]);
+                                let ws = if flat {
+                                    R::Lane::splat(R::ZERO)
+                                } else {
+                                    let rho0 = rho0_row.lanes(i);
+                                    let uspec = vh * (u0.lanes(i - 1) + u0.lanes(i)) / rho0;
+                                    let vspec = vh * (vjm1.lanes(i) + v0.lanes(i)) / rho0;
+                                    let slopex = vh * (sx_row.lanes(i - 1) + sx_row.lanes(i));
+                                    let slopey = vh * (sy_jm1.lanes(i) + sy_0.lanes(i));
+                                    rho0 * (uspec * slopex + vspec * slopey)
+                                };
+                                ws.store(&mut w_surf[li(i)..]);
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let gm = g_row.at(i);
                             gm_row[li(i)] = gm;
                             inv_gdz_row[li(i)] = one / (gm * dz);
@@ -208,7 +235,41 @@ pub fn helmholtz<R: Real>(
                         let c2m_0 = c2mv.row(j, k);
                         let mut strho_row = strho.row_mut(j, k);
                         let mut stth_row = stth.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vh = R::Lane::splat(half);
+                            let vdx = R::Lane::splat(inv_dx);
+                            let vdy = R::Lane::splat(inv_dy);
+                            let vdt = R::Lane::splat(dt);
+                            let vomb = R::Lane::splat(one - bt);
+                            while i + nl <= i1 {
+                                let dh_rho = (u0.lanes(i) - u0.lanes(i - 1)) * vdx
+                                    + (v0.lanes(i) - vjm1.lanes(i)) * vdy;
+                                let thc_c = thc_0.lanes(i);
+                                let thu_p = vh * (thc_c + thc_0.lanes(i + 1));
+                                let thu_m = vh * (thc_0.lanes(i - 1) + thc_c);
+                                let thv_p = vh * (thc_c + thc_jp1.lanes(i));
+                                let thv_m = vh * (thc_jm1.lanes(i) + thc_c);
+                                let dh_th = (thu_p * u0.lanes(i) - thu_m * u0.lanes(i - 1)) * vdx
+                                    + (thv_p * v0.lanes(i) - thv_m * vjm1.lanes(i)) * vdy;
+                                let inv_gdz = R::Lane::load(&inv_gdz_row[li(i)..]);
+                                let dwz_old = (w_kp.lanes(i) - w_k.lanes(i)) * inv_gdz;
+                                let dthwz_old = (thw_kp.lanes(i) * w_kp.lanes(i)
+                                    - thw_k.lanes(i) * w_k.lanes(i))
+                                    * inv_gdz;
+                                let rho_st = rho_0.lanes(i)
+                                    + vdt * (frho_0.lanes(i) - dh_rho - vomb * dwz_old);
+                                let th_st = th_0.lanes(i)
+                                    + vdt * (fth_0.lanes(i) - dh_th - vomb * dthwz_old);
+                                strho_row.set_lanes(i, rho_st);
+                                stth_row.set_lanes(i, th_st);
+                                (pref_0.lanes(i) + c2m_0.lanes(i) * (th_st - thref_0.lanes(i)))
+                                    .store(&mut p_st[kc * nxs + li(i)..]);
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let dh_rho = (u0.at(i) - u0.at(i - 1)) * inv_dx
                                 + (v0.at(i) - vjm1.at(i)) * inv_dy;
                             let thu_p = half * (thc_0.at(i) + thc_0.at(i + 1));
@@ -250,7 +311,50 @@ pub fn helmholtz<R: Real>(
                         let strho_k = strho.row(j, k);
                         let w_k = wv.row(j, k);
                         let fw_k = fwv.row(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vmtb2 = R::Lane::splat(-tb2);
+                            let vtb2 = R::Lane::splat(tb2);
+                            let vdz = R::Lane::splat(dz);
+                            let vdz2 = R::Lane::splat(dz * dz);
+                            let vg2dz = R::Lane::splat(grav / (R::TWO * dz));
+                            let vone = R::Lane::splat(one);
+                            let vh = R::Lane::splat(half);
+                            let vgrav = R::Lane::splat(grav);
+                            let vdt = R::Lane::splat(dt);
+                            let vomb = R::Lane::splat(one - bt);
+                            let vbt = R::Lane::splat(bt);
+                            while i + nl <= i1 {
+                                let gm = R::Lane::load(&gm_row[li(i)..]);
+                                let c2m_lo = c2m_lo_row.lanes(i);
+                                let c2m_hi = c2m_hi_row.lanes(i);
+                                let thw_m = thw_m_row.lanes(i);
+                                let thw_0 = thw_0_row.lanes(i);
+                                let thw_p = thw_p_row.lanes(i);
+                                (vmtb2 / gm * (c2m_lo * thw_m / vdz2 - vg2dz))
+                                    .store(&mut ta[row * nxs + li(i)..]);
+                                (vone + vtb2 / (gm * vdz * vdz) * thw_0 * (c2m_hi + c2m_lo))
+                                    .store(&mut tb[row * nxs + li(i)..]);
+                                (vmtb2 / gm * (c2m_hi * thw_p / vdz2 + vg2dz))
+                                    .store(&mut tc[row * nxs + li(i)..]);
+                                let p_old_grad = (p_k.lanes(i) - p_km1.lanes(i)) / vdz;
+                                let buoy_old = vgrav
+                                    * (vh * (rho_km1.lanes(i) + rho_k.lanes(i)) - rbw_k.lanes(i));
+                                let p_st_grad = (R::Lane::load(&p_st[kw * nxs + li(i)..])
+                                    - R::Lane::load(&p_st[(kw - 1) * nxs + li(i)..]))
+                                    / vdz;
+                                let buoy_st = vgrav
+                                    * (vh * (strho_km1.lanes(i) + strho_k.lanes(i))
+                                        - rbw_k.lanes(i));
+                                (w_k.lanes(i) + vdt * fw_k.lanes(i)
+                                    - vdt * vomb * (p_old_grad + buoy_old)
+                                    - vdt * vbt * (p_st_grad + buoy_st))
+                                    .store(&mut td[row * nxs + li(i)..]);
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let gm = gm_row[li(i)];
                             let c2m_lo = c2m_lo_row.at(i);
                             let c2m_hi = c2m_hi_row.at(i);
@@ -289,7 +393,19 @@ pub fn helmholtz<R: Real>(
                     // solve_in_place` on rows [0, nz-1).
                     let n = nz - 1;
                     assert!(n >= 1);
-                    for l in 0..nxs {
+                    let lane_tail = if lanes_on { nxs - nxs % LANES } else { 0 };
+                    for l in (0..lane_tail).step_by(LANES) {
+                        let beta = R::Lane::load(&tb[l..]);
+                        for e in 0..LANES {
+                            assert!(
+                                beta.extract(e).abs() > R::ZERO,
+                                "zero pivot in tridiagonal solve (row 0)"
+                            );
+                        }
+                        (R::Lane::load(&td[l..]) / beta).store(&mut td[l..]);
+                        (R::Lane::load(&tc[l..]) / beta).store(&mut tscr[l..]);
+                    }
+                    for l in lane_tail..nxs {
                         let beta = tb[l];
                         assert!(
                             beta.abs() > R::ZERO,
@@ -299,7 +415,25 @@ pub fn helmholtz<R: Real>(
                         tscr[l] = tc[l] / beta;
                     }
                     for kr in 1..n {
-                        for l in 0..nxs {
+                        for l in (0..lane_tail).step_by(LANES) {
+                            let beta = R::Lane::load(&tb[kr * nxs + l..])
+                                - R::Lane::load(&ta[kr * nxs + l..])
+                                    * R::Lane::load(&tscr[(kr - 1) * nxs + l..]);
+                            for e in 0..LANES {
+                                assert!(
+                                    beta.extract(e).abs() > R::ZERO,
+                                    "zero pivot in tridiagonal solve"
+                                );
+                            }
+                            (R::Lane::load(&tc[kr * nxs + l..]) / beta)
+                                .store(&mut tscr[kr * nxs + l..]);
+                            ((R::Lane::load(&td[kr * nxs + l..])
+                                - R::Lane::load(&ta[kr * nxs + l..])
+                                    * R::Lane::load(&td[(kr - 1) * nxs + l..]))
+                                / beta)
+                                .store(&mut td[kr * nxs + l..]);
+                        }
+                        for l in lane_tail..nxs {
                             let beta =
                                 tb[kr * nxs + l] - ta[kr * nxs + l] * tscr[(kr - 1) * nxs + l];
                             assert!(beta.abs() > R::ZERO, "zero pivot in tridiagonal solve");
@@ -310,7 +444,13 @@ pub fn helmholtz<R: Real>(
                         }
                     }
                     for kr in (0..n - 1).rev() {
-                        for l in 0..nxs {
+                        for l in (0..lane_tail).step_by(LANES) {
+                            let next = R::Lane::load(&td[(kr + 1) * nxs + l..]);
+                            (R::Lane::load(&td[kr * nxs + l..])
+                                - R::Lane::load(&tscr[kr * nxs + l..]) * next)
+                                .store(&mut td[kr * nxs + l..]);
+                        }
+                        for l in lane_tail..nxs {
                             let next = td[(kr + 1) * nxs + l];
                             td[kr * nxs + l] -= tscr[kr * nxs + l] * next;
                         }
@@ -319,7 +459,15 @@ pub fn helmholtz<R: Real>(
                     // Write the new w levels.
                     {
                         let mut w_row = wv.row_mut(j, 0);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            while i + nl <= i1 {
+                                w_row.set_lanes(i, R::Lane::load(&w_surf[li(i)..]));
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             w_row.set(i, w_surf[li(i)]);
                         }
                     }
@@ -331,7 +479,18 @@ pub fn helmholtz<R: Real>(
                     }
                     for kw in 1..nz {
                         let mut w_row = wv.row_mut(j, kw as isize);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            while i + nl <= i1 {
+                                w_row.set_lanes(
+                                    i,
+                                    R::Lane::load(&td[(kw - 1) * nxs + li(i)..]),
+                                );
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             w_row.set(i, td[(kw - 1) * nxs + li(i)]);
                         }
                     }
@@ -340,7 +499,9 @@ pub fn helmholtz<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Back-substitute the new density:
 /// `ρ* = ρ*‡ − Δτβ ∂ζ(W)/G` (the Fig. 9 "Density" kernel).
 #[allow(clippy::too_many_arguments)]
@@ -369,9 +530,10 @@ pub fn density<R: Real>(
     let dz = R::from_f64(geom.dz);
     let fac = R::from_f64(dtau * beta);
     let nzi = nz as isize;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost),
+        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -391,7 +553,20 @@ pub fn density<R: Real>(
                         let w_k = wv.row(j, k);
                         let w_kp = wv.row(j, k + 1);
                         let mut rho_row = rv.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vone = R::Lane::splat(R::ONE);
+                            let vdz = R::Lane::splat(dz);
+                            let vfac = R::Lane::splat(fac);
+                            while i + nl <= i1 {
+                                let inv_gdz = vone / (g_row.lanes(i) * vdz);
+                                let dwz = (w_kp.lanes(i) - w_k.lanes(i)) * inv_gdz;
+                                rho_row.set_lanes(i, st_row.lanes(i) - vfac * dwz);
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let inv_gdz = R::ONE / (g_row.at(i) * dz);
                             let dwz = (w_kp.at(i) - w_k.at(i)) * inv_gdz;
                             rho_row.set(i, st_row.at(i) - fac * dwz);
@@ -402,7 +577,9 @@ pub fn density<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Back-substitute the new potential temperature:
 /// `Θ = Θ‡ − Δτβ ∂ζ(θ̄_w W)/G` (the Fig. 9 "Potential temperature"
 /// kernel, fused logically with [`density`] by overlap method 3).
@@ -433,9 +610,10 @@ pub fn potential_temperature<R: Real>(
     let dz = R::from_f64(geom.dz);
     let fac = R::from_f64(dtau * beta);
     let nzi = nz as isize;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost),
+        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -459,7 +637,22 @@ pub fn potential_temperature<R: Real>(
                         let thw_k = thwv.row(j, k);
                         let thw_kp = thwv.row(j, k + 1);
                         let mut th_row = tv.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vone = R::Lane::splat(R::ONE);
+                            let vdz = R::Lane::splat(dz);
+                            let vfac = R::Lane::splat(fac);
+                            while i + nl <= i1 {
+                                let inv_gdz = vone / (g_row.lanes(i) * vdz);
+                                let dthwz = (thw_kp.lanes(i) * w_kp.lanes(i)
+                                    - thw_k.lanes(i) * w_k.lanes(i))
+                                    * inv_gdz;
+                                th_row.set_lanes(i, st_row.lanes(i) - vfac * dthwz);
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let inv_gdz = R::ONE / (g_row.at(i) * dz);
                             let dthwz =
                                 (thw_kp.at(i) * w_kp.at(i) - thw_k.at(i) * w_k.at(i)) * inv_gdz;
@@ -470,4 +663,5 @@ pub fn potential_temperature<R: Real>(
             }
         },
     );
+}
 }

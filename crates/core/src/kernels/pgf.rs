@@ -5,11 +5,13 @@
 //! inner/boundary regions for overlap method 2.
 
 use crate::geom::DeviceGeom;
+use crate::kernels::advection::lane_width;
 use crate::kernels::region::{launch_cfg_region, KName, Region};
 use crate::view::{V3SlabMut, V3};
-use numerics::Real;
+use numerics::simd::{Lane, LANES};
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
 
+numerics::simd_kernel! {
 /// `U += Δτ (−G_u ∂x p + F_U)` over `region`.
 #[allow(clippy::too_many_arguments)]
 pub fn momentum_x<R: Real>(
@@ -36,9 +38,10 @@ pub fn momentum_x<R: Real>(
     let dt = R::from_f64(dtau);
     let gub = geom.g_u;
     let nzi = nz as isize;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost),
+        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -57,7 +60,21 @@ pub fn momentum_x<R: Real>(
                         let p_row = pv.row(j, k);
                         let f_row = fv.row(j, k);
                         let mut u_row = uv.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vdx = R::Lane::splat(inv_dx);
+                            let vdt = R::Lane::splat(dt);
+                            while i + nl <= i1 {
+                                let dpdx = (p_row.lanes(i + 1) - p_row.lanes(i)) * vdx;
+                                u_row.add_lanes(
+                                    i,
+                                    vdt * (-g_row.lanes(i) * dpdx + f_row.lanes(i)),
+                                );
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let dpdx = (p_row.at(i + 1) - p_row.at(i)) * inv_dx;
                             u_row.add(i, dt * (-g_row.at(i) * dpdx + f_row.at(i)));
                         }
@@ -67,7 +84,9 @@ pub fn momentum_x<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// `V += Δτ (−G_v ∂y p + F_V)` over `region`.
 #[allow(clippy::too_many_arguments)]
 pub fn momentum_y<R: Real>(
@@ -94,9 +113,10 @@ pub fn momentum_y<R: Real>(
     let dt = R::from_f64(dtau);
     let gvb = geom.g_v;
     let nzi = nz as isize;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost),
+        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -116,7 +136,21 @@ pub fn momentum_y<R: Real>(
                         let pjp1_row = pv.row(j + 1, k);
                         let f_row = fv.row(j, k);
                         let mut v_row = vv.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vdy = R::Lane::splat(inv_dy);
+                            let vdt = R::Lane::splat(dt);
+                            while i + nl <= i1 {
+                                let dpdy = (pjp1_row.lanes(i) - p_row.lanes(i)) * vdy;
+                                v_row.add_lanes(
+                                    i,
+                                    vdt * (-g_row.lanes(i) * dpdy + f_row.lanes(i)),
+                                );
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let dpdy = (pjp1_row.at(i) - p_row.at(i)) * inv_dy;
                             v_row.add(i, dt * (-g_row.at(i) * dpdy + f_row.at(i)));
                         }
@@ -125,4 +159,5 @@ pub fn momentum_y<R: Real>(
             }
         },
     );
+}
 }

@@ -4,13 +4,15 @@
 //! rain sedimentation (Fig. 1 "Precipitation"), and the Rayleigh sponge.
 
 use crate::geom::DeviceGeom;
+use crate::kernels::advection::lane_width;
 use crate::kernels::region::launch_cfg;
 use crate::view::{V3SlabMut, V3};
-use numerics::Real;
+use numerics::simd::{Lane, LANES};
 use physics::eos;
 use physics::kessler::{self, PointState};
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
 
+numerics::simd_kernel! {
 /// Kessler warm rain over the interior; mirrors
 /// `dycore::micro::apply_kessler`.
 #[allow(clippy::too_many_arguments)]
@@ -34,9 +36,10 @@ pub fn warm_rain<R: Real>(
     let g2 = geom.g;
     let dtr = R::from_f64(dt);
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("warm_rain", g, b, cost),
+        Launch::new("warm_rain", g, b, cost).with_lanes(lane_width(lanes_on)),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -65,7 +68,70 @@ pub fn warm_rain<R: Real>(
                     let mut qv_row = qvv.row_mut(j, k);
                     let mut qc_row = qcv.row_mut(j, k);
                     let mut qr_row = qrv.row_mut(j, k);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        while i + nl <= i1 {
+                            // Lane the surrounding divisions/multiplies; the
+                            // transcendental Kessler core runs scalar per
+                            // lane so the bits match the scalar walk.
+                            let gm = g_row.lanes(i);
+                            let rho_star = rho_row.lanes(i);
+                            let rho_phys = rho_star / gm;
+                            let qv_l = qv_row.lanes(i) / rho_star;
+                            let qc_l = qc_row.lanes(i) / rho_star;
+                            let qr_l = qr_row.lanes(i) / rho_star;
+                            let pp = p_row.lanes(i);
+                            let pi = pp.map(eos::exner);
+                            let fac = R::Lane::from_fn(|e| {
+                                eos::theta_m_factor(
+                                    qv_l.extract(e),
+                                    qc_l.extract(e),
+                                    qr_l.extract(e),
+                                )
+                            });
+                            let theta = th_row.lanes(i) / (rho_star * fac);
+                            let mut out_th = [R::ZERO; LANES];
+                            let mut out_qv = [R::ZERO; LANES];
+                            let mut out_qc = [R::ZERO; LANES];
+                            let mut out_qr = [R::ZERO; LANES];
+                            for e in 0..LANES {
+                                let out = kessler::step_point(
+                                    pp.extract(e),
+                                    pi.extract(e),
+                                    rho_phys.extract(e),
+                                    dtr,
+                                    PointState {
+                                        theta: theta.extract(e),
+                                        qv: qv_l.extract(e),
+                                        qc: qc_l.extract(e),
+                                        qr: qr_l.extract(e),
+                                    },
+                                );
+                                out_th[e] = out.theta;
+                                out_qv[e] = out.qv;
+                                out_qc[e] = out.qc;
+                                out_qr[e] = out.qr;
+                            }
+                            let o_th = R::Lane::load(&out_th);
+                            let o_qv = R::Lane::load(&out_qv);
+                            let o_qc = R::Lane::load(&out_qc);
+                            let o_qr = R::Lane::load(&out_qr);
+                            let fac_new = R::Lane::from_fn(|e| {
+                                eos::theta_m_factor(
+                                    o_qv.extract(e),
+                                    o_qc.extract(e),
+                                    o_qr.extract(e),
+                                )
+                            });
+                            th_row.set_lanes(i, rho_star * o_th * fac_new);
+                            qv_row.set_lanes(i, rho_star * o_qv);
+                            qc_row.set_lanes(i, rho_star * o_qc);
+                            qr_row.set_lanes(i, rho_star * o_qr);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let gm = g_row.at(i);
                         let rho_star = rho_row.at(i);
                         let rho_phys = rho_star / gm;
@@ -99,7 +165,9 @@ pub fn warm_rain<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Rain sedimentation: upwind fall of qr with the Kessler terminal
 /// velocity, removing mass through the surface into the precipitation
 /// accumulator (mirrors `dycore::micro::sediment_rain`).
@@ -123,9 +191,10 @@ pub fn sediment<R: Real>(
     let dz = R::from_f64(geom.dz);
     let (nx, ny) = (geom.nx as isize, geom.ny as isize);
     let nz = geom.nz;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("precipitation", g, b, cost),
+        Launch::new("precipitation", g, b, cost).with_lanes(lane_width(lanes_on)),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -148,7 +217,16 @@ pub fn sediment<R: Real>(
                 let g_row = gv.row(j, 0);
                 {
                     let rho0_row = rhov.row(j, 0);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        while i + nl <= i1 {
+                            (rho0_row.lanes(i) / g_row.lanes(i))
+                                .store(&mut rho_sfc_row[i as usize..]);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         rho_sfc_row[i as usize] = rho0_row.at(i) / g_row.at(i);
                     }
                 }
@@ -156,7 +234,30 @@ pub fn sediment<R: Real>(
                     let k = kc as isize;
                     let rho_row = rhov.row(j, k);
                     let qr_row = qrv.row(j, k);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vzero = R::Lane::splat(R::ZERO);
+                        let vdz = R::Lane::splat(dz);
+                        let vdtr = R::Lane::splat(dtr);
+                        while i + nl <= i1 {
+                            let rho_phys = rho_row.lanes(i) / g_row.lanes(i);
+                            let qr_s = (qr_row.lanes(i) / rho_row.lanes(i)).max(vzero);
+                            let rho_sfc = R::Lane::load(&rho_sfc_row[i as usize..]);
+                            let vt = R::Lane::from_fn(|e| {
+                                kessler::terminal_velocity(
+                                    rho_phys.extract(e),
+                                    qr_s.extract(e),
+                                    rho_sfc.extract(e),
+                                )
+                            });
+                            let max_flux = qr_row.lanes(i) * vdz / vdtr;
+                            ((rho_phys * qr_s * vt).min(max_flux.max(vzero)))
+                                .store(&mut flux[kc * nxs + i as usize..]);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let gm = g_row.at(i);
                         let rho_phys = rho_row.at(i) / gm;
                         let qr_s = (qr_row.at(i) / rho_row.at(i)).max(R::ZERO);
@@ -173,14 +274,38 @@ pub fn sediment<R: Real>(
                 for kc in 0..nz {
                     let k = kc as isize;
                     let mut qr_row = qrv.row_mut(j, k);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vdtr = R::Lane::splat(dtr);
+                        let vinv_dz = R::Lane::splat(inv_dz);
+                        while i + nl <= i1 {
+                            let f_bottom = R::Lane::load(&flux[kc * nxs + i as usize..]);
+                            let f_top = R::Lane::load(&flux[(kc + 1) * nxs + i as usize..]);
+                            qr_row.add_lanes(i, vdtr * (f_top - f_bottom) * vinv_dz);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let f_bottom = flux[kc * nxs + i as usize];
                         let f_top = flux[(kc + 1) * nxs + i as usize];
                         let dq = dtr * (f_top - f_bottom) * inv_dz;
                         qr_row.add(i, dq);
                     }
                     let mut rho_row = rhov.row_mut(j, k);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vdtr = R::Lane::splat(dtr);
+                        let vinv_dz = R::Lane::splat(inv_dz);
+                        while i + nl <= i1 {
+                            let f_bottom = R::Lane::load(&flux[kc * nxs + i as usize..]);
+                            let f_top = R::Lane::load(&flux[(kc + 1) * nxs + i as usize..]);
+                            rho_row.add_lanes(i, vdtr * (f_top - f_bottom) * vinv_dz);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let f_bottom = flux[kc * nxs + i as usize];
                         let f_top = flux[(kc + 1) * nxs + i as usize];
                         let dq = dtr * (f_top - f_bottom) * inv_dz;
@@ -188,14 +313,25 @@ pub fn sediment<R: Real>(
                     }
                 }
                 let mut pr_row = prv.row_mut(j, 0);
-                for i in 0..nx {
+                let (mut i, i1) = (0, nx);
+                if lanes_on {
+                    let nl = LANES as isize;
+                    let vdtr = R::Lane::splat(dtr);
+                    while i + nl <= i1 {
+                        pr_row.add_lanes(i, vdtr * R::Lane::load(&flux[i as usize..]));
+                        i += nl;
+                    }
+                }
+                for i in i..i1 {
                     pr_row.add(i, dtr * flux[i as usize]);
                 }
             }
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Rayleigh sponge: damp w and the Θ deviation above `z_bottom`
 /// (mirrors `dycore::micro::rayleigh_damping`). Damping coefficients are
 /// precomputed per column level from the host grid (passed as closure
@@ -229,9 +365,10 @@ pub fn rayleigh<R: Real>(
     let damp_w: Vec<R> = dw64.iter().map(|&v| R::from_f64(v)).collect();
     let damp_c: Vec<R> = dc64.iter().map(|&v| R::from_f64(v)).collect();
     let th_b = geom.th_c;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("rayleigh_sponge", g, b, cost),
+        Launch::new("rayleigh_sponge", g, b, cost).with_lanes(lane_width(lanes_on)),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -249,7 +386,17 @@ pub fn rayleigh<R: Real>(
                     let dmp = damp_w[k];
                     if dmp < R::ONE {
                         let mut w_row = wv.row_mut(j, k as isize);
-                        for i in 0..nx {
+                        let (mut i, i1) = (0, nx);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vdmp = R::Lane::splat(dmp);
+                            while i + nl <= i1 {
+                                let v = w_row.lanes(i) * vdmp;
+                                w_row.set_lanes(i, v);
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let v = w_row.at(i) * dmp;
                             w_row.set(i, v);
                         }
@@ -263,7 +410,18 @@ pub fn rayleigh<R: Real>(
                         let rho_row = rhov.row(j, kk);
                         let thb_row = thbv.row(j, kk);
                         let mut th_row = thv.row_mut(j, kk);
-                        for i in 0..nx {
+                        let (mut i, i1) = (0, nx);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vdmp = R::Lane::splat(dmp);
+                            while i + nl <= i1 {
+                                let th_eq = rho_row.lanes(i) * thb_row.lanes(i);
+                                let v = th_eq + (th_row.lanes(i) - th_eq) * vdmp;
+                                th_row.set_lanes(i, v);
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let th_eq = rho_row.at(i) * thb_row.at(i);
                             let v = th_eq + (th_row.at(i) - th_eq) * dmp;
                             th_row.set(i, v);
@@ -273,4 +431,5 @@ pub fn rayleigh<R: Real>(
             }
         },
     );
+}
 }

@@ -3,11 +3,13 @@
 //! diffusion, and the tracer long-step update.
 
 use crate::geom::DeviceGeom;
+use crate::kernels::advection::lane_width;
 use crate::kernels::region::{launch_cfg, launch_cfg_region, KName, Region};
 use crate::view::{Row, V3SlabMut, V3};
-use numerics::Real;
+use numerics::simd::{Lane, LANES};
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
 
+numerics::simd_kernel! {
 /// f-plane Coriolis: `F_U += f V̄|_u`, `F_V −= f Ū|_v`.
 #[allow(clippy::too_many_arguments)]
 pub fn coriolis<R: Real>(
@@ -30,9 +32,10 @@ pub fn coriolis<R: Real>(
     let f = R::from_f64(fcor);
     let quarter = R::from_f64(0.25);
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("coriolis", g, b, cost),
+        Launch::new("coriolis", g, b, cost).with_lanes(lane_width(lanes_on)),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -52,7 +55,22 @@ pub fn coriolis<R: Real>(
                     let ujp1 = uv.row(j + 1, k);
                     let mut fu_row = fuv.row_mut(j, k);
                     let mut fv_row = fvv.row_mut(j, k);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vq = R::Lane::splat(quarter);
+                        let vf = R::Lane::splat(f);
+                        while i + nl <= i1 {
+                            let v_at_u =
+                                vq * (v0.lanes(i) + v0.lanes(i + 1) + vjm1.lanes(i) + vjm1.lanes(i + 1));
+                            fu_row.add_lanes(i, vf * v_at_u);
+                            let u_at_v =
+                                vq * (u0.lanes(i) + u0.lanes(i - 1) + ujp1.lanes(i) + ujp1.lanes(i - 1));
+                            fv_row.add_lanes(i, -vf * u_at_v);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let v_at_u =
                             quarter * (v0.at(i) + v0.at(i + 1) + vjm1.at(i) + vjm1.at(i + 1));
                         fu_row.add(i, f * v_at_u);
@@ -65,7 +83,9 @@ pub fn coriolis<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Metric part of the horizontal pressure gradient over terrain
 /// (mirrors `dycore::tendency::metric_pressure_gradient`).
 #[allow(clippy::too_many_arguments)]
@@ -88,9 +108,10 @@ pub fn metric_pg<R: Real>(
     let dz = geom.dz;
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
     let half = R::HALF;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("metric_pg", g, b, cost),
+        Launch::new("metric_pg", g, b, cost).with_lanes(lane_width(lanes_on)),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -119,7 +140,22 @@ pub fn metric_pg<R: Real>(
                     let pjp_kp = pv.row(j + 1, kp);
                     let mut fu_row = fuv.row_mut(j, k);
                     let mut fv_row = fvv.row_mut(j, k);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vspan = R::Lane::splat(span);
+                        let vfac = R::Lane::splat(fac);
+                        let vhalf = R::Lane::splat(half);
+                        while i + nl <= i1 {
+                            let dpdz_i = (p_kp.lanes(i) - p_km.lanes(i)) / vspan;
+                            let dpdz_ip = (p_kp.lanes(i + 1) - p_km.lanes(i + 1)) / vspan;
+                            fu_row.add_lanes(i, sx_row.lanes(i) * vfac * vhalf * (dpdz_i + dpdz_ip));
+                            let dpdz_jp = (pjp_kp.lanes(i) - pjp_km.lanes(i)) / vspan;
+                            fv_row.add_lanes(i, sy_row.lanes(i) * vfac * vhalf * (dpdz_i + dpdz_jp));
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let dpdz_i = (p_kp.at(i) - p_km.at(i)) / span;
                         let dpdz_ip = (p_kp.at(i + 1) - p_km.at(i + 1)) / span;
                         fu_row.add(i, sx_row.at(i) * fac * half * (dpdz_i + dpdz_ip));
@@ -131,7 +167,9 @@ pub fn metric_pg<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Add the linear θ̄-weighted divergence to F_Θ
 /// (`dycore::ops::div_lin_theta` followed by the add).
 #[allow(clippy::too_many_arguments)]
@@ -154,9 +192,10 @@ pub fn add_div_lin_theta<R: Real>(
     let (th_c_b, th_w_b, g2) = (geom.th_c, geom.th_w, geom.g);
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
     let half = R::HALF;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("div_lin_theta", g, b, cost),
+        Launch::new("div_lin_theta", g, b, cost).with_lanes(lane_width(lanes_on)),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -193,7 +232,30 @@ pub fn add_div_lin_theta<R: Real>(
                     let thw_k = thw.row(j, k);
                     let thw_kp = thw.row(j, k + 1);
                     let mut f_row = fv.row_mut(j, k);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vh = R::Lane::splat(half);
+                        let vdx = R::Lane::splat(inv_dx);
+                        let vdy = R::Lane::splat(inv_dy);
+                        let vdz = R::Lane::splat(inv_dz);
+                        while i + nl <= i1 {
+                            let thc_c = thc0.lanes(i);
+                            let thu_p = vh * (thc_c + thc0.lanes(i + 1));
+                            let thu_m = vh * (thc0.lanes(i - 1) + thc_c);
+                            let thv_p = vh * (thc_c + thcjp1.lanes(i));
+                            let thv_m = vh * (thcjm1.lanes(i) + thc_c);
+                            let inv_g = R::Lane::load(&inv_g_row[i as usize..]);
+                            let d = (thu_p * u0.lanes(i) - thu_m * u0.lanes(i - 1)) * vdx
+                                + (thv_p * v0.lanes(i) - thv_m * vjm1.lanes(i)) * vdy
+                                + (thw_kp.lanes(i) * w_kp.lanes(i) - thw_k.lanes(i) * w_k.lanes(i))
+                                    * inv_g
+                                    * vdz;
+                            f_row.add_lanes(i, d);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let thu_p = half * (thc0.at(i) + thc0.at(i + 1));
                         let thu_m = half * (thc0.at(i - 1) + thc0.at(i));
                         let thv_p = half * (thc0.at(i) + thcjp1.at(i));
@@ -210,7 +272,9 @@ pub fn add_div_lin_theta<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Terrain metric continuity forcing: `F_ρ += div_lin − div_full`
 /// (identically zero on flat terrain, where the kernel is skipped).
 #[allow(clippy::too_many_arguments)]
@@ -236,9 +300,10 @@ pub fn continuity_residual<R: Real>(
     let inv_dz = R::from_f64(1.0 / geom.dz);
     let g2 = geom.g;
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("continuity_residual", g, b, cost),
+        Launch::new("continuity_residual", g, b, cost).with_lanes(lane_width(lanes_on)),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -269,7 +334,24 @@ pub fn continuity_residual<R: Real>(
                     let mw_k = mwv.row(j, k);
                     let mw_kp = mwv.row(j, k + 1);
                     let mut f_row = fv.row_mut(j, k);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vdx = R::Lane::splat(inv_dx);
+                        let vdy = R::Lane::splat(inv_dy);
+                        let vdz = R::Lane::splat(inv_dz);
+                        while i + nl <= i1 {
+                            let dh = (u0.lanes(i) - u0.lanes(i - 1)) * vdx
+                                + (v0.lanes(i) - vjm1.lanes(i)) * vdy;
+                            let full = dh + (mw_kp.lanes(i) - mw_k.lanes(i)) * vdz;
+                            let inv_g = R::Lane::load(&inv_g_row[i as usize..]);
+                            let lin = dh + (w_kp.lanes(i) - w_k.lanes(i)) * inv_g * vdz;
+                            f_row.add_lanes(i, -full);
+                            f_row.add_lanes(i, lin);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let dh =
                             (u0.at(i) - u0.at(i - 1)) * inv_dx + (v0.at(i) - vjm1.at(i)) * inv_dy;
                         let full = dh + (mw_kp.at(i) - mw_k.at(i)) * inv_dz;
@@ -282,6 +364,7 @@ pub fn continuity_residual<R: Real>(
         },
     );
 }
+}
 
 /// Which ρ* weight a diffusion kernel applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -292,6 +375,7 @@ pub enum DiffWeight {
     W,
 }
 
+numerics::simd_kernel! {
 /// `out += K ρ*_stag ∇²(spec − ref?)` over the vertical range
 /// `[klo, khi)` (mirrors `dycore::ops::diffuse` with the deviation
 /// subtraction done per stencil tap).
@@ -328,9 +412,10 @@ pub fn diffuse<R: Real>(
     let kd = R::from_f64(kdiff);
     let (nx, ny, nz) = (geom.nx as isize, geom.ny as isize, geom.nz as isize);
     let half = R::HALF;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(name, g, b, cost),
+        Launch::new(name, g, b, cost).with_lanes(lane_width(lanes_on)),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -356,6 +441,12 @@ pub fn diffuse<R: Real>(
                     None => rows.0.at(i),
                 }
             };
+            let tap_lanes = |rows: &(Row<'_, R>, Option<Row<'_, R>>), i: isize| -> R::Lane {
+                match &rows.1 {
+                    Some(rf) => rows.0.lanes(i) - rf.lanes(i),
+                    None => rows.0.lanes(i),
+                }
+            };
             for j in sj0..sj1 {
                 for k in klo..khi {
                     let c_rows = tap_rows(j, k);
@@ -369,7 +460,36 @@ pub fn diffuse<R: Real>(
                         DiffWeight::W => (rv.row(j, (k - 1).max(0)), rv.row(j, k.min(nz - 1))),
                     };
                     let mut o_row = ov.row_mut(j, k);
-                    for i in 0..nx {
+                    let (mut i, i1) = (0, nx);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vdx2 = R::Lane::splat(inv_dx2);
+                        let vdy2 = R::Lane::splat(inv_dy2);
+                        let vdz2 = R::Lane::splat(inv_dz2);
+                        let vtwo = R::Lane::splat(R::TWO);
+                        let vkd = R::Lane::splat(kd);
+                        let vhalf = R::Lane::splat(half);
+                        while i + nl <= i1 {
+                            let c = tap_lanes(&c_rows, i);
+                            let lap = (tap_lanes(&c_rows, i - 1) - vtwo * c
+                                + tap_lanes(&c_rows, i + 1))
+                                * vdx2
+                                + (tap_lanes(&ym_rows, i) - vtwo * c + tap_lanes(&yp_rows, i))
+                                    * vdy2
+                                + (tap_lanes(&zm_rows, i) - vtwo * c + tap_lanes(&zp_rows, i))
+                                    * vdz2;
+                            let w = match weight {
+                                DiffWeight::Center => wa.lanes(i),
+                                DiffWeight::U => vhalf * (wa.lanes(i) + wa.lanes(i + 1)),
+                                DiffWeight::V | DiffWeight::W => {
+                                    vhalf * (wa.lanes(i) + wb.lanes(i))
+                                }
+                            };
+                            o_row.add_lanes(i, vkd * w * lap);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let c = tap(&c_rows, i);
                         let lap = (tap(&c_rows, i - 1) - R::TWO * c + tap(&c_rows, i + 1))
                             * inv_dx2
@@ -387,7 +507,9 @@ pub fn diffuse<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Long-step tracer update: `q = max(q_t + dts F_q, 0)` over `region`
 /// (the per-variable kernels pipelined by overlap method 1).
 #[allow(clippy::too_many_arguments)]
@@ -413,9 +535,10 @@ pub fn tracer_update<R: Real>(
     let dc = geom.dc;
     let dt = R::from_f64(dts);
     let nzi = nz as isize;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost),
+        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -431,7 +554,18 @@ pub fn tracer_update<R: Real>(
                         let t_row = tv.row(j, k);
                         let f_row = fv.row(j, k);
                         let mut q_row = qv.row_mut(j, k);
-                        for i in r.i0..r.i1 {
+                        let (mut i, i1) = (r.i0, r.i1);
+                        if lanes_on {
+                            let nl = LANES as isize;
+                            let vdt = R::Lane::splat(dt);
+                            let vzero = R::Lane::splat(R::ZERO);
+                            while i + nl <= i1 {
+                                let v = t_row.lanes(i) + vdt * f_row.lanes(i);
+                                q_row.set_lanes(i, v.max(vzero));
+                                i += nl;
+                            }
+                        }
+                        for i in i..i1 {
                             let v = t_row.at(i) + dt * f_row.at(i);
                             q_row.set(i, v.max(R::ZERO));
                         }
@@ -440,4 +574,5 @@ pub fn tracer_update<R: Real>(
             }
         },
     );
+}
 }

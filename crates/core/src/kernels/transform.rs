@@ -8,11 +8,14 @@
 //! the contravariant vertical mass flux.
 
 use crate::geom::DeviceGeom;
+use crate::kernels::advection::lane_width;
 use crate::kernels::region::launch_cfg;
 use crate::view::{V3SlabMut, V3};
+use numerics::simd::{Lane, LANES};
 use numerics::Real;
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
 
+numerics::simd_kernel! {
 /// spec = Q / ρ* over the full padded box (halos must be current).
 pub fn specific_center<R: Real>(
     dev: &mut Device<R>,
@@ -28,9 +31,10 @@ pub fn specific_center<R: Real>(
     let points = dc.len() as u64;
     let (g, b) = launch_cfg((dc.px()) as u64, dc.pl() as u64);
     let cost = KernelCost::streaming(points, 1.0, 2.0, 1.0);
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(name, g, b, cost),
+        Launch::new(name, g, b, cost).with_lanes(lane_width(lanes_on)),
         dc.py(),
         move |mem, row0, row1| {
             // Padded-box kernel: the span covers all py rows, row r = row j + h.
@@ -46,7 +50,15 @@ pub fn specific_center<R: Real>(
                     let q_row = qv.row(j, k);
                     let r_row = rv.row(j, k);
                     let mut s_row = sv.row_mut(j, k);
-                    for i in -h..dc.nx as isize + h {
+                    let (mut i, i1) = (-h, dc.nx as isize + h);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        while i + nl <= i1 {
+                            s_row.set_lanes(i, q_row.lanes(i) / r_row.lanes(i));
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         s_row.set(i, q_row.at(i) / r_row.at(i));
                     }
                 }
@@ -54,7 +66,9 @@ pub fn specific_center<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// spec_u = U / avg_x(ρ*) over the padded box shrunk by one in x.
 pub fn specific_u<R: Real>(
     dev: &mut Device<R>,
@@ -69,9 +83,10 @@ pub fn specific_u<R: Real>(
     let points = dc.len() as u64;
     let (g, b) = launch_cfg(dc.px() as u64, dc.pl() as u64);
     let cost = KernelCost::streaming(points, 3.0, 2.0, 1.0);
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("spec_u", g, b, cost),
+        Launch::new("spec_u", g, b, cost).with_lanes(lane_width(lanes_on)),
         dc.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
@@ -87,7 +102,17 @@ pub fn specific_u<R: Real>(
                     let u_row = uv.row(j, k);
                     let r_row = rv.row(j, k);
                     let mut s_row = sv.row_mut(j, k);
-                    for i in -h..dc.nx as isize + h - 1 {
+                    let (mut i, i1) = (-h, dc.nx as isize + h - 1);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vh = R::Lane::splat(half);
+                        while i + nl <= i1 {
+                            let r = vh * (r_row.lanes(i) + r_row.lanes(i + 1));
+                            s_row.set_lanes(i, u_row.lanes(i) / r);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let r = half * (r_row.at(i) + r_row.at(i + 1));
                         s_row.set(i, u_row.at(i) / r);
                     }
@@ -98,7 +123,9 @@ pub fn specific_u<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// spec_v = V / avg_y(ρ*).
 pub fn specific_v<R: Real>(
     dev: &mut Device<R>,
@@ -113,9 +140,10 @@ pub fn specific_v<R: Real>(
     let points = dc.len() as u64;
     let (g, b) = launch_cfg(dc.px() as u64, dc.pl() as u64);
     let cost = KernelCost::streaming(points, 3.0, 2.0, 1.0);
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("spec_v", g, b, cost),
+        Launch::new("spec_v", g, b, cost).with_lanes(lane_width(lanes_on)),
         dc.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
@@ -137,7 +165,17 @@ pub fn specific_v<R: Real>(
                     let r_row = rv.row(js, k);
                     let rjp_row = rv.row(js + 1, k);
                     let mut s_row = sv.row_mut(j, k);
-                    for i in -h..dc.nx as isize + h {
+                    let (mut i, i1) = (-h, dc.nx as isize + h);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vh = R::Lane::splat(half);
+                        while i + nl <= i1 {
+                            let r = vh * (r_row.lanes(i) + rjp_row.lanes(i));
+                            s_row.set_lanes(i, v_row.lanes(i) / r);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let r = half * (r_row.at(i) + rjp_row.at(i));
                         s_row.set(i, v_row.at(i) / r);
                     }
@@ -146,7 +184,9 @@ pub fn specific_v<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// spec_w = W / avg_z(ρ*) at w levels.
 pub fn specific_w<R: Real>(
     dev: &mut Device<R>,
@@ -162,9 +202,10 @@ pub fn specific_w<R: Real>(
     let (g, b) = launch_cfg(dw.px() as u64, dw.pl() as u64);
     let cost = KernelCost::streaming(points, 3.0, 2.0, 1.0);
     let nz = geom.nz as isize;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("spec_w", g, b, cost),
+        Launch::new("spec_w", g, b, cost).with_lanes(lane_width(lanes_on)),
         dw.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
@@ -183,7 +224,17 @@ pub fn specific_w<R: Real>(
                     let r_lo = rv.row(j, kc_lo);
                     let r_hi = rv.row(j, kc_hi);
                     let mut s_row = sv.row_mut(j, k);
-                    for i in -h..dw.nx as isize + h {
+                    let (mut i, i1) = (-h, dw.nx as isize + h);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vh = R::Lane::splat(half);
+                        while i + nl <= i1 {
+                            let r = vh * (r_lo.lanes(i) + r_hi.lanes(i));
+                            s_row.set_lanes(i, w_row.lanes(i) / r);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let r = half * (r_lo.at(i) + r_hi.at(i));
                         s_row.set(i, w_row.at(i) / r);
                     }
@@ -192,7 +243,9 @@ pub fn specific_w<R: Real>(
         },
     );
 }
+}
 
+numerics::simd_kernel! {
 /// Contravariant vertical mass flux ρ*W, zero at surface and lid, with
 /// one lateral halo ring (mirrors `dycore::ops::mass_flux_w`).
 #[allow(clippy::too_many_arguments)]
@@ -219,9 +272,10 @@ pub fn mass_flux_w<R: Real>(
     let zf = geom.zeta_fac;
     let nzl = nz;
     let span = geom.ny + 2;
+    let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("mass_flux_w", gd, bd, cost),
+        Launch::new("mass_flux_w", gd, bd, cost).with_lanes(lane_width(lanes_on)),
         span,
         move |mem, row0, row1| {
             // Writes one lateral halo ring: row r covers j = r - 1.
@@ -276,7 +330,38 @@ pub fn mass_flux_w<R: Real>(
                     let fac_lo = zf_r[(k - 1) as usize];
                     let fac_hi = zf_r[k as usize];
                     let mut mw_row = mwv.row_mut(j, k);
-                    for i in -1..dc.nx as isize + 1 {
+                    let (mut i, i1) = (-1, dc.nx as isize + 1);
+                    if lanes_on {
+                        let nl = LANES as isize;
+                        let vh = R::Lane::splat(half);
+                        let vzero = R::Lane::splat(R::ZERO);
+                        let vfac_lo = R::Lane::splat(fac_lo);
+                        let vfac_hi = R::Lane::splat(fac_hi);
+                        while i + nl <= i1 {
+                            let wk = w_row.lanes(i);
+                            let cross = if flat {
+                                vzero
+                            } else {
+                                let ux = |u_row: &crate::view::Row<'_, R>, fac: R::Lane| {
+                                    vh * (u_row.lanes(i - 1) * sx_row.lanes(i - 1) * fac
+                                        + u_row.lanes(i) * sx_row.lanes(i) * fac)
+                                };
+                                let vy = |vm_row: &crate::view::Row<'_, R>,
+                                          v0_row: &crate::view::Row<'_, R>,
+                                          fac: R::Lane| {
+                                    vh * (vm_row.lanes(i) * sy_jm1.lanes(i) * fac
+                                        + v0_row.lanes(i) * sy_0.lanes(i) * fac)
+                                };
+                                vh * (ux(&u_km1, vfac_lo) + ux(&u_k, vfac_hi))
+                                    + vh * (vy(&v_jm1_km1, &v_0_km1, vfac_lo)
+                                        + vy(&v_jm1_k, &v_0_k, vfac_hi))
+                            };
+                            let inv_g = R::Lane::load(&inv_g_row[(i + 1) as usize..]);
+                            mw_row.set_lanes(i, (wk - cross) * inv_g);
+                            i += nl;
+                        }
+                    }
+                    for i in i..i1 {
                         let wk = w_row.at(i);
                         let cross = if flat {
                             R::ZERO
@@ -302,6 +387,7 @@ pub fn mass_flux_w<R: Real>(
             }
         },
     );
+}
 }
 
 /// Device-to-device copy of a whole buffer ("array copy" of §IV-A).

@@ -918,7 +918,17 @@ pub fn run_multi<R: Real>(mc: &MultiGpuConfig, init: &InitFn) -> MultiGpuReport 
         } else {
             mc.local_cfg.threads
         };
-        let mut dev = Device::<R>::new(mc.spec.clone().with_host_threads(threads), mc.mode);
+        let simd = mc
+            .local_cfg
+            .simd
+            .unwrap_or_else(numerics::simd::default_enabled);
+        let mut dev = Device::<R>::new(
+            mc.spec
+                .clone()
+                .with_host_threads(threads)
+                .with_host_simd(simd),
+            mc.mode,
+        );
         // Detailed records only where the breakdown harness reads
         // them (rank 0); totals accumulate everywhere.
         dev.profiler.set_detailed(mc.detailed_profile && rank == 0);

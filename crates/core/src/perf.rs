@@ -106,6 +106,7 @@ mod tests {
             end: 1.0,
             flops: 2.0e9,
             bytes: 1.0,
+            lanes: 1,
         });
         let s = PerfSummary::from_profiler(&p, 2.0);
         assert_eq!(s.flops, 2.0e9);
@@ -125,6 +126,7 @@ mod tests {
                 end: 0.5,
                 flops,
                 bytes: 4.0,
+                lanes: 1,
             });
         }
         let rows = roofline_rows(&p, &["advection"]);

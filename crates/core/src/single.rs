@@ -82,7 +82,10 @@ impl<R: Real> SingleGpu<R> {
         } else {
             cfg.threads
         };
-        let mut dev = Device::new(spec.with_host_threads(threads), mode);
+        // SIMD x-walks (cfg.simd == None → ASUCA_SIMD / CPU detection);
+        // either way the results are bitwise identical to the scalar path.
+        let simd = cfg.simd.unwrap_or_else(numerics::simd::default_enabled);
+        let mut dev = Device::new(spec.with_host_threads(threads).with_host_simd(simd), mode);
         let geom = DeviceGeom::build(&mut dev, &grid, &base);
         let ds = DeviceState::alloc(&mut dev, &geom, cfg.n_tracers)
             .expect("grid does not fit in device memory");

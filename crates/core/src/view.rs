@@ -6,6 +6,7 @@
 //! These views give kernels `at(i, j, k)` indexing over a flat device
 //! slice with that layout and a uniform halo.
 
+use numerics::simd::Lane;
 use numerics::Real;
 
 /// Shape of a device field: interior size plus halo width.
@@ -112,10 +113,35 @@ pub struct Row<'a, R> {
     h: isize,
 }
 
+/// Padded-row index of logical `i` with a named bounds check: a stencil
+/// tap whose x-offset leaves the padded row must die with the offending
+/// `i`, not a wrapped-usize slice panic (mirror of the `V3SlabMut::idx`
+/// low-side check).
+#[inline(always)]
+fn row_idx(i: isize, h: isize, px: usize) -> usize {
+    let idx = i + h;
+    debug_assert!(
+        idx >= 0 && (idx as usize) < px,
+        "x-offset i={i} outside the padded row (halo {h}, padded width {px})"
+    );
+    idx as usize
+}
+
 impl<'a, R: Real> Row<'a, R> {
     #[inline(always)]
     pub fn at(&self, i: isize) -> R {
-        self.d[(i + self.h) as usize]
+        self.d[row_idx(i, self.h, self.d.len())]
+    }
+
+    /// Lane load of `R::Lane::N` consecutive values starting at logical
+    /// `i` — one unaligned vector load off the contiguous padded row, so
+    /// a fixed-offset stencil tap (`lanes(i - 1)`) is the same single
+    /// load shifted by one element, exactly like the shifted coalesced
+    /// warp reads of the paper's §IV-A x-walk.
+    #[inline(always)]
+    pub fn lanes(&self, i: isize) -> R::Lane {
+        let idx = row_idx(i, self.h, self.d.len() + 1 - R::Lane::N);
+        R::Lane::load(&self.d[idx..])
     }
 }
 
@@ -129,17 +155,43 @@ pub struct RowMut<'a, R> {
 impl<'a, R: Real> RowMut<'a, R> {
     #[inline(always)]
     pub fn at(&self, i: isize) -> R {
-        self.d[(i + self.h) as usize]
+        self.d[row_idx(i, self.h, self.d.len())]
     }
 
     #[inline(always)]
     pub fn set(&mut self, i: isize, v: R) {
-        self.d[(i + self.h) as usize] = v;
+        let idx = row_idx(i, self.h, self.d.len());
+        self.d[idx] = v;
     }
 
     #[inline(always)]
     pub fn add(&mut self, i: isize, v: R) {
-        self.d[(i + self.h) as usize] += v;
+        let idx = row_idx(i, self.h, self.d.len());
+        self.d[idx] += v;
+    }
+
+    /// Lane load of `R::Lane::N` consecutive values starting at logical
+    /// `i` (see [`Row::lanes`]).
+    #[inline(always)]
+    pub fn lanes(&self, i: isize) -> R::Lane {
+        let idx = row_idx(i, self.h, self.d.len() + 1 - R::Lane::N);
+        R::Lane::load(&self.d[idx..])
+    }
+
+    /// Lane store of `R::Lane::N` consecutive values starting at `i`.
+    #[inline(always)]
+    pub fn set_lanes(&mut self, i: isize, v: R::Lane) {
+        let idx = row_idx(i, self.h, self.d.len() + 1 - R::Lane::N);
+        v.store(&mut self.d[idx..]);
+    }
+
+    /// Lane read-modify-write `+=`: each lane performs the identical
+    /// scalar `+=` the element-wise [`add`](Self::add) would.
+    #[inline(always)]
+    pub fn add_lanes(&mut self, i: isize, v: R::Lane) {
+        let idx = row_idx(i, self.h, self.d.len() + 1 - R::Lane::N);
+        let cur = R::Lane::load(&self.d[idx..]);
+        (cur + v).store(&mut self.d[idx..]);
     }
 }
 
@@ -438,6 +490,92 @@ mod tests {
         let r = m.slab(1, 3);
         let s = V3SlabMut::new(&mut data[r], m, 1);
         let _ = s.row(0, 0);
+    }
+
+    #[test]
+    fn row_lane_taps_match_scalar_taps() {
+        use numerics::simd::{Lane, LANES};
+        let m = Dims::center(9, 3, 4, 2);
+        let mut data = vec![0.0f64; m.len()];
+        {
+            let mut v = V3Mut::new(&mut data, m);
+            for j in -2..5isize {
+                for k in -2..6isize {
+                    for i in -2..11isize {
+                        v.set(i, j, k, (i * 1000 + j * 50 + k) as f64);
+                    }
+                }
+            }
+        }
+        let v = V3::new(&data, m);
+        let row = v.row(1, 2);
+        // A lane load at i with a fixed stencil offset must equal the
+        // four scalar taps at i-1..i+3 etc.
+        for off in [-2isize, -1, 0, 1, 2] {
+            let lv = row.lanes(off);
+            for l in 0..LANES {
+                assert_eq!(lv.extract(l), row.at(off + l as isize));
+            }
+        }
+    }
+
+    #[test]
+    fn row_mut_lane_store_and_add_match_scalar() {
+        use numerics::simd::Lane;
+        let m = Dims::center(6, 2, 2, 1);
+        let mut a = vec![0.0f64; m.len()];
+        let mut b = vec![0.0f64; m.len()];
+        let lane = <f64 as Real>::Lane::from_fn(|l| 1.5 + l as f64);
+        {
+            let r = m.slab(0, 2);
+            let mut s = V3SlabMut::new(&mut a[r], m, 0);
+            let mut row = s.row_mut(1, 0);
+            row.set_lanes(1, lane);
+            row.add_lanes(0, lane);
+            assert_eq!(row.lanes(1).extract(0), row.at(1));
+        }
+        {
+            let r = m.slab(0, 2);
+            let mut s = V3SlabMut::new(&mut b[r], m, 0);
+            let mut row = s.row_mut(1, 0);
+            for l in 0..4isize {
+                row.set(1 + l, lane.extract(l as usize));
+            }
+            for l in 0..4isize {
+                row.add(l, lane.extract(l as usize));
+            }
+        }
+        assert_eq!(a, b, "lane stores must equal element-wise stores");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the padded row")]
+    fn row_tap_rejects_x_offset_past_halo() {
+        let m = Dims::center(4, 2, 2, 1);
+        let data = vec![0.0f64; m.len()];
+        let v = V3::new(&data, m);
+        // nx=4, halo=1: valid logical i is -1..=4; i=5 leaves the row.
+        let _ = v.row(0, 0).at(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the padded row")]
+    fn row_tap_rejects_x_offset_below_halo() {
+        let m = Dims::center(4, 2, 2, 1);
+        let data = vec![0.0f64; m.len()];
+        let v = V3::new(&data, m);
+        let _ = v.row(0, 0).at(-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the padded row")]
+    fn lane_tap_rejects_partial_overhang() {
+        let m = Dims::center(4, 2, 2, 1);
+        let data = vec![0.0f64; m.len()];
+        let v = V3::new(&data, m);
+        // A 4-wide load starting at i=3 would touch i=6 — one past the
+        // halo column i=4(+halo)=5.
+        let _ = v.row(0, 0).lanes(3);
     }
 
     #[test]

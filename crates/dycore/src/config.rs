@@ -78,6 +78,12 @@ pub struct ModelConfig {
     /// environment variable if set, else all available cores. Results
     /// are bitwise identical for any thread count.
     pub threads: usize,
+    /// SIMD x-walk inner loops for Functional-mode device kernels.
+    /// `None` = auto: the `ASUCA_SIMD` environment variable if set
+    /// ("0"/"off" disables, anything else enables), else on when the
+    /// host CPU supports AVX2+FMA. Results are bitwise identical with
+    /// SIMD on or off, and for any thread count.
+    pub simd: Option<bool>,
 }
 
 impl ModelConfig {
@@ -113,6 +119,7 @@ impl ModelConfig {
             n_tracers: 3,
             microphysics: true,
             threads: 0,
+            simd: None,
         }
     }
 

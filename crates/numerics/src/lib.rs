@@ -15,6 +15,9 @@
 //!   vertical implicit problem of the HE-VI scheme (§IV-A.3).
 //! * [`par`] — lightweight slab-parallel iteration built on scoped threads
 //!   scoped threads.
+//! * [`simd`] — dependency-free 4-wide lanes ([`simd::F64x4`]) for the
+//!   kernel x-walks, bitwise identical to the scalar path by
+//!   construction (`ASUCA_SIMD` knob, runtime AVX2 detection).
 
 pub mod field;
 pub mod layout;
@@ -22,6 +25,7 @@ pub mod limiter;
 pub mod par;
 pub mod real;
 pub mod reduce;
+pub mod simd;
 pub mod stencil;
 pub mod tridiag;
 

@@ -7,6 +7,7 @@
 //! the `ablation_limiters` bench and by property tests.
 
 use crate::real::Real;
+use crate::simd::Lane;
 
 /// Limiter functions φ(r) applied to the consecutive-gradient ratio r.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,6 +47,30 @@ impl Limiter {
             }
             Limiter::Superbee => zero.max((two * r).min(one)).max(r.min(two)),
             Limiter::UnlimitedKappaThird => (one + two * r) / R::from_f64(3.0),
+        }
+    }
+
+    /// Lane-wise φ(r): each lane runs the exact scalar [`phi`](Self::phi)
+    /// operation sequence (max/min are element-wise `Real::max`/`min`),
+    /// so the result is bitwise identical to evaluating φ per lane.
+    #[inline(always)]
+    pub fn phi_lanes<R: Real>(self, r: R::Lane) -> R::Lane {
+        let zero = R::Lane::splat(R::ZERO);
+        let one = R::Lane::splat(R::ONE);
+        let two = R::Lane::splat(R::TWO);
+        match self {
+            Limiter::Koren => {
+                let third = (one + two * r) / R::Lane::splat(R::from_f64(3.0));
+                zero.max((two * r).min(third).min(two))
+            }
+            Limiter::Upwind1 => zero,
+            Limiter::Minmod => zero.max(one.min(r)),
+            Limiter::VanLeer => {
+                let ar = r.abs();
+                (r + ar) / (one + ar)
+            }
+            Limiter::Superbee => zero.max((two * r).min(one)).max(r.min(two)),
+            Limiter::UnlimitedKappaThird => (one + two * r) / R::Lane::splat(R::from_f64(3.0)),
         }
     }
 
@@ -109,6 +134,44 @@ pub fn limited_flux<R: Real>(lim: Limiter, vel: R, qm1: R, q0: R, qp1: R, qp2: R
     } else {
         vel * limited_face_value(lim, qp2, qp1, q0)
     }
+}
+
+/// Lane-wise [`limited_face_value`]: the scalar's eps guard on the
+/// downwind gradient becomes two selects that pick exactly the value the
+/// scalar branches would have produced, so each lane is bitwise equal to
+/// the scalar reconstruction at that point.
+#[inline(always)]
+pub fn limited_face_value_lanes<R: Real>(
+    lim: Limiter,
+    qm1: R::Lane,
+    q0: R::Lane,
+    qp1: R::Lane,
+) -> R::Lane {
+    let dq_dn = qp1 - q0; // downwind gradient
+    let dq_up = q0 - qm1; // upwind gradient
+    let zero = R::Lane::splat(R::ZERO);
+    let eps = R::Lane::splat(R::from_f64(1e-30));
+    let signed_eps = R::Lane::select_ge(dq_dn, zero, eps, -eps);
+    let denom = R::Lane::select_lt(dq_dn.abs(), eps, signed_eps, dq_dn);
+    let r = dq_up / denom;
+    q0 + R::Lane::splat(R::HALF) * lim.phi_lanes::<R>(r) * dq_dn
+}
+
+/// Lane-wise [`limited_flux`]: both upwind reconstructions are computed
+/// and the `vel >= 0` select keeps the one the scalar branch would have
+/// taken (the discarded side is a pure value — no trap, no side effect).
+#[inline(always)]
+pub fn limited_flux_lanes<R: Real>(
+    lim: Limiter,
+    vel: R::Lane,
+    qm1: R::Lane,
+    q0: R::Lane,
+    qp1: R::Lane,
+    qp2: R::Lane,
+) -> R::Lane {
+    let pos = vel * limited_face_value_lanes::<R>(lim, qm1, q0, qp1);
+    let neg = vel * limited_face_value_lanes::<R>(lim, qp2, qp1, q0);
+    R::Lane::select_ge(vel, R::Lane::splat(R::ZERO), pos, neg)
 }
 
 #[cfg(test)]
@@ -200,6 +263,62 @@ mod tests {
         assert_eq!(f_pos, 2.0); // vel * q0
         let f_neg = limited_flux(Limiter::Upwind1, -2.0f64, 0.0, 1.0, 9.0, 9.0);
         assert_eq!(f_neg, -18.0); // vel * qp1
+    }
+
+    #[test]
+    fn lane_flux_bitwise_matches_scalar_flux() {
+        use crate::simd::{Lane, LANES};
+        // Sweep sign changes, zero gradients, extrema and both upwind
+        // directions; every lane must reproduce the scalar flux bits.
+        let q: Vec<f64> = (0..64)
+            .map(|n| match n % 7 {
+                0 => 0.0,
+                1 => 1.0,
+                2 => 1.0, // flat pair → zero downwind gradient
+                3 => -2.5,
+                4 => 4.0e-31, // inside the eps guard
+                5 => -1.0,
+                _ => 3.25,
+            })
+            .collect();
+        let vels = [2.0f64, -2.0, 0.0, -0.0, 1.0e-12];
+        for lim in [
+            Limiter::Koren,
+            Limiter::Upwind1,
+            Limiter::Minmod,
+            Limiter::VanLeer,
+            Limiter::Superbee,
+            Limiter::UnlimitedKappaThird,
+        ] {
+            for &vel in &vels {
+                let mut f = 0;
+                while f + LANES + 3 <= q.len() {
+                    let lv = <f64 as Real>::Lane::splat(vel);
+                    let qm1 = <f64 as Real>::Lane::load(&q[f..]);
+                    let q0 = <f64 as Real>::Lane::load(&q[f + 1..]);
+                    let qp1 = <f64 as Real>::Lane::load(&q[f + 2..]);
+                    let qp2 = <f64 as Real>::Lane::load(&q[f + 3..]);
+                    let lanes = limited_flux_lanes::<f64>(lim, lv, qm1, q0, qp1, qp2);
+                    for l in 0..LANES {
+                        let s = limited_flux(
+                            lim,
+                            vel,
+                            q[f + l],
+                            q[f + l + 1],
+                            q[f + l + 2],
+                            q[f + l + 3],
+                        );
+                        assert_eq!(
+                            lanes.extract(l).to_bits(),
+                            s.to_bits(),
+                            "{} lane {l} at face {f} vel {vel}",
+                            lim.name()
+                        );
+                    }
+                    f += LANES;
+                }
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub trait Real:
     /// Human-readable precision name ("single" / "double").
     const PRECISION: &'static str;
 
+    /// The 4-wide SIMD lane type for this scalar (`F64x4` / `F32x4`);
+    /// every lane op is element-wise identical to the scalar op, so
+    /// vectorized kernels stay bitwise equal to their scalar form (see
+    /// [`crate::simd`]).
+    type Lane: crate::simd::Lane<Self>;
+
     /// Lossy conversion from `f64` (exact for `f64`, rounded for `f32`).
     fn from_f64(x: f64) -> Self;
     /// Widening conversion to `f64`.
@@ -70,7 +76,7 @@ pub trait Real:
 }
 
 macro_rules! impl_real {
-    ($t:ty, $bytes:expr, $name:expr) => {
+    ($t:ty, $bytes:expr, $name:expr, $lane:ty) => {
         impl Real for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -78,6 +84,8 @@ macro_rules! impl_real {
             const TWO: Self = 2.0;
             const BYTES: usize = $bytes;
             const PRECISION: &'static str = $name;
+
+            type Lane = $lane;
 
             #[inline(always)]
             fn from_f64(x: f64) -> Self {
@@ -139,8 +147,8 @@ macro_rules! impl_real {
     };
 }
 
-impl_real!(f32, 4, "single");
-impl_real!(f64, 8, "double");
+impl_real!(f32, 4, "single", crate::simd::F32x4);
+impl_real!(f64, 8, "double", crate::simd::F64x4);
 
 #[cfg(test)]
 mod tests {

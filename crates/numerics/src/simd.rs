@@ -1,0 +1,523 @@
+//! Dependency-free portable SIMD lanes for the kernel x-walks.
+//!
+//! The paper's single-GPU win comes from making unit-stride x the fast
+//! axis so a warp's 32 threads issue one coalesced transaction per
+//! stencil tap (§IV-A). The host analog is a 4-wide lane walking the
+//! same contiguous padded x-row: one `F64x4` load per tap, four points
+//! retired per loop iteration. No external crates are used (the build is
+//! fully offline); everything here is `core::arch` + plain arrays.
+//!
+//! ## The bit-identity rule
+//!
+//! Every lane operation is defined **element-wise in terms of the exact
+//! scalar operation the kernels already use** (`+`, `*`, `Real::max`,
+//! `Real::mul_add`, …), and branches become lane selects that compute
+//! both sides and pick the value the scalar branch would have produced.
+//! Per-point operation order is therefore preserved lane-wise and the
+//! vectorized path is bitwise identical to the scalar path — asserted
+//! end-to-end by `tests/determinism.rs` (threads × `ASUCA_SIMD` matrix)
+//! and per-kernel by `benches/kernel_inner_loop.rs`.
+//!
+//! ## How the lanes get wide
+//!
+//! Three mechanisms, all honoring the rule above:
+//!
+//! 1. **Twin stamping** ([`simd_kernel!`]): each kernel entry point is
+//!    expanded twice — a portable build and an AVX2+FMA
+//!    `#[target_feature]` twin — with a tiny runtime dispatcher. The
+//!    decisive property (stabilized with `target_feature_11`) is that
+//!    *closures defined inside a `#[target_feature]` function inherit
+//!    its features*, so the `launch`/`launch_par` kernel bodies stamped
+//!    into the twin compile with 256-bit registers available and the
+//!    `[f64; 4]` lane ops become `vaddpd`/`vmulpd`/…. This is why a
+//!    macro is needed at all: feature inheritance is syntactic, and a
+//!    multi-hundred-instruction kernel closure will not be inlined into
+//!    a feature frame by cost-model alone (see mechanism 2).
+//! 2. **Dispatch frame** ([`dispatch`]): small closures invoked inside
+//!    a `#[target_feature(enable = "avx2,fma")]` frame inline into it
+//!    and pick up the wide codegen — the pulp-style trick that avoids a
+//!    per-operation dynamic dispatch (feature-gated functions cannot
+//!    inline into lesser callers, so dispatching per op would cost a
+//!    call per add). Kept as belt-and-braces around the slab runner;
+//!    the hot kernels do not rely on it, because LLVM declines to
+//!    inline their large bodies into the frame.
+//! 3. **Explicit intrinsics**: builds that statically enable AVX
+//!    (`-C target-feature=+avx2` or `-C target-cpu=native`) use
+//!    `core::arch::x86_64::_mm256_*` directly for the `F64x4`
+//!    arithmetic; these are the same IEEE-754 element-wise operations,
+//!    so the bit-identity rule holds unchanged.
+//!
+//! On every other target the lane types compile to plain 4-element
+//! array loops — the scalar fallback that works everywhere.
+//!
+//! `ASUCA_SIMD=0` forces the scalar kernel path process-wide (A/B
+//! verification knob); `ASUCA_SIMD=1` forces lanes on even where no
+//! vector ISA was detected (portable arrays, still bit-identical).
+
+use crate::real::Real;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::sync::OnceLock;
+
+/// Lane width of every [`Lane`] type in this module (f64 and f32 alike,
+/// so kernel remainder handling is width-agnostic).
+pub const LANES: usize = 4;
+
+/// A fixed-width vector of `R` with element-wise semantics identical to
+/// the scalar [`Real`] operations (see the module-level bit-identity
+/// rule). Obtained generically as `R::Lane`.
+pub trait Lane<R: Real>:
+    Copy
+    + Clone
+    + Debug
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    /// Number of elements ([`LANES`]).
+    const N: usize;
+
+    /// Broadcast one scalar to all lanes.
+    fn splat(x: R) -> Self;
+    /// Build a lane from a per-index function (lane order 0..N).
+    fn from_fn(f: impl FnMut(usize) -> R) -> Self;
+    /// Unaligned load of the first `N` elements of `src`.
+    fn load(src: &[R]) -> Self;
+    /// Unaligned store into the first `N` elements of `dst`.
+    fn store(self, dst: &mut [R]);
+    /// Read one lane.
+    fn extract(self, lane: usize) -> R;
+    /// Apply a scalar function per lane (lane order 0..N) — used for
+    /// transcendental cores (`powf`/`exp`) that must stay on the exact
+    /// scalar libm path to preserve bit-identity.
+    fn map(self, f: impl FnMut(R) -> R) -> Self;
+
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    /// Element-wise `Real::max` (same NaN/±0 behaviour as the scalar op).
+    fn max(self, o: Self) -> Self;
+    /// Element-wise `Real::min`.
+    fn min(self, o: Self) -> Self;
+    /// Element-wise fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Per lane: `if a >= b { x } else { y }` — the branchless form of a
+    /// scalar `>=` branch whose both sides are pure values.
+    fn select_ge(a: Self, b: Self, x: Self, y: Self) -> Self;
+    /// Per lane: `if a < b { x } else { y }`.
+    fn select_lt(a: Self, b: Self, x: Self, y: Self) -> Self;
+}
+
+/// Four `f64` lanes (one 256-bit AVX register).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C, align(32))]
+pub struct F64x4(pub [f64; LANES]);
+
+/// Four `f32` lanes (kept at the same width as [`F64x4`] so kernel
+/// remainder handling is precision-agnostic).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C, align(16))]
+pub struct F32x4(pub [f32; LANES]);
+
+/// Binary ops for [`F64x4`]: explicit `_mm256_*` intrinsics when the
+/// build statically enables AVX, element-wise scalar ops otherwise
+/// (bitwise-identical either way — both are the IEEE-754 operation).
+macro_rules! f64x4_binop {
+    ($trait:ident, $fn:ident, $op:tt, $intrin:ident) => {
+        impl $trait for F64x4 {
+            type Output = Self;
+            #[inline(always)]
+            fn $fn(self, o: Self) -> Self {
+                #[cfg(all(target_arch = "x86_64", target_feature = "avx"))]
+                // SAFETY: AVX is statically enabled for this build and
+                // both operands are 4 contiguous f64s.
+                unsafe {
+                    use std::arch::x86_64::*;
+                    let a = _mm256_loadu_pd(self.0.as_ptr());
+                    let b = _mm256_loadu_pd(o.0.as_ptr());
+                    let mut out = [0.0f64; LANES];
+                    _mm256_storeu_pd(out.as_mut_ptr(), $intrin(a, b));
+                    F64x4(out)
+                }
+                #[cfg(not(all(target_arch = "x86_64", target_feature = "avx")))]
+                {
+                    F64x4([
+                        self.0[0] $op o.0[0],
+                        self.0[1] $op o.0[1],
+                        self.0[2] $op o.0[2],
+                        self.0[3] $op o.0[3],
+                    ])
+                }
+            }
+        }
+    };
+}
+
+f64x4_binop!(Add, add, +, _mm256_add_pd);
+f64x4_binop!(Sub, sub, -, _mm256_sub_pd);
+f64x4_binop!(Mul, mul, *, _mm256_mul_pd);
+f64x4_binop!(Div, div, /, _mm256_div_pd);
+
+macro_rules! f32x4_binop {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl $trait for F32x4 {
+            type Output = Self;
+            #[inline(always)]
+            fn $fn(self, o: Self) -> Self {
+                F32x4([
+                    self.0[0] $op o.0[0],
+                    self.0[1] $op o.0[1],
+                    self.0[2] $op o.0[2],
+                    self.0[3] $op o.0[3],
+                ])
+            }
+        }
+    };
+}
+
+f32x4_binop!(Add, add, +);
+f32x4_binop!(Sub, sub, -);
+f32x4_binop!(Mul, mul, *);
+f32x4_binop!(Div, div, /);
+
+/// Everything that is identical between the two lane types: `Neg`, the
+/// assign ops, and the [`Lane`] impl (all element-wise scalar ops, per
+/// the bit-identity rule).
+macro_rules! lane_common {
+    ($name:ident, $elem:ty) => {
+        impl Neg for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn neg(self) -> Self {
+                <Self as Lane<$elem>>::from_fn(|l| -self.0[l])
+            }
+        }
+        impl AddAssign for $name {
+            #[inline(always)]
+            fn add_assign(&mut self, o: Self) {
+                *self = *self + o;
+            }
+        }
+        impl SubAssign for $name {
+            #[inline(always)]
+            fn sub_assign(&mut self, o: Self) {
+                *self = *self - o;
+            }
+        }
+        impl MulAssign for $name {
+            #[inline(always)]
+            fn mul_assign(&mut self, o: Self) {
+                *self = *self * o;
+            }
+        }
+        impl DivAssign for $name {
+            #[inline(always)]
+            fn div_assign(&mut self, o: Self) {
+                *self = *self / o;
+            }
+        }
+
+        impl Lane<$elem> for $name {
+            const N: usize = LANES;
+
+            #[inline(always)]
+            fn splat(x: $elem) -> Self {
+                $name([x; LANES])
+            }
+            #[inline(always)]
+            fn from_fn(mut f: impl FnMut(usize) -> $elem) -> Self {
+                $name([f(0), f(1), f(2), f(3)])
+            }
+            #[inline(always)]
+            fn load(src: &[$elem]) -> Self {
+                let s: &[$elem; LANES] = src[..LANES].try_into().unwrap();
+                $name(*s)
+            }
+            #[inline(always)]
+            fn store(self, dst: &mut [$elem]) {
+                dst[..LANES].copy_from_slice(&self.0);
+            }
+            #[inline(always)]
+            fn extract(self, lane: usize) -> $elem {
+                self.0[lane]
+            }
+            #[inline(always)]
+            fn map(self, mut f: impl FnMut($elem) -> $elem) -> Self {
+                <Self as Lane<$elem>>::from_fn(|l| f(self.0[l]))
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <Self as Lane<$elem>>::from_fn(|l| Real::abs(self.0[l]))
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <Self as Lane<$elem>>::from_fn(|l| Real::sqrt(self.0[l]))
+            }
+            #[inline(always)]
+            fn max(self, o: Self) -> Self {
+                <Self as Lane<$elem>>::from_fn(|l| Real::max(self.0[l], o.0[l]))
+            }
+            #[inline(always)]
+            fn min(self, o: Self) -> Self {
+                <Self as Lane<$elem>>::from_fn(|l| Real::min(self.0[l], o.0[l]))
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <Self as Lane<$elem>>::from_fn(|l| Real::mul_add(self.0[l], a.0[l], b.0[l]))
+            }
+            #[inline(always)]
+            fn select_ge(a: Self, b: Self, x: Self, y: Self) -> Self {
+                <Self as Lane<$elem>>::from_fn(|l| if a.0[l] >= b.0[l] { x.0[l] } else { y.0[l] })
+            }
+            #[inline(always)]
+            fn select_lt(a: Self, b: Self, x: Self, y: Self) -> Self {
+                <Self as Lane<$elem>>::from_fn(|l| if a.0[l] < b.0[l] { x.0[l] } else { y.0[l] })
+            }
+        }
+    };
+}
+
+lane_common!(F64x4, f64);
+lane_common!(F32x4, f32);
+
+/// Whether the CPU offers the AVX2+FMA fast path (runtime detection,
+/// cached by `std`). Always `false` off x86-64.
+#[inline]
+pub fn lanes_native() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Process-wide default for the lane path, mirroring
+/// `par::default_threads`: the `ASUCA_SIMD` env var wins (`0`/`off`/
+/// `false`/`no` → scalar, anything else → lanes); unset means lanes
+/// exactly when [`lanes_native`] detects the vector ISA. Cached after
+/// the first call.
+pub fn default_enabled() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("ASUCA_SIMD") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !matches!(v.as_str(), "0" | "off" | "false" | "no")
+        }
+        Err(_) => lanes_native(),
+    })
+}
+
+/// Run `f` inside the widest instruction-set frame the CPU supports.
+///
+/// With `lanes` set and AVX2+FMA detected at runtime, `f` is called from
+/// a `#[target_feature(enable = "avx2,fma")]` function; because `f` is a
+/// generic closure it inlines into that frame, so all lane arithmetic in
+/// the kernel body compiles to 256-bit instructions. Otherwise `f` runs
+/// directly. Either way `f` executes exactly once on the calling thread
+/// and its result is returned — the frame changes instruction selection
+/// only, never values (no fast-math; IEEE semantics are preserved).
+#[inline(always)]
+pub fn dispatch<A>(lanes: bool, f: impl FnOnce() -> A) -> A {
+    #[cfg(target_arch = "x86_64")]
+    if lanes && lanes_native() {
+        // SAFETY: avx2+fma presence was verified by `lanes_native`.
+        return unsafe { dispatch_avx2(f) };
+    }
+    let _ = &lanes;
+    f()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dispatch_avx2<A>(f: impl FnOnce() -> A) -> A {
+    f()
+}
+
+/// Stamp a kernel entry point twice — a portable build and (on x86-64)
+/// an AVX2+FMA `#[target_feature]` twin — plus a dispatcher that picks
+/// the twin at runtime.
+///
+/// ```text
+/// numerics::simd_kernel! {
+/// pub fn my_kernel<R: Real>(dev: &mut Device<R>, x: Buf<R>) {
+///     ... body with dev.launch_par(..., |mem, j0, j1| { ... }) ...
+/// }
+/// }
+/// ```
+///
+/// Why this exists: `#[target_feature]` inheritance is *syntactic* —
+/// the launch closures holding the kernel loops compile with the
+/// features of the function they are written in, and LLVM will not
+/// inline a multi-hundred-instruction closure into a feature frame like
+/// [`dispatch`] by cost model alone. Stamping the whole body into a
+/// `#[target_feature(enable = "avx2,fma")]` twin makes the closures
+/// inherit the features, so the `[f64; 4]` lane ops compile to 256-bit
+/// instructions — with no global `-C target-feature` baseline (the
+/// portable twin still runs on any x86-64) and no per-op dispatch.
+///
+/// The twin is entered only when the device's SIMD knob is on *and*
+/// [`lanes_native`] detects AVX2+FMA; `ASUCA_SIMD=0` therefore measures
+/// the scalar walk at baseline codegen, a true A/B. Either twin
+/// performs the exact same IEEE-754 operations per point (see the
+/// module-level bit-identity rule), so the choice never changes
+/// results.
+///
+/// Requirements: the first parameter must be the device handle (any
+/// type with a `simd_enabled(&self) -> bool` method), the remaining
+/// parameters plain `name: Type` bindings, and the return type `()`.
+#[macro_export]
+macro_rules! simd_kernel {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident<$R:ident: Real>(
+        $dev:ident: $devty:ty,
+        $($arg:ident: $ty:ty),* $(,)?
+    ) $body:block) => {
+        $(#[$meta])*
+        $vis fn $name<$R: $crate::Real>($dev: $devty, $($arg: $ty),*) {
+            #[allow(clippy::too_many_arguments)]
+            fn portable<$R: $crate::Real>($dev: $devty, $($arg: $ty),*) $body
+
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2", enable = "fma")]
+            #[allow(clippy::too_many_arguments)]
+            fn lanes_arch<$R: $crate::Real>($dev: $devty, $($arg: $ty),*) $body
+
+            #[cfg(target_arch = "x86_64")]
+            if $dev.simd_enabled() && $crate::simd::lanes_native() {
+                // SAFETY: AVX2+FMA presence was verified by
+                // `lanes_native` on this very call.
+                return unsafe { lanes_arch::<$R>($dev, $($arg),*) };
+            }
+            portable::<$R>($dev, $($arg),*)
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals() -> ([f64; LANES], [f64; LANES]) {
+        ([1.5, -2.25, 1.0e-300, 7.75], [-0.5, 2.25, 3.0e-300, -7.75])
+    }
+
+    /// The contract everything else rests on: every lane op equals the
+    /// scalar op per element, to the last bit.
+    #[test]
+    fn lane_ops_bitwise_match_scalar() {
+        let (a, b) = vals();
+        let (va, vb) = (F64x4(a), F64x4(b));
+        for l in 0..LANES {
+            assert_eq!((va + vb).0[l].to_bits(), (a[l] + b[l]).to_bits());
+            assert_eq!((va - vb).0[l].to_bits(), (a[l] - b[l]).to_bits());
+            assert_eq!((va * vb).0[l].to_bits(), (a[l] * b[l]).to_bits());
+            assert_eq!((va / vb).0[l].to_bits(), (a[l] / b[l]).to_bits());
+            assert_eq!((-va).0[l].to_bits(), (-a[l]).to_bits());
+            assert_eq!(va.abs().0[l].to_bits(), a[l].abs().to_bits());
+            assert_eq!(va.abs().sqrt().0[l].to_bits(), a[l].abs().sqrt().to_bits());
+            assert_eq!(
+                va.mul_add(vb, vb).0[l].to_bits(),
+                a[l].mul_add(b[l], b[l]).to_bits()
+            );
+        }
+    }
+
+    /// `max`/`min` are the one place vector ISAs (`vmaxpd` returns SRC2
+    /// on equal or NaN) and Rust's scalar `maxnum` could diverge on
+    /// ±0.0; the lane impl therefore calls the scalar op per element and
+    /// this test pins the equivalence, signed zeros included.
+    #[test]
+    fn lane_max_min_match_scalar_including_signed_zero() {
+        let edge = [0.0f64, -0.0, 1.0, -1.0];
+        for &x in &edge {
+            for &y in &edge {
+                let vx = F64x4::splat(x);
+                let vy = F64x4::splat(y);
+                for l in 0..LANES {
+                    assert_eq!(vx.max(vy).0[l].to_bits(), x.max(y).to_bits());
+                    assert_eq!(vx.min(vy).0[l].to_bits(), x.min(y).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selects_mirror_scalar_branches() {
+        let (a, b) = vals();
+        let (va, vb) = (F64x4(a), F64x4(b));
+        let x = F64x4::splat(10.0);
+        let y = F64x4::splat(-10.0);
+        for l in 0..LANES {
+            let ge = if a[l] >= b[l] { 10.0 } else { -10.0 };
+            let lt = if a[l] < b[l] { 10.0 } else { -10.0 };
+            assert_eq!(F64x4::select_ge(va, vb, x, y).0[l], ge);
+            assert_eq!(F64x4::select_lt(va, vb, x, y).0[l], lt);
+        }
+        // Equal operands take the scalar `>=` branch.
+        let z = F64x4::splat(2.0);
+        assert_eq!(F64x4::select_ge(z, z, x, y).0[0], 10.0);
+        assert_eq!(F64x4::select_lt(z, z, x, y).0[0], -10.0);
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_offset() {
+        let src: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        let v = F64x4::load(&src[3..]);
+        assert_eq!(v.0, [1.5, 2.0, 2.5, 3.0]);
+        let mut dst = vec![0.0f64; 10];
+        v.store(&mut dst[2..]);
+        assert_eq!(&dst[2..6], &[1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(dst[6], 0.0);
+        assert_eq!(v.extract(2), 2.5);
+    }
+
+    #[test]
+    fn map_applies_scalar_function_per_lane() {
+        let v = F64x4([1.0, 2.0, 3.0, 4.0]);
+        let m = v.map(|x| x.powf(1.3));
+        for l in 0..LANES {
+            assert_eq!(m.0[l].to_bits(), v.0[l].powf(1.3).to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_lanes_work_too() {
+        let v = F32x4([1.0, 2.0, 3.0, 4.0]);
+        let w = F32x4::splat(2.0);
+        assert_eq!((v * w).0, [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(<F32x4 as Lane<f32>>::N, LANES);
+    }
+
+    #[test]
+    fn dispatch_returns_closure_result_in_both_modes() {
+        let gold: f64 = (0..100).map(|i| (i as f64).sqrt()).sum();
+        let scalar = dispatch(false, || (0..100).map(|i| (i as f64).sqrt()).sum::<f64>());
+        let lanes = dispatch(true, || (0..100).map(|i| (i as f64).sqrt()).sum::<f64>());
+        assert_eq!(scalar.to_bits(), gold.to_bits());
+        assert_eq!(lanes.to_bits(), gold.to_bits());
+    }
+
+    #[test]
+    fn generic_access_through_real() {
+        fn sum_lanes<R: Real>(xs: &[R]) -> R {
+            let v = R::Lane::load(xs);
+            let mut acc = R::ZERO;
+            for l in 0..R::Lane::N {
+                acc += v.extract(l);
+            }
+            acc
+        }
+        assert_eq!(sum_lanes(&[1.0f64, 2.0, 3.0, 4.0]), 10.0);
+        assert_eq!(sum_lanes(&[1.0f32, 2.0, 3.0, 4.0]), 10.0);
+    }
+}

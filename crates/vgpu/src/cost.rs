@@ -95,6 +95,13 @@ pub struct Launch {
     pub cost: KernelCost,
     /// Dynamic shared memory per block [bytes] (validated vs. the spec).
     pub shared_mem_per_block: u32,
+    /// Elements retired per inner-loop iteration of the Functional body
+    /// (1 = scalar walk, `numerics::simd::LANES` = vectorized x-walk).
+    /// Purely informational for the profiler: [`KernelCost`] stays
+    /// per-*point*, so flops/bytes totals — and therefore
+    /// [`kernel_time`] and the fig. 5 roofline — are independent of how
+    /// wide the host lanes are (the two-clock rule).
+    pub lanes: u32,
 }
 
 impl Launch {
@@ -110,11 +117,19 @@ impl Launch {
             block: block.into(),
             cost,
             shared_mem_per_block: 0,
+            lanes: 1,
         }
     }
 
     pub fn with_shared_mem(mut self, bytes: u32) -> Self {
         self.shared_mem_per_block = bytes;
+        self
+    }
+
+    /// Builder: record how many elements the body retires per inner-loop
+    /// iteration (see [`Launch::lanes`]).
+    pub fn with_lanes(mut self, lanes: u32) -> Self {
+        self.lanes = lanes.max(1);
         self
     }
 
@@ -269,6 +284,22 @@ mod tests {
         assert!(t2 > t1 * 10.0);
         assert!(t1 > s.pcie_latency_s);
         assert_eq!(copy_time(&DeviceSpec::opteron_core(), 123456), 0.0);
+    }
+
+    #[test]
+    fn lane_width_never_changes_simulated_time() {
+        // The two-clock rule for SIMD: `lanes` is profiler metadata only;
+        // Eq. (6) prices the same launch identically at any lane width.
+        let points = 320 * 256 * 48u64;
+        let cost = KernelCost::streaming(points, 20.0, 6.0, 2.0);
+        let scalar = big_launch(cost);
+        let vec4 = big_launch(cost).with_lanes(4);
+        assert_eq!(
+            kernel_time(&tesla(), &scalar, 8).to_bits(),
+            kernel_time(&tesla(), &vec4, 8).to_bits()
+        );
+        assert_eq!(vec4.lanes, 4);
+        assert_eq!(scalar.lanes, 1);
     }
 
     #[test]

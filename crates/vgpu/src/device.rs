@@ -145,7 +145,16 @@ impl<R: Real> Device<R> {
             end,
             flops: launch.cost.total_flops(),
             bytes: launch.cost.total_bytes(R::BYTES),
+            lanes: launch.lanes,
         });
+    }
+
+    /// Whether Functional kernel bodies should take their SIMD lane
+    /// x-walks (from [`DeviceSpec::host_simd`]); results are bitwise
+    /// identical either way — kernels consult this so the scalar path
+    /// stays exercisable via `ASUCA_SIMD=0`.
+    pub fn simd_enabled(&self) -> bool {
+        self.spec.host_simd
     }
 
     /// Launch a kernel asynchronously in `stream`.
@@ -157,7 +166,7 @@ impl<R: Real> Device<R> {
         self.note_kernel(stream, &launch);
         if self.mode == ExecMode::Functional {
             let view = MemView { arena: &self.arena };
-            f(&view);
+            numerics::simd::dispatch(self.spec.host_simd, || f(&view));
         }
     }
 
@@ -188,11 +197,17 @@ impl<R: Real> Device<R> {
                 self.pool = Some(WorkerPool::new(threads));
             }
             let view = MemView { arena: &self.arena };
+            // Each participant enters the runtime-detected AVX2 dispatch
+            // frame once per slab, so the (inlined) kernel body compiles
+            // to 256-bit lane ops — values are unchanged (no fast-math).
+            let simd = self.spec.host_simd;
             match &self.pool {
-                Some(pool) => pool.run_slabs(span, threads, |j0, j1| f(&view, j0, j1)),
+                Some(pool) => pool.run_slabs(span, threads, |j0, j1| {
+                    numerics::simd::dispatch(simd, || f(&view, j0, j1))
+                }),
                 None => {
                     if span > 0 {
-                        f(&view, 0, span);
+                        numerics::simd::dispatch(simd, || f(&view, 0, span));
                     }
                 }
             }
@@ -254,6 +269,7 @@ impl<R: Real> Device<R> {
             end,
             flops: 0.0,
             bytes: bytes as f64,
+            lanes: 1,
         });
     }
 

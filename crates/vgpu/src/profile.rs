@@ -24,6 +24,11 @@ pub struct OpRecord {
     pub flops: f64,
     /// Bytes moved (global memory for kernels, link bytes for copies).
     pub bytes: f64,
+    /// Elements retired per Functional inner-loop iteration (1 = scalar,
+    /// 4 = SIMD x-walk). `flops`/`bytes` are whole-launch totals counted
+    /// per grid *point*, so they are already lane-width-invariant; this
+    /// field lets per-iteration accounting divide correctly.
+    pub lanes: u32,
 }
 
 impl OpRecord {
@@ -127,11 +132,13 @@ impl Profiler {
                 seconds: 0.0,
                 flops: 0.0,
                 bytes: 0.0,
+                lanes: 1,
             });
             e.calls += 1;
             e.seconds += r.duration();
             e.flops += r.flops;
             e.bytes += r.bytes;
+            e.lanes = e.lanes.max(r.lanes);
         }
         let mut v: Vec<NameAgg> = map.into_values().collect();
         v.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
@@ -148,6 +155,10 @@ pub struct NameAgg {
     pub seconds: f64,
     pub flops: f64,
     pub bytes: f64,
+    /// Widest lane width this kernel was recorded at (see
+    /// [`OpRecord::lanes`]); flops/bytes are per-point and thus already
+    /// comparable across lane widths.
+    pub lanes: u32,
 }
 
 impl NameAgg {
@@ -183,6 +194,7 @@ mod tests {
             end,
             flops,
             bytes: 100.0,
+            lanes: 1,
         }
     }
 
@@ -220,6 +232,21 @@ mod tests {
         assert_eq!(agg[0].calls, 2);
         assert_eq!(agg[0].seconds, 2.0);
         assert!((agg[0].gflops() - 8.0 / 2.0 / 1e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn lane_metadata_aggregates_without_touching_totals() {
+        // SIMD kernels carry lanes=4 metadata, but flops/bytes stay
+        // per-point totals — the roofline inputs are lane-invariant.
+        let mut p = Profiler::new();
+        let mut r4 = rec("adv", OpKind::Kernel, 0.0, 1.0, 4.0);
+        r4.lanes = 4;
+        p.record(r4);
+        p.record(rec("adv", OpKind::Kernel, 1.0, 2.0, 4.0));
+        let agg = p.by_name();
+        assert_eq!(agg[0].lanes, 4);
+        assert_eq!(agg[0].flops, 8.0);
+        assert_eq!(p.total_flops, 8.0);
     }
 
     #[test]

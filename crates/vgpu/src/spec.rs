@@ -47,6 +47,12 @@ pub struct DeviceSpec {
     /// in parallel over y-slabs. Affects only the host wall clock of
     /// functional runs — never the simulated timeline.
     pub host_threads: usize,
+    /// Whether Functional-mode kernel bodies take their 4-wide SIMD
+    /// x-walks (`numerics::simd`), and whether launches enter the
+    /// runtime-detected AVX2 dispatch frame. Bitwise identical to the
+    /// scalar walk by construction; like `host_threads`, affects only
+    /// the host wall clock — never the simulated timeline.
+    pub host_simd: bool,
 }
 
 impl DeviceSpec {
@@ -71,6 +77,7 @@ impl DeviceSpec {
             uncoalesced_penalty: 8.0,
             sfu_transcendental_boost: 1.8,
             host_threads: 1,
+            host_simd: false,
         }
     }
 
@@ -96,6 +103,7 @@ impl DeviceSpec {
             uncoalesced_penalty: 6.0,
             sfu_transcendental_boost: 4.0,
             host_threads: 1,
+            host_simd: false,
         }
     }
 
@@ -125,6 +133,7 @@ impl DeviceSpec {
             uncoalesced_penalty: 1.0, // caches hide ordering on CPU
             sfu_transcendental_boost: 1.0,
             host_threads: 1,
+            host_simd: false,
         }
     }
 
@@ -132,6 +141,13 @@ impl DeviceSpec {
     /// Functional-mode kernel execution.
     pub fn with_host_threads(mut self, n: usize) -> Self {
         self.host_threads = n.max(1);
+        self
+    }
+
+    /// Builder: enable/disable the SIMD lane path for Functional-mode
+    /// kernel bodies (results are bitwise identical either way).
+    pub fn with_host_simd(mut self, on: bool) -> Self {
+        self.host_simd = on;
         self
     }
 

@@ -1,19 +1,24 @@
-//! The slab-parallel launch path's contract: host worker threads change
-//! only the wall clock of a Functional run — never the results and never
-//! the simulated timeline. Every prognostic field must be *bitwise*
-//! identical for any thread count (each grid point is computed by
-//! exactly one worker from the same inputs with the same operation
-//! order, so there is no summation-order ambiguity to hide behind).
+//! The slab-parallel launch path's contract: host worker threads and
+//! SIMD x-walks change only the wall clock of a Functional run — never
+//! the results and never the simulated timeline. Every prognostic field
+//! must be *bitwise* identical for any thread count and either lane
+//! setting (each grid point is computed by exactly one worker from the
+//! same inputs with the same operation order, and every lane op is the
+//! same scalar op per element, so there is no rounding ambiguity to
+//! hide behind).
 
 use asuca_gpu::SingleGpu;
 use dycore::config::ModelConfig;
 use dycore::{init, Model};
 use vgpu::{Device, DeviceSpec, ExecMode, KernelCost, Launch, StreamId};
 
-fn run_with_threads(threads: usize, steps: usize) -> (dycore::State, f64) {
+fn run_with(threads: usize, simd: bool, steps: usize) -> (dycore::State, f64) {
     let mut cfg = ModelConfig::mountain_wave(16, 12, 10);
     cfg.dt = 4.0;
     cfg.threads = threads;
+    // Pin the lane path explicitly so the matrix below is independent of
+    // the ASUCA_SIMD environment and the host CPU.
+    cfg.simd = Some(simd);
     // Identical initial state on every run.
     let mut seed = Model::new(cfg.clone());
     init::warm_moist_bubble(&mut seed, 1.5, 0.95, 0.5, 0.5, 0.3, 3.5);
@@ -26,34 +31,76 @@ fn run_with_threads(threads: usize, steps: usize) -> (dycore::State, f64) {
     (out, gpu.dev.host_time())
 }
 
-#[test]
-fn thread_count_never_changes_results_or_simulated_time() {
-    let steps = 12;
-    let (base, t1) = run_with_threads(1, steps);
-    assert_eq!(base.find_non_finite(), None);
-    for threads in [2, 3, 8] {
-        let (par, tn) = run_with_threads(threads, steps);
-        assert_eq!(par.find_non_finite(), None);
-        let pairs: Vec<(&str, f64)> = vec![
-            ("rho", base.rho.max_diff(&par.rho)),
-            ("u", base.u.max_diff(&par.u)),
-            ("v", base.v.max_diff(&par.v)),
-            ("w", base.w.max_diff(&par.w)),
-            ("th", base.th.max_diff(&par.th)),
-            ("p", base.p.max_diff(&par.p)),
-            ("qv", base.q[0].max_diff(&par.q[0])),
-            ("qc", base.q[1].max_diff(&par.q[1])),
-            ("qr", base.q[2].max_diff(&par.q[2])),
-        ];
-        for (name, diff) in pairs {
-            assert_eq!(
-                diff, 0.0,
-                "field {name} not bitwise identical at threads={threads} (max diff {diff:e})"
-            );
+/// FNV-1a over the raw bit patterns of every prognostic field — a
+/// byte-identical checksum, stricter in spirit than per-field max_diff
+/// (it also pins NaN payloads and signed zeros).
+fn state_checksum(s: &dycore::State) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |f: &numerics::Field3<f64>| {
+        for v in f.raw() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
         }
-        // Host parallelism must leave the simulated GT200 timeline
-        // untouched to the last bit.
-        assert_eq!(t1, tn, "simulated time changed with threads={threads}");
+    };
+    eat(&s.rho);
+    eat(&s.u);
+    eat(&s.v);
+    eat(&s.w);
+    eat(&s.th);
+    eat(&s.p);
+    for q in &s.q {
+        eat(q);
+    }
+    h
+}
+
+fn assert_states_identical(base: &dycore::State, other: &dycore::State, label: &str) {
+    let pairs: Vec<(&str, f64)> = vec![
+        ("rho", base.rho.max_diff(&other.rho)),
+        ("u", base.u.max_diff(&other.u)),
+        ("v", base.v.max_diff(&other.v)),
+        ("w", base.w.max_diff(&other.w)),
+        ("th", base.th.max_diff(&other.th)),
+        ("p", base.p.max_diff(&other.p)),
+        ("qv", base.q[0].max_diff(&other.q[0])),
+        ("qc", base.q[1].max_diff(&other.q[1])),
+        ("qr", base.q[2].max_diff(&other.q[2])),
+    ];
+    for (name, diff) in pairs {
+        assert_eq!(
+            diff, 0.0,
+            "field {name} not bitwise identical at {label} (max diff {diff:e})"
+        );
+    }
+    assert_eq!(
+        state_checksum(base),
+        state_checksum(other),
+        "state bytes differ at {label}"
+    );
+}
+
+#[test]
+fn thread_count_and_simd_never_change_results_or_simulated_time() {
+    let steps = 12;
+    let (base, t1) = run_with(1, false, steps);
+    assert_eq!(base.find_non_finite(), None);
+    // Full matrix: threads {1, 2, 3, 8} × SIMD {off, on}, all against
+    // the single-threaded scalar walk.
+    for threads in [1, 2, 3, 8] {
+        for simd in [false, true] {
+            if threads == 1 && !simd {
+                continue;
+            }
+            let (par, tn) = run_with(threads, simd, steps);
+            assert_eq!(par.find_non_finite(), None);
+            let label = format!("threads={threads} simd={simd}");
+            assert_states_identical(&base, &par, &label);
+            // Neither host parallelism nor host lane width may touch
+            // the simulated GT200 timeline, to the last bit.
+            assert_eq!(t1, tn, "simulated time changed with {label}");
+        }
     }
 }
 
