@@ -91,7 +91,8 @@ fn run_advection(f: &mut Fixture) {
         f.v,
         f.mw,
         f.out,
-    );
+    )
+    .unwrap();
     f.dev.sync_stream(StreamId::DEFAULT);
 }
 
@@ -107,7 +108,8 @@ fn run_warm_rain(f: &mut Fixture) {
         f.qv,
         f.qc,
         f.qr,
-    );
+    )
+    .unwrap();
     f.dev.sync_stream(StreamId::DEFAULT);
 }
 

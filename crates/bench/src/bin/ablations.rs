@@ -66,7 +66,7 @@ fn main() {
             steps: 1,
             detailed_profile: false,
         };
-        let r = run_multi::<f32>(&mc, &|_, _, _, _| {});
+        let r = run_multi::<f32>(&mc, &|_, _, _, _| {}).expect("run failed");
         println!(
             "{label},{:.0},{:.0},{:.0}",
             r.total_time_s * 1e3,
@@ -90,12 +90,12 @@ fn main() {
     let mut sp = SingleGpu::<f32>::new(c.clone(), spec.clone(), ExecMode::Phantom);
     sp.dev.profiler.reset();
     let t0 = sp.dev.host_time();
-    sp.run(1);
+    sp.run(1).unwrap();
     let g32 = sp.dev.profiler.total_flops / (sp.dev.host_time() - t0) / 1e9;
     let mut dp = SingleGpu::<f64>::new(c, spec, ExecMode::Phantom);
     dp.dev.profiler.reset();
     let t0 = dp.dev.host_time();
-    dp.run(1);
+    dp.run(1).unwrap();
     let g64 = dp.dev.profiler.total_flops / (dp.dev.host_time() - t0) / 1e9;
     println!("single,{g32:.1}");
     println!("double,{g64:.1}");

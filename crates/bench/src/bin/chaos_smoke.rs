@@ -1,0 +1,123 @@
+//! Chaos smoke: a 64×64×32 mountain-wave run on a 2×2 rank grid with
+//! deterministic fault injection armed, in both overlap modes. Each
+//! faulty run must complete through retry/restart and end bitwise
+//! identical to the fault-free baseline (the DESIGN.md §10 contract),
+//! which this binary asserts before printing the injection counters.
+//!
+//! The fault schedule comes from `ASUCA_FAULT_SEED` (default 1234 so
+//! the smoke run always injects); `ASUCA_CHAOS_STEPS` overrides the
+//! step count (default 4).
+
+use asuca_gpu::multi::{run_multi, MultiGpuConfig, MultiGpuReport, OverlapMode};
+use cluster::NetworkSpec;
+use dycore::config::{FaultConfig, ModelConfig, Terrain};
+use dycore::state::fnv1a;
+use dycore::{Grid, State};
+use vgpu::{DeviceSpec, ExecMode};
+
+const PX: usize = 2;
+const PY: usize = 2;
+const SUB_NX: usize = 32;
+const SUB_NY: usize = 32;
+const NZ: usize = 32;
+
+fn seeded_init(grid: &Grid, s: &mut State, x0: usize, y0: usize) {
+    let (gnx, gny) = (PX * SUB_NX, PY * SUB_NY);
+    for j in 0..grid.ny as isize {
+        for i in 0..grid.nx as isize {
+            let gx = (x0 as isize + i) as f64 / gnx as f64;
+            let gy = (y0 as isize + j) as f64 / gny as f64;
+            for k in 0..grid.nz as isize {
+                let gz = k as f64 / grid.nz as f64;
+                let amp = (gx * std::f64::consts::TAU).sin()
+                    * (gy * std::f64::consts::TAU).cos()
+                    * (1.0 - gz);
+                let rho = s.rho.at(i, j, k);
+                let th = s.th.at(i, j, k);
+                s.th.set(i, j, k, th + rho * 0.8 * amp);
+            }
+        }
+    }
+    s.fill_halos_periodic();
+}
+
+fn run(overlap: OverlapMode, fault: Option<FaultConfig>, steps: usize) -> MultiGpuReport {
+    let mut local = ModelConfig::mountain_wave(SUB_NX, SUB_NY, NZ);
+    local.terrain = Terrain::Flat;
+    local.dt = 4.0;
+    local.fault = fault;
+    local.checkpoint_every = 2;
+    local.guard_every = 1;
+    let mc = MultiGpuConfig {
+        local_cfg: local,
+        px: PX,
+        py: PY,
+        overlap,
+        spec: DeviceSpec::tesla_s1070(),
+        net: NetworkSpec::tsubame1_infiniband(),
+        mode: ExecMode::Functional,
+        steps,
+        detailed_profile: false,
+    };
+    run_multi::<f64>(&mc, &|rank, grid, _base, s| {
+        let d = asuca_gpu::decomp::Decomp::disjoint(PX, PY, SUB_NX, SUB_NY, NZ);
+        let (x0, y0) = d.origin_disjoint(rank);
+        seeded_init(grid, s, x0, y0);
+    })
+    .expect("chaos smoke must recover")
+}
+
+fn checksum(report: &MultiGpuReport) -> u64 {
+    let states = report.final_states.as_ref().expect("functional mode");
+    fnv1a(states.iter().map(|s| s.checksum()))
+}
+
+fn main() {
+    let steps = std::env::var("ASUCA_CHAOS_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    // The always-recoverable preset (ECC retries + link drops/delays),
+    // plus a one-shot rank death so the checkpoint rollback path runs.
+    let seed = std::env::var("ASUCA_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1234u64);
+    let fault = FaultConfig {
+        ecc_rate: 0.02,
+        drop_rate: 0.05,
+        delay_rate: 0.05,
+        delay_s: 200.0e-6,
+        death: Some((1, steps as u64 - 1)),
+        respawn_penalty_s: 0.05,
+        ..FaultConfig::quiet(seed)
+    };
+
+    for overlap in [OverlapMode::None, OverlapMode::Overlap] {
+        let gold = run(overlap, None, steps);
+        let faulty = run(overlap, Some(fault), steps);
+        let (cg, cf) = (checksum(&gold), checksum(&faulty));
+        assert_eq!(
+            cf, cg,
+            "{overlap:?}: recovered state diverged from fault-free baseline"
+        );
+        println!(
+            "{overlap:?}: checksum {cf:#018x} matches fault-free; \
+             faults_injected={} retries={} restarts={} stragglers={} \
+             sim time {:.4}s (fault-free {:.4}s)",
+            faulty.faults_injected,
+            faulty.retries,
+            faulty.restarts,
+            faulty.stragglers,
+            faulty.total_time_s,
+            gold.total_time_s,
+        );
+        assert!(faulty.faults_injected > 0, "seed {seed} injected nothing");
+        assert!(faulty.restarts >= 1, "rank death must trigger a rollback");
+        assert!(
+            faulty.total_time_s > gold.total_time_s,
+            "recovery must cost simulated time"
+        );
+    }
+    println!("chaos smoke passed (seed {seed}, {steps} steps, 2x2 ranks)");
+}

@@ -19,7 +19,7 @@ fn gflops<R: numerics::Real>(cfg: dycore::ModelConfig, spec: DeviceSpec, steps: 
     // Measure the step loop only (exclude init transfers).
     gpu.dev.profiler.reset();
     let t0 = gpu.dev.host_time();
-    gpu.run(steps);
+    gpu.run(steps).unwrap();
     let elapsed = gpu.dev.host_time() - t0;
     let (flops, _) = gpu.dev.profiler.flops_and_time();
     flops / elapsed / 1e9

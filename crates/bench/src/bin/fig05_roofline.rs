@@ -17,7 +17,7 @@ fn main() {
     let cfg = paper_subdomain(256);
     let mut gpu = SingleGpu::<f32>::new(cfg, DeviceSpec::tesla_s1070(), ExecMode::Phantom);
     gpu.dev.profiler.reset();
-    gpu.run(1);
+    gpu.run(1).unwrap();
 
     println!("# Fig. 5: arithmetic intensity vs performance, Tesla S1070, single precision");
     println!(

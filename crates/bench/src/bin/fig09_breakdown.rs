@@ -37,7 +37,7 @@ fn main() {
             steps: 1,
             detailed_profile: true,
         };
-        run_multi::<f32>(&mc, &|_, _, _, _| {})
+        run_multi::<f32>(&mc, &|_, _, _, _| {}).expect("run failed")
     };
 
     println!(

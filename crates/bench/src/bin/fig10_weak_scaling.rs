@@ -51,16 +51,19 @@ fn main() {
         let r_over = run_multi::<f32>(
             &mk(OverlapMode::Overlap, DeviceSpec::tesla_s1070(), net),
             &|_, _, _, _| {},
-        );
+        )
+        .expect("run failed");
         let r_plain = run_multi::<f32>(
             &mk(OverlapMode::None, DeviceSpec::tesla_s1070(), net),
             &|_, _, _, _| {},
-        );
+        )
+        .expect("run failed");
         // CPU curve: one Opteron core per "GPU slot", same decomposition.
         let r_cpu = run_multi::<f64>(
             &mk(OverlapMode::None, DeviceSpec::opteron_core(), net),
             &|_, _, _, _| {},
-        );
+        )
+        .expect("run failed");
 
         let per_gpu = r_over.tflops / row.gpus as f64;
         let eff = match eff_base {

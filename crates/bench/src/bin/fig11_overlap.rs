@@ -37,7 +37,7 @@ fn main() {
             steps,
             detailed_profile: false,
         };
-        let r = run_multi::<f32>(&mc, &|_, _, _, _| {});
+        let r = run_multi::<f32>(&mc, &|_, _, _, _| {}).expect("run failed");
         let total = r.total_time_s * 1e3 / steps as f64;
         let comp = r.compute_s * 1e3 / steps as f64;
         let mpi = r.mpi_s * 1e3 / steps as f64;

@@ -89,7 +89,7 @@ fn main() {
         steps: 2,
         detailed_profile: false,
     };
-    let r = run_multi::<f32>(&mc, &|_, _, _, _| {});
+    let r = run_multi::<f32>(&mc, &|_, _, _, _| {}).expect("run failed");
     println!("\n# 54-GPU (6x9) run of the paper's real-data configuration (phantom timing):");
     println!(
         "# {:.2} TFlops sustained, {:.0} ms per 0.5 s step -> a 6-h forecast (43200 steps) ~ {:.1} h wall",

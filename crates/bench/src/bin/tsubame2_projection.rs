@@ -34,7 +34,7 @@ fn main() {
         steps: 1,
         detailed_profile: false,
     };
-    let r1 = run_multi::<f32>(&mc1, &|_, _, _, _| {});
+    let r1 = run_multi::<f32>(&mc1, &|_, _, _, _| {}).expect("run failed");
     let scale_gpus = 4000.0 / (px * py) as f64;
     let projection = r1.tflops * (r1.total_time_s / r1.compute_s) * scale_gpus;
 
@@ -66,7 +66,7 @@ fn main() {
         steps: 1,
         detailed_profile: false,
     };
-    let r2 = run_multi::<f32>(&mc2, &|_, _, _, _| {});
+    let r2 = run_multi::<f32>(&mc2, &|_, _, _, _| {}).expect("run failed");
     let per_gpu = r2.tflops / (fpx * fpy) as f64;
     println!(
         "fermi-simulation ({} GPUs slice at {:.3} TFlops/GPU x 4000),{:.0}",

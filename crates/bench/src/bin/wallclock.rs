@@ -59,10 +59,10 @@ fn run_case(
     let mut gpu = SingleGpu::<f64>::new(cfg, DeviceSpec::tesla_s1070(), ExecMode::Functional);
     // Warm up one step so pool creation, lazy allocations and page
     // faults don't land inside the timed region.
-    gpu.run(1);
+    gpu.run(1).unwrap();
     let sim0 = gpu.dev.host_time();
     let t0 = Instant::now();
-    gpu.run(steps);
+    gpu.run(steps).unwrap();
     let wall_s = t0.elapsed().as_secs_f64();
     let sim_s = gpu.dev.host_time() - sim0;
     eprintln!(
@@ -80,6 +80,37 @@ fn run_case(
         wall_s,
         sim_s,
     }
+}
+
+/// Pull `(wall_seconds_per_step, simulated_seconds)` for one case out
+/// of the committed BENCH_wallclock.json (line-oriented scan; the file
+/// is written by this binary, one case object per line).
+fn baseline_case(json: &str, label: &str, threads: usize, simd: bool) -> Option<(f64, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let idx = line.find(&format!("\"{key}\": "))?;
+        let rest = &line[idx + key.len() + 4..];
+        Some(
+            rest.trim_start_matches([' ', '"'])
+                .chars()
+                .take_while(|c| !matches!(c, ',' | '"' | '}'))
+                .collect(),
+        )
+    };
+    for line in json.lines() {
+        if !line.trim_start().starts_with("{\"case\":") {
+            continue;
+        }
+        if field(line, "case").as_deref() == Some(label)
+            && field(line, "threads")? == threads.to_string()
+            && field(line, "simd")? == simd.to_string()
+        {
+            return Some((
+                field(line, "wall_seconds_per_step")?.parse().ok()?,
+                field(line, "simulated_seconds")?.parse().ok()?,
+            ));
+        }
+    }
+    None
 }
 
 fn results_path() -> PathBuf {
@@ -175,6 +206,47 @@ fn main() {
             );
             sp
         });
+
+    // Regression gate for the robustness layer: with injection,
+    // checkpointing and guard scans all disabled, the fault machinery
+    // must stay off the hot path. `ASUCA_WALLCLOCK_ASSERT_BASELINE=1`
+    // compares this run against the committed BENCH_wallclock.json:
+    // per-step wall time within 3% (override the percentage by setting
+    // the variable to a number), simulated seconds bit-stable to the
+    // file's printed precision.
+    if let Ok(v) = std::env::var("ASUCA_WALLCLOCK_ASSERT_BASELINE") {
+        let tol_pct: f64 = v.parse().ok().filter(|p| *p > 1.0).unwrap_or(3.0);
+        let baseline = std::fs::read_to_string(results_path())
+            .expect("baseline assert needs a committed BENCH_wallclock.json");
+        for c in &cases {
+            let Some((base_per_step, base_sim)) =
+                baseline_case(&baseline, c.label, c.threads, c.simd)
+            else {
+                eprintln!(
+                    "no baseline case for {} threads={} simd={} — skipping",
+                    c.label, c.threads, c.simd
+                );
+                continue;
+            };
+            let per_step = c.wall_s / c.steps as f64;
+            let overhead_pct = (per_step / base_per_step - 1.0) * 100.0;
+            eprintln!(
+                "{} threads={} simd={}: {per_step:.4} s/step vs baseline {base_per_step:.4} ({overhead_pct:+.1}%)",
+                c.label, c.threads, c.simd
+            );
+            assert!(
+                per_step <= base_per_step * (1.0 + tol_pct / 100.0),
+                "{}: wall overhead {overhead_pct:.1}% exceeds {tol_pct}% budget",
+                c.label
+            );
+            assert!(
+                (c.sim_s - base_sim).abs() <= 1e-6,
+                "{}: simulated seconds moved vs baseline ({} vs {base_sim})",
+                c.label,
+                c.sim_s
+            );
+        }
+    }
 
     let fmt_opt = |o: Option<f64>| o.map_or("null".to_string(), |s| format!("{s:.4}"));
     let mut json = String::new();

@@ -18,6 +18,8 @@ pub mod comm;
 pub mod network;
 pub mod topo;
 
-pub use comm::{spawn_ranks, Comm, RecvOut};
+pub use comm::{
+    spawn_ranks, try_spawn_ranks, Comm, CommError, LinkFaultSpec, LinkStats, RankFailure, RecvOut,
+};
 pub use network::NetworkSpec;
 pub use topo::Topo2D;

@@ -1,0 +1,78 @@
+//! Structured driver errors.
+//!
+//! Everything that can go wrong on the time-loop path — device faults,
+//! communication failures, numerical blow-ups, dead ranks — surfaces as
+//! a [`ModelError`] instead of a panic, so the drivers can retry,
+//! degrade or restart from a checkpoint.
+
+use cluster::{CommError, RankFailure};
+use vgpu::VgpuError;
+
+/// Driver-level error threaded through the single- and multi-GPU time
+/// loops.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Device failure (real or injected): OOM, lost device, bad handle.
+    Gpu(VgpuError),
+    /// Communication failure: lost peer, timeout, exhausted retries,
+    /// protocol violation.
+    Comm(CommError),
+    /// The guard-rail scan found a non-finite prognostic value.
+    NumericalBlowup {
+        step: u64,
+        field: &'static str,
+        /// Interior (i, j, k) indices of the first offending point.
+        location: (usize, usize, usize),
+    },
+    /// The guard-rail scan found an advective Courant number beyond the
+    /// stability limit.
+    CflViolation { step: u64, courant: f64, limit: f64 },
+    /// A rank thread died without returning a result.
+    Rank(RankFailure),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Gpu(e) => write!(f, "device error: {e}"),
+            ModelError::Comm(e) => write!(f, "communication error: {e}"),
+            ModelError::NumericalBlowup {
+                step,
+                field,
+                location,
+            } => write!(
+                f,
+                "numerical blow-up at step {step}: non-finite {field} at (i, j, k) = {location:?}"
+            ),
+            ModelError::CflViolation {
+                step,
+                courant,
+                limit,
+            } => write!(
+                f,
+                "CFL violation at step {step}: advective Courant {courant:.3} exceeds {limit}"
+            ),
+            ModelError::Rank(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<VgpuError> for ModelError {
+    fn from(e: VgpuError) -> Self {
+        ModelError::Gpu(e)
+    }
+}
+
+impl From<CommError> for ModelError {
+    fn from(e: CommError) -> Self {
+        ModelError::Comm(e)
+    }
+}
+
+impl From<RankFailure> for ModelError {
+    fn from(e: RankFailure) -> Self {
+        ModelError::Rank(e)
+    }
+}

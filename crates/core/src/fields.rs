@@ -56,7 +56,7 @@ impl<R: Real> DeviceState<R> {
         dev: &mut Device<R>,
         geom: &DeviceGeom<R>,
         n_tracers: usize,
-    ) -> Result<Self, vgpu::MemError> {
+    ) -> Result<Self, vgpu::VgpuError> {
         let c = geom.dc.len();
         let w = geom.dw.len();
         let plane = geom.dp.len();

@@ -19,6 +19,7 @@
 //!   all host→device copies — so a long inner kernel on the compute
 //!   engine hides the whole train.
 
+use crate::error::ModelError;
 use crate::kernels::boundary::{self, Side};
 use crate::view::Dims;
 use cluster::Comm;
@@ -107,7 +108,7 @@ impl<R: Real> HaloExchanger<R> {
         comm: &mut Comm<Vec<R>>,
         stream: StreamId,
         fields: &[FieldRef<R>],
-    ) {
+    ) -> Result<(), ModelError> {
         assert!(fields.len() <= MAX_BATCH);
         let functional = dev.mode() == ExecMode::Functional;
 
@@ -144,8 +145,8 @@ impl<R: Real> HaloExchanger<R> {
         let mut t = dev.host_time();
         for (f, (s, n)) in fields.iter().zip(staged) {
             let bytes = (boundary::y_slab_len(f.dims) * R::BYTES) as u64;
-            t = comm.send(self.south, tag(f.id, DIR_TO_SOUTH), s, bytes, t);
-            t = comm.send(self.north, tag(f.id, DIR_TO_NORTH), n, bytes, t);
+            t = comm.send(self.south, tag(f.id, DIR_TO_SOUTH), s, bytes, t)?;
+            t = comm.send(self.north, tag(f.id, DIR_TO_NORTH), n, bytes, t)?;
             self.stats.mpi_bytes += 2 * bytes;
         }
         dev.host_at_least(t);
@@ -154,8 +155,8 @@ impl<R: Real> HaloExchanger<R> {
         let mut now = before;
         let mut received: Vec<(Vec<R>, Vec<R>)> = Vec::with_capacity(fields.len());
         for f in fields {
-            let r1 = comm.recv(self.south, tag(f.id, DIR_TO_NORTH), now);
-            let r2 = comm.recv(self.north, tag(f.id, DIR_TO_SOUTH), r1.now);
+            let r1 = comm.recv(self.south, tag(f.id, DIR_TO_NORTH), now)?;
+            let r2 = comm.recv(self.north, tag(f.id, DIR_TO_SOUTH), r1.now)?;
             now = r2.now;
             received.push((r1.data, r2.data));
         }
@@ -185,6 +186,7 @@ impl<R: Real> HaloExchanger<R> {
         }
         dev.sync_stream(stream);
         self.stats.exchanges += 1;
+        Ok(())
     }
 
     /// Exchange the x (west/east) halos of a batch of fields (pack both
@@ -197,7 +199,7 @@ impl<R: Real> HaloExchanger<R> {
         comm: &mut Comm<Vec<R>>,
         stream: StreamId,
         fields: &[FieldRef<R>],
-    ) {
+    ) -> Result<(), ModelError> {
         assert!(fields.len() <= MAX_BATCH);
         let functional = dev.mode() == ExecMode::Functional;
 
@@ -206,7 +208,7 @@ impl<R: Real> HaloExchanger<R> {
         for (slot, f) in fields.iter().enumerate() {
             let strip = boundary::x_strip_len(f.dims);
             let off = slot * 2 * self.strip_cap;
-            boundary::pack_x(dev, stream, f.buf, f.dims, Side::West, self.xpack_send, off);
+            boundary::pack_x(dev, stream, f.buf, f.dims, Side::West, self.xpack_send, off)?;
             boundary::pack_x(
                 dev,
                 stream,
@@ -215,7 +217,7 @@ impl<R: Real> HaloExchanger<R> {
                 Side::East,
                 self.xpack_send,
                 off + strip,
-            );
+            )?;
             if functional {
                 let mut host = vec![R::ZERO; 2 * strip];
                 dev.copy_d2h(stream, self.xpack_send, off, &mut host);
@@ -237,8 +239,8 @@ impl<R: Real> HaloExchanger<R> {
             } else {
                 (Vec::new(), Vec::new())
             };
-            t = comm.send(self.west, tag(f.id, DIR_TO_WEST), w, bytes, t);
-            t = comm.send(self.east, tag(f.id, DIR_TO_EAST), e, bytes, t);
+            t = comm.send(self.west, tag(f.id, DIR_TO_WEST), w, bytes, t)?;
+            t = comm.send(self.east, tag(f.id, DIR_TO_EAST), e, bytes, t)?;
             self.stats.mpi_bytes += 2 * bytes;
         }
         dev.host_at_least(t);
@@ -247,8 +249,8 @@ impl<R: Real> HaloExchanger<R> {
         let mut now = before;
         let mut received: Vec<(Vec<R>, Vec<R>)> = Vec::with_capacity(fields.len());
         for f in fields {
-            let r_w = comm.recv(self.west, tag(f.id, DIR_TO_EAST), now);
-            let r_e = comm.recv(self.east, tag(f.id, DIR_TO_WEST), r_w.now);
+            let r_w = comm.recv(self.west, tag(f.id, DIR_TO_EAST), now)?;
+            let r_e = comm.recv(self.east, tag(f.id, DIR_TO_WEST), r_w.now)?;
             now = r_e.now;
             received.push((r_w.data, r_e.data));
         }
@@ -266,7 +268,7 @@ impl<R: Real> HaloExchanger<R> {
                 dev.copy_h2d_phantom(stream, strip);
                 dev.copy_h2d_phantom(stream, strip);
             }
-            boundary::unpack_x(dev, stream, f.buf, f.dims, Side::West, self.xpack_recv, off);
+            boundary::unpack_x(dev, stream, f.buf, f.dims, Side::West, self.xpack_recv, off)?;
             boundary::unpack_x(
                 dev,
                 stream,
@@ -275,10 +277,11 @@ impl<R: Real> HaloExchanger<R> {
                 Side::East,
                 self.xpack_recv,
                 off + strip,
-            );
+            )?;
         }
         dev.sync_stream(stream);
         self.stats.exchanges += 1;
+        Ok(())
     }
 
     /// Exchange the y halos of one field.
@@ -290,7 +293,7 @@ impl<R: Real> HaloExchanger<R> {
         field: Buf<R>,
         dims: Dims,
         field_id: u32,
-    ) {
+    ) -> Result<(), ModelError> {
         self.exchange_y_many(
             dev,
             comm,
@@ -300,7 +303,7 @@ impl<R: Real> HaloExchanger<R> {
                 dims,
                 id: field_id,
             }],
-        );
+        )
     }
 
     /// Exchange the x halos of one field.
@@ -312,7 +315,7 @@ impl<R: Real> HaloExchanger<R> {
         field: Buf<R>,
         dims: Dims,
         field_id: u32,
-    ) {
+    ) -> Result<(), ModelError> {
         self.exchange_x_many(
             dev,
             comm,
@@ -322,7 +325,7 @@ impl<R: Real> HaloExchanger<R> {
                 dims,
                 id: field_id,
             }],
-        );
+        )
     }
 
     /// Full halo exchange of one field (y first — corners — then x).
@@ -334,9 +337,9 @@ impl<R: Real> HaloExchanger<R> {
         field: Buf<R>,
         dims: Dims,
         field_id: u32,
-    ) {
-        self.exchange_y(dev, comm, stream, field, dims, field_id);
-        self.exchange_x(dev, comm, stream, field, dims, field_id);
+    ) -> Result<(), ModelError> {
+        self.exchange_y(dev, comm, stream, field, dims, field_id)?;
+        self.exchange_x(dev, comm, stream, field, dims, field_id)
     }
 }
 
@@ -401,8 +404,10 @@ mod tests {
                     id: id as u32,
                 })
                 .collect();
-            ex.exchange_y_many(&mut dev, &mut comm, StreamId::DEFAULT, &fields);
-            ex.exchange_x_many(&mut dev, &mut comm, StreamId::DEFAULT, &fields);
+            ex.exchange_y_many(&mut dev, &mut comm, StreamId::DEFAULT, &fields)
+                .unwrap();
+            ex.exchange_x_many(&mut dev, &mut comm, StreamId::DEFAULT, &fields)
+                .unwrap();
             let mut out = Vec::new();
             for &buf in &bufs {
                 out.extend(dev.read_vec(buf));

@@ -12,7 +12,7 @@ use crate::kernels::region::{launch_cfg_region, KName, Region};
 use crate::view::{V3SlabMut, V3};
 use numerics::limiter::{limited_flux, limited_flux_lanes, Limiter};
 use numerics::simd::{Lane, LANES};
-use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+use vgpu::{Buf, Device, KernelCost, Launch, StreamId, VgpuError};
 
 /// Lane width recorded on a launch: `LANES` on the SIMD x-walk, 1 on the
 /// scalar walk (informational — never priced by the cost model).
@@ -57,12 +57,12 @@ pub fn advect_scalar<R: Real>(
     v: Buf<R>,
     mw: Buf<R>,
     out: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let points = region.area(nx, ny, hw) * nz as u64;
     if points == 0 {
-        return;
+        return Ok(());
     }
     let (gdim, bdim) = launch_cfg_region(region, nx, ny, nz, hw);
     let reads = if use_shared_mem {
@@ -271,7 +271,7 @@ pub fn advect_scalar<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -290,12 +290,12 @@ pub fn advect_u<R: Real>(
     v: Buf<R>,
     mw: Buf<R>,
     out: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let points = region.area(nx, ny, hw) * nz as u64;
     if points == 0 {
-        return;
+        return Ok(());
     }
     let (gdim, bdim) = launch_cfg_region(region, nx, ny, nz, hw);
     let cost = KernelCost::streaming(points, ADV_FLOPS + 20.0, ADV_READS + 1.0, ADV_WRITES);
@@ -474,7 +474,7 @@ pub fn advect_u<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -493,12 +493,12 @@ pub fn advect_v<R: Real>(
     v: Buf<R>,
     mw: Buf<R>,
     out: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let points = region.area(nx, ny, hw) * nz as u64;
     if points == 0 {
-        return;
+        return Ok(());
     }
     let (gdim, bdim) = launch_cfg_region(region, nx, ny, nz, hw);
     let cost = KernelCost::streaming(points, ADV_FLOPS + 20.0, ADV_READS + 1.0, ADV_WRITES);
@@ -678,7 +678,7 @@ pub fn advect_v<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -697,12 +697,12 @@ pub fn advect_w<R: Real>(
     v: Buf<R>,
     mw: Buf<R>,
     out: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let points = region.area(nx, ny, hw) * (nz as u64 - 1);
     if points == 0 {
-        return;
+        return Ok(());
     }
     let (gdim, bdim) = launch_cfg_region(region, nx, ny, nz, hw);
     let cost = KernelCost::streaming(points, ADV_FLOPS + 20.0, ADV_READS + 1.0, ADV_WRITES);
@@ -873,6 +873,6 @@ pub fn advect_w<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }

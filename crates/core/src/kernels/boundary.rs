@@ -6,7 +6,7 @@
 
 use crate::view::{Dims, V3Mut};
 use numerics::Real;
-use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId};
+use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId, VgpuError};
 
 /// Which lateral side a pack/unpack touches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +25,7 @@ pub fn halo_periodic_xy<R: Real>(
     name: &'static str,
     buf: Buf<R>,
     dims: Dims,
-) {
+) -> Result<(), VgpuError> {
     let h = dims.halo as isize;
     let (nx, ny) = (dims.nx as isize, dims.ny as isize);
     let nl = dims.nl as isize;
@@ -56,7 +56,7 @@ pub fn halo_periodic_xy<R: Real>(
                 }
             }
         }
-    });
+    })
 }
 
 /// Zero-gradient vertical halo fill (mirrors
@@ -67,9 +67,9 @@ pub fn halo_zero_grad_z<R: Real>(
     name: &'static str,
     buf: Buf<R>,
     dims: Dims,
-) {
+) -> Result<(), VgpuError> {
     if dims.nl == 1 {
-        return;
+        return Ok(());
     }
     let h = dims.halo as isize;
     let (nx, ny) = (dims.nx as isize, dims.ny as isize);
@@ -90,7 +90,7 @@ pub fn halo_zero_grad_z<R: Real>(
                 }
             }
         }
-    });
+    })
 }
 
 /// Elements in one x-boundary strip (width `halo`, full padded y and l
@@ -139,7 +139,7 @@ pub fn pack_x<R: Real>(
     side: Side,
     pack: Buf<R>,
     pack_offset: usize,
-) {
+) -> Result<(), VgpuError> {
     let h = dims.halo as isize;
     let i0 = match side {
         Side::West => 0,
@@ -166,7 +166,7 @@ pub fn pack_x<R: Real>(
                 }
             }
         }
-    });
+    })
 }
 
 /// Unpack a received x strip into the halo columns — Fig. 8 step (7).
@@ -178,7 +178,7 @@ pub fn unpack_x<R: Real>(
     side: Side,
     pack: Buf<R>,
     pack_offset: usize,
-) {
+) -> Result<(), VgpuError> {
     let h = dims.halo as isize;
     let i0 = match side {
         Side::West => -h,
@@ -205,7 +205,7 @@ pub fn unpack_x<R: Real>(
                 }
             }
         }
-    });
+    })
 }
 
 #[cfg(test)]
@@ -238,7 +238,7 @@ mod tests {
         let dims = Dims::center(6, 5, 3, 2);
         let mut d = dev();
         let buf = filled(&mut d, dims);
-        halo_periodic_xy(&mut d, StreamId::DEFAULT, "halo", buf, dims);
+        halo_periodic_xy(&mut d, StreamId::DEFAULT, "halo", buf, dims).unwrap();
         let data = d.read_vec(buf);
         assert_eq!(data[dims.off(-1, 0, 0)], data[dims.off(5, 0, 0)]);
         assert_eq!(data[dims.off(6, 2, 1)], data[dims.off(0, 2, 1)]);
@@ -252,7 +252,7 @@ mod tests {
         let dims = Dims::center(4, 3, 3, 2);
         let mut d = dev();
         let buf = filled(&mut d, dims);
-        halo_zero_grad_z(&mut d, StreamId::DEFAULT, "haloz", buf, dims);
+        halo_zero_grad_z(&mut d, StreamId::DEFAULT, "haloz", buf, dims).unwrap();
         let data = d.read_vec(buf);
         assert_eq!(data[dims.off(1, 1, -1)], data[dims.off(1, 1, 0)]);
         assert_eq!(data[dims.off(1, 1, 4)], data[dims.off(1, 1, 2)]);
@@ -277,8 +277,8 @@ mod tests {
         // pack src's EAST interior strip, unpack into dst's WEST halo —
         // what a west neighbour would receive periodically.
         let pack = d.alloc(x_strip_len(dims)).unwrap();
-        pack_x(&mut d, StreamId::DEFAULT, src, dims, Side::East, pack, 0);
-        unpack_x(&mut d, StreamId::DEFAULT, dst, dims, Side::West, pack, 0);
+        pack_x(&mut d, StreamId::DEFAULT, src, dims, Side::East, pack, 0).unwrap();
+        unpack_x(&mut d, StreamId::DEFAULT, dst, dims, Side::West, pack, 0).unwrap();
         let out = d.read_vec(dst);
         let src_d = d.read_vec(src);
         for j in 0..4isize {

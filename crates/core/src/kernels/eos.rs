@@ -6,7 +6,7 @@ use crate::kernels::region::launch_cfg;
 use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use physics::eos;
-use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+use vgpu::{Buf, Device, KernelCost, Launch, StreamId, VgpuError};
 
 numerics::simd_kernel! {
 /// Linearized pressure update `p = p_ref + c2m (Θ − Θ_ref)` over the
@@ -19,7 +19,7 @@ pub fn eos_linear<R: Real>(
     th_ref: Buf<R>,
     p_ref: Buf<R>,
     p: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let dc = geom.dc;
     let h = geom.halo as isize;
     let points = dc.len() as u64;
@@ -69,7 +69,7 @@ pub fn eos_linear<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -83,7 +83,7 @@ pub fn eos_full<R: Real>(
     name: &'static str,
     th: Buf<R>,
     p: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let dc = geom.dc;
     let dp = geom.dp;
     let h = geom.halo as isize;
@@ -139,6 +139,6 @@ pub fn eos_full<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }

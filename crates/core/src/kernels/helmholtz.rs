@@ -20,7 +20,7 @@ use crate::kernels::region::{KName, Region};
 use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use physics::consts::GRAV;
-use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId};
+use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId, VgpuError};
 
 /// Inputs/outputs of the implicit vertical solve.
 pub struct HelmholtzArgs<R> {
@@ -63,12 +63,12 @@ pub fn helmholtz<R: Real>(
     beta: f64,
     dtau: f64,
     args: HelmholtzArgs<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let area = region.area(nx, ny, hw);
     if area == 0 {
-        return;
+        return Ok(());
     }
     let points = area * nz as u64;
     let (gd, bd) = column_launch(area);
@@ -497,7 +497,7 @@ pub fn helmholtz<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -516,12 +516,12 @@ pub fn density<R: Real>(
     st_rho: Buf<R>,
     w: Buf<R>,
     rho: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let points = region.area(nx, ny, hw) * nz as u64;
     if points == 0 {
-        return;
+        return Ok(());
     }
     let (gd, bd) = crate::kernels::region::launch_cfg_region(region, nx, ny, nz, hw);
     let cost = KernelCost::streaming(points, 5.0, 4.0, 1.0);
@@ -575,7 +575,7 @@ pub fn density<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -595,12 +595,12 @@ pub fn potential_temperature<R: Real>(
     st_th: Buf<R>,
     w: Buf<R>,
     th: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let points = region.area(nx, ny, hw) * nz as u64;
     if points == 0 {
-        return;
+        return Ok(());
     }
     let (gd, bd) = crate::kernels::region::launch_cfg_region(region, nx, ny, nz, hw);
     let cost = KernelCost::streaming(points, 7.0, 5.0, 1.0);
@@ -662,6 +662,6 @@ pub fn potential_temperature<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }

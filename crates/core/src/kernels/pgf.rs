@@ -9,7 +9,7 @@ use crate::kernels::advection::lane_width;
 use crate::kernels::region::{launch_cfg_region, KName, Region};
 use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
-use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+use vgpu::{Buf, Device, KernelCost, Launch, StreamId, VgpuError};
 
 numerics::simd_kernel! {
 /// `U += Δτ (−G_u ∂x p + F_U)` over `region`.
@@ -24,12 +24,12 @@ pub fn momentum_x<R: Real>(
     fu: Buf<R>,
     dtau: f64,
     u: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let points = region.area(nx, ny, hw) * nz as u64;
     if points == 0 {
-        return;
+        return Ok(());
     }
     let (gd, bd) = launch_cfg_region(region, nx, ny, nz, hw);
     let cost = KernelCost::streaming(points, 6.0, 4.0, 1.0);
@@ -82,7 +82,7 @@ pub fn momentum_x<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -99,12 +99,12 @@ pub fn momentum_y<R: Real>(
     fv_t: Buf<R>,
     dtau: f64,
     v: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let points = region.area(nx, ny, hw) * nz as u64;
     if points == 0 {
-        return;
+        return Ok(());
     }
     let (gd, bd) = launch_cfg_region(region, nx, ny, nz, hw);
     let cost = KernelCost::streaming(points, 6.0, 4.0, 1.0);
@@ -158,6 +158,6 @@ pub fn momentum_y<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }

@@ -10,7 +10,7 @@ use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use physics::eos;
 use physics::kessler::{self, PointState};
-use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+use vgpu::{Buf, Device, KernelCost, Launch, StreamId, VgpuError};
 
 numerics::simd_kernel! {
 /// Kessler warm rain over the interior; mirrors
@@ -27,7 +27,7 @@ pub fn warm_rain<R: Real>(
     qv: Buf<R>,
     qc: Buf<R>,
     qr: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let dc = geom.dc;
     let dp2 = geom.dp;
     let points = geom.points();
@@ -163,7 +163,7 @@ pub fn warm_rain<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -180,7 +180,7 @@ pub fn sediment<R: Real>(
     rho: Buf<R>,
     qr: Buf<R>,
     precip: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let dc = geom.dc;
     let dpl = geom.dp;
     let points = geom.points();
@@ -327,7 +327,7 @@ pub fn sediment<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -348,9 +348,9 @@ pub fn rayleigh<R: Real>(
     w: Buf<R>,
     th: Buf<R>,
     rho: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     if rate == 0.0 || !z_bottom.is_finite() {
-        return;
+        return Ok(());
     }
     let dc = geom.dc;
     let dw = geom.dw;
@@ -430,6 +430,6 @@ pub fn rayleigh<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }

@@ -7,7 +7,7 @@ use crate::kernels::advection::lane_width;
 use crate::kernels::region::{launch_cfg, launch_cfg_region, KName, Region};
 use crate::view::{Row, V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
-use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+use vgpu::{Buf, Device, KernelCost, Launch, StreamId, VgpuError};
 
 numerics::simd_kernel! {
 /// f-plane Coriolis: `F_U += f V̄|_u`, `F_V −= f Ū|_v`.
@@ -21,9 +21,9 @@ pub fn coriolis<R: Real>(
     v: Buf<R>,
     fu: Buf<R>,
     fv: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     if fcor == 0.0 {
-        return;
+        return Ok(());
     }
     let dc = geom.dc;
     let points = geom.points();
@@ -81,7 +81,7 @@ pub fn coriolis<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -96,9 +96,9 @@ pub fn metric_pg<R: Real>(
     p: Buf<R>,
     fu: Buf<R>,
     fv: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     if geom.flat {
-        return;
+        return Ok(());
     }
     let (dc, dp) = (geom.dc, geom.dp);
     let points = geom.points();
@@ -165,7 +165,7 @@ pub fn metric_pg<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -181,7 +181,7 @@ pub fn add_div_lin_theta<R: Real>(
     v: Buf<R>,
     w: Buf<R>,
     fth: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (dc, dw, dp) = (geom.dc, geom.dw, geom.dp);
     let points = geom.points();
     let (g, b) = launch_cfg(geom.nx as u64, geom.nz as u64);
@@ -270,7 +270,7 @@ pub fn add_div_lin_theta<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -287,9 +287,9 @@ pub fn continuity_residual<R: Real>(
     w: Buf<R>,
     mw: Buf<R>,
     frho: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     if geom.flat {
-        return;
+        return Ok(());
     }
     let (dc, dw, dp) = (geom.dc, geom.dw, geom.dp);
     let points = geom.points();
@@ -362,7 +362,7 @@ pub fn continuity_residual<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -393,9 +393,9 @@ pub fn diffuse<R: Real>(
     out: Buf<R>,
     klo: isize,
     khi: isize,
-) {
+) -> Result<(), VgpuError> {
     if kdiff == 0.0 {
-        return;
+        return Ok(());
     }
     let dims = if weight == DiffWeight::W {
         geom.dw
@@ -505,7 +505,7 @@ pub fn diffuse<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -523,12 +523,12 @@ pub fn tracer_update<R: Real>(
     q_t: Buf<R>,
     fq: Buf<R>,
     q: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz, hw) = (geom.nx, geom.ny, geom.nz, geom.halo);
     let rects = region.rects(nx, ny, hw);
     let points = region.area(nx, ny, hw) * nz as u64;
     if points == 0 {
-        return;
+        return Ok(());
     }
     let (gd, bd) = launch_cfg_region(region, nx, ny, nz, hw);
     let cost = KernelCost::streaming(points, 3.0, 2.0, 1.0);
@@ -573,6 +573,6 @@ pub fn tracer_update<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }

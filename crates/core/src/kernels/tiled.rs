@@ -20,7 +20,7 @@ use crate::kernels::advection::{advection_shared_mem_bytes, ADV_FLOPS, ADV_READS
 use crate::view::{V3SlabMut, V3};
 use numerics::limiter::{limited_flux, Limiter};
 use numerics::Real;
-use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId};
+use vgpu::{Buf, Device, Dim3, KernelCost, Launch, StreamId, VgpuError};
 
 /// Block shape of the paper's advection kernel.
 pub const BLOCK_X: usize = 64;
@@ -93,7 +93,7 @@ pub fn advect_scalar_tiled<R: Real>(
     v: Buf<R>,
     mw: Buf<R>,
     out: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (nx, ny, nz) = (geom.nx, geom.ny, geom.nz);
     assert!(
         nx % BLOCK_X == 0 && nz % BLOCK_Z == 0,
@@ -237,7 +237,7 @@ pub fn advect_scalar_tiled<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 
 #[cfg(test)]
@@ -306,7 +306,8 @@ mod tests {
             ds.v,
             ds.mw,
             ds.fth,
-        );
+        )
+        .unwrap();
         // tiled
         advect_scalar_tiled(
             &mut dev,
@@ -319,7 +320,8 @@ mod tests {
             ds.v,
             ds.mw,
             ds.frho,
-        );
+        )
+        .unwrap();
         let a = dev.read_vec(ds.fth);
         let b = dev.read_vec(ds.frho);
         let dc = geom.dc;
@@ -354,7 +356,8 @@ mod tests {
             ds.v,
             ds.mw,
             ds.fth,
-        );
+        )
+        .unwrap();
         advect_scalar_tiled(
             &mut dev,
             StreamId::DEFAULT,
@@ -366,7 +369,8 @@ mod tests {
             ds.v,
             ds.mw,
             ds.frho,
-        );
+        )
+        .unwrap();
         let a = dev.read_vec(ds.fth);
         let b = dev.read_vec(ds.frho);
         let dc = geom.dc;
@@ -404,6 +408,7 @@ mod tests {
             ds.v,
             ds.mw,
             ds.fth,
-        );
+        )
+        .unwrap();
     }
 }

@@ -13,7 +13,7 @@ use crate::kernels::region::launch_cfg;
 use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use numerics::Real;
-use vgpu::{Buf, Device, KernelCost, Launch, StreamId};
+use vgpu::{Buf, Device, KernelCost, Launch, StreamId, VgpuError};
 
 numerics::simd_kernel! {
 /// spec = Q / ρ* over the full padded box (halos must be current).
@@ -25,7 +25,7 @@ pub fn specific_center<R: Real>(
     q: Buf<R>,
     rho: Buf<R>,
     spec: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let dc = geom.dc;
     let h = geom.halo as isize;
     let points = dc.len() as u64;
@@ -64,7 +64,7 @@ pub fn specific_center<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -77,7 +77,7 @@ pub fn specific_u<R: Real>(
     u: Buf<R>,
     rho: Buf<R>,
     spec: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let dc = geom.dc;
     let h = geom.halo as isize;
     let points = dc.len() as u64;
@@ -121,7 +121,7 @@ pub fn specific_u<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -134,7 +134,7 @@ pub fn specific_v<R: Real>(
     v: Buf<R>,
     rho: Buf<R>,
     spec: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let dc = geom.dc;
     let h = geom.halo as isize;
     let points = dc.len() as u64;
@@ -182,7 +182,7 @@ pub fn specific_v<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -195,7 +195,7 @@ pub fn specific_w<R: Real>(
     w: Buf<R>,
     rho: Buf<R>,
     spec: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (dc, dw) = (geom.dc, geom.dw);
     let h = geom.halo as isize;
     let points = dw.len() as u64;
@@ -241,7 +241,7 @@ pub fn specific_w<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -257,7 +257,7 @@ pub fn mass_flux_w<R: Real>(
     v: Buf<R>,
     w: Buf<R>,
     mw: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let (dc, dw, dp) = (geom.dc, geom.dw, geom.dp);
     let nz = geom.nz;
     let points = (geom.nx + 2) as u64 * (geom.ny + 2) as u64 * (nz as u64 + 1);
@@ -386,7 +386,7 @@ pub fn mass_flux_w<R: Real>(
                 }
             }
         },
-    );
+    )
 }
 }
 
@@ -397,7 +397,7 @@ pub fn copy_buf<R: Real>(
     name: &'static str,
     src: Buf<R>,
     dst: Buf<R>,
-) {
+) -> Result<(), VgpuError> {
     let n = src.len();
     let (g, b) = launch_cfg(n as u64 / 4, 4);
     let cost = KernelCost::streaming(n as u64, 0.0, 1.0, 1.0);
@@ -411,11 +411,16 @@ pub fn copy_buf<R: Real>(
             let mut d = mem.write_slab(dst, e0..e1);
             d.copy_from_slice(&s[e0..e1]);
         },
-    );
+    )
 }
 
 /// Zero-fill a buffer (tendency clear).
-pub fn zero_buf<R: Real>(dev: &mut Device<R>, stream: StreamId, name: &'static str, buf: Buf<R>) {
+pub fn zero_buf<R: Real>(
+    dev: &mut Device<R>,
+    stream: StreamId,
+    name: &'static str,
+    buf: Buf<R>,
+) -> Result<(), VgpuError> {
     let n = buf.len();
     let (g, b) = launch_cfg(n as u64 / 4, 4);
     let cost = KernelCost::streaming(n as u64, 0.0, 0.0, 1.0);
@@ -427,5 +432,5 @@ pub fn zero_buf<R: Real>(dev: &mut Device<R>, stream: StreamId, name: &'static s
             let mut d = mem.write_slab(buf, e0..e1);
             d.fill(R::ZERO);
         },
-    );
+    )
 }

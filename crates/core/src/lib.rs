@@ -22,17 +22,22 @@
 //! * [`perf`] — GFlops accounting and report structures for the
 //!   evaluation harnesses.
 
+pub mod checkpoint;
 pub mod decomp;
+pub mod error;
 pub mod fields;
 pub mod geom;
 pub mod halo;
 pub mod kernels;
+pub mod monitor;
 pub mod multi;
 pub mod perf;
 pub mod single;
 pub mod view;
 
+pub use checkpoint::Checkpoint;
 pub use decomp::{table1_configs, Decomp, Table1Row};
+pub use error::ModelError;
 pub use fields::DeviceState;
 pub use geom::DeviceGeom;
 pub use kernels::Region;

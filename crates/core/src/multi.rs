@@ -11,7 +11,9 @@
 //!    treated as one logical kernel so the (communication-heavy) density
 //!    exchange hides under the fused computation.
 
+use crate::checkpoint::Checkpoint;
 use crate::decomp::Decomp;
+use crate::error::ModelError;
 use crate::fields::DeviceState;
 use crate::geom::DeviceGeom;
 use crate::halo::HaloExchanger;
@@ -20,13 +22,15 @@ use crate::kernels::physics as kphys;
 use crate::kernels::region::{KName, Region};
 use crate::kernels::{advection, eos, helmholtz, pgf, tend, transform};
 use crate::kname;
-use cluster::{Comm, NetworkSpec};
+use crate::monitor::GuardRails;
+use crate::single::{fault_spec_for_rank, MAX_RESTARTS};
+use cluster::{Comm, LinkFaultSpec, NetworkSpec};
 use dycore::config::ModelConfig;
 use dycore::grid::{BaseFields, Grid};
 use dycore::state::State;
 use numerics::Real;
 use physics::base::BaseState;
-use vgpu::{Device, DeviceSpec, ExecMode, StreamId};
+use vgpu::{Device, DeviceSpec, ExecMode, StreamId, VgpuError};
 
 const KN_ADV_U: KName = kname!("advection_u");
 const KN_ADV_V: KName = kname!("advection_v");
@@ -115,6 +119,37 @@ pub struct MultiGpuReport {
     pub kernel_breakdown: Vec<(String, u64, f64)>,
     /// Final prognostic states (functional mode only), rank order.
     pub final_states: Option<Vec<State>>,
+    /// Injected fault events over all ranks (ECC hits, OOM failures,
+    /// straggler slowdowns, link drops and delays).
+    pub faults_injected: u64,
+    /// Recovery actions over all ranks: ECC launch retries plus link
+    /// resend rounds.
+    pub retries: u64,
+    /// Checkpoint rollbacks performed (ranks roll back in lockstep, so
+    /// this is the per-rank count, not a sum).
+    pub restarts: u64,
+    /// Long steps whose heartbeat showed a straggling rank (max step
+    /// duration more than 3x the min).
+    pub stragglers: u64,
+    /// True when an injected allocation failure downgraded detailed
+    /// profiling instead of aborting the run.
+    pub profile_degraded: bool,
+}
+
+/// Everything one rank thread reports back to the aggregator.
+struct RankOut {
+    elapsed: f64,
+    kbusy: f64,
+    mpi_wait: f64,
+    pcie: f64,
+    flops: f64,
+    breakdown: Vec<(String, u64, f64)>,
+    final_state: Option<State>,
+    faults_injected: u64,
+    retries: u64,
+    restarts: u64,
+    stragglers: u64,
+    profile_degraded: bool,
 }
 
 /// Per-rank driver state.
@@ -143,13 +178,13 @@ impl<R: Real> MultiRank<R> {
         buf: vgpu::Buf<R>,
         dims: crate::view::Dims,
         id: u32,
-    ) {
+    ) -> Result<(), ModelError> {
         self.ex
-            .exchange(&mut self.dev, comm, self.s_y, buf, dims, id);
+            .exchange(&mut self.dev, comm, self.s_y, buf, dims, id)
     }
 
-    fn zgrad(&mut self, buf: vgpu::Buf<R>, dims: crate::view::Dims) {
-        boundary::halo_zero_grad_z(&mut self.dev, self.s_comp, "halo_z", buf, dims);
+    fn zgrad(&mut self, buf: vgpu::Buf<R>, dims: crate::view::Dims) -> Result<(), VgpuError> {
+        boundary::halo_zero_grad_z(&mut self.dev, self.s_comp, "halo_z", buf, dims)
     }
 
     /// Exchange + vertical halo of one field.
@@ -159,14 +194,15 @@ impl<R: Real> MultiRank<R> {
         buf: vgpu::Buf<R>,
         dims: crate::view::Dims,
         id: u32,
-    ) {
-        self.exchange_c(comm, buf, dims, id);
-        self.zgrad(buf, dims);
+    ) -> Result<(), ModelError> {
+        self.exchange_c(comm, buf, dims, id)?;
+        self.zgrad(buf, dims)?;
+        Ok(())
     }
 
     /// Slow tendencies (whole-domain kernels; the overlap methods target
     /// the short-step and tracer phases).
-    fn compute_slow(&mut self, comm: &mut Comm<Vec<R>>) {
+    fn compute_slow(&mut self, comm: &mut Comm<Vec<R>>) -> Result<(), ModelError> {
         let st = self.s_comp;
         let lim = self.cfg.limiter;
         let kdiff = self.cfg.k_diffusion;
@@ -179,11 +215,11 @@ impl<R: Real> MultiRank<R> {
             (self.ds.frho, "clear_frho"),
             (self.ds.fth, "clear_fth"),
         ] {
-            transform::zero_buf(&mut self.dev, st, name, buf);
+            transform::zero_buf(&mut self.dev, st, name, buf)?;
         }
         #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
-            transform::zero_buf(&mut self.dev, st, "clear_fq", self.ds.fq[t]);
+            transform::zero_buf(&mut self.dev, st, "clear_fq", self.ds.fq[t])?;
         }
 
         // The one-cell ring of mw that the advection averages read is
@@ -197,7 +233,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.v,
             self.ds.w,
             self.ds.mw,
-        );
+        )?;
 
         transform::specific_u(
             &mut self.dev,
@@ -206,8 +242,8 @@ impl<R: Real> MultiRank<R> {
             self.ds.u,
             self.ds.rho,
             self.ds.spec,
-        );
-        self.exchange_c(comm, self.ds.spec, self.geom.dc, fid::SPEC);
+        )?;
+        self.exchange_c(comm, self.ds.spec, self.geom.dc, fid::SPEC)?;
         advection::advect_u(
             &mut self.dev,
             st,
@@ -220,7 +256,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.v,
             self.ds.mw,
             self.ds.fu,
-        );
+        )?;
         tend::diffuse(
             &mut self.dev,
             st,
@@ -234,7 +270,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.fu,
             0,
             nz,
-        );
+        )?;
 
         transform::specific_v(
             &mut self.dev,
@@ -243,8 +279,8 @@ impl<R: Real> MultiRank<R> {
             self.ds.v,
             self.ds.rho,
             self.ds.spec,
-        );
-        self.exchange_c(comm, self.ds.spec, self.geom.dc, fid::SPEC);
+        )?;
+        self.exchange_c(comm, self.ds.spec, self.geom.dc, fid::SPEC)?;
         advection::advect_v(
             &mut self.dev,
             st,
@@ -257,7 +293,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.v,
             self.ds.mw,
             self.ds.fv,
-        );
+        )?;
         tend::diffuse(
             &mut self.dev,
             st,
@@ -271,7 +307,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.fv,
             0,
             nz,
-        );
+        )?;
 
         transform::specific_w(
             &mut self.dev,
@@ -280,7 +316,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.w,
             self.ds.rho,
             self.ds.spec_w,
-        );
+        )?;
         advection::advect_w(
             &mut self.dev,
             st,
@@ -293,7 +329,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.v,
             self.ds.mw,
             self.ds.fw,
-        );
+        )?;
         tend::diffuse(
             &mut self.dev,
             st,
@@ -307,7 +343,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.fw,
             1,
             nz,
-        );
+        )?;
 
         tend::coriolis(
             &mut self.dev,
@@ -318,7 +354,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.v,
             self.ds.fu,
             self.ds.fv,
-        );
+        )?;
         tend::metric_pg(
             &mut self.dev,
             st,
@@ -326,7 +362,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.p,
             self.ds.fu,
             self.ds.fv,
-        );
+        )?;
 
         transform::specific_center(
             &mut self.dev,
@@ -336,7 +372,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.th,
             self.ds.rho,
             self.ds.spec,
-        );
+        )?;
         advection::advect_scalar(
             &mut self.dev,
             st,
@@ -350,7 +386,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.v,
             self.ds.mw,
             self.ds.fth,
-        );
+        )?;
         tend::diffuse(
             &mut self.dev,
             st,
@@ -364,7 +400,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.fth,
             0,
             nz,
-        );
+        )?;
         tend::add_div_lin_theta(
             &mut self.dev,
             st,
@@ -373,7 +409,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.v,
             self.ds.w,
             self.ds.fth,
-        );
+        )?;
 
         tend::continuity_residual(
             &mut self.dev,
@@ -384,7 +420,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.w,
             self.ds.mw,
             self.ds.frho,
-        );
+        )?;
 
         // Overlap method 1 (Fig. 7): the tracer halo exchanges deferred
         // from the previous stage complete here, hidden under the
@@ -394,7 +430,7 @@ impl<R: Real> MultiRank<R> {
             #[allow(clippy::needless_range_loop)]
             for t in 0..self.ds.n_tracers {
                 let buf = self.ds.q[t];
-                self.full_halo(comm, buf, self.geom.dc, fid::Q0 + t as u32);
+                self.full_halo(comm, buf, self.geom.dc, fid::Q0 + t as u32)?;
             }
             self.tracers_pending = false;
         }
@@ -408,7 +444,7 @@ impl<R: Real> MultiRank<R> {
                 self.ds.q[t],
                 self.ds.rho,
                 self.ds.spec,
-            );
+            )?;
             advection::advect_scalar(
                 &mut self.dev,
                 st,
@@ -422,7 +458,7 @@ impl<R: Real> MultiRank<R> {
                 self.ds.v,
                 self.ds.mw,
                 self.ds.fq[t],
-            );
+            )?;
             tend::diffuse(
                 &mut self.dev,
                 st,
@@ -436,13 +472,18 @@ impl<R: Real> MultiRank<R> {
                 self.ds.fq[t],
                 0,
                 nz,
-            );
+            )?;
         }
+        Ok(())
     }
 
     /// One acoustic substep, non-overlapping: whole-domain kernels, then
     /// serial exchanges.
-    fn acoustic_substep_serial(&mut self, comm: &mut Comm<Vec<R>>, dtau: f64) {
+    fn acoustic_substep_serial(
+        &mut self,
+        comm: &mut Comm<Vec<R>>,
+        dtau: f64,
+    ) -> Result<(), ModelError> {
         let st = self.s_comp;
         pgf::momentum_x(
             &mut self.dev,
@@ -454,7 +495,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.fu,
             dtau,
             self.ds.u,
-        );
+        )?;
         pgf::momentum_y(
             &mut self.dev,
             st,
@@ -465,16 +506,16 @@ impl<R: Real> MultiRank<R> {
             self.ds.fv,
             dtau,
             self.ds.v,
-        );
-        self.exchange_c(comm, self.ds.u, self.geom.dc, fid::U);
-        self.exchange_c(comm, self.ds.v, self.geom.dc, fid::V);
-        self.helmholtz_block(Region::Whole, dtau);
+        )?;
+        self.exchange_c(comm, self.ds.u, self.geom.dc, fid::U)?;
+        self.exchange_c(comm, self.ds.v, self.geom.dc, fid::V)?;
+        self.helmholtz_block(Region::Whole, dtau)?;
         // The Helmholtz outputs travel every substep (the paper's Fig. 9
         // short-step communication rows: momentum x/y, Helmholtz (w),
         // density, potential temperature).
-        self.full_halo(comm, self.ds.th, self.geom.dc, fid::TH);
-        self.full_halo(comm, self.ds.rho, self.geom.dc, fid::RHO);
-        self.full_halo(comm, self.ds.w, self.geom.dw, fid::W);
+        self.full_halo(comm, self.ds.th, self.geom.dc, fid::TH)?;
+        self.full_halo(comm, self.ds.rho, self.geom.dc, fid::RHO)?;
+        self.full_halo(comm, self.ds.w, self.geom.dw, fid::W)?;
         eos::eos_linear(
             &mut self.dev,
             self.s_comp,
@@ -483,10 +524,11 @@ impl<R: Real> MultiRank<R> {
             self.ds.th_ref,
             self.ds.p_ref,
             self.ds.p,
-        );
+        )?;
+        Ok(())
     }
 
-    fn helmholtz_block(&mut self, region: Region, dtau: f64) {
+    fn helmholtz_block(&mut self, region: Region, dtau: f64) -> Result<(), VgpuError> {
         let st = self.s_comp;
         helmholtz::helmholtz(
             &mut self.dev,
@@ -511,7 +553,7 @@ impl<R: Real> MultiRank<R> {
                 st_rho: self.ds.spec,
                 st_th: self.ds.flux,
             },
-        );
+        )?;
         helmholtz::density(
             &mut self.dev,
             st,
@@ -523,7 +565,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.spec,
             self.ds.w,
             self.ds.rho,
-        );
+        )?;
         helmholtz::potential_temperature(
             &mut self.dev,
             st,
@@ -535,13 +577,17 @@ impl<R: Real> MultiRank<R> {
             self.ds.flux,
             self.ds.w,
             self.ds.th,
-        );
+        )
     }
 
     /// One acoustic substep with overlap methods 2 and 3 (Fig. 8): the
     /// boundary strips of every short-step variable are computed first,
     /// their exchange proceeds while the inner kernels run.
-    fn acoustic_substep_overlap(&mut self, comm: &mut Comm<Vec<R>>, dtau: f64) {
+    fn acoustic_substep_overlap(
+        &mut self,
+        comm: &mut Comm<Vec<R>>,
+        dtau: f64,
+    ) -> Result<(), ModelError> {
         // (1)+(2): boundary momentum kernels.
         for region in [Region::YBound, Region::XBound] {
             pgf::momentum_x(
@@ -554,7 +600,7 @@ impl<R: Real> MultiRank<R> {
                 self.ds.fu,
                 dtau,
                 self.ds.u,
-            );
+            )?;
             pgf::momentum_y(
                 &mut self.dev,
                 self.s_comp,
@@ -565,7 +611,7 @@ impl<R: Real> MultiRank<R> {
                 self.ds.fv,
                 dtau,
                 self.ds.v,
-            );
+            )?;
         }
         // Order streams: comm streams wait for the boundary values.
         let ev = self.dev.record_event(self.s_comp);
@@ -583,7 +629,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.fu,
             dtau,
             self.ds.u,
-        );
+        )?;
         pgf::momentum_y(
             &mut self.dev,
             self.s_comp,
@@ -594,7 +640,7 @@ impl<R: Real> MultiRank<R> {
             self.ds.fv,
             dtau,
             self.ds.v,
-        );
+        )?;
         // (5)+(6): batched exchanges on the comm streams (y carries the
         // corners, then x).
         let uv = [
@@ -609,19 +655,21 @@ impl<R: Real> MultiRank<R> {
                 id: fid::V,
             },
         ];
-        self.ex.exchange_y_many(&mut self.dev, comm, self.s_y, &uv);
-        self.ex.exchange_x_many(&mut self.dev, comm, self.s_x, &uv);
+        self.ex
+            .exchange_y_many(&mut self.dev, comm, self.s_y, &uv)?;
+        self.ex
+            .exchange_x_many(&mut self.dev, comm, self.s_x, &uv)?;
         self.dev.sync_all();
 
         // Helmholtz + fused density/θ (method 3): boundary first, then
         // exchange overlapped with the inner block.
         for region in [Region::YBound, Region::XBound] {
-            self.helmholtz_block(region, dtau);
+            self.helmholtz_block(region, dtau)?;
         }
         let ev = self.dev.record_event(self.s_comp);
         self.dev.stream_wait_event(self.s_y, ev);
         self.dev.stream_wait_event(self.s_x, ev);
-        self.helmholtz_block(Region::Inner, dtau);
+        self.helmholtz_block(Region::Inner, dtau)?;
         // Fused ρ+Θ(+w) logical-kernel exchange (overlap method 3),
         // hidden under the inner Helmholtz block.
         let thrho = [
@@ -642,13 +690,13 @@ impl<R: Real> MultiRank<R> {
             },
         ];
         self.ex
-            .exchange_y_many(&mut self.dev, comm, self.s_y, &thrho);
+            .exchange_y_many(&mut self.dev, comm, self.s_y, &thrho)?;
         self.ex
-            .exchange_x_many(&mut self.dev, comm, self.s_x, &thrho);
+            .exchange_x_many(&mut self.dev, comm, self.s_x, &thrho)?;
         self.dev.sync_all();
-        self.zgrad(self.ds.th, self.geom.dc);
-        self.zgrad(self.ds.rho, self.geom.dc);
-        self.zgrad(self.ds.w, self.geom.dw);
+        self.zgrad(self.ds.th, self.geom.dc)?;
+        self.zgrad(self.ds.rho, self.geom.dc)?;
+        self.zgrad(self.ds.w, self.geom.dw)?;
         eos::eos_linear(
             &mut self.dev,
             self.s_comp,
@@ -657,22 +705,23 @@ impl<R: Real> MultiRank<R> {
             self.ds.th_ref,
             self.ds.p_ref,
             self.ds.p,
-        );
+        )?;
+        Ok(())
     }
 
     /// One long step.
-    fn step(&mut self, comm: &mut Comm<Vec<R>>) {
+    fn step(&mut self, comm: &mut Comm<Vec<R>>) -> Result<(), ModelError> {
         let st = self.s_comp;
         let dt = self.cfg.dt;
 
-        transform::copy_buf(&mut self.dev, st, "save_rho_t", self.ds.rho, self.ds.rho_t);
-        transform::copy_buf(&mut self.dev, st, "save_u_t", self.ds.u, self.ds.u_t);
-        transform::copy_buf(&mut self.dev, st, "save_v_t", self.ds.v, self.ds.v_t);
-        transform::copy_buf(&mut self.dev, st, "save_w_t", self.ds.w, self.ds.w_t);
-        transform::copy_buf(&mut self.dev, st, "save_th_t", self.ds.th, self.ds.th_t);
+        transform::copy_buf(&mut self.dev, st, "save_rho_t", self.ds.rho, self.ds.rho_t)?;
+        transform::copy_buf(&mut self.dev, st, "save_u_t", self.ds.u, self.ds.u_t)?;
+        transform::copy_buf(&mut self.dev, st, "save_v_t", self.ds.v, self.ds.v_t)?;
+        transform::copy_buf(&mut self.dev, st, "save_w_t", self.ds.w, self.ds.w_t)?;
+        transform::copy_buf(&mut self.dev, st, "save_th_t", self.ds.th, self.ds.th_t)?;
         #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
-            transform::copy_buf(&mut self.dev, st, "save_q_t", self.ds.q[t], self.ds.q_t[t]);
+            transform::copy_buf(&mut self.dev, st, "save_q_t", self.ds.q[t], self.ds.q_t[t])?;
         }
 
         for s in 1..=3usize {
@@ -680,14 +729,14 @@ impl<R: Real> MultiRank<R> {
             let nsub = self.cfg.substeps_for_stage(s);
             let dtau = dts / nsub as f64;
 
-            self.compute_slow(comm);
+            self.compute_slow(comm)?;
             transform::copy_buf(
                 &mut self.dev,
                 st,
                 "capture_th_ref",
                 self.ds.th,
                 self.ds.th_ref,
-            );
+            )?;
             eos::eos_full(
                 &mut self.dev,
                 st,
@@ -695,13 +744,13 @@ impl<R: Real> MultiRank<R> {
                 "eos_ref",
                 self.ds.th_ref,
                 self.ds.p_ref,
-            );
+            )?;
 
-            transform::copy_buf(&mut self.dev, st, "restore_rho", self.ds.rho_t, self.ds.rho);
-            transform::copy_buf(&mut self.dev, st, "restore_u", self.ds.u_t, self.ds.u);
-            transform::copy_buf(&mut self.dev, st, "restore_v", self.ds.v_t, self.ds.v);
-            transform::copy_buf(&mut self.dev, st, "restore_w", self.ds.w_t, self.ds.w);
-            transform::copy_buf(&mut self.dev, st, "restore_th", self.ds.th_t, self.ds.th);
+            transform::copy_buf(&mut self.dev, st, "restore_rho", self.ds.rho_t, self.ds.rho)?;
+            transform::copy_buf(&mut self.dev, st, "restore_u", self.ds.u_t, self.ds.u)?;
+            transform::copy_buf(&mut self.dev, st, "restore_v", self.ds.v_t, self.ds.v)?;
+            transform::copy_buf(&mut self.dev, st, "restore_w", self.ds.w_t, self.ds.w)?;
+            transform::copy_buf(&mut self.dev, st, "restore_th", self.ds.th_t, self.ds.th)?;
             eos::eos_linear(
                 &mut self.dev,
                 st,
@@ -710,15 +759,15 @@ impl<R: Real> MultiRank<R> {
                 self.ds.th_ref,
                 self.ds.p_ref,
                 self.ds.p,
-            );
+            )?;
 
             for _ in 0..nsub {
                 match self.overlap {
-                    OverlapMode::None => self.acoustic_substep_serial(comm, dtau),
-                    OverlapMode::Overlap => self.acoustic_substep_overlap(comm, dtau),
+                    OverlapMode::None => self.acoustic_substep_serial(comm, dtau)?,
+                    OverlapMode::Overlap => self.acoustic_substep_overlap(comm, dtau)?,
                 }
             }
-            self.full_halo(comm, self.ds.w, self.geom.dw, fid::W);
+            self.full_halo(comm, self.ds.w, self.geom.dw, fid::W)?;
 
             // Tracers: overlap method 1 — the update kernel for variable
             // t+1 is issued before variable t's halo exchange blocks.
@@ -737,8 +786,8 @@ impl<R: Real> MultiRank<R> {
                             self.ds.q_t[t],
                             self.ds.fq[t],
                             self.ds.q[t],
-                        );
-                        self.full_halo(comm, self.ds.q[t], self.geom.dc, fid::Q0 + t as u32);
+                        )?;
+                        self.full_halo(comm, self.ds.q[t], self.geom.dc, fid::Q0 + t as u32)?;
                     }
                 }
                 OverlapMode::Overlap => {
@@ -758,8 +807,8 @@ impl<R: Real> MultiRank<R> {
                             self.ds.q_t[t],
                             self.ds.fq[t],
                             self.ds.q[t],
-                        );
-                        self.zgrad(self.ds.q[t], self.geom.dc);
+                        )?;
+                        self.zgrad(self.ds.q[t], self.geom.dc)?;
                     }
                     self.tracers_pending = true;
                 }
@@ -778,7 +827,7 @@ impl<R: Real> MultiRank<R> {
                 self.ds.q[0],
                 self.ds.q[1],
                 self.ds.q[2],
-            );
+            )?;
             kphys::sediment(
                 &mut self.dev,
                 st,
@@ -787,7 +836,7 @@ impl<R: Real> MultiRank<R> {
                 self.ds.rho,
                 self.ds.q[2],
                 self.ds.precip,
-            );
+            )?;
         }
         kphys::rayleigh(
             &mut self.dev,
@@ -800,19 +849,19 @@ impl<R: Real> MultiRank<R> {
             self.ds.w,
             self.ds.th,
             self.ds.rho,
-        );
+        )?;
 
         // Final halos + full EOS.
         match self.overlap {
             OverlapMode::None => {
-                self.full_halo(comm, self.ds.rho, self.geom.dc, fid::RHO);
-                self.full_halo(comm, self.ds.u, self.geom.dc, fid::U);
-                self.full_halo(comm, self.ds.v, self.geom.dc, fid::V);
-                self.full_halo(comm, self.ds.w, self.geom.dw, fid::W);
-                self.full_halo(comm, self.ds.th, self.geom.dc, fid::TH);
+                self.full_halo(comm, self.ds.rho, self.geom.dc, fid::RHO)?;
+                self.full_halo(comm, self.ds.u, self.geom.dc, fid::U)?;
+                self.full_halo(comm, self.ds.v, self.geom.dc, fid::V)?;
+                self.full_halo(comm, self.ds.w, self.geom.dw, fid::W)?;
+                self.full_halo(comm, self.ds.th, self.geom.dc, fid::TH)?;
                 #[allow(clippy::needless_range_loop)]
                 for t in 0..self.ds.n_tracers {
-                    self.full_halo(comm, self.ds.q[t], self.geom.dc, fid::Q0 + t as u32);
+                    self.full_halo(comm, self.ds.q[t], self.geom.dc, fid::Q0 + t as u32)?;
                 }
             }
             OverlapMode::Overlap => {
@@ -831,8 +880,10 @@ impl<R: Real> MultiRank<R> {
                         id: fid::V,
                     },
                 ];
-                self.ex.exchange_y_many(&mut self.dev, comm, self.s_y, &uv);
-                self.ex.exchange_x_many(&mut self.dev, comm, self.s_x, &uv);
+                self.ex
+                    .exchange_y_many(&mut self.dev, comm, self.s_y, &uv)?;
+                self.ex
+                    .exchange_x_many(&mut self.dev, comm, self.s_x, &uv)?;
                 // The physics outputs travel once the physics kernels
                 // have drained (cross-stream event ordering).
                 let ev = self.dev.record_event(self.s_comp);
@@ -855,8 +906,10 @@ impl<R: Real> MultiRank<R> {
                         id: fid::W,
                     },
                 ];
-                self.ex.exchange_y_many(&mut self.dev, comm, self.s_y, &rtw);
-                self.ex.exchange_x_many(&mut self.dev, comm, self.s_x, &rtw);
+                self.ex
+                    .exchange_y_many(&mut self.dev, comm, self.s_y, &rtw)?;
+                self.ex
+                    .exchange_x_many(&mut self.dev, comm, self.s_x, &rtw)?;
                 for (buf, dims) in [
                     (self.ds.rho, self.geom.dc),
                     (self.ds.u, self.geom.dc),
@@ -864,7 +917,7 @@ impl<R: Real> MultiRank<R> {
                     (self.ds.w, self.geom.dw),
                     (self.ds.th, self.geom.dc),
                 ] {
-                    self.zgrad(buf, dims);
+                    self.zgrad(buf, dims)?;
                 }
                 // (the deferred tracer exchanges complete at the start
                 // of the next stage's slow-tendency phase)
@@ -877,8 +930,9 @@ impl<R: Real> MultiRank<R> {
             "eos_full",
             self.ds.th,
             self.ds.p,
-        );
+        )?;
         self.dev.sync_all();
+        Ok(())
     }
 }
 
@@ -888,7 +942,17 @@ pub type InitFn = dyn Fn(usize, &Grid, &BaseFields, &mut State) + Sync;
 
 /// Run a multi-GPU simulation; `init` receives (rank, local grid,
 /// base fields, state-at-rest) and may modify the state.
-pub fn run_multi<R: Real>(mc: &MultiGpuConfig, init: &InitFn) -> MultiGpuReport {
+///
+/// With `local_cfg.fault` set, the run arms deterministic fault
+/// injection *after* initialization (setup is never faulted and the
+/// per-op schedules are independent of init): ECC launch retries and
+/// straggler slowdowns on the device, drop/delay schedules on the
+/// links, and an optional one-shot rank death that forces a lockstep
+/// rollback to the last checkpoint on every rank.
+pub fn run_multi<R: Real>(
+    mc: &MultiGpuConfig,
+    init: &InitFn,
+) -> Result<MultiGpuReport, ModelError> {
     let decomp = Decomp::disjoint(
         mc.px,
         mc.py,
@@ -899,155 +963,299 @@ pub fn run_multi<R: Real>(mc: &MultiGpuConfig, init: &InitFn) -> MultiGpuReport 
     let ranks = decomp.ranks();
     let (gnx, gny) = decomp.global_disjoint();
 
-    #[allow(clippy::type_complexity)]
-    let results: Vec<(
-        f64,
-        f64,
-        f64,
-        f64,
-        f64,
-        Vec<(String, u64, f64)>,
-        Option<State>,
-    )> = cluster::spawn_ranks::<Vec<R>, _, _>(ranks, mc.net, |mut comm| {
-        let rank = comm.rank();
-        let (x0, y0) = decomp.origin_disjoint(rank);
-        let grid = Grid::build_sub(&mc.local_cfg, x0, y0, gnx, gny);
-        let functional = mc.mode == ExecMode::Functional;
-        let threads = if mc.local_cfg.threads == 0 {
-            numerics::par::default_threads()
-        } else {
-            mc.local_cfg.threads
-        };
-        let simd = mc
-            .local_cfg
-            .simd
-            .unwrap_or_else(numerics::simd::default_enabled);
-        let mut dev = Device::<R>::new(
-            mc.spec
-                .clone()
-                .with_host_threads(threads)
-                .with_host_simd(simd),
-            mc.mode,
-        );
-        // Detailed records only where the breakdown harness reads
-        // them (rank 0); totals accumulate everywhere.
-        dev.profiler.set_detailed(mc.detailed_profile && rank == 0);
-        // Host base fields are only materialized when the run is
-        // functional; paper-scale phantom runs skip the (large)
-        // 3-D host arrays entirely.
-        let base = if functional {
-            let profile = BaseState {
-                profile: mc.local_cfg.base,
-                p_surface: physics::consts::P00,
+    let results = cluster::try_spawn_ranks::<Vec<R>, Result<RankOut, ModelError>, _>(
+        ranks,
+        mc.net,
+        |mut comm| {
+            let rank = comm.rank();
+            let (x0, y0) = decomp.origin_disjoint(rank);
+            let grid = Grid::build_sub(&mc.local_cfg, x0, y0, gnx, gny);
+            let functional = mc.mode == ExecMode::Functional;
+            let threads = if mc.local_cfg.threads == 0 {
+                numerics::par::default_threads()
+            } else {
+                mc.local_cfg.threads
             };
-            Some(BaseFields::build(&grid, &profile))
-        } else {
-            None
-        };
-        let geom = match &base {
-            Some(b) => DeviceGeom::build(&mut dev, &grid, b),
-            None => DeviceGeom::build_phantom(&mut dev, &grid),
-        };
-        let ds = DeviceState::alloc(&mut dev, &geom, mc.local_cfg.n_tracers)
-            .expect("subdomain does not fit in device memory");
-        let s_y = dev.create_stream();
-        let s_x = dev.create_stream();
-        let ex = HaloExchanger::new(&mut dev, &decomp.topo, rank, geom.dc, geom.dw);
+            let simd = mc
+                .local_cfg
+                .simd
+                .unwrap_or_else(numerics::simd::default_enabled);
+            let mut dev = Device::<R>::new(
+                mc.spec
+                    .clone()
+                    .with_host_threads(threads)
+                    .with_host_simd(simd),
+                mc.mode,
+            );
+            // Detailed records only where the breakdown harness reads
+            // them (rank 0); totals accumulate everywhere.
+            dev.profiler.set_detailed(mc.detailed_profile && rank == 0);
+            // Host base fields are only materialized when the run is
+            // functional; paper-scale phantom runs skip the (large)
+            // 3-D host arrays entirely.
+            let base = if functional {
+                let profile = BaseState {
+                    profile: mc.local_cfg.base,
+                    p_surface: physics::consts::P00,
+                };
+                Some(BaseFields::build(&grid, &profile))
+            } else {
+                None
+            };
+            let geom = match &base {
+                Some(b) => DeviceGeom::build(&mut dev, &grid, b),
+                None => DeviceGeom::build_phantom(&mut dev, &grid),
+            };
+            let ds = DeviceState::alloc(&mut dev, &geom, mc.local_cfg.n_tracers)?;
+            let s_y = dev.create_stream();
+            let s_x = dev.create_stream();
+            let ex = HaloExchanger::new(&mut dev, &decomp.topo, rank, geom.dc, geom.dw);
 
-        let mut mr = MultiRank {
-            cfg: mc.local_cfg.clone(),
-            grid,
-            dev,
-            geom,
-            ds,
-            ex,
-            s_comp: StreamId::DEFAULT,
-            s_y,
-            s_x,
-            overlap: mc.overlap,
-            tracers_pending: false,
-        };
+            let mut mr = MultiRank {
+                cfg: mc.local_cfg.clone(),
+                grid,
+                dev,
+                geom,
+                ds,
+                ex,
+                s_comp: StreamId::DEFAULT,
+                s_y,
+                s_x,
+                overlap: mc.overlap,
+                tracers_pending: false,
+            };
 
-        // Initial condition on the host, then upload.
-        if let Some(b) = &base {
-            let mut s = State::zeros(&mr.grid, mc.local_cfg.n_tracers);
-            dycore::model::install_base_state(&mr.grid, b, &mut s);
-            s.fill_halos_periodic();
-            init(rank, &mr.grid, b, &mut s);
-            mr.ds.upload(&mut mr.dev, &mr.geom, &s);
-        } else {
-            mr.ds.upload_phantom(&mut mr.dev, &mr.geom);
+            // Initial condition on the host, then upload.
+            if let Some(b) = &base {
+                let mut s = State::zeros(&mr.grid, mc.local_cfg.n_tracers);
+                dycore::model::install_base_state(&mr.grid, b, &mut s);
+                s.fill_halos_periodic();
+                init(rank, &mr.grid, b, &mut s);
+                mr.ds.upload(&mut mr.dev, &mr.geom, &s);
+            } else {
+                mr.ds.upload_phantom(&mut mr.dev, &mr.geom);
+            }
+            // Initial halo consistency + EOS.
+            mr.full_halo(&mut comm, mr.ds.rho, mr.geom.dc, fid::RHO)?;
+            mr.full_halo(&mut comm, mr.ds.u, mr.geom.dc, fid::U)?;
+            mr.full_halo(&mut comm, mr.ds.v, mr.geom.dc, fid::V)?;
+            mr.full_halo(&mut comm, mr.ds.w, mr.geom.dw, fid::W)?;
+            mr.full_halo(&mut comm, mr.ds.th, mr.geom.dc, fid::TH)?;
+            for t in 0..mr.ds.n_tracers {
+                let buf = mr.ds.q[t];
+                mr.full_halo(&mut comm, buf, mr.geom.dc, fid::Q0 + t as u32)?;
+            }
+            eos::eos_full(
+                &mut mr.dev,
+                mr.s_comp,
+                &mr.geom,
+                "eos_full",
+                mr.ds.th,
+                mr.ds.p,
+            )?;
+            mr.dev.sync_all();
+
+            // Robustness machinery allocates during setup (before fault
+            // plans arm), so its buffers can never be failed by
+            // injection.
+            let cp_every = mc.local_cfg.checkpoint_every;
+            let guard_every = mc.local_cfg.guard_every;
+            let guard = if guard_every > 0 {
+                Some(GuardRails::new(&mut mr.dev, &mr.geom)?)
+            } else {
+                None
+            };
+            let mut last_cp = if cp_every > 0 {
+                Some(Checkpoint::capture(&mut mr.dev, &mr.ds, &mr.geom, 0, 0.0))
+            } else {
+                None
+            };
+
+            // Arm the fault schedules only now: initialization is never
+            // injected, and op-index -> draw mapping starts from the
+            // first measured step regardless of init details.
+            let fault = mc.local_cfg.fault;
+            let mut profile_degraded = false;
+            if let Some(f) = &fault {
+                mr.dev.set_fault_plan(fault_spec_for_rank(f, rank));
+                comm.enable_link_faults(LinkFaultSpec {
+                    drop_rate: f.drop_rate,
+                    delay_rate: f.delay_rate,
+                    delay_s: f.delay_s,
+                    ..LinkFaultSpec::quiet(f.seed)
+                });
+                // Graceful degradation: probe one scratch allocation
+                // under the armed plan; on an injected OOM, drop the
+                // (memory-hungry) detailed profiling instead of dying.
+                if let Err(VgpuError::Oom { injected: true, .. }) =
+                    mr.dev.alloc(boundary::x_strip_len(mr.geom.dc))
+                {
+                    profile_degraded = true;
+                    mr.dev.profiler.set_detailed(false);
+                }
+            }
+
+            // Measure only the time-step loop (the paper's benchmarks
+            // exclude initialization).
+            mr.dev.profiler.reset();
+            mr.ex.stats = Default::default();
+            let t_start = mr.dev.host_time();
+
+            let target = mc.steps as u64;
+            let dt = mc.local_cfg.dt;
+            let (dx, dy, dzeta) = (mc.local_cfg.dx, mc.local_cfg.dy, mc.local_cfg.dzeta());
+            let mut step_idx: u64 = 0;
+            let mut restarts: u64 = 0;
+            let mut stragglers: u64 = 0;
+            // One-shot (rank, after-step) death, consumed on first
+            // trigger so the replayed steps do not re-kill the rank.
+            let mut death_pending = fault.as_ref().and_then(|f| f.death);
+
+            while step_idx < target {
+                let busy0 = mr.dev.profiler.flops_and_time().1;
+                mr.step(&mut comm)?;
+                step_idx += 1;
+                // Kernel-busy delta, not wall duration: halo exchanges
+                // synchronize the ranks every step, so wall durations
+                // equalize and would hide a straggler.
+                let busy = mr.dev.profiler.flops_and_time().1 - busy0;
+
+                if let Some(f) = &fault {
+                    // End-of-step heartbeat: [death flag, kernel-busy
+                    // seconds] from every rank. Gated on fault injection
+                    // being armed so fault-free runs keep the exact
+                    // baseline timeline.
+                    let flag = if death_pending == Some((rank, step_idx)) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    let now = mr.dev.host_time();
+                    let (hb, now2) = comm.allgather_f64(vec![flag, busy], now)?;
+                    mr.dev.host_at_least(now2);
+                    let (mut dmin, mut dmax) = (f64::INFINITY, 0.0f64);
+                    let mut died = false;
+                    for h in &hb {
+                        died |= h[0] != 0.0;
+                        dmin = dmin.min(h[1]);
+                        dmax = dmax.max(h[1]);
+                    }
+                    if dmax > 3.0 * dmin {
+                        stragglers += 1;
+                    }
+                    if died {
+                        // Every rank saw the flag; consume the death and
+                        // roll back in lockstep.
+                        death_pending = None;
+                        let cp =
+                            last_cp
+                                .as_ref()
+                                .ok_or(ModelError::Gpu(VgpuError::DeviceLost {
+                                    op_index: step_idx,
+                                    kernel: "rank_death",
+                                }))?;
+                        if restarts >= MAX_RESTARTS {
+                            return Err(ModelError::Gpu(VgpuError::DeviceLost {
+                                op_index: step_idx,
+                                kernel: "rank_death",
+                            }));
+                        }
+                        if flag != 0.0 {
+                            // The dying rank pays the respawn cost on
+                            // its virtual clock; peers absorb it through
+                            // subsequent message timing.
+                            mr.dev.host_advance(f.respawn_penalty_s);
+                        }
+                        cp.restore(&mut mr.dev, &mr.ds, &mr.geom);
+                        step_idx = cp.step;
+                        restarts += 1;
+                        continue;
+                    }
+                }
+
+                if guard_every > 0 && step_idx.is_multiple_of(guard_every) {
+                    if let Some(g) = &guard {
+                        g.check(&mut mr.dev, &mr.ds, &mr.geom, step_idx, dt, dx, dy, dzeta)?;
+                    }
+                }
+                if cp_every > 0 && step_idx.is_multiple_of(cp_every) {
+                    last_cp = Some(Checkpoint::capture(
+                        &mut mr.dev,
+                        &mr.ds,
+                        &mr.geom,
+                        step_idx,
+                        step_idx as f64 * dt,
+                    ));
+                }
+            }
+            let elapsed = mr.dev.host_time() - t_start;
+
+            let (flops, kbusy) = mr.dev.profiler.flops_and_time();
+            let pcie = mr.dev.profiler.total_copy_time;
+            let breakdown: Vec<(String, u64, f64)> = mr
+                .dev
+                .profiler
+                .by_name()
+                .into_iter()
+                .map(|a| (a.name.to_string(), a.calls, a.seconds))
+                .collect();
+            let final_state = if mc.mode == ExecMode::Functional {
+                let mut out = State::zeros(&mr.grid, mc.local_cfg.n_tracers);
+                mr.ds.download(&mut mr.dev, &mr.geom, &mut out);
+                Some(out)
+            } else {
+                None
+            };
+            let fs = mr.dev.fault_stats();
+            let ls = comm.link_stats();
+            Ok(RankOut {
+                elapsed,
+                kbusy,
+                mpi_wait: mr.ex.stats.mpi_wait_s,
+                pcie,
+                flops,
+                breakdown,
+                final_state,
+                faults_injected: fs.ecc_events
+                    + fs.oom_injected
+                    + fs.stragglers
+                    + ls.drops_injected
+                    + ls.delays_injected,
+                retries: fs.ecc_retries + ls.resends,
+                restarts,
+                stragglers,
+                profile_degraded,
+            })
+        },
+    );
+
+    let mut outs = Vec::with_capacity(ranks);
+    for r in results {
+        match r {
+            Ok(Ok(out)) => outs.push(out),
+            Ok(Err(e)) => return Err(e),
+            Err(fail) => return Err(ModelError::Rank(fail)),
         }
-        // Initial halo consistency + EOS.
-        mr.full_halo(&mut comm, mr.ds.rho, mr.geom.dc, fid::RHO);
-        mr.full_halo(&mut comm, mr.ds.u, mr.geom.dc, fid::U);
-        mr.full_halo(&mut comm, mr.ds.v, mr.geom.dc, fid::V);
-        mr.full_halo(&mut comm, mr.ds.w, mr.geom.dw, fid::W);
-        mr.full_halo(&mut comm, mr.ds.th, mr.geom.dc, fid::TH);
-        for t in 0..mr.ds.n_tracers {
-            let buf = mr.ds.q[t];
-            mr.full_halo(&mut comm, buf, mr.geom.dc, fid::Q0 + t as u32);
-        }
-        eos::eos_full(
-            &mut mr.dev,
-            mr.s_comp,
-            &mr.geom,
-            "eos_full",
-            mr.ds.th,
-            mr.ds.p,
-        );
-        mr.dev.sync_all();
+    }
 
-        // Measure only the time-step loop (the paper's benchmarks
-        // exclude initialization).
-        mr.dev.profiler.reset();
-        mr.ex.stats = Default::default();
-        let t_start = mr.dev.host_time();
-        for _ in 0..mc.steps {
-            mr.step(&mut comm);
-        }
-        let elapsed = mr.dev.host_time() - t_start;
-
-        let (flops, kbusy) = mr.dev.profiler.flops_and_time();
-        let pcie = mr.dev.profiler.total_copy_time;
-        let breakdown: Vec<(String, u64, f64)> = mr
-            .dev
-            .profiler
-            .by_name()
-            .into_iter()
-            .map(|a| (a.name.to_string(), a.calls, a.seconds))
-            .collect();
-        let final_state = if mc.mode == ExecMode::Functional {
-            let mut out = State::zeros(&mr.grid, mc.local_cfg.n_tracers);
-            mr.ds.download(&mut mr.dev, &mr.geom, &mut out);
-            Some(out)
-        } else {
-            None
-        };
-        (
-            elapsed,
-            kbusy,
-            mr.ex.stats.mpi_wait_s,
-            pcie,
-            flops,
-            breakdown,
-            final_state,
-        )
-    });
-
-    let total_time_s = results.iter().map(|r| r.0).fold(0.0f64, f64::max);
-    let compute_s = results.iter().map(|r| r.1).fold(0.0f64, f64::max);
-    let mpi_s = results.iter().map(|r| r.2).fold(0.0f64, f64::max);
-    let pcie_s = results.iter().map(|r| r.3).fold(0.0f64, f64::max);
-    let total_flops: f64 = results.iter().map(|r| r.4).sum();
-    let kernel_breakdown = results[0].5.clone();
+    let total_time_s = outs.iter().map(|r| r.elapsed).fold(0.0f64, f64::max);
+    let compute_s = outs.iter().map(|r| r.kbusy).fold(0.0f64, f64::max);
+    let mpi_s = outs.iter().map(|r| r.mpi_wait).fold(0.0f64, f64::max);
+    let pcie_s = outs.iter().map(|r| r.pcie).fold(0.0f64, f64::max);
+    let total_flops: f64 = outs.iter().map(|r| r.flops).sum();
+    let kernel_breakdown = outs[0].breakdown.clone();
+    let faults_injected: u64 = outs.iter().map(|r| r.faults_injected).sum();
+    let retries: u64 = outs.iter().map(|r| r.retries).sum();
+    let restarts = outs.iter().map(|r| r.restarts).max().unwrap_or(0);
+    let stragglers = outs.iter().map(|r| r.stragglers).max().unwrap_or(0);
+    let profile_degraded = outs.iter().any(|r| r.profile_degraded);
     let final_states: Option<Vec<State>> = if mc.mode == ExecMode::Functional {
-        Some(results.into_iter().map(|r| r.6.unwrap()).collect())
+        Some(outs.into_iter().map(|r| r.final_state.unwrap()).collect())
     } else {
         None
     };
 
-    MultiGpuReport {
+    Ok(MultiGpuReport {
         ranks,
         steps: mc.steps,
         total_time_s,
@@ -1062,5 +1270,10 @@ pub fn run_multi<R: Real>(mc: &MultiGpuConfig, init: &InitFn) -> MultiGpuReport 
         },
         kernel_breakdown,
         final_states,
-    }
+        faults_injected,
+        retries,
+        restarts,
+        stragglers,
+        profile_degraded,
+    })
 }

@@ -6,18 +6,38 @@
 //! structure mirrors `dycore::Model::step` so the two implementations
 //! agree to round-off (the paper's §I claim).
 
+use crate::checkpoint::Checkpoint;
+use crate::error::ModelError;
 use crate::fields::DeviceState;
 use crate::geom::DeviceGeom;
 use crate::kernels::physics as kphys;
 use crate::kernels::region::{KName, Region};
 use crate::kernels::{advection, boundary, eos, helmholtz, pgf, tend, transform};
 use crate::kname;
-use dycore::config::ModelConfig;
+use crate::monitor::GuardRails;
+use dycore::config::{FaultConfig, ModelConfig};
 use dycore::grid::{BaseFields, Grid};
 use dycore::state::State;
 use numerics::Real;
 use physics::base::BaseState;
-use vgpu::{Device, DeviceSpec, ExecMode, StreamId};
+use vgpu::{Device, DeviceSpec, ExecMode, FaultSpec, StreamId, VgpuError};
+
+/// Map the pure-data [`FaultConfig`] onto a device-level fault schedule
+/// for one rank (shared by the single- and multi-GPU drivers).
+pub fn fault_spec_for_rank(f: &FaultConfig, rank: usize) -> FaultSpec {
+    let mut s = FaultSpec::quiet(f.seed, rank as u64);
+    s.ecc_rate = f.ecc_rate;
+    s.oom_rate = f.oom_rate;
+    if f.straggler_rank == Some(rank) {
+        s.straggler_rate = 1.0;
+        s.straggler_slowdown = f.straggler_slowdown;
+    }
+    s
+}
+
+/// Restart attempts a driver makes from its last checkpoint before
+/// giving up on a persistently failing device.
+pub const MAX_RESTARTS: u64 = 8;
 
 const KN_ADV_U: KName = kname!("advection_u");
 const KN_ADV_V: KName = kname!("advection_v");
@@ -57,6 +77,12 @@ pub struct SingleGpu<R: Real> {
     pub ds: DeviceState<R>,
     pub time: f64,
     pub steps_taken: u64,
+    /// Guard-rail scanner (present when `cfg.guard_every > 0`).
+    guard: Option<GuardRails<R>>,
+    /// Last checkpoint (kept when `cfg.checkpoint_every > 0`).
+    last_checkpoint: Option<Checkpoint<R>>,
+    /// Restarts performed after injected device loss.
+    pub restarts: u64,
 }
 
 impl<R: Real> SingleGpu<R> {
@@ -98,20 +124,33 @@ impl<R: Real> SingleGpu<R> {
             ds,
             time: 0.0,
             steps_taken: 0,
+            guard: None,
+            last_checkpoint: None,
+            restarts: 0,
         };
+        if this.cfg.guard_every > 0 {
+            this.guard =
+                Some(GuardRails::new(&mut this.dev, &this.geom).expect("guard stats do not fit"));
+        }
         // Resting base state, then upload (Fig. 1 "Initial data").
         let mut s = State::zeros(&this.grid, this.cfg.n_tracers);
         dycore::model::install_base_state(&this.grid, &this.base, &mut s);
         s.fill_halos_periodic();
-        this.load_state(&s);
+        this.load_state(&s).expect("initial state upload failed");
+        // The fault schedule arms only after initialization, so setup
+        // work is never subject to injection and the op-index → decision
+        // mapping stays independent of init details.
+        if let Some(f) = this.cfg.fault {
+            this.dev.set_fault_plan(fault_spec_for_rank(&f, 0));
+        }
         this
     }
 
     /// Upload a host state (initial condition) into the device.
-    pub fn load_state(&mut self, s: &State) {
+    pub fn load_state(&mut self, s: &State) -> Result<(), ModelError> {
         self.ds.upload(&mut self.dev, &self.geom, s);
         // Halos + full EOS once on device.
-        self.fill_all_halos();
+        self.fill_all_halos()?;
         eos::eos_full(
             &mut self.dev,
             StreamId::DEFAULT,
@@ -119,7 +158,8 @@ impl<R: Real> SingleGpu<R> {
             "eos_full",
             self.ds.th,
             self.ds.p,
-        );
+        )?;
+        Ok(())
     }
 
     /// Download the prognostics into a host state (Fig. 1 "Output").
@@ -127,28 +167,34 @@ impl<R: Real> SingleGpu<R> {
         self.ds.download(&mut self.dev, &self.geom, s);
     }
 
-    fn fill_halo_field(&mut self, buf: vgpu::Buf<R>, dims: crate::view::Dims, name: &'static str) {
-        boundary::halo_periodic_xy(&mut self.dev, StreamId::DEFAULT, name, buf, dims);
-        boundary::halo_zero_grad_z(&mut self.dev, StreamId::DEFAULT, name, buf, dims);
+    fn fill_halo_field(
+        &mut self,
+        buf: vgpu::Buf<R>,
+        dims: crate::view::Dims,
+        name: &'static str,
+    ) -> Result<(), VgpuError> {
+        boundary::halo_periodic_xy(&mut self.dev, StreamId::DEFAULT, name, buf, dims)?;
+        boundary::halo_zero_grad_z(&mut self.dev, StreamId::DEFAULT, name, buf, dims)
     }
 
-    fn fill_all_halos(&mut self) {
+    fn fill_all_halos(&mut self) -> Result<(), VgpuError> {
         let (dc, dw) = (self.geom.dc, self.geom.dw);
-        self.fill_halo_field(self.ds.rho, dc, "halo_rho");
-        self.fill_halo_field(self.ds.u, dc, "halo_u");
-        self.fill_halo_field(self.ds.v, dc, "halo_v");
-        self.fill_halo_field(self.ds.w, dw, "halo_w");
-        self.fill_halo_field(self.ds.th, dc, "halo_theta");
-        self.fill_halo_field(self.ds.p, dc, "halo_p");
+        self.fill_halo_field(self.ds.rho, dc, "halo_rho")?;
+        self.fill_halo_field(self.ds.u, dc, "halo_u")?;
+        self.fill_halo_field(self.ds.v, dc, "halo_v")?;
+        self.fill_halo_field(self.ds.w, dw, "halo_w")?;
+        self.fill_halo_field(self.ds.th, dc, "halo_theta")?;
+        self.fill_halo_field(self.ds.p, dc, "halo_p")?;
         #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
-            self.fill_halo_field(self.ds.q[t], dc, "halo_q");
+            self.fill_halo_field(self.ds.q[t], dc, "halo_q")?;
         }
+        Ok(())
     }
 
     /// Compute all slow tendencies from the current prognostics
     /// (mirrors `dycore::tendency::compute_slow`).
-    fn compute_slow_tendencies(&mut self) {
+    fn compute_slow_tendencies(&mut self) -> Result<(), VgpuError> {
         let st = StreamId::DEFAULT;
         let g = &self.geom;
         let ds = &self.ds;
@@ -163,11 +209,11 @@ impl<R: Real> SingleGpu<R> {
             (ds.frho, "clear_frho"),
             (ds.fth, "clear_fth"),
         ] {
-            transform::zero_buf(&mut self.dev, st, name, buf);
+            transform::zero_buf(&mut self.dev, st, name, buf)?;
         }
         #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
-            transform::zero_buf(&mut self.dev, st, "clear_fq", self.ds.fq[t]);
+            transform::zero_buf(&mut self.dev, st, "clear_fq", self.ds.fq[t])?;
         }
 
         transform::mass_flux_w(
@@ -178,8 +224,8 @@ impl<R: Real> SingleGpu<R> {
             self.ds.v,
             self.ds.w,
             self.ds.mw,
-        );
-        boundary::halo_periodic_xy(&mut self.dev, st, "halo_mw", self.ds.mw, self.geom.dw);
+        )?;
+        boundary::halo_periodic_xy(&mut self.dev, st, "halo_mw", self.ds.mw, self.geom.dw)?;
 
         // Momentum advection + diffusion (staggered specific velocities
         // get a lateral halo refresh; see dycore::tendency for why).
@@ -190,8 +236,8 @@ impl<R: Real> SingleGpu<R> {
             self.ds.u,
             self.ds.rho,
             self.ds.spec,
-        );
-        boundary::halo_periodic_xy(&mut self.dev, st, "halo_spec", self.ds.spec, self.geom.dc);
+        )?;
+        boundary::halo_periodic_xy(&mut self.dev, st, "halo_spec", self.ds.spec, self.geom.dc)?;
         advection::advect_u(
             &mut self.dev,
             st,
@@ -204,7 +250,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.v,
             self.ds.mw,
             self.ds.fu,
-        );
+        )?;
         tend::diffuse(
             &mut self.dev,
             st,
@@ -218,7 +264,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.fu,
             0,
             nz,
-        );
+        )?;
 
         transform::specific_v(
             &mut self.dev,
@@ -227,8 +273,8 @@ impl<R: Real> SingleGpu<R> {
             self.ds.v,
             self.ds.rho,
             self.ds.spec,
-        );
-        boundary::halo_periodic_xy(&mut self.dev, st, "halo_spec", self.ds.spec, self.geom.dc);
+        )?;
+        boundary::halo_periodic_xy(&mut self.dev, st, "halo_spec", self.ds.spec, self.geom.dc)?;
         advection::advect_v(
             &mut self.dev,
             st,
@@ -241,7 +287,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.v,
             self.ds.mw,
             self.ds.fv,
-        );
+        )?;
         tend::diffuse(
             &mut self.dev,
             st,
@@ -255,7 +301,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.fv,
             0,
             nz,
-        );
+        )?;
 
         transform::specific_w(
             &mut self.dev,
@@ -264,7 +310,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.w,
             self.ds.rho,
             self.ds.spec_w,
-        );
+        )?;
         advection::advect_w(
             &mut self.dev,
             st,
@@ -277,7 +323,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.v,
             self.ds.mw,
             self.ds.fw,
-        );
+        )?;
         tend::diffuse(
             &mut self.dev,
             st,
@@ -291,7 +337,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.fw,
             1,
             nz,
-        );
+        )?;
 
         tend::coriolis(
             &mut self.dev,
@@ -302,7 +348,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.v,
             self.ds.fu,
             self.ds.fv,
-        );
+        )?;
         tend::metric_pg(
             &mut self.dev,
             st,
@@ -310,7 +356,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.p,
             self.ds.fu,
             self.ds.fv,
-        );
+        )?;
 
         // Θ: advection + deviation diffusion + linear-divergence credit.
         transform::specific_center(
@@ -321,7 +367,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.th,
             self.ds.rho,
             self.ds.spec,
-        );
+        )?;
         advection::advect_scalar(
             &mut self.dev,
             st,
@@ -335,7 +381,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.v,
             self.ds.mw,
             self.ds.fth,
-        );
+        )?;
         tend::diffuse(
             &mut self.dev,
             st,
@@ -349,7 +395,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.fth,
             0,
             nz,
-        );
+        )?;
         tend::add_div_lin_theta(
             &mut self.dev,
             st,
@@ -358,7 +404,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.v,
             self.ds.w,
             self.ds.fth,
-        );
+        )?;
 
         // ρ*: terrain metric residual.
         tend::continuity_residual(
@@ -370,7 +416,7 @@ impl<R: Real> SingleGpu<R> {
             self.ds.w,
             self.ds.mw,
             self.ds.frho,
-        );
+        )?;
 
         // Tracers ("13 variables related to water substances").
         #[allow(clippy::needless_range_loop)]
@@ -383,7 +429,7 @@ impl<R: Real> SingleGpu<R> {
                 self.ds.q[t],
                 self.ds.rho,
                 self.ds.spec,
-            );
+            )?;
             advection::advect_scalar(
                 &mut self.dev,
                 st,
@@ -397,7 +443,7 @@ impl<R: Real> SingleGpu<R> {
                 self.ds.v,
                 self.ds.mw,
                 self.ds.fq[t],
-            );
+            )?;
             tend::diffuse(
                 &mut self.dev,
                 st,
@@ -411,25 +457,26 @@ impl<R: Real> SingleGpu<R> {
                 self.ds.fq[t],
                 0,
                 nz,
-            );
+            )?;
         }
         let _ = ds;
+        Ok(())
     }
 
     /// One long (RK3 + acoustic) step on the device.
-    pub fn step(&mut self) {
+    pub fn step(&mut self) -> Result<(), ModelError> {
         let st = StreamId::DEFAULT;
         let dt = self.cfg.dt;
 
         // Keep the time-t copies on device.
-        transform::copy_buf(&mut self.dev, st, "save_rho_t", self.ds.rho, self.ds.rho_t);
-        transform::copy_buf(&mut self.dev, st, "save_u_t", self.ds.u, self.ds.u_t);
-        transform::copy_buf(&mut self.dev, st, "save_v_t", self.ds.v, self.ds.v_t);
-        transform::copy_buf(&mut self.dev, st, "save_w_t", self.ds.w, self.ds.w_t);
-        transform::copy_buf(&mut self.dev, st, "save_th_t", self.ds.th, self.ds.th_t);
+        transform::copy_buf(&mut self.dev, st, "save_rho_t", self.ds.rho, self.ds.rho_t)?;
+        transform::copy_buf(&mut self.dev, st, "save_u_t", self.ds.u, self.ds.u_t)?;
+        transform::copy_buf(&mut self.dev, st, "save_v_t", self.ds.v, self.ds.v_t)?;
+        transform::copy_buf(&mut self.dev, st, "save_w_t", self.ds.w, self.ds.w_t)?;
+        transform::copy_buf(&mut self.dev, st, "save_th_t", self.ds.th, self.ds.th_t)?;
         #[allow(clippy::needless_range_loop)]
         for t in 0..self.ds.n_tracers {
-            transform::copy_buf(&mut self.dev, st, "save_q_t", self.ds.q[t], self.ds.q_t[t]);
+            transform::copy_buf(&mut self.dev, st, "save_q_t", self.ds.q[t], self.ds.q_t[t])?;
         }
 
         for s in 1..=3usize {
@@ -439,14 +486,14 @@ impl<R: Real> SingleGpu<R> {
 
             // Slow tendencies + linearization reference from the latest
             // stage state (the prognostics currently on device).
-            self.compute_slow_tendencies();
+            self.compute_slow_tendencies()?;
             transform::copy_buf(
                 &mut self.dev,
                 st,
                 "capture_th_ref",
                 self.ds.th,
                 self.ds.th_ref,
-            );
+            )?;
             eos::eos_full(
                 &mut self.dev,
                 st,
@@ -454,14 +501,14 @@ impl<R: Real> SingleGpu<R> {
                 "eos_ref",
                 self.ds.th_ref,
                 self.ds.p_ref,
-            );
+            )?;
 
             // Restart the acoustic integration from time t.
-            transform::copy_buf(&mut self.dev, st, "restore_rho", self.ds.rho_t, self.ds.rho);
-            transform::copy_buf(&mut self.dev, st, "restore_u", self.ds.u_t, self.ds.u);
-            transform::copy_buf(&mut self.dev, st, "restore_v", self.ds.v_t, self.ds.v);
-            transform::copy_buf(&mut self.dev, st, "restore_w", self.ds.w_t, self.ds.w);
-            transform::copy_buf(&mut self.dev, st, "restore_th", self.ds.th_t, self.ds.th);
+            transform::copy_buf(&mut self.dev, st, "restore_rho", self.ds.rho_t, self.ds.rho)?;
+            transform::copy_buf(&mut self.dev, st, "restore_u", self.ds.u_t, self.ds.u)?;
+            transform::copy_buf(&mut self.dev, st, "restore_v", self.ds.v_t, self.ds.v)?;
+            transform::copy_buf(&mut self.dev, st, "restore_w", self.ds.w_t, self.ds.w)?;
+            transform::copy_buf(&mut self.dev, st, "restore_th", self.ds.th_t, self.ds.th)?;
             eos::eos_linear(
                 &mut self.dev,
                 st,
@@ -470,7 +517,7 @@ impl<R: Real> SingleGpu<R> {
                 self.ds.th_ref,
                 self.ds.p_ref,
                 self.ds.p,
-            );
+            )?;
 
             for _ in 0..nsub {
                 pgf::momentum_x(
@@ -483,7 +530,7 @@ impl<R: Real> SingleGpu<R> {
                     self.ds.fu,
                     dtau,
                     self.ds.u,
-                );
+                )?;
                 pgf::momentum_y(
                     &mut self.dev,
                     st,
@@ -494,9 +541,9 @@ impl<R: Real> SingleGpu<R> {
                     self.ds.fv,
                     dtau,
                     self.ds.v,
-                );
-                boundary::halo_periodic_xy(&mut self.dev, st, "halo_u", self.ds.u, self.geom.dc);
-                boundary::halo_periodic_xy(&mut self.dev, st, "halo_v", self.ds.v, self.geom.dc);
+                )?;
+                boundary::halo_periodic_xy(&mut self.dev, st, "halo_u", self.ds.u, self.geom.dc)?;
+                boundary::halo_periodic_xy(&mut self.dev, st, "halo_v", self.ds.v, self.geom.dc)?;
                 helmholtz::helmholtz(
                     &mut self.dev,
                     st,
@@ -520,7 +567,7 @@ impl<R: Real> SingleGpu<R> {
                         st_rho: self.ds.spec,
                         st_th: self.ds.flux,
                     },
-                );
+                )?;
                 helmholtz::density(
                     &mut self.dev,
                     st,
@@ -532,7 +579,7 @@ impl<R: Real> SingleGpu<R> {
                     self.ds.spec,
                     self.ds.w,
                     self.ds.rho,
-                );
+                )?;
                 helmholtz::potential_temperature(
                     &mut self.dev,
                     st,
@@ -544,9 +591,9 @@ impl<R: Real> SingleGpu<R> {
                     self.ds.flux,
                     self.ds.w,
                     self.ds.th,
-                );
-                self.fill_halo_field(self.ds.th, self.geom.dc, "halo_theta");
-                self.fill_halo_field(self.ds.rho, self.geom.dc, "halo_rho");
+                )?;
+                self.fill_halo_field(self.ds.th, self.geom.dc, "halo_theta")?;
+                self.fill_halo_field(self.ds.rho, self.geom.dc, "halo_rho")?;
                 eos::eos_linear(
                     &mut self.dev,
                     st,
@@ -555,9 +602,9 @@ impl<R: Real> SingleGpu<R> {
                     self.ds.th_ref,
                     self.ds.p_ref,
                     self.ds.p,
-                );
+                )?;
             }
-            self.fill_halo_field(self.ds.w, self.geom.dw, "halo_w");
+            self.fill_halo_field(self.ds.w, self.geom.dw, "halo_w")?;
 
             // Tracers from their time-t values.
             #[allow(clippy::needless_range_loop)]
@@ -572,8 +619,8 @@ impl<R: Real> SingleGpu<R> {
                     self.ds.q_t[t],
                     self.ds.fq[t],
                     self.ds.q[t],
-                );
-                self.fill_halo_field(self.ds.q[t], self.geom.dc, "halo_q");
+                )?;
+                self.fill_halo_field(self.ds.q[t], self.geom.dc, "halo_q")?;
             }
         }
 
@@ -590,7 +637,7 @@ impl<R: Real> SingleGpu<R> {
                 self.ds.q[0],
                 self.ds.q[1],
                 self.ds.q[2],
-            );
+            )?;
             kphys::sediment(
                 &mut self.dev,
                 st,
@@ -599,7 +646,7 @@ impl<R: Real> SingleGpu<R> {
                 self.ds.rho,
                 self.ds.q[2],
                 self.ds.precip,
-            );
+            )?;
         }
         kphys::rayleigh(
             &mut self.dev,
@@ -612,10 +659,10 @@ impl<R: Real> SingleGpu<R> {
             self.ds.w,
             self.ds.th,
             self.ds.rho,
-        );
+        )?;
 
         // Final halos + full EOS.
-        self.fill_all_halos();
+        self.fill_all_halos()?;
         eos::eos_full(
             &mut self.dev,
             st,
@@ -623,18 +670,65 @@ impl<R: Real> SingleGpu<R> {
             "eos_full",
             self.ds.th,
             self.ds.p,
-        );
+        )?;
 
         self.dev.sync_all();
         self.time += dt;
         self.steps_taken += 1;
+        Ok(())
     }
 
-    /// Run `n` steps.
-    pub fn run(&mut self, n: usize) {
-        for _ in 0..n {
-            self.step();
+    /// Run `n` steps with the robustness machinery engaged: periodic
+    /// checkpoints (`cfg.checkpoint_every`), guard-rail scans
+    /// (`cfg.guard_every`), and — when a checkpoint exists — automatic
+    /// rollback/restart after an injected device loss.
+    pub fn run(&mut self, n: usize) -> Result<(), ModelError> {
+        let target = self.steps_taken + n as u64;
+        while self.steps_taken < target {
+            match self.step() {
+                Ok(()) => {}
+                Err(ModelError::Gpu(VgpuError::DeviceLost { .. }))
+                    if self.last_checkpoint.is_some() && self.restarts < MAX_RESTARTS =>
+                {
+                    // Roll the physics back; the virtual clock keeps
+                    // running forward across the restart.
+                    let cp = self.last_checkpoint.take().unwrap();
+                    cp.restore(&mut self.dev, &self.ds, &self.geom);
+                    self.steps_taken = cp.step;
+                    self.time = cp.sim_time;
+                    self.last_checkpoint = Some(cp);
+                    self.restarts += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            if self.cfg.guard_every > 0 && self.steps_taken.is_multiple_of(self.cfg.guard_every) {
+                if let Some(g) = &self.guard {
+                    g.check(
+                        &mut self.dev,
+                        &self.ds,
+                        &self.geom,
+                        self.steps_taken,
+                        self.cfg.dt,
+                        self.cfg.dx,
+                        self.cfg.dy,
+                        self.cfg.dzeta(),
+                    )?;
+                }
+            }
+            if self.cfg.checkpoint_every > 0
+                && self.steps_taken.is_multiple_of(self.cfg.checkpoint_every)
+            {
+                self.last_checkpoint = Some(Checkpoint::capture(
+                    &mut self.dev,
+                    &self.ds,
+                    &self.geom,
+                    self.steps_taken,
+                    self.time,
+                ));
+            }
         }
+        Ok(())
     }
 
     /// Simulated GFlops achieved so far (total flops / busy kernel time).

@@ -34,6 +34,75 @@ impl Default for RayleighConfig {
     }
 }
 
+/// Deterministic fault-injection knobs (pure data — the dycore knows
+/// nothing about devices or links; the drivers map this onto
+/// `vgpu::FaultSpec` and `cluster::LinkFaultSpec`).
+///
+/// Every injection decision downstream is a pure function of
+/// `(seed, rank, op-index)`, so a given `FaultConfig` replays its fault
+/// sequence bit-identically across reruns, thread counts and overlap
+/// modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Master seed (`ASUCA_FAULT_SEED`).
+    pub seed: u64,
+    /// Per-kernel-launch probability of a transient (auto-retried) ECC
+    /// event.
+    pub ecc_rate: f64,
+    /// Per-message probability of each virtual link drop (recovered by
+    /// the receiver's timeout + backoff resend protocol).
+    pub drop_rate: f64,
+    /// Per-message probability of extra in-flight delay.
+    pub delay_rate: f64,
+    /// The extra delay [s] when injected.
+    pub delay_s: f64,
+    /// Fail allocations made after driver init with this probability
+    /// (drivers degrade gracefully, e.g. drop detailed profiling).
+    pub oom_rate: f64,
+    /// Pin one rank as a straggler: all its kernels run slower by
+    /// `straggler_slowdown`.
+    pub straggler_rank: Option<usize>,
+    /// Duration multiplier (>= 1.0) for the straggler rank's kernels.
+    pub straggler_slowdown: f64,
+    /// Kill `(rank, after-step)` once: the run must roll back to the
+    /// last checkpoint and restart (requires `checkpoint_every > 0`).
+    pub death: Option<(usize, u64)>,
+    /// Virtual-time cost of respawning a dead rank [s].
+    pub respawn_penalty_s: f64,
+}
+
+impl FaultConfig {
+    /// A schedule with nothing enabled (base for overrides).
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ecc_rate: 0.0,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            delay_s: 0.0,
+            oom_rate: 0.0,
+            straggler_rank: None,
+            straggler_slowdown: 1.0,
+            death: None,
+            respawn_penalty_s: 0.0,
+        }
+    }
+
+    /// The `ASUCA_FAULT_SEED` preset: modest, always-recoverable
+    /// transient faults (ECC retries plus link drops/delays). Death,
+    /// stragglers and OOM stay opt-in through explicit configs.
+    pub fn from_env() -> Option<Self> {
+        let seed = std::env::var("ASUCA_FAULT_SEED").ok()?.parse().ok()?;
+        Some(FaultConfig {
+            ecc_rate: 0.02,
+            drop_rate: 0.05,
+            delay_rate: 0.05,
+            delay_s: 200.0e-6,
+            ..FaultConfig::quiet(seed)
+        })
+    }
+}
+
 /// Full configuration of a model instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
@@ -84,6 +153,20 @@ pub struct ModelConfig {
     /// host CPU supports AVX2+FMA. Results are bitwise identical with
     /// SIMD on or off, and for any thread count.
     pub simd: Option<bool>,
+    /// Deterministic fault injection; `None` (the default when
+    /// `ASUCA_FAULT_SEED` is unset) is the untouched production path.
+    pub fault: Option<FaultConfig>,
+    /// Checkpoint the prognostic state every this many long steps
+    /// (0 = off). Defaults to `ASUCA_CHECKPOINT_EVERY` if set. Required
+    /// for recovery from injected rank death.
+    pub checkpoint_every: u64,
+    /// Run the NaN/Inf + CFL guard-rail scan every this many long steps
+    /// (0 = off). Defaults to `ASUCA_GUARD_EVERY` if set.
+    pub guard_every: u64,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
 }
 
 impl ModelConfig {
@@ -120,6 +203,9 @@ impl ModelConfig {
             microphysics: true,
             threads: 0,
             simd: None,
+            fault: FaultConfig::from_env(),
+            checkpoint_every: env_u64("ASUCA_CHECKPOINT_EVERY").unwrap_or(0),
+            guard_every: env_u64("ASUCA_GUARD_EVERY").unwrap_or(0),
         }
     }
 
@@ -157,6 +243,16 @@ impl ModelConfig {
         assert!(self.ns_acoustic >= 1);
         assert!((0.5..=1.0).contains(&self.beta), "beta must be in [0.5, 1]");
         assert!((3..=7).contains(&self.n_tracers));
+        if let Some(f) = &self.fault {
+            assert!(
+                f.straggler_slowdown >= 1.0,
+                "straggler slowdown must be >= 1.0"
+            );
+            assert!(
+                f.death.is_none() || self.checkpoint_every > 0,
+                "rank-death injection needs checkpoint_every > 0 to recover"
+            );
+        }
     }
 }
 

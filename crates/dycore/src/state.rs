@@ -96,6 +96,34 @@ impl State {
         self.q.iter().map(|q| q.max_abs()).fold(0.0, f64::max)
     }
 
+    /// Order-stable FNV-1a fingerprint of every interior prognostic
+    /// value's bit pattern. Two states hash equal iff they are bitwise
+    /// identical on the interior — the equality the chaos tests assert
+    /// between a recovered run and its fault-free twin.
+    pub fn checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut field = |f: &Field3<f64>| {
+            for j in 0..f.ny() as isize {
+                for i in 0..f.nx() as isize {
+                    for k in 0..f.nz() as isize {
+                        h = fnv1a_u64(h, f.at(i, j, k).to_bits());
+                    }
+                }
+            }
+        };
+        field(&self.rho);
+        field(&self.u);
+        field(&self.v);
+        field(&self.w);
+        field(&self.th);
+        for q in &self.q {
+            field(q);
+        }
+        field(&self.p);
+        field(&self.precip);
+        h
+    }
+
     /// Check every field for non-finite values; returns the name of the
     /// first offender.
     pub fn find_non_finite(&self) -> Option<&'static str> {
@@ -123,6 +151,24 @@ impl State {
         }
         None
     }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// Fold one little-endian `u64` into a running FNV-1a hash.
+pub fn fnv1a_u64(mut h: u64, x: u64) -> u64 {
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a over a sequence of `u64`s starting from the standard offset
+/// basis (shared fingerprint helper for tests and harnesses).
+pub fn fnv1a(xs: impl IntoIterator<Item = u64>) -> u64 {
+    xs.into_iter().fold(FNV_OFFSET, fnv1a_u64)
 }
 
 /// Slow-mode tendencies (the F terms of the paper's Eqs. (1)–(4))

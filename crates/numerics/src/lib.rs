@@ -25,6 +25,7 @@ pub mod limiter;
 pub mod par;
 pub mod real;
 pub mod reduce;
+pub mod rng;
 pub mod simd;
 pub mod stencil;
 pub mod tridiag;

@@ -1,0 +1,83 @@
+//! Seeded counter-based pseudo-randomness for deterministic schedules.
+//!
+//! The fault-injection subsystem needs randomness that is a pure
+//! function of *logical position* — `(seed, rank, op-index)` — and
+//! never of wall clock or thread interleaving, so that an injected
+//! fault sequence replays bit-identically across reruns, thread
+//! counts, and overlap modes. A stateful generator shared between
+//! threads cannot give that; a counter-based hash can. This module is
+//! a splitmix64 finalizer used as such a hash: every draw mixes its
+//! coordinates through the finalizer and maps the result to `[0, 1)`.
+//!
+//! The quality bar is "decorrelated enough to schedule faults", not
+//! cryptographic; splitmix64's finalizer passes BigCrush as a stream
+//! generator and is more than adequate here.
+
+/// The splitmix64 output (finalizer) function: a bijective avalanche
+/// mix of a 64-bit word.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash an arbitrary coordinate tuple into one well-mixed word.
+///
+/// Each part is absorbed through a full splitmix64 round, so
+/// `hash(&[a, b])` and `hash(&[b, a])` are decorrelated and adjacent
+/// counters (`op`, `op + 1`) give independent-looking draws.
+#[inline]
+pub fn hash(parts: &[u64]) -> u64 {
+    let mut acc: u64 = 0x243f_6a88_85a3_08d3; // pi fractional bits
+    for &p in parts {
+        acc = splitmix64(acc ^ p);
+    }
+    acc
+}
+
+/// Map a hashed word to a uniform `f64` in `[0, 1)` using the top 53
+/// bits (exactly representable; platform-independent).
+#[inline]
+pub fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw in `[0, 1)` keyed by a coordinate tuple.
+#[inline]
+pub fn draw(parts: &[u64]) -> f64 {
+    unit_f64(hash(parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        assert_eq!(hash(&[1, 2, 3]), hash(&[1, 2, 3]));
+        assert_ne!(hash(&[1, 2, 3]), hash(&[3, 2, 1]));
+        assert_ne!(hash(&[0]), hash(&[1]));
+    }
+
+    #[test]
+    fn unit_range_and_spread() {
+        let mut lo = 0usize;
+        for op in 0..10_000u64 {
+            let u = draw(&[42, 0, op]);
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                lo += 1;
+            }
+        }
+        // Crude uniformity check: within 5% of half.
+        assert!((4500..=5500).contains(&lo), "lo = {lo}");
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First output of the reference splitmix64 stream seeded with 0.
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+    }
+}

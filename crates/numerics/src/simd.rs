@@ -375,22 +375,24 @@ unsafe fn dispatch_avx2<A>(f: impl FnOnce() -> A) -> A {
 ///
 /// Requirements: the first parameter must be the device handle (any
 /// type with a `simd_enabled(&self) -> bool` method), the remaining
-/// parameters plain `name: Type` bindings, and the return type `()`.
+/// parameters plain `name: Type` bindings. An optional return type is
+/// passed straight through both twins (the dispatcher tail-calls the
+/// chosen twin, so fallible kernels can return `Result`).
 #[macro_export]
 macro_rules! simd_kernel {
     ($(#[$meta:meta])* $vis:vis fn $name:ident<$R:ident: Real>(
         $dev:ident: $devty:ty,
         $($arg:ident: $ty:ty),* $(,)?
-    ) $body:block) => {
+    ) $(-> $ret:ty)? $body:block) => {
         $(#[$meta])*
-        $vis fn $name<$R: $crate::Real>($dev: $devty, $($arg: $ty),*) {
+        $vis fn $name<$R: $crate::Real>($dev: $devty, $($arg: $ty),*) $(-> $ret)? {
             #[allow(clippy::too_many_arguments)]
-            fn portable<$R: $crate::Real>($dev: $devty, $($arg: $ty),*) $body
+            fn portable<$R: $crate::Real>($dev: $devty, $($arg: $ty),*) $(-> $ret)? $body
 
             #[cfg(target_arch = "x86_64")]
             #[target_feature(enable = "avx2", enable = "fma")]
             #[allow(clippy::too_many_arguments)]
-            fn lanes_arch<$R: $crate::Real>($dev: $devty, $($arg: $ty),*) $body
+            fn lanes_arch<$R: $crate::Real>($dev: $devty, $($arg: $ty),*) $(-> $ret)? $body
 
             #[cfg(target_arch = "x86_64")]
             if $dev.simd_enabled() && $crate::simd::lanes_native() {
@@ -474,7 +476,7 @@ mod tests {
         let src: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
         let v = F64x4::load(&src[3..]);
         assert_eq!(v.0, [1.5, 2.0, 2.5, 3.0]);
-        let mut dst = vec![0.0f64; 10];
+        let mut dst = [0.0f64; 10];
         v.store(&mut dst[2..]);
         assert_eq!(&dst[2..6], &[1.5, 2.0, 2.5, 3.0]);
         assert_eq!(dst[6], 0.0);

@@ -1,6 +1,7 @@
 //! The virtual device: memory, streams, launches and simulated time.
 
 use crate::cost::{copy_time, kernel_time, Launch};
+use crate::fault::{FaultPlan, FaultSpec, FaultStats, VgpuError};
 use crate::mem::{Arena, Buf, MemError, MemView};
 use crate::pool::WorkerPool;
 use crate::profile::{OpKind, OpRecord, Profiler};
@@ -36,6 +37,9 @@ pub struct Device<R: Real> {
     /// created lazily on the first multi-threaded launch and reused for
     /// the device's lifetime (no per-launch thread spawns).
     pool: Option<WorkerPool>,
+    /// Deterministic fault schedule; `None` (the default) is the
+    /// zero-overhead production path.
+    faults: Option<FaultPlan>,
     pub profiler: Profiler,
 }
 
@@ -50,8 +54,27 @@ impl<R: Real> Device<R> {
             engines: Engines::default(),
             host_time: 0.0,
             pool: None,
+            faults: None,
             profiler: Profiler::new(),
         }
+    }
+
+    /// Install a deterministic fault schedule. Drivers install the plan
+    /// *after* device/state initialization so setup allocations and the
+    /// initial halo exchange are never subject to injection — keeping
+    /// the op-index → decision mapping independent of init details.
+    pub fn set_fault_plan(&mut self, spec: FaultSpec) {
+        self.faults = Some(FaultPlan::new(spec));
+    }
+
+    /// Remove any installed fault schedule.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// Counters of injected faults (zero if no plan is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|p| p.stats()).unwrap_or_default()
     }
 
     pub fn spec(&self) -> &DeviceSpec {
@@ -103,9 +126,16 @@ impl<R: Real> Device<R> {
         self.arena.is_phantom(buf)
     }
 
-    /// Allocate `len` elements of device memory.
-    pub fn alloc(&mut self, len: usize) -> Result<Buf<R>, MemError> {
-        self.arena.alloc(len, self.mode == ExecMode::Phantom)
+    /// Allocate `len` elements of device memory. Fails on genuine arena
+    /// exhaustion, or — when a fault plan is installed — by scheduled
+    /// OOM injection (`VgpuError::Oom { injected: true, .. }`).
+    pub fn alloc(&mut self, len: usize) -> Result<Buf<R>, VgpuError> {
+        if let Some(plan) = &mut self.faults {
+            plan.on_alloc((len * R::BYTES) as u64, self.arena.free_bytes())?;
+        }
+        self.arena
+            .alloc(len, self.mode == ExecMode::Phantom)
+            .map_err(VgpuError::from)
     }
 
     /// Free a device allocation.
@@ -115,8 +145,11 @@ impl<R: Real> Device<R> {
 
     /// Simulated-timing bookkeeping shared by [`launch`](Self::launch)
     /// and [`launch_par`](Self::launch_par): issue overhead, in-order
-    /// stream tail, exclusive compute engine, profiler record.
-    fn note_kernel(&mut self, stream: StreamId, launch: &Launch) {
+    /// stream tail, exclusive compute engine, profiler record. When a
+    /// fault plan is installed, this is also where injected ECC retries
+    /// (engine occupied `attempts` times, body deferred to the winning
+    /// attempt), straggler slowdowns and planned device-lost errors land.
+    fn note_kernel(&mut self, stream: StreamId, launch: &Launch) -> Result<(), VgpuError> {
         assert!(
             launch.shared_mem_per_block <= self.spec.shared_mem_per_sm,
             "kernel '{}' requests {}B shared memory/block, SM has {}B",
@@ -127,8 +160,18 @@ impl<R: Real> Device<R> {
         // Host issues asynchronously.
         self.host_time += self.spec.host_issue_overhead_s;
 
-        // Timing: in-order within stream, serialized on the compute engine.
-        let dur = kernel_time(&self.spec, launch, R::BYTES);
+        let (attempts, slowdown) = match &mut self.faults {
+            Some(plan) => {
+                let o = plan.on_launch(launch.name)?;
+                (o.attempts, o.slowdown)
+            }
+            None => (1, 1.0),
+        };
+
+        // Timing: in-order within stream, serialized on the compute
+        // engine. A failed (retried) attempt occupies the engine for the
+        // kernel's full duration before the winning attempt runs.
+        let dur = kernel_time(&self.spec, launch, R::BYTES) * slowdown * attempts as f64;
         let start = self
             .host_time
             .max(self.streams[stream.0 as usize].tail)
@@ -147,6 +190,7 @@ impl<R: Real> Device<R> {
             bytes: launch.cost.total_bytes(R::BYTES),
             lanes: launch.lanes,
         });
+        Ok(())
     }
 
     /// Whether Functional kernel bodies should take their SIMD lane
@@ -162,12 +206,23 @@ impl<R: Real> Device<R> {
     /// In [`ExecMode::Functional`] the body `f` runs immediately (issue
     /// order equals program order, which our drivers keep
     /// dependency-correct); simulated timing is computed either way.
-    pub fn launch(&mut self, stream: StreamId, launch: Launch, f: impl FnOnce(&MemView<'_, R>)) {
-        self.note_kernel(stream, &launch);
+    ///
+    /// Fails only under an installed fault plan ([`VgpuError::DeviceLost`]
+    /// for a planned loss or an exhausted ECC retry budget); a transient
+    /// injected ECC event is retried internally and still returns `Ok`.
+    /// On `Err` the body has not run.
+    pub fn launch(
+        &mut self,
+        stream: StreamId,
+        launch: Launch,
+        f: impl FnOnce(&MemView<'_, R>),
+    ) -> Result<(), VgpuError> {
+        self.note_kernel(stream, &launch)?;
         if self.mode == ExecMode::Functional {
             let view = MemView { arena: &self.arena };
             numerics::simd::dispatch(self.spec.host_simd, || f(&view));
         }
+        Ok(())
     }
 
     /// Launch a kernel whose body executes slab-parallel over `[0, span)`
@@ -189,8 +244,8 @@ impl<R: Real> Device<R> {
         launch: Launch,
         span: usize,
         f: impl Fn(&MemView<'_, R>, usize, usize) + Sync,
-    ) {
-        self.note_kernel(stream, &launch);
+    ) -> Result<(), VgpuError> {
+        self.note_kernel(stream, &launch)?;
         if self.mode == ExecMode::Functional {
             let threads = self.spec.host_threads.max(1);
             if threads > 1 && self.pool.is_none() {
@@ -212,6 +267,7 @@ impl<R: Real> Device<R> {
                 }
             }
         }
+        Ok(())
     }
 
     /// The device's persistent slab-worker pool, if a multi-threaded
@@ -356,7 +412,8 @@ mod tests {
             for i in 0..16 {
                 dst[i] = src[i] * 2.0;
             }
-        });
+        })
+        .unwrap();
         assert_eq!(d.read_vec(b)[5], 10.0);
     }
 
@@ -366,7 +423,8 @@ mod tests {
         let _a = d.alloc(1_000_000).unwrap();
         d.launch(StreamId::DEFAULT, small_launch("k", 1_000_000), |_| {
             panic!("body must not run in phantom mode");
-        });
+        })
+        .unwrap();
         d.sync_all();
         assert!(d.host_time() > 0.0);
         assert_eq!(d.profiler.kernel_launches, 1);
@@ -375,8 +433,10 @@ mod tests {
     #[test]
     fn in_stream_ops_serialize() {
         let mut d = dev();
-        d.launch(StreamId::DEFAULT, small_launch("k1", 1 << 20), |_| {});
-        d.launch(StreamId::DEFAULT, small_launch("k2", 1 << 20), |_| {});
+        d.launch(StreamId::DEFAULT, small_launch("k1", 1 << 20), |_| {})
+            .unwrap();
+        d.launch(StreamId::DEFAULT, small_launch("k2", 1 << 20), |_| {})
+            .unwrap();
         let r = d.profiler.records();
         assert!(r[1].start >= r[0].end);
     }
@@ -387,8 +447,9 @@ mod tests {
         // overlap each other.
         let mut d = dev();
         let s1 = d.create_stream();
-        d.launch(StreamId::DEFAULT, small_launch("k1", 1 << 20), |_| {});
-        d.launch(s1, small_launch("k2", 1 << 20), |_| {});
+        d.launch(StreamId::DEFAULT, small_launch("k1", 1 << 20), |_| {})
+            .unwrap();
+        d.launch(s1, small_launch("k2", 1 << 20), |_| {}).unwrap();
         let r = d.profiler.records();
         assert!(r[1].start >= r[0].end);
     }
@@ -405,7 +466,7 @@ mod tests {
             Dim3::new(64, 4, 1),
             KernelCost::streaming(320 * 256 * 48, 30.0, 8.0, 4.0),
         );
-        d.launch(StreamId::DEFAULT, big, |_| {});
+        d.launch(StreamId::DEFAULT, big, |_| {}).unwrap();
         let buf = d.alloc(1 << 20).unwrap();
         let host = vec![0.0f32; 1 << 20];
         d.copy_h2d(s1, &host, buf, 0);
@@ -434,7 +495,8 @@ mod tests {
     fn events_order_cross_stream_work() {
         let mut d = dev();
         let s1 = d.create_stream();
-        d.launch(StreamId::DEFAULT, small_launch("producer", 1 << 22), |_| {});
+        d.launch(StreamId::DEFAULT, small_launch("producer", 1 << 22), |_| {})
+            .unwrap();
         let ev = d.record_event(StreamId::DEFAULT);
         d.stream_wait_event(s1, ev);
         let buf = d.alloc(64).unwrap();
@@ -450,7 +512,8 @@ mod tests {
     #[test]
     fn sync_moves_host_clock() {
         let mut d = dev();
-        d.launch(StreamId::DEFAULT, small_launch("k", 1 << 22), |_| {});
+        d.launch(StreamId::DEFAULT, small_launch("k", 1 << 22), |_| {})
+            .unwrap();
         let before = d.host_time();
         d.sync_all();
         assert!(d.host_time() > before);
@@ -462,7 +525,8 @@ mod tests {
     fn async_issue_returns_early() {
         // Host time after an async launch is (nearly) just issue cost.
         let mut d = dev();
-        d.launch(StreamId::DEFAULT, small_launch("k", 1 << 24), |_| {});
+        d.launch(StreamId::DEFAULT, small_launch("k", 1 << 24), |_| {})
+            .unwrap();
         assert!(
             d.host_time() < 1e-4,
             "launch blocked the host: {}",
@@ -485,6 +549,101 @@ mod tests {
     fn oversized_shared_memory_rejected() {
         let mut d = dev();
         let l = small_launch("k", 64).with_shared_mem(64 * 1024);
-        d.launch(StreamId::DEFAULT, l, |_| {});
+        d.launch(StreamId::DEFAULT, l, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn quiet_fault_plan_leaves_timeline_unchanged() {
+        let run = |plan: bool| {
+            let mut d = dev();
+            if plan {
+                d.set_fault_plan(crate::fault::FaultSpec::quiet(11, 0));
+            }
+            for _ in 0..8 {
+                d.launch(StreamId::DEFAULT, small_launch("k", 1 << 18), |_| {})
+                    .unwrap();
+            }
+            d.sync_all();
+            d.host_time().to_bits()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn injected_ecc_costs_time_but_runs_body_once() {
+        let clean = {
+            let mut d = dev();
+            d.launch(StreamId::DEFAULT, small_launch("k", 1 << 18), |_| {})
+                .unwrap();
+            d.sync_all();
+            d.host_time()
+        };
+        // ecc_rate = 1.0 on the first draw only is impossible with a
+        // rate; instead use a rate high enough that some of the launches
+        // retry, and check time strictly grows vs the clean run while
+        // each body still runs exactly once.
+        let mut d = dev();
+        d.set_fault_plan(crate::fault::FaultSpec {
+            ecc_rate: 0.5,
+            ..crate::fault::FaultSpec::quiet(3, 0)
+        });
+        let a = d.alloc(4).unwrap();
+        let mut total = 0.0;
+        let mut runs = 0u32;
+        for _ in 0..32 {
+            d.launch(StreamId::DEFAULT, small_launch("k", 1 << 18), |mem| {
+                let mut w = mem.write(a);
+                w[0] += 1.0;
+            })
+            .unwrap();
+            runs += 1;
+        }
+        d.sync_all();
+        total += d.host_time();
+        let st = d.fault_stats();
+        assert!(st.ecc_events > 0, "rate 0.5 over 32 launches must hit");
+        assert!(
+            total > clean * runs as f64,
+            "retries must cost simulated time"
+        );
+        assert_eq!(d.read_vec(a)[0], runs as f32, "body must run exactly once");
+    }
+
+    #[test]
+    fn straggler_slowdown_multiplies_duration() {
+        let time = |rate: f64| {
+            let mut d = dev();
+            d.set_fault_plan(crate::fault::FaultSpec {
+                straggler_rate: rate,
+                straggler_slowdown: 10.0,
+                ..crate::fault::FaultSpec::quiet(1, 0)
+            });
+            d.launch(StreamId::DEFAULT, small_launch("k", 1 << 20), |_| {})
+                .unwrap();
+            d.sync_all();
+            d.host_time()
+        };
+        assert!(time(1.0) > 5.0 * time(0.0));
+    }
+
+    #[test]
+    fn injected_oom_and_device_lost_surface_as_errors() {
+        let mut d = dev();
+        d.set_fault_plan(crate::fault::FaultSpec {
+            oom_rate: 1.0,
+            device_lost_op: Some(0),
+            ..crate::fault::FaultSpec::quiet(2, 0)
+        });
+        assert!(matches!(
+            d.alloc(16),
+            Err(VgpuError::Oom { injected: true, .. })
+        ));
+        assert!(matches!(
+            d.launch(StreamId::DEFAULT, small_launch("k", 16), |_| {
+                panic!("body must not run on a lost device")
+            }),
+            Err(VgpuError::DeviceLost { op_index: 0, .. })
+        ));
+        assert_eq!(d.fault_stats().total_injected(), 2);
     }
 }

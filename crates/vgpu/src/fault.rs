@@ -1,0 +1,379 @@
+//! Deterministic fault injection for the virtual device.
+//!
+//! The paper's 528-GPU TSUBAME runs lived with real failure modes —
+//! ECC events, straggler GPUs, dying ranks — that a credible
+//! reproduction must be able to express *and replay exactly*. This
+//! module provides a schedule-driven [`FaultPlan`]: every injection
+//! decision is a pure function of `(seed, rank, domain, op-index)`
+//! hashed through [`numerics::rng`], never of wall clock or thread
+//! interleaving, so a faulty run is bit-reproducible across reruns,
+//! `ASUCA_THREADS` settings and overlap modes.
+//!
+//! Fault semantics mirror CUDA's behavior classes:
+//!
+//! * **Transient ECC** on a kernel launch: the launch is retried by the
+//!   device itself (each failed attempt occupies the compute engine for
+//!   the kernel's full duration before the retry, so injected faults
+//!   cost simulated time). The functional body runs exactly once, after
+//!   the winning attempt — an injected ECC event therefore never
+//!   perturbs data, only the timeline, which is what makes the chaos
+//!   tests' bitwise-identity assertion possible.
+//! * **Device lost** (sticky, unrecoverable): the launch fails without
+//!   running its body and the error propagates to the driver, which may
+//!   recover via checkpoint/restart.
+//! * **OOM**: an allocation fails as if the arena were exhausted;
+//!   drivers degrade gracefully (e.g. drop detailed profiling).
+//! * **Straggler**: the kernel runs normally but its simulated duration
+//!   is multiplied by a slowdown factor — timing-only, data untouched.
+
+use crate::mem::MemError;
+use numerics::rng;
+
+/// Domain separators so the per-op draws for different fault kinds are
+/// decorrelated even at the same op index.
+const DOM_ECC: u64 = 1;
+const DOM_STRAGGLER: u64 = 2;
+const DOM_OOM: u64 = 3;
+
+/// Errors surfaced by fallible [`Device`](crate::Device) operations —
+/// real ones (arena exhaustion, bad handles) and injected ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VgpuError {
+    /// Allocation failure; `injected` distinguishes a scheduled fault
+    /// from genuine arena exhaustion.
+    Oom {
+        requested: u64,
+        free: u64,
+        injected: bool,
+    },
+    /// Handle already freed or from another device.
+    InvalidHandle,
+    /// Unrecoverable device failure: a planned device-lost op, or a
+    /// launch whose ECC retry budget was exhausted.
+    DeviceLost { op_index: u64, kernel: &'static str },
+}
+
+impl std::fmt::Display for VgpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VgpuError::Oom {
+                requested,
+                free,
+                injected,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B, free {free} B{}",
+                if *injected { " (injected)" } else { "" }
+            ),
+            VgpuError::InvalidHandle => write!(f, "invalid device buffer handle"),
+            VgpuError::DeviceLost { op_index, kernel } => {
+                write!(f, "device lost at launch #{op_index} ('{kernel}')")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VgpuError {}
+
+impl From<MemError> for VgpuError {
+    fn from(e: MemError) -> Self {
+        match e {
+            MemError::OutOfMemory { requested, free } => VgpuError::Oom {
+                requested,
+                free,
+                injected: false,
+            },
+            MemError::InvalidHandle => VgpuError::InvalidHandle,
+        }
+    }
+}
+
+/// Static description of what to inject, keyed by `(seed, rank)`.
+///
+/// All rates are per-op probabilities in `[0, 1]`; `0.0` disables the
+/// corresponding fault class. The spec carries the rank so one seed
+/// drives decorrelated schedules across a whole cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Master seed (`ASUCA_FAULT_SEED`).
+    pub seed: u64,
+    /// Owning rank, mixed into every draw.
+    pub rank: u64,
+    /// Per-launch probability of a transient ECC event.
+    pub ecc_rate: f64,
+    /// Retry attempts per launch before the device is declared lost.
+    pub max_ecc_retries: u32,
+    /// Per-allocation probability of an injected OOM failure.
+    pub oom_rate: f64,
+    /// Per-launch probability of running as a straggler.
+    pub straggler_rate: f64,
+    /// Duration multiplier (>= 1.0) for straggler launches.
+    pub straggler_slowdown: f64,
+    /// Exact launch op-index at which the device is lost, if any.
+    pub device_lost_op: Option<u64>,
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (useful as a base to override).
+    pub fn quiet(seed: u64, rank: u64) -> Self {
+        FaultSpec {
+            seed,
+            rank,
+            ecc_rate: 0.0,
+            max_ecc_retries: 8,
+            oom_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
+            device_lost_op: None,
+        }
+    }
+}
+
+/// Counters of what was actually injected; read back by the drivers to
+/// fill `MultiGpuReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Launches that hit at least one ECC event.
+    pub ecc_events: u64,
+    /// Total failed attempts that were retried.
+    pub ecc_retries: u64,
+    /// Launches slowed down as stragglers.
+    pub stragglers: u64,
+    /// Allocations failed by injection.
+    pub oom_injected: u64,
+    /// Device-lost errors surfaced (planned or budget-exhausted).
+    pub device_lost: u64,
+}
+
+impl FaultStats {
+    /// Total injected fault events across all classes.
+    pub fn total_injected(&self) -> u64 {
+        self.ecc_events + self.stragglers + self.oom_injected + self.device_lost
+    }
+}
+
+/// What [`FaultPlan::on_launch`] tells the device to do for one launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchOutcome {
+    /// Engine occupations: 1 for a clean launch, `1 + retries` when ECC
+    /// attempts failed first.
+    pub attempts: u32,
+    /// Multiplier on the kernel's simulated duration (straggler).
+    pub slowdown: f64,
+}
+
+/// The live, per-device schedule: a [`FaultSpec`] plus op counters.
+///
+/// Counters advance on every consulted op whether or not a fault fires,
+/// so the mapping op-index → decision is stable: re-running a step
+/// after a rollback re-consults the *same* indices and reproduces the
+/// same (already consumed, see driver logic) decisions.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    launch_ops: u64,
+    alloc_ops: u64,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    pub fn new(spec: FaultSpec) -> Self {
+        assert!(
+            spec.straggler_slowdown >= 1.0,
+            "straggler slowdown must be >= 1.0"
+        );
+        FaultPlan {
+            spec,
+            launch_ops: 0,
+            alloc_ops: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decide the fate of the next kernel launch. Advances the launch
+    /// op counter exactly once per call.
+    pub fn on_launch(&mut self, kernel: &'static str) -> Result<LaunchOutcome, VgpuError> {
+        let op = self.launch_ops;
+        self.launch_ops += 1;
+        let s = &self.spec;
+
+        if s.device_lost_op == Some(op) {
+            self.stats.device_lost += 1;
+            return Err(VgpuError::DeviceLost {
+                op_index: op,
+                kernel,
+            });
+        }
+
+        let mut retries = 0u32;
+        if s.ecc_rate > 0.0 {
+            while rng::draw(&[s.seed, s.rank, DOM_ECC, op, retries as u64]) < s.ecc_rate {
+                retries += 1;
+                if retries > s.max_ecc_retries {
+                    self.stats.device_lost += 1;
+                    return Err(VgpuError::DeviceLost {
+                        op_index: op,
+                        kernel,
+                    });
+                }
+            }
+            if retries > 0 {
+                self.stats.ecc_events += 1;
+                self.stats.ecc_retries += retries as u64;
+            }
+        }
+
+        let mut slowdown = 1.0;
+        if s.straggler_rate > 0.0
+            && rng::draw(&[s.seed, s.rank, DOM_STRAGGLER, op]) < s.straggler_rate
+        {
+            slowdown = s.straggler_slowdown;
+            self.stats.stragglers += 1;
+        }
+
+        Ok(LaunchOutcome {
+            attempts: 1 + retries,
+            slowdown,
+        })
+    }
+
+    /// Decide whether the next allocation is failed by injection.
+    /// Advances the alloc op counter exactly once per call.
+    pub fn on_alloc(&mut self, requested: u64, free: u64) -> Result<(), VgpuError> {
+        let op = self.alloc_ops;
+        self.alloc_ops += 1;
+        let s = &self.spec;
+        if s.oom_rate > 0.0 && rng::draw(&[s.seed, s.rank, DOM_OOM, op]) < s.oom_rate {
+            self.stats.oom_injected += 1;
+            return Err(VgpuError::Oom {
+                requested,
+                free,
+                injected: true,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_never_faults() {
+        let mut p = FaultPlan::new(FaultSpec::quiet(7, 0));
+        for _ in 0..1000 {
+            let o = p.on_launch("k").unwrap();
+            assert_eq!(o.attempts, 1);
+            assert_eq!(o.slowdown, 1.0);
+            p.on_alloc(8, 64).unwrap();
+        }
+        assert_eq!(p.stats().total_injected(), 0);
+    }
+
+    #[test]
+    fn schedules_are_reproducible_and_rank_decorrelated() {
+        let spec = FaultSpec {
+            ecc_rate: 0.05,
+            straggler_rate: 0.03,
+            straggler_slowdown: 4.0,
+            ..FaultSpec::quiet(42, 0)
+        };
+        let run = |rank: u64| {
+            let mut p = FaultPlan::new(FaultSpec { rank, ..spec });
+            (0..2000)
+                .map(|_| {
+                    let o = p.on_launch("k").unwrap();
+                    (o.attempts, o.slowdown.to_bits())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(0), "same (seed, rank) must replay bitwise");
+        assert_ne!(run(0), run(1), "ranks must see different schedules");
+    }
+
+    #[test]
+    fn ecc_rate_injects_and_retries() {
+        let spec = FaultSpec {
+            ecc_rate: 0.2,
+            ..FaultSpec::quiet(1, 3)
+        };
+        let mut p = FaultPlan::new(spec);
+        let mut extra = 0;
+        for _ in 0..500 {
+            extra += p.on_launch("k").unwrap().attempts - 1;
+        }
+        let st = p.stats();
+        assert!(st.ecc_events > 50, "expected ~100 events, got {st:?}");
+        assert_eq!(st.ecc_retries, extra as u64);
+    }
+
+    #[test]
+    fn device_lost_fires_at_planned_op_only() {
+        let spec = FaultSpec {
+            device_lost_op: Some(3),
+            ..FaultSpec::quiet(9, 0)
+        };
+        let mut p = FaultPlan::new(spec);
+        for _ in 0..3 {
+            p.on_launch("k").unwrap();
+        }
+        assert_eq!(
+            p.on_launch("boom"),
+            Err(VgpuError::DeviceLost {
+                op_index: 3,
+                kernel: "boom"
+            })
+        );
+        // Subsequent ops are past the planned index.
+        p.on_launch("k").unwrap();
+        assert_eq!(p.stats().device_lost, 1);
+    }
+
+    #[test]
+    fn oom_rate_one_fails_every_alloc() {
+        let spec = FaultSpec {
+            oom_rate: 1.0,
+            ..FaultSpec::quiet(5, 1)
+        };
+        let mut p = FaultPlan::new(spec);
+        assert!(matches!(
+            p.on_alloc(1024, 4096),
+            Err(VgpuError::Oom {
+                injected: true,
+                requested: 1024,
+                ..
+            })
+        ));
+        assert_eq!(p.stats().oom_injected, 1);
+    }
+
+    #[test]
+    fn mem_error_conversion() {
+        let e: VgpuError = MemError::OutOfMemory {
+            requested: 10,
+            free: 5,
+        }
+        .into();
+        assert_eq!(
+            e,
+            VgpuError::Oom {
+                requested: 10,
+                free: 5,
+                injected: false
+            }
+        );
+        assert_eq!(
+            VgpuError::from(MemError::InvalidHandle),
+            VgpuError::InvalidHandle
+        );
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod mem;
 pub mod pool;
 pub mod profile;
@@ -38,6 +39,7 @@ pub mod stream;
 
 pub use cost::{copy_time, kernel_time, Dim3, KernelCost, Launch};
 pub use device::{Device, ExecMode};
+pub use fault::{FaultPlan, FaultSpec, FaultStats, VgpuError};
 pub use mem::{Buf, MemError, MemView, ReadGuard, SlabGuard, WriteGuard};
 pub use pool::WorkerPool;
 pub use profile::{OpKind, OpRecord, Profiler};

@@ -31,12 +31,12 @@ fn main() {
     // Full GPU port, fed the identical initial state.
     let mut gpu =
         SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
-    gpu.load_state(&cpu.state);
+    gpu.load_state(&cpu.state).unwrap();
 
     let steps = 5;
     for n in 1..=steps {
         let stats = cpu.step();
-        gpu.step();
+        gpu.step().unwrap();
         println!(
             "step {n}: t = {:>5.0} s  max|u| = {:.2} m/s  max|w| = {:.3} m/s  mass = {:.6e}",
             stats.time, stats.max_u, stats.max_w, stats.total_mass

@@ -41,7 +41,9 @@ fn main() {
                 steps: 1,
                 detailed_profile: false,
             };
-            t[i] = run_multi::<f32>(&mc, &|_, _, _, _| {}).tflops;
+            t[i] = run_multi::<f32>(&mc, &|_, _, _, _| {})
+                .expect("run failed")
+                .tflops;
         }
         println!(
             "{:>5} {:>7} {:>16.2} {:>18.2} {:>9.1}%",

@@ -24,8 +24,8 @@ fn run_with(threads: usize, simd: bool, steps: usize) -> (dycore::State, f64) {
     init::warm_moist_bubble(&mut seed, 1.5, 0.95, 0.5, 0.5, 0.3, 3.5);
     let mut gpu =
         SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
-    gpu.load_state(&seed.state);
-    gpu.run(steps);
+    gpu.load_state(&seed.state).unwrap();
+    gpu.run(steps).unwrap();
     let mut out = dycore::State::zeros(&gpu.grid, cfg.n_tracers);
     gpu.save_state(&mut out);
     (out, gpu.dev.host_time())
@@ -128,7 +128,8 @@ fn consecutive_launches_reuse_the_same_worker_threads() {
             |_mem, j0, _j1| {
                 seen.lock().unwrap().insert(j0, std::thread::current().id());
             },
-        );
+        )
+        .unwrap();
         seen.into_inner().unwrap()
     };
     let first = record(&mut dev);

@@ -42,11 +42,11 @@ fn run_pair(cfg: ModelConfig, steps: usize, seed_bubble: bool) -> (dycore::State
     // GPU port, fed the identical initial state.
     let mut gpu =
         SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
-    gpu.load_state(&cpu.state);
+    gpu.load_state(&cpu.state).unwrap();
 
     for _ in 0..steps {
         cpu.step();
-        gpu.step();
+        gpu.step().unwrap();
     }
     let mut out = dycore::State::zeros(&gpu.grid, cfg.n_tracers);
     gpu.save_state(&mut out);
@@ -91,10 +91,10 @@ fn single_precision_gpu_tracks_double_closely() {
     init::mountain_wave_inflow(&mut cpu, 10.0);
     let mut gpu32 =
         SingleGpu::<f32>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
-    gpu32.load_state(&cpu.state);
+    gpu32.load_state(&cpu.state).unwrap();
     for _ in 0..4 {
         cpu.step();
-        gpu32.step();
+        gpu32.step().unwrap();
     }
     let mut out = dycore::State::zeros(&gpu32.grid, cfg.n_tracers);
     gpu32.save_state(&mut out);
@@ -115,7 +115,7 @@ fn gpu_transfers_only_at_init_and_output() {
     let mut gpu = SingleGpu::<f64>::new(cfg, DeviceSpec::tesla_s1070(), ExecMode::Functional);
     let h2d_init = gpu.dev.profiler.total_h2d_bytes;
     assert!(h2d_init > 0.0, "initial upload must happen");
-    gpu.run(2);
+    gpu.run(2).unwrap();
     assert_eq!(
         gpu.dev.profiler.total_h2d_bytes, h2d_init,
         "host-to-device transfer during the step loop"
@@ -134,11 +134,11 @@ fn mass_drift(cfg: ModelConfig, steps: usize) -> f64 {
         SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
     let mut cpu_seed = Model::new(cfg.clone());
     init::mountain_wave_inflow(&mut cpu_seed, 10.0);
-    gpu.load_state(&cpu_seed.state);
+    gpu.load_state(&cpu_seed.state).unwrap();
     let mut s0 = dycore::State::zeros(&gpu.grid, cfg.n_tracers);
     gpu.save_state(&mut s0);
     let m0 = s0.rho.sum_interior();
-    gpu.run(steps);
+    gpu.run(steps).unwrap();
     let mut s1 = dycore::State::zeros(&gpu.grid, cfg.n_tracers);
     gpu.save_state(&mut s1);
     // Mass changes only by precipitation through the surface.

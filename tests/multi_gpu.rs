@@ -70,7 +70,8 @@ fn run_decomposed(
         let d = asuca_gpu::decomp::Decomp::disjoint(px, py, sub_nx, sub_ny, 8);
         let (x0, y0) = d.origin_disjoint(rank);
         seeded_init(grid, s, x0, y0, gnx, gny);
-    });
+    })
+    .expect("run failed");
     report.final_states.expect("functional mode returns states")
 }
 
@@ -91,8 +92,8 @@ fn run_reference(gnx: usize, gny: usize, steps: usize) -> State {
     dycore::model::install_base_state(&grid, &base, &mut s);
     s.fill_halos_periodic();
     seeded_init(&grid, &mut s, 0, 0, gnx, gny);
-    gpu.load_state(&s);
-    gpu.run(steps);
+    gpu.load_state(&s).unwrap();
+    gpu.run(steps).unwrap();
     let mut out = State::zeros(&grid, cfg.n_tracers);
     gpu.save_state(&mut out);
     out
@@ -192,9 +193,13 @@ fn overlap_reduces_simulated_time_at_paper_scale() {
         steps: 1,
         detailed_profile: false,
     };
-    let t_plain = run_multi::<f32>(&mc, &|_, _, _, _| {}).total_time_s;
+    let t_plain = run_multi::<f32>(&mc, &|_, _, _, _| {})
+        .expect("run failed")
+        .total_time_s;
     mc.overlap = OverlapMode::Overlap;
-    let t_overlap = run_multi::<f32>(&mc, &|_, _, _, _| {}).total_time_s;
+    let t_overlap = run_multi::<f32>(&mc, &|_, _, _, _| {})
+        .expect("run failed")
+        .total_time_s;
     assert!(
         t_overlap < t_plain,
         "overlap slower: {t_overlap} vs {t_plain}"
@@ -208,8 +213,12 @@ fn phantom_and_functional_modes_agree_on_timing() {
     let mc_f = multi_config(2, 2, 8, 8, OverlapMode::Overlap, 1);
     let mut mc_p = mc_f.clone();
     mc_p.mode = ExecMode::Phantom;
-    let t_f = run_multi::<f32>(&mc_f, &|_, _, _, _| {}).total_time_s;
-    let t_p = run_multi::<f32>(&mc_p, &|_, _, _, _| {}).total_time_s;
+    let t_f = run_multi::<f32>(&mc_f, &|_, _, _, _| {})
+        .expect("run failed")
+        .total_time_s;
+    let t_p = run_multi::<f32>(&mc_p, &|_, _, _, _| {})
+        .expect("run failed")
+        .total_time_s;
     let rel = ((t_f - t_p) / t_f).abs();
     assert!(rel < 1e-9, "phantom timing diverges: {t_f} vs {t_p}");
 }

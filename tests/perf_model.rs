@@ -15,7 +15,7 @@ fn gflops<R: numerics::Real>(c: ModelConfig, spec: DeviceSpec) -> f64 {
     let mut gpu = SingleGpu::<R>::new(c, spec, ExecMode::Phantom);
     gpu.dev.profiler.reset();
     let t0 = gpu.dev.host_time();
-    gpu.run(1);
+    gpu.run(1).unwrap();
     let dt = gpu.dev.host_time() - t0;
     gpu.dev.profiler.total_flops / dt / 1e9
 }
@@ -54,10 +54,10 @@ fn flop_counts_are_device_independent() {
     // GFlops; our analytic counts must likewise not depend on device.
     let mut a = SingleGpu::<f64>::new(cfg(16), DeviceSpec::tesla_s1070(), ExecMode::Phantom);
     a.dev.profiler.reset();
-    a.run(1);
+    a.run(1).unwrap();
     let mut b = SingleGpu::<f64>::new(cfg(16), DeviceSpec::opteron_core(), ExecMode::Phantom);
     b.dev.profiler.reset();
-    b.run(1);
+    b.run(1).unwrap();
     assert_eq!(a.dev.profiler.total_flops, b.dev.profiler.total_flops);
     assert_eq!(
         a.dev.profiler.kernel_launches,
@@ -70,7 +70,7 @@ fn deterministic_simulated_clock() {
     // Two identical runs give bit-identical simulated times.
     let t = |_: u32| {
         let mut g = SingleGpu::<f32>::new(cfg(16), DeviceSpec::tesla_s1070(), ExecMode::Phantom);
-        g.run(2);
+        g.run(2).unwrap();
         g.dev.host_time()
     };
     assert_eq!(t(0), t(1));
