@@ -1,0 +1,109 @@
+//! CI smoke leg for the runtime sanitizer (DESIGN.md §11): run the
+//! Fig. 4 mountain-wave schedule on a small grid with every `vsan`
+//! checker armed and fail loudly on any finding. A second, sanitizer-off
+//! run of the same schedule must produce bitwise-identical prognostic
+//! fields — the sanitizer observes, it never perturbs.
+//!
+//! Environment knobs (all optional):
+//! - `ASUCA_SAN_SMOKE_GRID` — `nx,ny,nz` (default `32,32,16`)
+//! - `ASUCA_SAN_SMOKE_STEPS` — step count (default 1)
+//! - `ASUCA_SAN` — sanitizer mode set for the armed run (default `full`)
+//!
+//! Exit status: 0 clean, 1 findings or checksum divergence.
+
+use asuca_gpu::SingleGpu;
+use dycore::config::ModelConfig;
+use std::time::Instant;
+use vgpu::{DeviceSpec, ExecMode, SanConfig};
+
+fn checksum(s: &dycore::State) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |f: &numerics::Field3<f64>| {
+        for v in f.raw() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+    };
+    eat(&s.rho);
+    eat(&s.u);
+    eat(&s.v);
+    eat(&s.w);
+    eat(&s.th);
+    eat(&s.p);
+    for q in &s.q {
+        eat(q);
+    }
+    h
+}
+
+fn run(
+    grid: (usize, usize, usize),
+    steps: usize,
+    san: Option<SanConfig>,
+) -> (u64, Option<vgpu::Report>, f64) {
+    let (nx, ny, nz) = grid;
+    let mut cfg = ModelConfig::mountain_wave(nx, ny, nz);
+    cfg.dt = 4.0;
+    cfg.threads = 2;
+    cfg.simd = Some(true);
+    let mut gpu =
+        SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
+    gpu.dev.set_san_config(san);
+    let t0 = Instant::now();
+    gpu.run(steps).expect("smoke run failed");
+    let wall = t0.elapsed().as_secs_f64();
+    let mut out = dycore::State::zeros(&gpu.grid, cfg.n_tracers);
+    gpu.save_state(&mut out);
+    let report = gpu.san_finish();
+    (checksum(&out), report, wall)
+}
+
+fn main() {
+    let grid = std::env::var("ASUCA_SAN_SMOKE_GRID")
+        .ok()
+        .and_then(|v| {
+            let p: Vec<usize> = v.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            (p.len() == 3).then(|| (p[0], p[1], p[2]))
+        })
+        .unwrap_or((32, 32, 16));
+    let steps = std::env::var("ASUCA_SAN_SMOKE_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1usize);
+    let cfg = std::env::var("ASUCA_SAN")
+        .ok()
+        .and_then(|v| SanConfig::parse(&v))
+        .unwrap_or_else(SanConfig::full);
+
+    eprintln!(
+        "san_smoke: {}x{}x{} steps={} modes={:?}",
+        grid.0, grid.1, grid.2, steps, cfg
+    );
+    let (gold, rep_off, wall_off) = run(grid, steps, None);
+    assert!(rep_off.is_none());
+    eprintln!("san_smoke: off  wall={wall_off:.2}s checksum={gold:#018x}");
+    let (sum, rep, wall_on) = run(grid, steps, Some(cfg));
+    let rep = rep.expect("sanitizer armed");
+    eprintln!("san_smoke: san  wall={wall_on:.2}s checksum={sum:#018x}");
+
+    let mut failed = false;
+    if !rep.is_empty() {
+        eprintln!("san_smoke: {} finding(s):\n{rep}", rep.len());
+        eprintln!("san_smoke-json: {}", rep.to_json());
+        failed = true;
+    }
+    if sum != gold {
+        eprintln!("san_smoke: sanitizer perturbed the run ({sum:#018x} != {gold:#018x})");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "san_smoke: clean ({} steps, overhead x{:.1})",
+        steps,
+        wall_on / wall_off.max(1e-9)
+    );
+}

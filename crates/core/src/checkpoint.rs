@@ -67,7 +67,8 @@ impl<R: Real> Checkpoint<R> {
         for (buf, len) in prognostics(ds, geom) {
             if dev.mode() == ExecMode::Functional {
                 let mut host = vec![R::ZERO; len];
-                dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut host);
+                dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut host)
+                    .expect("copy in bounds");
                 data.push(host);
             } else {
                 dev.copy_d2h_phantom(StreamId::DEFAULT, len);
@@ -89,7 +90,8 @@ impl<R: Real> Checkpoint<R> {
             assert_eq!(self.data.len(), bufs.len(), "checkpoint field count");
             for ((buf, len), host) in bufs.into_iter().zip(self.data.iter()) {
                 assert_eq!(host.len(), len, "checkpoint field length");
-                dev.copy_h2d(StreamId::DEFAULT, host, buf, 0);
+                dev.copy_h2d(StreamId::DEFAULT, host, buf, 0)
+                    .expect("copy in bounds");
             }
         } else {
             for (_, len) in bufs {

@@ -60,37 +60,93 @@ impl<R: Real> DeviceState<R> {
         let c = geom.dc.len();
         let w = geom.dw.len();
         let plane = geom.dp.len();
-        let mut a = |len: usize| dev.alloc(len);
+        let mut a = |len: usize, label: &str| dev.alloc_labeled(len, label);
+        const Q_LABELS: [&str; 8] = ["q0", "q1", "q2", "q3", "q4", "q5", "q6", "q7"];
+        const QT_LABELS: [&str; 8] = [
+            "q0_t", "q1_t", "q2_t", "q3_t", "q4_t", "q5_t", "q6_t", "q7_t",
+        ];
+        const FQ_LABELS: [&str; 8] = ["fq0", "fq1", "fq2", "fq3", "fq4", "fq5", "fq6", "fq7"];
+        let ql = |i: usize, t: &'static [&'static str; 8]| t[i.min(7)];
         Ok(DeviceState {
             n_tracers,
-            rho: a(c)?,
-            u: a(c)?,
-            v: a(c)?,
-            w: a(w)?,
-            th: a(c)?,
-            q: (0..n_tracers).map(|_| a(c)).collect::<Result<_, _>>()?,
-            p: a(c)?,
-            precip: a(plane)?,
-            rho_t: a(c)?,
-            u_t: a(c)?,
-            v_t: a(c)?,
-            w_t: a(w)?,
-            th_t: a(c)?,
-            q_t: (0..n_tracers).map(|_| a(c)).collect::<Result<_, _>>()?,
-            fu: a(c)?,
-            fv: a(c)?,
-            fw: a(w)?,
-            frho: a(c)?,
-            fth: a(c)?,
-            fq: (0..n_tracers).map(|_| a(c)).collect::<Result<_, _>>()?,
-            th_ref: a(c)?,
-            p_ref: a(c)?,
-            spec: a(c)?,
-            spec_w: a(w)?,
-            flux: a(c)?,
-            flux_w: a(w)?,
-            mw: a(w)?,
+            rho: a(c, "rho")?,
+            u: a(c, "u")?,
+            v: a(c, "v")?,
+            w: a(w, "w")?,
+            th: a(c, "th")?,
+            q: (0..n_tracers)
+                .map(|i| a(c, ql(i, &Q_LABELS)))
+                .collect::<Result<_, _>>()?,
+            p: a(c, "p")?,
+            precip: a(plane, "precip")?,
+            rho_t: a(c, "rho_t")?,
+            u_t: a(c, "u_t")?,
+            v_t: a(c, "v_t")?,
+            w_t: a(w, "w_t")?,
+            th_t: a(c, "th_t")?,
+            q_t: (0..n_tracers)
+                .map(|i| a(c, ql(i, &QT_LABELS)))
+                .collect::<Result<_, _>>()?,
+            fu: a(c, "fu")?,
+            fv: a(c, "fv")?,
+            fw: a(w, "fw")?,
+            frho: a(c, "frho")?,
+            fth: a(c, "fth")?,
+            fq: (0..n_tracers)
+                .map(|i| a(c, ql(i, &FQ_LABELS)))
+                .collect::<Result<_, _>>()?,
+            th_ref: a(c, "th_ref")?,
+            p_ref: a(c, "p_ref")?,
+            spec: a(c, "spec")?,
+            spec_w: a(w, "spec_w")?,
+            flux: a(c, "flux")?,
+            flux_w: a(w, "flux_w")?,
+            mw: a(w, "mw")?,
         })
+    }
+
+    /// Release every array (leak-check teardown: a driver that frees
+    /// its state before dropping the device reports a clean heap).
+    pub fn free(self, dev: &mut Device<R>) {
+        let DeviceState {
+            n_tracers: _,
+            rho,
+            u,
+            v,
+            w,
+            th,
+            q,
+            p,
+            precip,
+            rho_t,
+            u_t,
+            v_t,
+            w_t,
+            th_t,
+            q_t,
+            fu,
+            fv,
+            fw,
+            frho,
+            fth,
+            fq,
+            th_ref,
+            p_ref,
+            spec,
+            spec_w,
+            flux,
+            flux_w,
+            mw,
+        } = self;
+        for b in [
+            rho, u, v, w, th, p, precip, rho_t, u_t, v_t, w_t, th_t, fu, fv, fw, frho, fth, th_ref,
+            p_ref, spec, spec_w, flux, flux_w, mw,
+        ] {
+            let _ = dev.free(b);
+        }
+        for b in q.into_iter().chain(q_t).chain(fq) {
+            let _ = dev.free(b);
+        }
     }
 
     /// Upload a host (KIJ, f64) state into the device prognostics — the
@@ -100,7 +156,8 @@ impl<R: Real> DeviceState<R> {
         let up = |dev: &mut Device<R>, buf: Buf<R>, f: &numerics::Field3<f64>, dims| {
             if dev.mode() == ExecMode::Functional {
                 let host = relayout_to_xzy::<R>(f, dims);
-                dev.copy_h2d(StreamId::DEFAULT, &host, buf, 0);
+                dev.copy_h2d(StreamId::DEFAULT, &host, buf, 0)
+                    .expect("copy in bounds");
             } else {
                 dev.copy_h2d_phantom(StreamId::DEFAULT, dims.len());
             }
@@ -142,7 +199,8 @@ impl<R: Real> DeviceState<R> {
                     f: &mut numerics::Field3<f64>,
                     dims: crate::view::Dims| {
             let mut host = vec![R::ZERO; dims.len()];
-            dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut host);
+            dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut host)
+                .expect("copy in bounds");
             relayout_from_xzy(&host, dims, f);
         };
         down(dev, self.rho, &mut s.rho, geom.dc);

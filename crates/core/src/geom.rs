@@ -73,10 +73,11 @@ pub fn relayout_from_xzy<R: Real>(data: &[R], dims: Dims, f: &mut Field3<f64>) {
 fn upload_plane<R: Real>(
     dev: &mut Device<R>,
     dims: Dims,
+    label: &str,
     f: impl Fn(isize, isize) -> f64,
 ) -> Buf<R> {
     let buf = dev
-        .alloc(dims.len())
+        .alloc_labeled(dims.len(), label)
         .expect("device OOM uploading metric plane");
     if dev.mode() == ExecMode::Functional {
         let h = dims.halo as isize;
@@ -86,7 +87,8 @@ fn upload_plane<R: Real>(
                 host[dims.off(i, j, 0)] = R::from_f64(f(i, j));
             }
         }
-        dev.copy_h2d(StreamId::DEFAULT, &host, buf, 0);
+        dev.copy_h2d(StreamId::DEFAULT, &host, buf, 0)
+            .expect("copy in bounds");
     } else {
         dev.copy_h2d_phantom(StreamId::DEFAULT, dims.len());
     }
@@ -95,10 +97,24 @@ fn upload_plane<R: Real>(
 
 /// Upload a KIJ f64 field to the device in XZY order.
 pub fn upload_field<R: Real>(dev: &mut Device<R>, f: &Field3<f64>, dims: Dims) -> Buf<R> {
-    let buf = dev.alloc(dims.len()).expect("device OOM uploading field");
+    upload_field_labeled(dev, f, dims, "")
+}
+
+/// Upload a KIJ f64 field to the device in XZY order, tagging the
+/// allocation with a sanitizer label.
+pub fn upload_field_labeled<R: Real>(
+    dev: &mut Device<R>,
+    f: &Field3<f64>,
+    dims: Dims,
+    label: &str,
+) -> Buf<R> {
+    let buf = dev
+        .alloc_labeled(dims.len(), label)
+        .expect("device OOM uploading field");
     if dev.mode() == ExecMode::Functional {
         let host = relayout_to_xzy::<R>(f, dims);
-        dev.copy_h2d(StreamId::DEFAULT, &host, buf, 0);
+        dev.copy_h2d(StreamId::DEFAULT, &host, buf, 0)
+            .expect("copy in bounds");
     } else {
         dev.copy_h2d_phantom(StreamId::DEFAULT, dims.len());
     }
@@ -106,6 +122,26 @@ pub fn upload_field<R: Real>(dev: &mut Device<R>, f: &Field3<f64>, dims: Dims) -
 }
 
 impl<R: Real> DeviceGeom<R> {
+    /// Release every metric/base buffer (leak-check teardown).
+    pub fn free(&self, dev: &mut Device<R>) {
+        for b in [
+            self.g,
+            self.g_u,
+            self.g_v,
+            self.dzsdx_u,
+            self.dzsdy_v,
+            self.zeta_fac,
+            self.th_c,
+            self.th_w,
+            self.p_c,
+            self.rho_c,
+            self.rbw,
+            self.c2m,
+        ] {
+            let _ = dev.free(b);
+        }
+    }
+
     /// Phantom-mode build: allocate and account every upload without
     /// constructing host base fields (used by paper-scale timing runs,
     /// where materializing 528 ranks of 3-D base arrays would exhaust
@@ -130,7 +166,7 @@ impl<R: Real> DeviceGeom<R> {
         let g_v = aplane(dev);
         let dzsdx_u = aplane(dev);
         let dzsdy_v = aplane(dev);
-        let zeta_fac = dev.alloc(nz).expect("device OOM");
+        let zeta_fac = dev.alloc_labeled(nz, "zeta_fac").expect("device OOM");
         dev.copy_h2d_phantom(StreamId::DEFAULT, nz);
         let afield = |dev: &mut Device<R>, len: usize| {
             let b = dev.alloc(len).expect("device OOM");
@@ -178,31 +214,32 @@ impl<R: Real> DeviceGeom<R> {
         let dw = Dims::wlevel(nx, ny, nz, HALO);
         let dp = Dims::plane(nx, ny, HALO);
 
-        let g = upload_plane(dev, dp, |i, j| grid.g.at(i, j));
-        let g_u = upload_plane(dev, dp, |i, j| grid.g_u.at(i, j));
-        let g_v = upload_plane(dev, dp, |i, j| grid.g_v.at(i, j));
-        let dzsdx_u = upload_plane(dev, dp, |i, j| grid.dzsdx_u.at(i, j));
-        let dzsdy_v = upload_plane(dev, dp, |i, j| grid.dzsdy_v.at(i, j));
+        let g = upload_plane(dev, dp, "g", |i, j| grid.g.at(i, j));
+        let g_u = upload_plane(dev, dp, "g_u", |i, j| grid.g_u.at(i, j));
+        let g_v = upload_plane(dev, dp, "g_v", |i, j| grid.g_v.at(i, j));
+        let dzsdx_u = upload_plane(dev, dp, "dzsdx_u", |i, j| grid.dzsdx_u.at(i, j));
+        let dzsdy_v = upload_plane(dev, dp, "dzsdy_v", |i, j| grid.dzsdy_v.at(i, j));
 
         // Per-level metric decay factors (1 - ζc/H).
-        let zeta_fac = dev.alloc(nz).expect("device OOM");
+        let zeta_fac = dev.alloc_labeled(nz, "zeta_fac").expect("device OOM");
         if dev.mode() == ExecMode::Functional {
             let host: Vec<R> = grid
                 .zeta_c
                 .iter()
                 .map(|&z| R::from_f64(1.0 - z / grid.z_top))
                 .collect();
-            dev.copy_h2d(StreamId::DEFAULT, &host, zeta_fac, 0);
+            dev.copy_h2d(StreamId::DEFAULT, &host, zeta_fac, 0)
+                .expect("copy in bounds");
         } else {
             dev.copy_h2d_phantom(StreamId::DEFAULT, nz);
         }
 
-        let th_c = upload_field(dev, &base.th_c, dc);
-        let th_w = upload_field(dev, &base.th_w, dw);
-        let p_c = upload_field(dev, &base.p_c, dc);
-        let rho_c = upload_field(dev, &base.rho_c, dc);
-        let rbw = upload_field(dev, &base.rbw, dw);
-        let c2m = upload_field(dev, &base.c2m, dc);
+        let th_c = upload_field_labeled(dev, &base.th_c, dc, "th_c");
+        let th_w = upload_field_labeled(dev, &base.th_w, dw, "th_w");
+        let p_c = upload_field_labeled(dev, &base.p_c, dc, "p_c");
+        let rho_c = upload_field_labeled(dev, &base.rho_c, dc, "rho_c");
+        let rbw = upload_field_labeled(dev, &base.rbw, dw, "rbw");
+        let c2m = upload_field_labeled(dev, &base.c2m, dc, "c2m");
 
         DeviceGeom {
             nx,

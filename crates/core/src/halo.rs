@@ -74,6 +74,12 @@ pub struct HaloExchanger<R: Real> {
 }
 
 impl<R: Real> HaloExchanger<R> {
+    /// Release the pack buffers (leak-check teardown).
+    pub fn free(self, dev: &mut Device<R>) {
+        let _ = dev.free(self.xpack_send);
+        let _ = dev.free(self.xpack_recv);
+    }
+
     /// Build for a rank of a periodic 2-D topology.
     pub fn new(
         dev: &mut Device<R>,
@@ -84,10 +90,10 @@ impl<R: Real> HaloExchanger<R> {
     ) -> Self {
         let strip_cap = boundary::x_strip_len(dims_c).max(boundary::x_strip_len(dims_w));
         let xpack_send = dev
-            .alloc(2 * strip_cap * MAX_BATCH)
+            .alloc_labeled(2 * strip_cap * MAX_BATCH, "xpack_send")
             .expect("device OOM for x pack buffer");
         let xpack_recv = dev
-            .alloc(2 * strip_cap * MAX_BATCH)
+            .alloc_labeled(2 * strip_cap * MAX_BATCH, "xpack_recv")
             .expect("device OOM for x pack buffer");
         HaloExchanger {
             west: topo.west_periodic(rank),
@@ -125,13 +131,15 @@ impl<R: Real> HaloExchanger<R> {
                     f.buf,
                     boundary::y_slab_interior_offset(f.dims, Side::South),
                     &mut s,
-                );
+                )
+                .expect("copy in bounds");
                 dev.copy_d2h(
                     stream,
                     f.buf,
                     boundary::y_slab_interior_offset(f.dims, Side::North),
                     &mut n,
-                );
+                )
+                .expect("copy in bounds");
                 staged.push((s, n));
             } else {
                 dev.copy_d2h_phantom(stream, slab);
@@ -172,13 +180,15 @@ impl<R: Real> HaloExchanger<R> {
                     &s,
                     f.buf,
                     boundary::y_slab_halo_offset(f.dims, Side::South),
-                );
+                )
+                .expect("copy in bounds");
                 dev.copy_h2d(
                     stream,
                     &n,
                     f.buf,
                     boundary::y_slab_halo_offset(f.dims, Side::North),
-                );
+                )
+                .expect("copy in bounds");
             } else {
                 dev.copy_h2d_phantom(stream, slab);
                 dev.copy_h2d_phantom(stream, slab);
@@ -220,7 +230,8 @@ impl<R: Real> HaloExchanger<R> {
             )?;
             if functional {
                 let mut host = vec![R::ZERO; 2 * strip];
-                dev.copy_d2h(stream, self.xpack_send, off, &mut host);
+                dev.copy_d2h(stream, self.xpack_send, off, &mut host)
+                    .expect("copy in bounds");
                 staged.push(host);
             } else {
                 dev.copy_d2h_phantom(stream, 2 * strip);
@@ -262,8 +273,10 @@ impl<R: Real> HaloExchanger<R> {
             let strip = boundary::x_strip_len(f.dims);
             let off = slot * 2 * self.strip_cap;
             if functional {
-                dev.copy_h2d(stream, &w, self.xpack_recv, off);
-                dev.copy_h2d(stream, &e, self.xpack_recv, off + strip);
+                dev.copy_h2d(stream, &w, self.xpack_recv, off)
+                    .expect("copy in bounds");
+                dev.copy_h2d(stream, &e, self.xpack_recv, off + strip)
+                    .expect("copy in bounds");
             } else {
                 dev.copy_h2d_phantom(stream, strip);
                 dev.copy_h2d_phantom(stream, strip);

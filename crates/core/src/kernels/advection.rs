@@ -8,7 +8,7 @@
 //! is charged roughly once per point rather than once per stencil tap.
 
 use crate::geom::DeviceGeom;
-use crate::kernels::region::{launch_cfg_region, KName, Region};
+use crate::kernels::region::{launch_cfg_region, reads_stencil, writes_rects, KName, Region};
 use crate::view::{V3SlabMut, V3};
 use numerics::limiter::{limited_flux, limited_flux_lanes, Limiter};
 use numerics::simd::{Lane, LANES};
@@ -86,7 +86,10 @@ pub fn advect_scalar<R: Real>(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
             .with_shared_mem(smem)
-            .with_lanes(lane_width(lanes_on)),
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[spec, u, v]))
+            .reading(reads_stencil(&dw, &rects, &[mw]))
+            .writing(writes_rects(&dc, &rects, &[out])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -310,7 +313,10 @@ pub fn advect_u<R: Real>(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
             .with_shared_mem(advection_shared_mem_bytes(R::BYTES))
-            .with_lanes(lane_width(lanes_on)),
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[uspec, u, v]))
+            .reading(reads_stencil(&dw, &rects, &[mw]))
+            .writing(writes_rects(&dc, &rects, &[out])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -513,7 +519,10 @@ pub fn advect_v<R: Real>(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
             .with_shared_mem(advection_shared_mem_bytes(R::BYTES))
-            .with_lanes(lane_width(lanes_on)),
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[vspec, u, v]))
+            .reading(reads_stencil(&dw, &rects, &[mw]))
+            .writing(writes_rects(&dc, &rects, &[out])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -717,7 +726,10 @@ pub fn advect_w<R: Real>(
         stream,
         Launch::new(kn.get(region), gdim, bdim, cost)
             .with_shared_mem(advection_shared_mem_bytes(R::BYTES))
-            .with_lanes(lane_width(lanes_on)),
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[u, v]))
+            .reading(reads_stencil(&dw, &rects, &[wspec, mw]))
+            .writing(writes_rects(&dw, &rects, &[out])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);

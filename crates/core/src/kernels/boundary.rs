@@ -32,7 +32,8 @@ pub fn halo_periodic_xy<R: Real>(
     let (klo, khi) = if dims.nl == 1 { (0, 1) } else { (-h, nl + h) };
     let points = (2 * h as u64) * (dims.py() as u64 + dims.ny as u64) * dims.pl() as u64;
     let cost = KernelCost::streaming(points.max(1), 0.0, 1.0, 1.0);
-    let launch = Launch::new(name, Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
+    let launch =
+        Launch::new(name, Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost).writing([buf.access()]);
     dev.launch(stream, launch, move |mem| {
         let mut b = mem.write(buf);
         let mut v = V3Mut::new(&mut b, dims);
@@ -76,7 +77,8 @@ pub fn halo_zero_grad_z<R: Real>(
     let nl = dims.nl as isize;
     let points = (dims.px() * dims.py() * 2 * dims.halo) as u64;
     let cost = KernelCost::streaming(points.max(1), 0.0, 1.0, 1.0);
-    let launch = Launch::new(name, Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
+    let launch =
+        Launch::new(name, Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost).writing([buf.access()]);
     dev.launch(stream, launch, move |mem| {
         let mut b = mem.write(buf);
         let mut v = V3Mut::new(&mut b, dims);
@@ -128,6 +130,20 @@ pub fn y_slab_halo_offset(dims: Dims, side: Side) -> usize {
     }
 }
 
+/// Sanitizer footprint of one x-boundary strip: columns `i0..i0+halo`
+/// across every padded row and level — `halo`-element runs every padded
+/// x-row. Declaring the strips at this precision (instead of the whole
+/// field) is what lets synccheck certify overlap method 3: the pack
+/// kernel's column reads are disjoint from the inner kernel's writes.
+pub fn x_strip_range(dims: Dims, i0: isize) -> vgpu::AccessRange {
+    vgpu::AccessRange::Rows {
+        start: (i0 + dims.halo as isize) as usize,
+        run: dims.halo,
+        stride: dims.px(),
+        count: dims.py() * dims.pl(),
+    }
+}
+
 /// Pack an x-boundary strip (interior columns) into a contiguous device
 /// buffer — Fig. 8 step (3), "executed by kernels instead of CUDA
 /// memory operations".
@@ -148,7 +164,9 @@ pub fn pack_x<R: Real>(
     };
     let n = x_strip_len(dims);
     let cost = KernelCost::streaming(n as u64, 0.0, 1.0, 1.0);
-    let launch = Launch::new("pack_x", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
+    let launch = Launch::new("pack_x", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost)
+        .reading([field.access_range(x_strip_range(dims, i0))])
+        .writing([pack.access_flat(pack_offset..pack_offset + n)]);
     let (klo, khi) = if dims.nl == 1 {
         (0, 1)
     } else {
@@ -187,7 +205,9 @@ pub fn unpack_x<R: Real>(
     };
     let n = x_strip_len(dims);
     let cost = KernelCost::streaming(n as u64, 0.0, 1.0, 1.0);
-    let launch = Launch::new("unpack_x", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
+    let launch = Launch::new("unpack_x", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost)
+        .reading([pack.access_flat(pack_offset..pack_offset + n)])
+        .writing([field.access_range(x_strip_range(dims, i0))]);
     let (klo, khi) = if dims.nl == 1 {
         (0, 1)
     } else {

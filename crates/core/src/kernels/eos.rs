@@ -2,7 +2,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::advection::lane_width;
-use crate::kernels::region::launch_cfg;
+use crate::kernels::region::{launch_cfg, reads_all, writes_all};
 use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use physics::eos;
@@ -30,7 +30,10 @@ pub fn eos_linear<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("eos_linear", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("eos_linear", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[th, th_ref, p_ref, c2m_b]))
+            .writing(writes_all(&[p])),
         dc.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
@@ -94,7 +97,10 @@ pub fn eos_full<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(name, g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new(name, g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[th, g2]))
+            .writing(writes_all(&[p])),
         dc.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);

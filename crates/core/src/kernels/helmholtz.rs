@@ -16,7 +16,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::advection::lane_width;
-use crate::kernels::region::{KName, Region};
+use crate::kernels::region::{reads_stencil, writes_rects, KName, Region};
 use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use physics::consts::GRAV;
@@ -90,7 +90,17 @@ pub fn helmholtz<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new(kn.get(region), gd, bd, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[
+                args.u, args.v, args.rho, args.th, args.p, args.frho, args.fth,
+                args.th_ref, args.p_ref,
+            ]))
+            .reading(reads_stencil(&dw, &rects, &[args.fu_w]))
+            .reading([g2.access(), sx2.access(), sy2.access()])
+            .reading([th_c_b.access(), th_w_b.access(), c2m_b.access(), rbw_b.access()])
+            .writing(writes_rects(&dw, &rects, &[args.w]))
+            .writing(writes_rects(&dc, &rects, &[args.st_rho, args.st_th])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -533,7 +543,12 @@ pub fn density<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new(kn.get(region), gd, bd, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[st_rho]))
+            .reading(reads_stencil(&dw, &rects, &[w]))
+            .reading([g2.access()])
+            .writing(writes_rects(&dc, &rects, &[rho])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -613,7 +628,12 @@ pub fn potential_temperature<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new(kn.get(region), gd, bd, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[st_th]))
+            .reading(reads_stencil(&dw, &rects, &[w, thw_b]))
+            .reading([g2.access()])
+            .writing(writes_rects(&dc, &rects, &[th])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);

@@ -6,7 +6,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::advection::lane_width;
-use crate::kernels::region::{launch_cfg_region, KName, Region};
+use crate::kernels::region::{launch_cfg_region, reads_stencil, writes_rects, KName, Region};
 use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId, VgpuError};
@@ -41,7 +41,11 @@ pub fn momentum_x<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new(kn.get(region), gd, bd, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[p, fu]))
+            .reading(reads_stencil(&dp, &rects, &[gub]))
+            .writing(writes_rects(&dc, &rects, &[u])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -116,7 +120,11 @@ pub fn momentum_y<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new(kn.get(region), gd, bd, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[p, fv_t]))
+            .reading(reads_stencil(&dp, &rects, &[gvb]))
+            .writing(writes_rects(&dc, &rects, &[v])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);

@@ -5,7 +5,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::advection::lane_width;
-use crate::kernels::region::launch_cfg;
+use crate::kernels::region::{launch_cfg, reads_all, writes_all};
 use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use physics::eos;
@@ -39,7 +39,10 @@ pub fn warm_rain<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("warm_rain", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("warm_rain", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[g2, p, rho]))
+            .writing(writes_all(&[th, qv, qc, qr])),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -194,7 +197,10 @@ pub fn sediment<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("precipitation", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("precipitation", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[g2]))
+            .writing(writes_all(&[rho, qr, precip])),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -349,6 +355,7 @@ pub fn rayleigh<R: Real>(
     th: Buf<R>,
     rho: Buf<R>,
 ) -> Result<(), VgpuError> {
+    // zero-rate sponge is disabled, an exact config sentinel — lint: allow(float-eq)
     if rate == 0.0 || !z_bottom.is_finite() {
         return Ok(());
     }
@@ -368,7 +375,10 @@ pub fn rayleigh<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("rayleigh_sponge", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("rayleigh_sponge", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[rho, th_b]))
+            .writing(writes_all(&[w, th])),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);

@@ -5,7 +5,8 @@
 //! can overlap the computation of inner domain and communication of the
 //! boundary region."
 
-use vgpu::Dim3;
+use crate::view::Dims;
+use vgpu::{AccessDecl, AccessRange, Buf, Dim3};
 
 /// A horizontal index rectangle `[i0, i1) × [j0, j1)` (full z extent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +134,71 @@ macro_rules! kname {
             concat!($base, ".by"),
         ])
     };
+}
+
+/// Element footprint of one horizontal rectangle over the full (padded)
+/// vertical extent of a buffer with dims `d` — the exact set of flat
+/// indices a region kernel writes. In the XZY layout this is a single
+/// strided-run pattern: runs of `i1-i0` elements every `px`, and since
+/// the y-stride is `px*pl` (i.e. `pl` consecutive x-rows), runs continue
+/// seamlessly across `j`.
+pub fn rect_range(d: &Dims, r: &Rect) -> AccessRange {
+    let h = d.halo as isize;
+    let (px, pl) = (d.px() as isize, d.pl() as isize);
+    let start = (r.i0 + h) + px * pl * (r.j0 + h);
+    AccessRange::Rows {
+        start: start.max(0) as usize,
+        run: (r.i1 - r.i0).max(0) as usize,
+        stride: px as usize,
+        count: ((r.j1 - r.j0).max(0) * pl) as usize,
+    }
+}
+
+/// `rect_range` grown by the stencil halo in i and j (clamped to the
+/// padded extent) — the footprint a stencil kernel *reads* when it
+/// writes `r`. Declaring reads at this 2-D precision is what lets
+/// synccheck certify the paper's overlap schedule: the inner kernel's
+/// stencil reads stay disjoint from the y-boundary slab copies running
+/// concurrently on the copy stream.
+pub fn rect_stencil_range(d: &Dims, r: &Rect) -> AccessRange {
+    let h = d.halo as isize;
+    let grown = Rect {
+        i0: (r.i0 - h).max(-h),
+        i1: (r.i1 + h).min(d.nx as isize + h),
+        j0: (r.j0 - h).max(-h),
+        j1: (r.j1 + h).min(d.ny as isize + h),
+    };
+    rect_range(d, &grown)
+}
+
+/// Write declarations: `bufs` each written exactly on `rects`.
+pub fn writes_rects<R>(d: &Dims, rects: &[Rect], bufs: &[Buf<R>]) -> Vec<AccessDecl> {
+    bufs.iter()
+        .flat_map(|b| rects.iter().map(|r| b.access_range(rect_range(d, r))))
+        .collect()
+}
+
+/// Read declarations: `bufs` each read with a halo-wide stencil around
+/// `rects`.
+pub fn reads_stencil<R>(d: &Dims, rects: &[Rect], bufs: &[Buf<R>]) -> Vec<AccessDecl> {
+    bufs.iter()
+        .flat_map(|b| {
+            rects
+                .iter()
+                .map(|r| b.access_range(rect_stencil_range(d, r)))
+        })
+        .collect()
+}
+
+/// Whole-buffer read declarations (fields read without a useful
+/// rectangular footprint — vertical columns, geometry constants).
+pub fn reads_all<R>(bufs: &[Buf<R>]) -> Vec<AccessDecl> {
+    bufs.iter().map(|b| b.access()).collect()
+}
+
+/// Whole-buffer write declarations.
+pub fn writes_all<R>(bufs: &[Buf<R>]) -> Vec<AccessDecl> {
+    bufs.iter().map(|b| b.access()).collect()
 }
 
 /// The paper's launch configuration (§IV-A.2): (64, 4, 1)-thread blocks

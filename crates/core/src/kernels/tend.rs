@@ -4,7 +4,10 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::advection::lane_width;
-use crate::kernels::region::{launch_cfg, launch_cfg_region, KName, Region};
+use crate::kernels::region::{
+    launch_cfg, launch_cfg_region, reads_all, reads_stencil, writes_all, writes_rects, KName,
+    Region,
+};
 use crate::view::{Row, V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use vgpu::{Buf, Device, KernelCost, Launch, StreamId, VgpuError};
@@ -22,6 +25,7 @@ pub fn coriolis<R: Real>(
     fu: Buf<R>,
     fv: Buf<R>,
 ) -> Result<(), VgpuError> {
+    // f = 0 disables Coriolis, an exact config sentinel — lint: allow(float-eq)
     if fcor == 0.0 {
         return Ok(());
     }
@@ -35,7 +39,10 @@ pub fn coriolis<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("coriolis", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("coriolis", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[u, v]))
+            .writing(writes_all(&[fu, fv])),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -111,7 +118,10 @@ pub fn metric_pg<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("metric_pg", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("metric_pg", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[p, sx2, sy2, zf]))
+            .writing(writes_all(&[fu, fv])),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -195,7 +205,10 @@ pub fn add_div_lin_theta<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("div_lin_theta", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("div_lin_theta", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[u, v, w, th_c_b, th_w_b, g2]))
+            .writing(writes_all(&[fth])),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -303,7 +316,10 @@ pub fn continuity_residual<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("continuity_residual", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("continuity_residual", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[u, v, w, mw, g2]))
+            .writing(writes_all(&[frho])),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -394,6 +410,7 @@ pub fn diffuse<R: Real>(
     klo: isize,
     khi: isize,
 ) -> Result<(), VgpuError> {
+    // zero diffusivity skips the kernel, an exact config sentinel — lint: allow(float-eq)
     if kdiff == 0.0 {
         return Ok(());
     }
@@ -415,7 +432,11 @@ pub fn diffuse<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(name, g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new(name, g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[spec, rho]))
+            .reading(sub_ref.iter().map(|r| r.access()))
+            .writing(writes_all(&[out])),
         ny as usize,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);
@@ -538,7 +559,10 @@ pub fn tracer_update<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(kn.get(region), gd, bd, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new(kn.get(region), gd, bd, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_stencil(&dc, &rects, &[q_t, fq]))
+            .writing(writes_rects(&dc, &rects, &[q])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);

@@ -17,6 +17,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::advection::{advection_shared_mem_bytes, ADV_FLOPS, ADV_READS, ADV_WRITES};
+use crate::kernels::region::{reads_all, writes_all};
 use crate::view::{V3SlabMut, V3};
 use numerics::limiter::{limited_flux, Limiter};
 use numerics::Real;
@@ -110,7 +111,10 @@ pub fn advect_scalar_tiled<R: Real>(
     let nzi = nz as isize;
     dev.launch_par(
         stream,
-        Launch::new(name, grid, block, cost).with_shared_mem(advection_shared_mem_bytes(R::BYTES)),
+        Launch::new(name, grid, block, cost)
+            .with_shared_mem(advection_shared_mem_bytes(R::BYTES))
+            .reading(reads_all(&[spec, u, v, mw]))
+            .writing(writes_all(&[out])),
         ny,
         move |mem, sj0, sj1| {
             let (sj0, sj1) = (sj0 as isize, sj1 as isize);

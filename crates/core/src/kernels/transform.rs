@@ -9,7 +9,7 @@
 
 use crate::geom::DeviceGeom;
 use crate::kernels::advection::lane_width;
-use crate::kernels::region::launch_cfg;
+use crate::kernels::region::{launch_cfg, reads_all, writes_all};
 use crate::view::{V3SlabMut, V3};
 use numerics::simd::{Lane, LANES};
 use numerics::Real;
@@ -34,7 +34,10 @@ pub fn specific_center<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new(name, g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new(name, g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[q, rho]))
+            .writing(writes_all(&[spec])),
         dc.py(),
         move |mem, row0, row1| {
             // Padded-box kernel: the span covers all py rows, row r = row j + h.
@@ -86,7 +89,10 @@ pub fn specific_u<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("spec_u", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("spec_u", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[u, rho]))
+            .writing(writes_all(&[spec])),
         dc.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
@@ -143,7 +149,10 @@ pub fn specific_v<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("spec_v", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("spec_v", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[v, rho]))
+            .writing(writes_all(&[spec])),
         dc.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
@@ -205,7 +214,10 @@ pub fn specific_w<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("spec_w", g, b, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("spec_w", g, b, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[w, rho]))
+            .writing(writes_all(&[spec])),
         dw.py(),
         move |mem, row0, row1| {
             let (sj0, sj1) = (row0 as isize - h, row1 as isize - h);
@@ -275,7 +287,10 @@ pub fn mass_flux_w<R: Real>(
     let lanes_on = dev.simd_enabled();
     dev.launch_par(
         stream,
-        Launch::new("mass_flux_w", gd, bd, cost).with_lanes(lane_width(lanes_on)),
+        Launch::new("mass_flux_w", gd, bd, cost)
+            .with_lanes(lane_width(lanes_on))
+            .reading(reads_all(&[u, v, w, g2, gu2, gv2, zf]))
+            .writing(writes_all(&[mw])),
         span,
         move |mem, row0, row1| {
             // Writes one lateral halo ring: row r covers j = r - 1.
@@ -403,7 +418,9 @@ pub fn copy_buf<R: Real>(
     let cost = KernelCost::streaming(n as u64, 0.0, 1.0, 1.0);
     dev.launch_par(
         stream,
-        Launch::new(name, g, b, cost),
+        Launch::new(name, g, b, cost)
+            .reading(reads_all(&[src]))
+            .writing(writes_all(&[dst])),
         n,
         move |mem, e0, e1| {
             // Flat element-range split (no row structure needed for a copy).
@@ -426,7 +443,7 @@ pub fn zero_buf<R: Real>(
     let cost = KernelCost::streaming(n as u64, 0.0, 0.0, 1.0);
     dev.launch_par(
         stream,
-        Launch::new(name, g, b, cost),
+        Launch::new(name, g, b, cost).writing(writes_all(&[buf])),
         n,
         move |mem, e0, e1| {
             let mut d = mem.write_slab(buf, e0..e1);

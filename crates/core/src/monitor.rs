@@ -43,9 +43,14 @@ pub struct GuardRails<R: Real> {
 }
 
 impl<R: Real> GuardRails<R> {
+    /// Release the stats buffer (leak-check teardown).
+    pub fn free(self, dev: &mut Device<R>) {
+        let _ = dev.free(self.stats);
+    }
+
     pub fn new(dev: &mut Device<R>, geom: &DeviceGeom<R>) -> Result<Self, VgpuError> {
         let ny = geom.dc.ny;
-        let stats = dev.alloc(ny * STRIDE)?;
+        let stats = dev.alloc_labeled(ny * STRIDE, "guard_stats")?;
         Ok(GuardRails { stats, ny })
     }
 
@@ -68,7 +73,11 @@ impl<R: Real> GuardRails<R> {
         let points = (nx * ny * nz) as u64;
         // ~6 field reads and ~8 flops per point, one stats row write.
         let cost = KernelCost::streaming(points.max(1), 8.0, 6.0, 0.01);
-        let launch = Launch::new("guard_scan", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost);
+        let launch = Launch::new("guard_scan", Dim3::new(1, 4, 1), Dim3::new(64, 4, 1), cost)
+            .reading(crate::kernels::region::reads_all(&[
+                ds.rho, ds.u, ds.v, ds.w, ds.th,
+            ]))
+            .writing([self.stats.access()]);
         let (rho, u, v, w, th, stats) = (ds.rho, ds.u, ds.v, ds.w, ds.th, self.stats);
         let cx = R::from_f64(dt / dx);
         let cy = R::from_f64(dt / dy);
@@ -173,7 +182,8 @@ impl<R: Real> GuardRails<R> {
             return Ok(());
         }
         let mut host = vec![R::ZERO; self.ny * STRIDE];
-        dev.copy_d2h(StreamId::DEFAULT, self.stats, 0, &mut host);
+        dev.copy_d2h(StreamId::DEFAULT, self.stats, 0, &mut host)
+            .expect("copy in bounds");
         let mut courant = 0.0f64;
         for j in 0..self.ny {
             let row = &host[j * STRIDE..(j + 1) * STRIDE];

@@ -131,6 +131,9 @@ pub struct MultiGpuReport {
     /// Long steps whose heartbeat showed a straggling rank (max step
     /// duration more than 3x the min).
     pub stragglers: u64,
+    /// Sanitizer findings over all ranks (0 unless `ASUCA_SAN` is set;
+    /// per-rank reports go to stderr).
+    pub san_findings: u64,
     /// True when an injected allocation failure downgraded detailed
     /// profiling instead of aborting the run.
     pub profile_degraded: bool,
@@ -150,6 +153,7 @@ struct RankOut {
     restarts: u64,
     stragglers: u64,
     profile_degraded: bool,
+    san_findings: u64,
 }
 
 /// Per-rank driver state.
@@ -179,6 +183,13 @@ impl<R: Real> MultiRank<R> {
         dims: crate::view::Dims,
         id: u32,
     ) -> Result<(), ModelError> {
+        // The comm stream must not start packing until the compute
+        // stream's writes to `buf` have landed; the reverse edge (the
+        // compute stream seeing the unpacked halos) is the exchange's
+        // own `sync_stream`. The overlap paths record this event
+        // explicitly; the serial path needs it just the same.
+        let ev = self.dev.record_event(self.s_comp);
+        self.dev.stream_wait_event(self.s_y, ev);
         self.ex
             .exchange(&mut self.dev, comm, self.s_y, buf, dims, id)
     }
@@ -1087,11 +1098,15 @@ pub fn run_multi<R: Real>(
                 // Graceful degradation: probe one scratch allocation
                 // under the armed plan; on an injected OOM, drop the
                 // (memory-hungry) detailed profiling instead of dying.
-                if let Err(VgpuError::Oom { injected: true, .. }) =
-                    mr.dev.alloc(boundary::x_strip_len(mr.geom.dc))
-                {
-                    profile_degraded = true;
-                    mr.dev.profiler.set_detailed(false);
+                match mr.dev.alloc(boundary::x_strip_len(mr.geom.dc)) {
+                    Err(VgpuError::Oom { injected: true, .. }) => {
+                        profile_degraded = true;
+                        mr.dev.profiler.set_detailed(false);
+                    }
+                    Ok(probe) => {
+                        let _ = mr.dev.free(probe);
+                    }
+                    Err(_) => {}
                 }
             }
 
@@ -1136,6 +1151,7 @@ pub fn run_multi<R: Real>(
                     let (mut dmin, mut dmax) = (f64::INFINITY, 0.0f64);
                     let mut died = false;
                     for h in &hb {
+                        // heartbeat flags are exact 0.0/1.0 sentinels — lint: allow(float-eq)
                         died |= h[0] != 0.0;
                         dmin = dmin.min(h[1]);
                         dmax = dmax.max(h[1]);
@@ -1160,6 +1176,7 @@ pub fn run_multi<R: Real>(
                                 kernel: "rank_death",
                             }));
                         }
+                        // heartbeat flags are exact 0.0/1.0 sentinels — lint: allow(float-eq)
                         if flag != 0.0 {
                             // The dying rank pays the respawn cost on
                             // its virtual clock; peers absorb it through
@@ -1208,10 +1225,33 @@ pub fn run_multi<R: Real>(
             };
             let fs = mr.dev.fault_stats();
             let ls = comm.link_stats();
+            let mpi_wait = mr.ex.stats.mpi_wait_s;
+            // Teardown: free every device allocation, then drain the
+            // sanitizer (leakcheck certifies a clean per-rank heap).
+            let MultiRank {
+                mut dev,
+                geom,
+                ds,
+                ex,
+                ..
+            } = mr;
+            if let Some(g) = guard {
+                g.free(&mut dev);
+            }
+            ex.free(&mut dev);
+            ds.free(&mut dev);
+            geom.free(&mut dev);
+            let san_findings = match dev.san_finish() {
+                Some(rep) if !rep.findings.is_empty() => {
+                    eprintln!("vsan (rank {rank}):\n{rep}");
+                    rep.findings.len() as u64
+                }
+                _ => 0,
+            };
             Ok(RankOut {
                 elapsed,
                 kbusy,
-                mpi_wait: mr.ex.stats.mpi_wait_s,
+                mpi_wait,
                 pcie,
                 flops,
                 breakdown,
@@ -1225,6 +1265,7 @@ pub fn run_multi<R: Real>(
                 restarts,
                 stragglers,
                 profile_degraded,
+                san_findings,
             })
         },
     );
@@ -1249,6 +1290,7 @@ pub fn run_multi<R: Real>(
     let restarts = outs.iter().map(|r| r.restarts).max().unwrap_or(0);
     let stragglers = outs.iter().map(|r| r.stragglers).max().unwrap_or(0);
     let profile_degraded = outs.iter().any(|r| r.profile_degraded);
+    let san_findings: u64 = outs.iter().map(|r| r.san_findings).sum();
     let final_states: Option<Vec<State>> = if mc.mode == ExecMode::Functional {
         Some(outs.into_iter().map(|r| r.final_state.unwrap()).collect())
     } else {
@@ -1275,5 +1317,6 @@ pub fn run_multi<R: Real>(
         restarts,
         stragglers,
         profile_degraded,
+        san_findings,
     })
 }

@@ -146,6 +146,19 @@ impl<R: Real> SingleGpu<R> {
         this
     }
 
+    /// Tear the model down and collect the sanitizer report (if
+    /// `ASUCA_SAN` armed one). Frees every device allocation first so
+    /// leakcheck certifies a clean heap; a leak finding here means a
+    /// code path dropped a buffer without `free`.
+    pub fn san_finish(mut self) -> Option<vgpu::san::Report> {
+        if let Some(g) = self.guard.take() {
+            g.free(&mut self.dev);
+        }
+        self.ds.free(&mut self.dev);
+        self.geom.free(&mut self.dev);
+        self.dev.san_finish()
+    }
+
     /// Upload a host state (initial condition) into the device.
     pub fn load_state(&mut self, s: &State) -> Result<(), ModelError> {
         self.ds.upload(&mut self.dev, &self.geom, s);

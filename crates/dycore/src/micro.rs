@@ -99,6 +99,7 @@ pub fn sediment_rain(grid: &Grid, s: &mut State, dt: f64) {
 /// CPU reference and the GPU port.
 pub fn rayleigh_damping(cfg: &ModelConfig, grid: &Grid, base: &BaseFields, s: &mut State, dt: f64) {
     let rc = cfg.rayleigh;
+    // zero-rate sponge is disabled, an exact config sentinel — lint: allow(float-eq)
     if rc.rate == 0.0 || !rc.z_bottom.is_finite() {
         return;
     }

@@ -627,6 +627,7 @@ pub fn diffuse(
     klo: isize,
     khi: isize,
 ) {
+    // zero diffusivity skips the pass, an exact config sentinel — lint: allow(float-eq)
     if kdiff == 0.0 {
         return;
     }

@@ -83,6 +83,7 @@ pub fn compute_slow(
     );
 
     // --- Coriolis (f-plane), applied to the G-weighted momenta. ---
+    // f = 0 disables Coriolis, an exact config sentinel — lint: allow(float-eq)
     if cfg.coriolis_f != 0.0 {
         coriolis(grid, cfg.coriolis_f, stage, f);
     }

@@ -1,5 +1,6 @@
 //! Kernel launch descriptors and the Eq. 6 cost model.
 
+use crate::san::AccessDecl;
 use crate::spec::DeviceSpec;
 
 /// CUDA-style 3-component launch dimension.
@@ -102,6 +103,15 @@ pub struct Launch {
     /// [`kernel_time`] and the fig. 5 roofline — are independent of how
     /// wide the host lanes are (the two-clock rule).
     pub lanes: u32,
+    /// Declared read access-set (buffers + element footprints). Used by
+    /// the sanitizer's synccheck for precise happens-before audits and
+    /// validated against observed accesses under `ASUCA_SAN=strict`.
+    pub reads: Vec<AccessDecl>,
+    /// Declared write access-set.
+    pub writes: Vec<AccessDecl>,
+    /// Whether `reading`/`writing` were called — distinguishes "declares
+    /// it touches nothing" from "never annotated".
+    pub declared: bool,
 }
 
 impl Launch {
@@ -118,11 +128,30 @@ impl Launch {
             cost,
             shared_mem_per_block: 0,
             lanes: 1,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            declared: false,
         }
     }
 
     pub fn with_shared_mem(mut self, bytes: u32) -> Self {
         self.shared_mem_per_block = bytes;
+        self
+    }
+
+    /// Builder: declare the buffers (and optionally element footprints)
+    /// this kernel reads. Calling either access builder marks the
+    /// launch as declared for `ASUCA_SAN=strict` validation.
+    pub fn reading(mut self, decls: impl IntoIterator<Item = AccessDecl>) -> Self {
+        self.reads.extend(decls);
+        self.declared = true;
+        self
+    }
+
+    /// Builder: declare the buffers this kernel writes.
+    pub fn writing(mut self, decls: impl IntoIterator<Item = AccessDecl>) -> Self {
+        self.writes.extend(decls);
+        self.declared = true;
         self
     }
 

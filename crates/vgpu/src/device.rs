@@ -5,6 +5,7 @@ use crate::fault::{FaultPlan, FaultSpec, FaultStats, VgpuError};
 use crate::mem::{Arena, Buf, MemError, MemView};
 use crate::pool::WorkerPool;
 use crate::profile::{OpKind, OpRecord, Profiler};
+use crate::san::{self, LaunchTrace, Report, SanConfig, Sanitizer};
 use crate::spec::DeviceSpec;
 use crate::stream::{Engines, Event, StreamId, StreamState};
 use numerics::Real;
@@ -40,6 +41,9 @@ pub struct Device<R: Real> {
     /// Deterministic fault schedule; `None` (the default) is the
     /// zero-overhead production path.
     faults: Option<FaultPlan>,
+    /// The `vsan` sanitizer suite (`ASUCA_SAN`); `None` (the default)
+    /// keeps every hook a skipped `if let` — zero hot-path cost.
+    san: Option<Box<Sanitizer>>,
     pub profiler: Profiler,
 }
 
@@ -55,8 +59,48 @@ impl<R: Real> Device<R> {
             host_time: 0.0,
             pool: None,
             faults: None,
+            san: SanConfig::from_env().map(|cfg| Box::new(Sanitizer::new(cfg))),
             profiler: Profiler::new(),
         }
+    }
+
+    /// Install (or remove) the sanitizer suite programmatically —
+    /// equivalent to setting `ASUCA_SAN` before device creation, but
+    /// race-free for parallel test harnesses. Allocations already live
+    /// are registered retroactively (with synthetic `buf#N` labels), so
+    /// late installation is safe; their contents are treated as
+    /// initialized (the sanitizer did not observe their history).
+    pub fn set_san_config(&mut self, cfg: Option<SanConfig>) {
+        self.san = cfg.map(|c| {
+            let mut s = Sanitizer::new(c);
+            for _ in 1..self.streams.len() {
+                s.on_create_stream();
+            }
+            for (id, len, _) in self.arena.live() {
+                s.on_alloc(id, len, "", self.mode == ExecMode::Phantom);
+                s.on_host_write(id);
+            }
+            Box::new(s)
+        });
+    }
+
+    /// The active sanitizer configuration, if any.
+    pub fn san_config(&self) -> Option<SanConfig> {
+        self.san.as_ref().map(|s| *s.cfg())
+    }
+
+    /// Findings accumulated so far (empty report when the sanitizer is
+    /// off). Does not run leakcheck — see [`Self::san_finish`].
+    pub fn san_report(&self) -> Report {
+        self.san.as_ref().map(|s| s.report()).unwrap_or_default()
+    }
+
+    /// Finalize the sanitizer: run leakcheck over still-live allocations
+    /// and return the full report. `None` when the sanitizer is off.
+    /// After this, the `Drop` impl stays silent.
+    pub fn san_finish(&mut self) -> Option<Report> {
+        let live = self.arena.live();
+        self.san.as_mut().map(|s| s.finish(live))
     }
 
     /// Install a deterministic fault schedule. Drivers install the plan
@@ -88,6 +132,9 @@ impl<R: Real> Device<R> {
     /// Create an additional stream (stream 0 always exists).
     pub fn create_stream(&mut self) -> StreamId {
         self.streams.push(StreamState::new());
+        if let Some(s) = &mut self.san {
+            s.on_create_stream();
+        }
         StreamId((self.streams.len() - 1) as u32)
     }
 
@@ -130,17 +177,31 @@ impl<R: Real> Device<R> {
     /// exhaustion, or — when a fault plan is installed — by scheduled
     /// OOM injection (`VgpuError::Oom { injected: true, .. }`).
     pub fn alloc(&mut self, len: usize) -> Result<Buf<R>, VgpuError> {
+        self.alloc_labeled(len, "")
+    }
+
+    /// [`alloc`](Self::alloc) with a human-readable label used in
+    /// sanitizer reports (e.g. the field name); costs nothing when the
+    /// sanitizer is off.
+    pub fn alloc_labeled(&mut self, len: usize, label: &str) -> Result<Buf<R>, VgpuError> {
         if let Some(plan) = &mut self.faults {
             plan.on_alloc((len * R::BYTES) as u64, self.arena.free_bytes())?;
         }
-        self.arena
-            .alloc(len, self.mode == ExecMode::Phantom)
-            .map_err(VgpuError::from)
+        let phantom = self.mode == ExecMode::Phantom;
+        let buf = self.arena.alloc(len, phantom).map_err(VgpuError::from)?;
+        if let Some(s) = &mut self.san {
+            s.on_alloc(buf.id(), len, label, phantom);
+        }
+        Ok(buf)
     }
 
     /// Free a device allocation.
     pub fn free(&mut self, buf: Buf<R>) -> Result<(), MemError> {
-        self.arena.dealloc(buf)
+        self.arena.dealloc(buf)?;
+        if let Some(s) = &mut self.san {
+            s.on_free(buf.id());
+        }
+        Ok(())
     }
 
     /// Simulated-timing bookkeeping shared by [`launch`](Self::launch)
@@ -218,9 +279,23 @@ impl<R: Real> Device<R> {
         f: impl FnOnce(&MemView<'_, R>),
     ) -> Result<(), VgpuError> {
         self.note_kernel(stream, &launch)?;
+        let mut recs = None;
         if self.mode == ExecMode::Functional {
-            let view = MemView { arena: &self.arena };
+            let trace = self
+                .san
+                .as_ref()
+                .filter(|s| s.wants_trace())
+                .map(|_| LaunchTrace::new());
+            san::set_current_slab(san::WHOLE_SLAB);
+            let view = MemView {
+                arena: &self.arena,
+                trace: trace.as_ref(),
+            };
             numerics::simd::dispatch(self.spec.host_simd, || f(&view));
+            recs = trace.map(LaunchTrace::into_recs);
+        }
+        if let Some(s) = &mut self.san {
+            s.on_launch(&launch, stream.0, recs);
         }
         Ok(())
     }
@@ -246,26 +321,67 @@ impl<R: Real> Device<R> {
         f: impl Fn(&MemView<'_, R>, usize, usize) + Sync,
     ) -> Result<(), VgpuError> {
         self.note_kernel(stream, &launch)?;
+        let mut recs = None;
         if self.mode == ExecMode::Functional {
-            let threads = self.spec.host_threads.max(1);
-            if threads > 1 && self.pool.is_none() {
-                self.pool = Some(WorkerPool::new(threads));
-            }
-            let view = MemView { arena: &self.arena };
+            let trace = self
+                .san
+                .as_ref()
+                .filter(|s| s.wants_trace())
+                .map(|_| LaunchTrace::new());
+            let view = MemView {
+                arena: &self.arena,
+                trace: trace.as_ref(),
+            };
             // Each participant enters the runtime-detected AVX2 dispatch
             // frame once per slab, so the (inlined) kernel body compiles
             // to 256-bit lane ops — values are unchanged (no fast-math).
             let simd = self.spec.host_simd;
-            match &self.pool {
-                Some(pool) => pool.run_slabs(span, threads, |j0, j1| {
-                    numerics::simd::dispatch(simd, || f(&view, j0, j1))
-                }),
-                None => {
-                    if span > 0 {
-                        numerics::simd::dispatch(simd, || f(&view, 0, span));
+            if self.san.as_ref().is_some_and(|s| s.serialize_slabs()) {
+                // Racecheck: run a fine fixed partition sequentially.
+                // Temporally-overlapping claims become analyzable records
+                // instead of concurrent-borrow panics, and the report is
+                // independent of the thread count. Each element is still
+                // computed exactly once, so outputs stay bitwise identical
+                // to the parallel path. The slab count is capped so
+                // flat-span launches (element-indexed copies, span = the
+                // whole buffer) don't degenerate to one slab per element;
+                // every row-structured span in the model is far below the
+                // cap and keeps exhaustive per-row resolution.
+                for (j0, j1) in numerics::par::split_ranges(span, span.min(san::RACE_SLABS)) {
+                    san::set_current_slab(j0);
+                    numerics::simd::dispatch(simd, || f(&view, j0, j1));
+                }
+                san::set_current_slab(san::WHOLE_SLAB);
+            } else {
+                let threads = self.spec.host_threads.max(1);
+                if threads > 1 && self.pool.is_none() {
+                    self.pool = Some(WorkerPool::new(threads));
+                }
+                let tracing = trace.is_some();
+                match &self.pool {
+                    Some(pool) => pool.run_slabs(span, threads, |j0, j1| {
+                        if tracing {
+                            san::set_current_slab(j0);
+                        }
+                        numerics::simd::dispatch(simd, || f(&view, j0, j1))
+                    }),
+                    None => {
+                        if span > 0 {
+                            if tracing {
+                                san::set_current_slab(0);
+                            }
+                            numerics::simd::dispatch(simd, || f(&view, 0, span));
+                        }
                     }
                 }
+                if tracing {
+                    san::set_current_slab(san::WHOLE_SLAB);
+                }
             }
+            recs = trace.map(LaunchTrace::into_recs);
+        }
+        if let Some(s) = &mut self.san {
+            s.on_launch(&launch, stream.0, recs);
         }
         Ok(())
     }
@@ -278,33 +394,98 @@ impl<R: Real> Device<R> {
 
     /// Asynchronous host→device copy (like `cudaMemcpyAsync`). `host` may
     /// be empty in phantom mode; `bytes` drives the timing either way.
-    pub fn copy_h2d(&mut self, stream: StreamId, host: &[R], dst: Buf<R>, offset: usize) {
+    ///
+    /// Fails with [`VgpuError::OutOfBounds`] when `offset + host.len()`
+    /// exceeds the destination allocation (previously a raw slice panic
+    /// deep in the arena); no copy is enqueued on `Err`.
+    pub fn copy_h2d(
+        &mut self,
+        stream: StreamId,
+        host: &[R],
+        dst: Buf<R>,
+        offset: usize,
+    ) -> Result<(), VgpuError> {
+        if offset + host.len() > dst.len() {
+            return Err(VgpuError::OutOfBounds {
+                buf: dst.id(),
+                offset,
+                len: host.len(),
+            });
+        }
         let bytes = (host.len().max(1) * R::BYTES) as u64;
         self.enqueue_copy(stream, OpKind::CopyH2D, "h2d", bytes);
-        if self.mode == ExecMode::Functional {
+        let functional = self.mode == ExecMode::Functional;
+        if functional {
             let mut d = self.arena.borrow_mut(dst);
             d[offset..offset + host.len()].copy_from_slice(host);
         }
+        if let Some(s) = &mut self.san {
+            s.on_copy(
+                stream.0,
+                "h2d",
+                dst.id(),
+                offset,
+                offset + host.len(),
+                true,
+                functional,
+            );
+        }
+        Ok(())
     }
 
     /// Asynchronous device→host copy.
-    pub fn copy_d2h(&mut self, stream: StreamId, src: Buf<R>, offset: usize, host: &mut [R]) {
+    ///
+    /// Fails with [`VgpuError::OutOfBounds`] when `offset + host.len()`
+    /// exceeds the source allocation; `host` is untouched on `Err`.
+    pub fn copy_d2h(
+        &mut self,
+        stream: StreamId,
+        src: Buf<R>,
+        offset: usize,
+        host: &mut [R],
+    ) -> Result<(), VgpuError> {
+        if offset + host.len() > src.len() {
+            return Err(VgpuError::OutOfBounds {
+                buf: src.id(),
+                offset,
+                len: host.len(),
+            });
+        }
         let bytes = (host.len().max(1) * R::BYTES) as u64;
         self.enqueue_copy(stream, OpKind::CopyD2H, "d2h", bytes);
-        if self.mode == ExecMode::Functional {
+        let functional = self.mode == ExecMode::Functional;
+        if functional {
             let s = self.arena.borrow(src);
             host.copy_from_slice(&s[offset..offset + host.len()]);
         }
+        if let Some(s) = &mut self.san {
+            s.on_copy(
+                stream.0,
+                "d2h",
+                src.id(),
+                offset,
+                offset + host.len(),
+                false,
+                functional,
+            );
+        }
+        Ok(())
     }
 
     /// Timing-only copy of `n_elems` elements (phantom halo traffic).
     pub fn copy_h2d_phantom(&mut self, stream: StreamId, n_elems: usize) {
         self.enqueue_copy(stream, OpKind::CopyH2D, "h2d", (n_elems * R::BYTES) as u64);
+        if let Some(s) = &mut self.san {
+            s.on_copy_phantom(stream.0);
+        }
     }
 
     /// Timing-only device→host copy of `n_elems` elements.
     pub fn copy_d2h_phantom(&mut self, stream: StreamId, n_elems: usize) {
         self.enqueue_copy(stream, OpKind::CopyD2H, "d2h", (n_elems * R::BYTES) as u64);
+        if let Some(s) = &mut self.san {
+            s.on_copy_phantom(stream.0);
+        }
     }
 
     fn enqueue_copy(&mut self, stream: StreamId, kind: OpKind, name: &'static str, bytes: u64) {
@@ -332,8 +513,13 @@ impl<R: Real> Device<R> {
     /// Record an event capturing the stream's current tail
     /// (like `cudaEventRecord`).
     pub fn record_event(&mut self, stream: StreamId) -> Event {
+        let san_id = match &mut self.san {
+            Some(s) => s.on_record_event(stream.0),
+            None => u32::MAX,
+        };
         Event {
             time: self.streams[stream.0 as usize].tail,
+            san_id,
         }
     }
 
@@ -344,12 +530,20 @@ impl<R: Real> Device<R> {
         if event.time > s.tail {
             s.tail = event.time;
         }
+        if let Some(san) = &mut self.san {
+            if event.san_id != u32::MAX {
+                san.on_wait_event(stream.0, event.san_id);
+            }
+        }
     }
 
     /// Block the host until `stream` drains (`cudaStreamSynchronize`).
     pub fn sync_stream(&mut self, stream: StreamId) {
         let tail = self.streams[stream.0 as usize].tail;
         self.host_at_least(tail);
+        if let Some(s) = &mut self.san {
+            s.on_sync_stream(stream.0);
+        }
     }
 
     /// Block the host until the whole device drains
@@ -357,6 +551,9 @@ impl<R: Real> Device<R> {
     pub fn sync_all(&mut self) {
         let tail = self.streams.iter().map(|s| s.tail).fold(0.0f64, f64::max);
         self.host_at_least(tail);
+        if let Some(s) = &mut self.san {
+            s.on_sync_all();
+        }
     }
 
     /// Functional read of a whole buffer (test/diagnostic helper).
@@ -379,6 +576,27 @@ impl<R: Real> Device<R> {
         );
         let mut d = self.arena.borrow_mut(buf);
         d[..data.len()].copy_from_slice(data);
+        drop(d);
+        if let Some(s) = &mut self.san {
+            s.on_host_write(buf.id());
+        }
+    }
+}
+
+impl<R: Real> Drop for Device<R> {
+    fn drop(&mut self) {
+        // A sanitized device that was never finalized still reports —
+        // on stderr, without panicking (drops run during unwinding).
+        if self.san.as_ref().is_some_and(|s| !s.finished()) {
+            let live = self.arena.live();
+            if let Some(s) = &mut self.san {
+                let report = s.finish(live);
+                if !report.is_empty() {
+                    eprintln!("vsan: device dropped with findings:\n{report}");
+                    eprintln!("vsan-json: {}", report.to_json());
+                }
+            }
+        }
     }
 }
 
@@ -469,7 +687,7 @@ mod tests {
         d.launch(StreamId::DEFAULT, big, |_| {}).unwrap();
         let buf = d.alloc(1 << 20).unwrap();
         let host = vec![0.0f32; 1 << 20];
-        d.copy_h2d(s1, &host, buf, 0);
+        d.copy_h2d(s1, &host, buf, 0).unwrap();
         let r = d.profiler.records();
         let (k, c) = (&r[0], &r[1]);
         assert!(
@@ -485,8 +703,8 @@ mod tests {
         let s2 = d.create_stream();
         let buf = d.alloc(2 << 20).unwrap();
         let host = vec![0.0f32; 1 << 20];
-        d.copy_h2d(s1, &host, buf, 0);
-        d.copy_h2d(s2, &host, buf, 1 << 20);
+        d.copy_h2d(s1, &host, buf, 0).unwrap();
+        d.copy_h2d(s2, &host, buf, 1 << 20).unwrap();
         let r = d.profiler.records();
         assert!(r[1].start >= r[0].end, "single copy engine must serialize");
     }
@@ -501,7 +719,7 @@ mod tests {
         d.stream_wait_event(s1, ev);
         let buf = d.alloc(64).unwrap();
         let host = vec![0.0f32; 64];
-        d.copy_h2d(s1, &host, buf, 0);
+        d.copy_h2d(s1, &host, buf, 0).unwrap();
         let r = d.profiler.records();
         assert!(
             r[1].start >= r[0].end,

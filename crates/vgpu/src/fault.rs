@@ -51,6 +51,9 @@ pub enum VgpuError {
     /// Unrecoverable device failure: a planned device-lost op, or a
     /// launch whose ECC retry budget was exhausted.
     DeviceLost { op_index: u64, kernel: &'static str },
+    /// A host↔device copy whose `offset + len` exceeds the buffer —
+    /// previously a raw slice panic deep in the arena.
+    OutOfBounds { buf: u32, offset: usize, len: usize },
 }
 
 impl std::fmt::Display for VgpuError {
@@ -69,6 +72,10 @@ impl std::fmt::Display for VgpuError {
             VgpuError::DeviceLost { op_index, kernel } => {
                 write!(f, "device lost at launch #{op_index} ('{kernel}')")
             }
+            VgpuError::OutOfBounds { buf, offset, len } => write!(
+                f,
+                "copy out of bounds: buf#{buf} offset {offset} + {len} elements exceeds allocation"
+            ),
         }
     }
 }

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod mem;
 pub mod pool;
 pub mod profile;
+pub mod san;
 pub mod spec;
 pub mod stream;
 
@@ -43,5 +44,6 @@ pub use fault::{FaultPlan, FaultSpec, FaultStats, VgpuError};
 pub use mem::{Buf, MemError, MemView, ReadGuard, SlabGuard, WriteGuard};
 pub use pool::WorkerPool;
 pub use profile::{OpKind, OpRecord, Profiler};
+pub use san::{AccessDecl, AccessRange, Finding, Report, SanConfig};
 pub use spec::DeviceSpec;
 pub use stream::{Event, StreamId};

@@ -13,6 +13,7 @@
 //! whole-buffer writer, or any number of *disjoint* mutable slab views
 //! ([`MemView::write_slab`]) with overlap detection at claim time.
 
+use crate::san::{AccessDecl, AccessRange, LaunchTrace};
 use numerics::Real;
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut, Range};
@@ -40,6 +41,38 @@ impl<R> Buf<R> {
     }
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+    /// Raw arena id — the sanitizer's buffer identity.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+    /// Whole-buffer access declaration for [`Launch::reading`]
+    /// / [`Launch::writing`](crate::Launch::writing).
+    pub fn access(&self) -> AccessDecl {
+        AccessDecl {
+            buf: self.id,
+            range: AccessRange::All,
+        }
+    }
+    /// Access declaration restricted to a contiguous flat element range.
+    pub fn access_flat(&self, range: Range<usize>) -> AccessDecl {
+        AccessDecl {
+            buf: self.id,
+            range: AccessRange::flat(range),
+        }
+    }
+    /// Access declaration with an explicit footprint.
+    pub fn access_range(&self, range: AccessRange) -> AccessDecl {
+        AccessDecl {
+            buf: self.id,
+            range,
+        }
+    }
+}
+
+impl<R> From<Buf<R>> for AccessDecl {
+    fn from(b: Buf<R>) -> Self {
+        b.access()
     }
 }
 
@@ -314,6 +347,20 @@ impl<R: Real> Arena<R> {
         WriteGuard { slot }
     }
 
+    /// Live (un-freed) allocations as `(id, elements, bytes)` — the
+    /// sanitizer's leakcheck input.
+    pub fn live(&self) -> Vec<(u32, usize, usize)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Data(d) => Some((i as u32, d.len, d.len * R::BYTES)),
+                Slot::Phantom { len } => Some((i as u32, *len, *len * R::BYTES)),
+                Slot::Empty => None,
+            })
+            .collect()
+    }
+
     pub fn borrow_slab(&self, buf: Buf<R>, range: Range<usize>) -> SlabGuard<'_, R> {
         let slot = self.data_slot(buf);
         assert!(
@@ -350,16 +397,25 @@ impl<R: Real> Arena<R> {
 /// all worker threads, each claiming its own disjoint slab.
 pub struct MemView<'a, R> {
     pub(crate) arena: &'a Arena<R>,
+    /// Per-launch access recorder, armed only when a sanitizer mode
+    /// that needs traces is active — `None` costs nothing on claims.
+    pub(crate) trace: Option<&'a LaunchTrace>,
 }
 
 impl<'a, R: Real> MemView<'a, R> {
     /// Immutable access to a buffer's contents.
     pub fn read(&self, buf: Buf<R>) -> ReadGuard<'a, R> {
+        if let Some(t) = self.trace {
+            t.record(buf.id, false, None);
+        }
         self.arena.borrow(buf)
     }
 
     /// Mutable access to a buffer's contents.
     pub fn write(&self, buf: Buf<R>) -> WriteGuard<'a, R> {
+        if let Some(t) = self.trace {
+            t.record(buf.id, true, None);
+        }
         self.arena.borrow_mut(buf)
     }
 
@@ -367,6 +423,9 @@ impl<'a, R: Real> MemView<'a, R> {
     /// of the same buffer may be claimed concurrently by different
     /// workers (overlap panics).
     pub fn write_slab(&self, buf: Buf<R>, range: Range<usize>) -> SlabGuard<'a, R> {
+        if let Some(t) = self.trace {
+            t.record(buf.id, true, Some(range.clone()));
+        }
         self.arena.borrow_slab(buf, range)
     }
 }
@@ -462,7 +521,10 @@ mod tests {
         let src = a.alloc(8, false).unwrap();
         let dst = a.alloc(8, false).unwrap();
         a.borrow_mut(src)[2] = 5.0;
-        let view = MemView { arena: &a };
+        let view = MemView {
+            arena: &a,
+            trace: None,
+        };
         {
             let s = view.read(src);
             let mut d = view.write(dst);
@@ -475,7 +537,10 @@ mod tests {
     fn disjoint_slabs_coexist_and_land() {
         let mut a = Arena::<f64>::new(1024);
         let b = a.alloc(16, false).unwrap();
-        let view = MemView { arena: &a };
+        let view = MemView {
+            arena: &a,
+            trace: None,
+        };
         {
             let mut lo = view.write_slab(b, 0..8);
             let mut hi = view.write_slab(b, 8..16);
@@ -493,7 +558,10 @@ mod tests {
     fn slabs_are_written_from_threads() {
         let mut a = Arena::<f64>::new(8192);
         let b = a.alloc(64, false).unwrap();
-        let view = MemView { arena: &a };
+        let view = MemView {
+            arena: &a,
+            trace: None,
+        };
         let pool = crate::pool::WorkerPool::new(4);
         pool.run_slabs(64, 4, |j0, j1| {
             let mut s = view.write_slab(b, j0..j1);
@@ -512,7 +580,10 @@ mod tests {
     fn overlapping_slabs_panic() {
         let mut a = Arena::<f64>::new(1024);
         let b = a.alloc(16, false).unwrap();
-        let view = MemView { arena: &a };
+        let view = MemView {
+            arena: &a,
+            trace: None,
+        };
         let _lo = view.write_slab(b, 0..9);
         let _hi = view.write_slab(b, 8..16);
     }
@@ -522,7 +593,10 @@ mod tests {
     fn read_during_slab_write_panics() {
         let mut a = Arena::<f64>::new(1024);
         let b = a.alloc(16, false).unwrap();
-        let view = MemView { arena: &a };
+        let view = MemView {
+            arena: &a,
+            trace: None,
+        };
         let _s = view.write_slab(b, 0..8);
         let _r = view.read(b);
     }

@@ -1,0 +1,1163 @@
+//! `vsan` — a compute-sanitizer analog for the virtual GPU runtime.
+//!
+//! Real GPU ports of the paper's kind lean on `cuda-memcheck` /
+//! `compute-sanitizer` to prove that hand-scheduled concurrency — slab
+//! decompositions, stream/event ordering for the overlap optimizations,
+//! halo regions shared between inner and boundary kernels — is actually
+//! race-free. This module is that tool for the vgpu runtime, with four
+//! checkers mirroring the compute-sanitizer suite:
+//!
+//! * **racecheck** — shadow-tracks every access claim a Functional
+//!   kernel body makes (per slab worker inside `launch_par`) and flags
+//!   cross-slab write/write overlap and read-of-another-slab's-write
+//!   within a single launch — exactly the halo-aliasing bug class the
+//!   paper's inner/x-boundary/y-boundary kernel split can introduce.
+//!   Like compute-sanitizer's racecheck, enabling it serializes slab
+//!   execution (one row-slab at a time, fixed partition), so overlap
+//!   hazards that the runtime's borrow panics would otherwise turn into
+//!   nondeterministic aborts become deterministic reports instead —
+//!   and the report is identical for every `ASUCA_THREADS` setting.
+//! * **initcheck** — a shadow bitmap per arena allocation; reads of
+//!   never-written device elements are reported with the buffer's label
+//!   and the first offending flat index.
+//! * **synccheck** — a happens-before relation built from streams,
+//!   `record_event` / `stream_wait_event` and per-launch access-sets
+//!   (vector clocks, one component per stream); a launch or copy that
+//!   touches a buffer last written on another stream without an event
+//!   edge is flagged. Declared [`Launch`] access-sets carry optional
+//!   strided rectangle footprints, so the paper's overlap method 2
+//!   (inner kernel writing the interior while the copy engine reads the
+//!   y-boundary slabs of the *same buffer*) certifies as clean — the
+//!   footprints are disjoint — while a genuinely missing event edge on
+//!   overlapping elements is reported.
+//! * **leakcheck** — arena allocations still live when the device is
+//!   dropped (or [`Device::san_finish`](crate::Device::san_finish) is
+//!   called).
+//!
+//! A fifth mode, **strict**, validates the access claims a kernel body
+//! actually makes against the `Launch`'s declared `reads`/`writes`
+//! sets, turning every Functional run into a schedule audit: an
+//! undeclared buffer access, a read of a write-only declaration, or a
+//! declared write that is never performed all become findings.
+//!
+//! The suite is selected by `ASUCA_SAN` (`race,init,sync,leak`, any
+//! subset; `full` = all four; `strict` = full plus declaration
+//! validation; `0`/`off`/unset = disabled) and is **off by default with
+//! zero hot-path cost**: the device holds an `Option<Box<Sanitizer>>`
+//! exactly like the fault-injection plan, and every hook is behind an
+//! `if let Some`.
+//!
+//! Reports are deterministic — findings are produced in issue order
+//! from per-launch records that are sorted before analysis, and
+//! repeated identical findings are folded into a count — and dumpable
+//! as JSON via [`Report::to_json`].
+
+use crate::cost::Launch;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Which checkers are armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SanConfig {
+    pub race: bool,
+    pub init: bool,
+    pub sync: bool,
+    pub leak: bool,
+    /// Validate observed access claims against declared access-sets.
+    pub strict: bool,
+}
+
+impl SanConfig {
+    /// All four checkers (the `full` keyword), without `strict`.
+    pub fn full() -> Self {
+        SanConfig {
+            race: true,
+            init: true,
+            sync: true,
+            leak: true,
+            strict: false,
+        }
+    }
+
+    /// `full` plus declaration validation (the `strict` keyword).
+    pub fn strict() -> Self {
+        SanConfig {
+            strict: true,
+            ..SanConfig::full()
+        }
+    }
+
+    /// Parse an `ASUCA_SAN` value. `None` means disabled.
+    ///
+    /// Grammar: `0 | off | none | full | strict | <mode>[,<mode>...]`
+    /// where `<mode>` is one of `race`, `init`, `sync`, `leak`,
+    /// `strict`, `full`. Unknown modes panic (the knob is a developer
+    /// tool; silent typos would void the audit).
+    pub fn parse(s: &str) -> Option<SanConfig> {
+        let s = s.trim();
+        if s.is_empty()
+            || s == "0"
+            || s.eq_ignore_ascii_case("off")
+            || s.eq_ignore_ascii_case("none")
+        {
+            return None;
+        }
+        let mut cfg = SanConfig::default();
+        for tok in s.split(',') {
+            match tok.trim().to_ascii_lowercase().as_str() {
+                "race" => cfg.race = true,
+                "init" => cfg.init = true,
+                "sync" => cfg.sync = true,
+                "leak" => cfg.leak = true,
+                "full" => {
+                    cfg = SanConfig {
+                        strict: cfg.strict,
+                        ..SanConfig::full()
+                    }
+                }
+                "strict" => cfg = SanConfig::strict(),
+                "" => {}
+                other => panic!("ASUCA_SAN: unknown sanitizer mode '{other}'"),
+            }
+        }
+        if cfg == SanConfig::default() {
+            None
+        } else {
+            Some(cfg)
+        }
+    }
+
+    /// Read the `ASUCA_SAN` environment variable.
+    pub fn from_env() -> Option<SanConfig> {
+        std::env::var("ASUCA_SAN")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+    }
+
+    /// Whether any mode needs per-launch access traces from Functional
+    /// kernel bodies.
+    pub(crate) fn wants_trace(&self) -> bool {
+        self.race || self.init || self.sync || self.strict
+    }
+}
+
+/// Element footprint of one declared or observed access.
+///
+/// `Rows` is a strided-run pattern: `count` runs of `run` consecutive
+/// elements, every `stride` elements starting at `start`. In the XZY
+/// layout a horizontal rectangle `[i0, i1) × [j0, j1)` over the full
+/// vertical extent is exactly such a pattern with `stride = px` (the
+/// padded row length), which is what lets synccheck prove the overlap
+/// scheme's inner-write / boundary-copy disjointness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessRange {
+    /// The whole buffer.
+    All,
+    /// One contiguous flat element range (e.g. a y-boundary slab copy).
+    Flat { start: usize, end: usize },
+    /// Strided runs (a horizontal rectangle in XZY order).
+    Rows {
+        start: usize,
+        run: usize,
+        stride: usize,
+        count: usize,
+    },
+}
+
+impl AccessRange {
+    pub fn flat(r: std::ops::Range<usize>) -> Self {
+        AccessRange::Flat {
+            start: r.start,
+            end: r.end,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match *self {
+            AccessRange::All => false,
+            AccessRange::Flat { start, end } => start >= end,
+            AccessRange::Rows { run, count, .. } => run == 0 || count == 0,
+        }
+    }
+
+    /// Last element + 1 covered (upper bound; `usize::MAX` for `All`).
+    fn bound(&self) -> usize {
+        match *self {
+            AccessRange::All => usize::MAX,
+            AccessRange::Flat { end, .. } => end,
+            AccessRange::Rows {
+                start,
+                run,
+                stride,
+                count,
+            } => start + (count - 1) * stride + run,
+        }
+    }
+
+    fn lower(&self) -> usize {
+        match *self {
+            AccessRange::All => 0,
+            AccessRange::Flat { start, .. } => start,
+            AccessRange::Rows { start, .. } => start,
+        }
+    }
+
+    /// Whether two footprints share at least one element.
+    pub fn intersects(&self, other: &AccessRange) -> bool {
+        use AccessRange::*;
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        match (*self, *other) {
+            (All, _) | (_, All) => true,
+            (Flat { start: a0, end: a1 }, Flat { start: b0, end: b1 }) => a0.max(b0) < a1.min(b1),
+            (f @ Flat { .. }, r @ Rows { .. }) => rows_vs_flat(&r, &f),
+            (r @ Rows { .. }, f @ Flat { .. }) => rows_vs_flat(&r, &f),
+            (a @ Rows { .. }, b @ Rows { .. }) => rows_vs_rows(&a, &b),
+        }
+    }
+}
+
+fn rows_vs_flat(rows: &AccessRange, flat: &AccessRange) -> bool {
+    let AccessRange::Rows {
+        start,
+        run,
+        stride,
+        count,
+    } = *rows
+    else {
+        unreachable!()
+    };
+    let AccessRange::Flat { start: f0, end: f1 } = *flat else {
+        unreachable!()
+    };
+    if f1 <= start || f0 >= rows.bound() {
+        return false;
+    }
+    // A flat range at least one period long covers every column phase.
+    if f1 - f0 >= stride {
+        return true;
+    }
+    // Otherwise only runs near the flat range can intersect; check the
+    // bounded window of candidate run indices.
+    let m_lo = (f0.saturating_sub(start + run - 1)) / stride;
+    let m_hi = ((f1 - 1).saturating_sub(start)) / stride;
+    for m in m_lo..=m_hi.min(count - 1) {
+        let r0 = start + m * stride;
+        if r0.max(f0) < (r0 + run).min(f1) {
+            return true;
+        }
+    }
+    false
+}
+
+fn rows_vs_rows(a: &AccessRange, b: &AccessRange) -> bool {
+    let AccessRange::Rows {
+        start: sa,
+        run: ra,
+        stride: ta,
+        count: ca,
+    } = *a
+    else {
+        unreachable!()
+    };
+    let AccessRange::Rows {
+        start: sb,
+        run: rb,
+        stride: tb,
+        count: cb,
+    } = *b
+    else {
+        unreachable!()
+    };
+    if ta == tb {
+        // Same period (same buffer layout): disjoint iff the column
+        // phases or the run-index (row-block) ranges are disjoint.
+        let (pa, pb) = (sa % ta, sb % ta);
+        let cols = pa.max(pb) < (pa + ra).min(pb + rb);
+        let (ba, bb) = (sa / ta, sb / ta);
+        let blocks = ba.max(bb) < (ba + ca).min(bb + cb);
+        cols && blocks
+    } else {
+        // Mixed periods never occur for accesses of one buffer in this
+        // codebase; fall back to a conservative bounding-range test.
+        a.lower().max(b.lower()) < a.bound().min(b.bound())
+    }
+}
+
+/// One declared buffer access of a [`Launch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessDecl {
+    /// Raw buffer id ([`Buf::id`](crate::mem::Buf::id)).
+    pub buf: u32,
+    pub range: AccessRange,
+}
+
+/// Slab identifier used for accesses made outside `launch_par` range
+/// dispatch (plain `launch` bodies).
+pub(crate) const WHOLE_SLAB: usize = usize::MAX;
+
+thread_local! {
+    static CURRENT_SLAB: Cell<usize> = const { Cell::new(WHOLE_SLAB) };
+}
+
+pub(crate) fn set_current_slab(slab: usize) {
+    CURRENT_SLAB.with(|c| c.set(slab));
+}
+
+fn current_slab() -> usize {
+    CURRENT_SLAB.with(|c| c.get())
+}
+
+/// One observed access claim from a Functional kernel body.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AccessRec {
+    pub buf: u32,
+    /// `j0` of the slab range the claiming worker was handed, or
+    /// [`WHOLE_SLAB`] for plain launches.
+    pub slab: usize,
+    pub write: bool,
+    /// `None` = whole buffer (read / whole-write guards), `Some` = the
+    /// claimed element range of a `write_slab`.
+    pub range: Option<std::ops::Range<usize>>,
+}
+
+/// Shared per-launch access recorder; the [`MemView`](crate::MemView)
+/// handed to kernel bodies carries a reference and records every guard
+/// claim (worker threads append under a mutex — sanitized launches are
+/// not a hot path).
+pub(crate) struct LaunchTrace {
+    recs: Mutex<Vec<AccessRec>>,
+}
+
+impl LaunchTrace {
+    pub(crate) fn new() -> Self {
+        LaunchTrace {
+            recs: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn record(&self, buf: u32, write: bool, range: Option<std::ops::Range<usize>>) {
+        let slab = current_slab();
+        let mut recs = self.recs.lock().expect("launch trace poisoned");
+        // Row-structured kernels claim one contiguous slab range per
+        // (row, level); coalescing adjacent claims on the spot keeps the
+        // per-launch record count proportional to buffers × slabs, not
+        // grid points.
+        if let (Some(last), Some(r)) = (recs.last_mut(), &range) {
+            if last.buf == buf && last.slab == slab && last.write == write {
+                if let Some(lr) = &mut last.range {
+                    if lr.end == r.start {
+                        lr.end = r.end;
+                        return;
+                    }
+                }
+            }
+        }
+        recs.push(AccessRec {
+            buf,
+            slab,
+            write,
+            range,
+        });
+    }
+
+    pub(crate) fn into_recs(self) -> Vec<AccessRec> {
+        self.recs.into_inner().expect("launch trace poisoned")
+    }
+}
+
+/// One sanitizer finding. Identical findings from repeated launches are
+/// folded into `count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// `racecheck`, `initcheck`, `synccheck`, `leakcheck` or `strict`.
+    pub mode: &'static str,
+    /// Kernel or operation (`h2d`, `d2h`, `read_vec`) that triggered it.
+    pub kernel: String,
+    /// Label of the buffer involved (`-` when not buffer-specific).
+    pub buf: String,
+    pub detail: String,
+    pub count: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A deterministic, JSON-dumpable set of findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Render as a JSON object `{"findings": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"mode\":\"{}\",\"kernel\":\"{}\",\"buf\":\"{}\",\"detail\":\"{}\",\"count\":{}}}",
+                json_escape(f.mode),
+                json_escape(&f.kernel),
+                json_escape(&f.buf),
+                json_escape(&f.detail),
+                f.count
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for fi in &self.findings {
+            writeln!(
+                f,
+                "[{}] {} · {} · {} (x{})",
+                fi.mode, fi.kernel, fi.buf, fi.detail, fi.count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+type VClock = Vec<u64>;
+
+fn join(into: &mut VClock, from: &VClock) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (a, b) in into.iter_mut().zip(from.iter()) {
+        *a = (*a).max(*b);
+    }
+}
+
+fn knows(clock: &VClock, stream: usize, tick: u64) -> bool {
+    clock.get(stream).copied().unwrap_or(0) >= tick
+}
+
+/// A recorded read or write for synccheck's happens-before audit.
+#[derive(Debug, Clone)]
+struct SyncAccess {
+    stream: usize,
+    tick: u64,
+    range: AccessRange,
+    op: String,
+}
+
+/// Bounded per-buffer access history; old entries age out (this can
+/// only lose findings, never invent them).
+const SYNC_HISTORY_CAP: usize = 64;
+
+/// Upper bound on the serialized racecheck partition of one launch
+/// span. Spans at or below the cap (every row-structured kernel in the
+/// model) run one range per span index — the finest partition any
+/// thread count could produce, so every possible cross-slab overlap is
+/// observed. Flat element-spans (whole-buffer copies) are chunked to
+/// this many slabs instead of one per element.
+pub(crate) const RACE_SLABS: usize = 384;
+
+#[derive(Debug, Default)]
+struct BufShadow {
+    label: String,
+    len: usize,
+    live: bool,
+    phantom: bool,
+    ever_written: bool,
+    /// Initcheck bitmap: bit set = element written at least once.
+    init: Option<Vec<u64>>,
+    writes: Vec<SyncAccess>,
+    reads: Vec<SyncAccess>,
+}
+
+impl BufShadow {
+    fn mark_all(&mut self) {
+        self.ever_written = true;
+        if let Some(bits) = &mut self.init {
+            bits.iter_mut().for_each(|w| *w = !0);
+        }
+    }
+
+    fn mark_range(&mut self, r: std::ops::Range<usize>) {
+        self.ever_written = true;
+        if let Some(bits) = &mut self.init {
+            for i in r.start..r.end.min(self.len) {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+    }
+
+    /// First unwritten index in `r` and the count of unwritten elements.
+    fn unwritten_in(&self, r: std::ops::Range<usize>) -> Option<(usize, usize)> {
+        let bits = self.init.as_ref()?;
+        let mut first = None;
+        let mut n = 0usize;
+        for i in r.start..r.end.min(self.len) {
+            if bits[i / 64] & (1 << (i % 64)) == 0 {
+                if first.is_none() {
+                    first = Some(i);
+                }
+                n += 1;
+            }
+        }
+        first.map(|f| (f, n))
+    }
+}
+
+/// The live sanitizer state of one device.
+pub(crate) struct Sanitizer {
+    cfg: SanConfig,
+    findings: Vec<Finding>,
+    index: HashMap<(&'static str, String, String, String), usize>,
+    bufs: HashMap<u32, BufShadow>,
+    /// Vector clocks, one per stream; component `s` = ticks of stream
+    /// `s` known to have completed before any later op on this stream.
+    clocks: Vec<VClock>,
+    /// What the host thread knows (joined on `sync_stream`/`sync_all`).
+    host: VClock,
+    /// Clock snapshots captured by `record_event`.
+    events: Vec<VClock>,
+    finished: bool,
+}
+
+impl Sanitizer {
+    pub(crate) fn new(cfg: SanConfig) -> Self {
+        Sanitizer {
+            cfg,
+            findings: Vec::new(),
+            index: HashMap::new(),
+            bufs: HashMap::new(),
+            clocks: vec![Vec::new()],
+            host: Vec::new(),
+            events: Vec::new(),
+            finished: false,
+        }
+    }
+
+    pub(crate) fn cfg(&self) -> &SanConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Racecheck serializes slab execution (fixed per-row partition) so
+    /// temporally-overlapping claims become observable instead of
+    /// tripping the runtime borrow panics nondeterministically.
+    pub(crate) fn serialize_slabs(&self) -> bool {
+        self.cfg.race
+    }
+
+    pub(crate) fn wants_trace(&self) -> bool {
+        self.cfg.wants_trace()
+    }
+
+    fn add_finding(&mut self, mode: &'static str, kernel: &str, buf: String, detail: String) {
+        let key = (mode, kernel.to_string(), buf, detail);
+        if let Some(&i) = self.index.get(&key) {
+            self.findings[i].count += 1;
+            return;
+        }
+        self.findings.push(Finding {
+            mode,
+            kernel: key.1.clone(),
+            buf: key.2.clone(),
+            detail: key.3.clone(),
+            count: 1,
+        });
+        self.index.insert(key, self.findings.len() - 1);
+    }
+
+    fn label(&self, buf: u32) -> String {
+        self.bufs
+            .get(&buf)
+            .map(|b| b.label.clone())
+            .unwrap_or_else(|| format!("buf#{buf}"))
+    }
+
+    pub(crate) fn on_alloc(&mut self, id: u32, len: usize, label: &str, phantom: bool) {
+        let init = if self.cfg.init && !phantom {
+            Some(vec![0u64; len.div_ceil(64)])
+        } else {
+            None
+        };
+        self.bufs.insert(
+            id,
+            BufShadow {
+                label: if label.is_empty() {
+                    format!("buf#{id}")
+                } else {
+                    label.to_string()
+                },
+                len,
+                live: true,
+                phantom,
+                ever_written: false,
+                init,
+                writes: Vec::new(),
+                reads: Vec::new(),
+            },
+        );
+    }
+
+    pub(crate) fn on_free(&mut self, id: u32) {
+        if let Some(b) = self.bufs.get_mut(&id) {
+            b.live = false;
+        }
+    }
+
+    pub(crate) fn on_create_stream(&mut self) {
+        // A fresh stream starts with the host's knowledge.
+        self.clocks.push(self.host.clone());
+    }
+
+    fn ensure_stream(&mut self, s: usize) {
+        while self.clocks.len() <= s {
+            self.clocks.push(Vec::new());
+        }
+    }
+
+    /// Advance stream `s` by one op, joining the host's knowledge first
+    /// (issue order: the op can depend on anything the host has
+    /// synchronized with). Returns the op's tick.
+    fn issue(&mut self, s: usize) -> u64 {
+        self.ensure_stream(s);
+        let host = self.host.clone();
+        let clock = &mut self.clocks[s];
+        join(clock, &host);
+        if clock.len() <= s {
+            clock.resize(s + 1, 0);
+        }
+        clock[s] += 1;
+        clock[s]
+    }
+
+    pub(crate) fn on_record_event(&mut self, stream: u32) -> u32 {
+        self.ensure_stream(stream as usize);
+        self.events.push(self.clocks[stream as usize].clone());
+        (self.events.len() - 1) as u32
+    }
+
+    pub(crate) fn on_wait_event(&mut self, stream: u32, ev: u32) {
+        self.ensure_stream(stream as usize);
+        if let Some(snap) = self.events.get(ev as usize).cloned() {
+            join(&mut self.clocks[stream as usize], &snap);
+        }
+    }
+
+    pub(crate) fn on_sync_stream(&mut self, stream: u32) {
+        self.ensure_stream(stream as usize);
+        let c = self.clocks[stream as usize].clone();
+        join(&mut self.host, &c);
+    }
+
+    pub(crate) fn on_sync_all(&mut self) {
+        for c in self.clocks.clone() {
+            join(&mut self.host, &c);
+        }
+    }
+
+    /// Host-side whole-buffer overwrite (`write_vec`): test/init
+    /// scaffolding assumed externally synchronized — marks the buffer
+    /// initialized and clears its access history.
+    pub(crate) fn on_host_write(&mut self, buf: u32) {
+        if let Some(b) = self.bufs.get_mut(&buf) {
+            b.mark_all();
+            b.writes.clear();
+            b.reads.clear();
+        }
+    }
+
+    /// A host↔device copy touching `buf[start..end)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_copy(
+        &mut self,
+        stream: u32,
+        op: &'static str,
+        buf: u32,
+        start: usize,
+        end: usize,
+        write: bool,
+        functional: bool,
+    ) {
+        let s = stream as usize;
+        let tick = self.issue(s);
+        let range = AccessRange::Flat { start, end };
+        if self.cfg.sync {
+            self.sync_check_and_record(s, tick, op, &[(buf, range, write)]);
+        }
+        if self.cfg.init && functional {
+            if write {
+                if let Some(b) = self.bufs.get_mut(&buf) {
+                    b.mark_range(start..end);
+                }
+            } else if let Some(b) = self.bufs.get(&buf) {
+                if let Some((first, n)) = b.unwritten_in(start..end) {
+                    let label = b.label.clone();
+                    self.add_finding(
+                        "initcheck",
+                        op,
+                        label,
+                        format!(
+                            "read of {n} never-written element(s) starting at flat index {first}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Timing-only copy (phantom halo traffic): advances the stream's
+    /// clock so later ordering bookkeeping stays exact.
+    pub(crate) fn on_copy_phantom(&mut self, stream: u32) {
+        self.issue(stream as usize);
+    }
+
+    /// A kernel launch completed issue (and, functionally, execution).
+    /// `recs` are the observed access claims, when traced.
+    pub(crate) fn on_launch(&mut self, launch: &Launch, stream: u32, recs: Option<Vec<AccessRec>>) {
+        let s = stream as usize;
+        let tick = self.issue(s);
+        static DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if *DEBUG.get_or_init(|| std::env::var("ASUCA_SAN_DEBUG").is_ok()) {
+            eprintln!(
+                "san-debug: launch {} recs={}",
+                launch.name,
+                recs.as_ref().map_or(0, Vec::len)
+            );
+        }
+        if let Some(recs) = &recs {
+            let mut recs = recs.clone();
+            recs.sort_by(|a, b| {
+                (a.buf, a.slab, a.write, a.range.as_ref().map(|r| r.start)).cmp(&(
+                    b.buf,
+                    b.slab,
+                    b.write,
+                    b.range.as_ref().map(|r| r.start),
+                ))
+            });
+            if self.cfg.race {
+                self.racecheck(launch.name, &recs);
+            }
+            if self.cfg.init {
+                self.initcheck_launch(launch.name, &recs);
+            }
+            if self.cfg.strict {
+                self.strictcheck(launch, &recs);
+            }
+        }
+        if self.cfg.sync {
+            let accesses: Vec<(u32, AccessRange, bool)> = if launch.declared {
+                launch
+                    .reads
+                    .iter()
+                    .map(|d| (d.buf, d.range, false))
+                    .chain(launch.writes.iter().map(|d| (d.buf, d.range, true)))
+                    .collect()
+            } else if let Some(recs) = &recs {
+                // Fall back to observed claims at buffer granularity.
+                let mut seen: Vec<(u32, AccessRange, bool)> = Vec::new();
+                for r in recs {
+                    let acc = (r.buf, AccessRange::All, r.write);
+                    if !seen.iter().any(|s| s.0 == acc.0 && s.2 == acc.2) {
+                        seen.push(acc);
+                    }
+                }
+                seen
+            } else {
+                Vec::new()
+            };
+            self.sync_check_and_record(s, tick, launch.name, &accesses);
+        }
+    }
+
+    /// Check every access against the recorded history (all checks
+    /// before any recording, so a launch never conflicts with itself),
+    /// then record them.
+    fn sync_check_and_record(
+        &mut self,
+        s: usize,
+        tick: u64,
+        op: &str,
+        accesses: &[(u32, AccessRange, bool)],
+    ) {
+        let mut out: Vec<(String, String)> = Vec::new();
+        {
+            let clock = self.clocks[s].clone();
+            for &(buf, range, write) in accesses {
+                let Some(sh) = self.bufs.get(&buf) else {
+                    continue;
+                };
+                for w in &sh.writes {
+                    if w.stream != s
+                        && range.intersects(&w.range)
+                        && !knows(&clock, w.stream, w.tick)
+                    {
+                        out.push((
+                            sh.label.clone(),
+                            format!(
+                                "{} on stream {s} {} elements written by '{}' on stream {} without an ordering event",
+                                op,
+                                if write { "overwrites" } else { "reads" },
+                                w.op,
+                                w.stream
+                            ),
+                        ));
+                    }
+                }
+                if write {
+                    for r in &sh.reads {
+                        if r.stream != s
+                            && range.intersects(&r.range)
+                            && !knows(&clock, r.stream, r.tick)
+                        {
+                            out.push((
+                                sh.label.clone(),
+                                format!(
+                                    "{} on stream {s} overwrites elements read by '{}' on stream {} without an ordering event",
+                                    op, r.op, r.stream
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (buf, detail) in out {
+            self.add_finding("synccheck", op, buf, detail);
+        }
+        for &(buf, range, write) in accesses {
+            let Some(sh) = self.bufs.get_mut(&buf) else {
+                continue;
+            };
+            let list = if write { &mut sh.writes } else { &mut sh.reads };
+            if list.len() >= SYNC_HISTORY_CAP {
+                list.remove(0);
+            }
+            list.push(SyncAccess {
+                stream: s,
+                tick,
+                range,
+                op: op.to_string(),
+            });
+        }
+    }
+
+    /// Cross-slab overlap analysis of one launch's observed claims.
+    ///
+    /// An interval sweep per buffer — the production schedule records
+    /// thousands of slab claims per launch, so the naive pairwise scan
+    /// is quadratic exactly where it must be cheap. On a clean launch
+    /// (disjoint writes) the active set stays O(1) and the whole check
+    /// is the sort.
+    fn racecheck(&mut self, name: &str, recs: &[AccessRec]) {
+        let mut out: Vec<(String, String)> = Vec::new();
+        let mut by_buf: HashMap<u32, (bool, Vec<&AccessRec>)> = HashMap::new();
+        for r in recs {
+            let e = by_buf.entry(r.buf).or_default();
+            e.0 |= r.write;
+            e.1.push(r);
+        }
+        let kind = |w: bool| if w { "write" } else { "read" };
+        let span = |r: &Option<std::ops::Range<usize>>| match r {
+            Some(r) => format!("[{}, {})", r.start, r.end),
+            None => "[whole buffer]".to_string(),
+        };
+        let mut bufs: Vec<_> = by_buf.into_iter().collect();
+        bufs.sort_by_key(|(id, _)| *id);
+        for (buf, (any_write, mut iv)) in bufs {
+            // Reads can only conflict with a write; a read-only buffer
+            // needs no sweep at all.
+            if !any_write {
+                continue;
+            }
+            let bounds = |r: &AccessRec| match &r.range {
+                Some(r) => (r.start, r.end),
+                // A whole-buffer claim overlaps anything.
+                None => (0, usize::MAX),
+            };
+            iv.sort_by_key(|r| {
+                let (s, e) = bounds(r);
+                (s, e, r.slab, r.write)
+            });
+            let mut active: Vec<&AccessRec> = Vec::new();
+            for r in iv {
+                let (start, _) = bounds(r);
+                active.retain(|a| bounds(a).1 > start);
+                for a in &active {
+                    if a.slab == r.slab || !(a.write || r.write) {
+                        continue;
+                    }
+                    out.push((
+                        self.label(buf),
+                        format!(
+                            "slab j0={} {} {} overlaps slab j0={} {} {} within one launch",
+                            a.slab,
+                            kind(a.write),
+                            span(&a.range),
+                            r.slab,
+                            kind(r.write),
+                            span(&r.range),
+                        ),
+                    ));
+                }
+                active.push(r);
+            }
+        }
+        for (buf, detail) in out {
+            self.add_finding("racecheck", name, buf, detail);
+        }
+    }
+
+    /// Reads-before-any-write audit, then shadow-bitmap updates.
+    /// Read claims are whole-buffer guards, so partial-initialization
+    /// localization applies to copies (`on_copy`); here a read of a
+    /// buffer that was never written at all is flagged.
+    fn initcheck_launch(&mut self, name: &str, recs: &[AccessRec]) {
+        let mut out: Vec<(String, String)> = Vec::new();
+        let mut flagged: Vec<u32> = Vec::new();
+        for r in recs.iter().filter(|r| !r.write) {
+            if flagged.contains(&r.buf) {
+                continue;
+            }
+            if let Some(b) = self.bufs.get(&r.buf) {
+                if !b.ever_written && !b.phantom && b.len > 0 {
+                    flagged.push(r.buf);
+                    out.push((
+                        b.label.clone(),
+                        format!(
+                            "read of never-written buffer (first unwritten flat index 0 of {})",
+                            b.len
+                        ),
+                    ));
+                }
+            }
+        }
+        for (buf, detail) in out {
+            self.add_finding("initcheck", name, buf, detail);
+        }
+        for r in recs.iter().filter(|r| r.write) {
+            if let Some(b) = self.bufs.get_mut(&r.buf) {
+                match &r.range {
+                    Some(range) => b.mark_range(range.clone()),
+                    None => b.mark_all(),
+                }
+            }
+        }
+    }
+
+    /// Observed-vs-declared audit of one launch.
+    fn strictcheck(&mut self, launch: &Launch, recs: &[AccessRec]) {
+        let name = launch.name;
+        if !launch.declared {
+            if !recs.is_empty() {
+                self.add_finding(
+                    "strict",
+                    name,
+                    "-".to_string(),
+                    "kernel touches device memory but declares no access set".to_string(),
+                );
+            }
+            return;
+        }
+        let mut out: Vec<(String, String)> = Vec::new();
+        for r in recs {
+            let declared = if r.write {
+                launch.writes.iter().any(|d| d.buf == r.buf)
+            } else {
+                launch.reads.iter().any(|d| d.buf == r.buf)
+            };
+            if !declared {
+                out.push((
+                    self.label(r.buf),
+                    format!(
+                        "undeclared {} access (declared reads: {}, writes: {})",
+                        if r.write { "write" } else { "read" },
+                        launch.reads.len(),
+                        launch.writes.len()
+                    ),
+                ));
+            }
+        }
+        for d in &launch.writes {
+            if !recs.iter().any(|r| r.write && r.buf == d.buf) {
+                out.push((
+                    self.label(d.buf),
+                    "declared write never performed by the kernel body".to_string(),
+                ));
+            }
+        }
+        out.sort();
+        out.dedup();
+        for (buf, detail) in out {
+            self.add_finding("strict", name, buf, detail);
+        }
+    }
+
+    /// Leak audit over the still-live allocations plus everything
+    /// accumulated so far; marks the sanitizer finished.
+    pub(crate) fn finish(&mut self, live: Vec<(u32, usize, usize)>) -> Report {
+        self.finished = true;
+        if self.cfg.leak {
+            let mut leaks = live;
+            leaks.sort();
+            for (id, len, bytes) in leaks {
+                let label = self.label(id);
+                self.add_finding(
+                    "leakcheck",
+                    "device_drop",
+                    label,
+                    format!("allocation still live at device drop ({len} elements, {bytes} B)"),
+                );
+            }
+        }
+        self.report()
+    }
+
+    pub(crate) fn report(&self) -> Report {
+        Report {
+            findings: self.findings.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grammar() {
+        assert_eq!(SanConfig::parse(""), None);
+        assert_eq!(SanConfig::parse("0"), None);
+        assert_eq!(SanConfig::parse("off"), None);
+        assert_eq!(SanConfig::parse("full"), Some(SanConfig::full()));
+        assert_eq!(SanConfig::parse("strict"), Some(SanConfig::strict()));
+        assert_eq!(
+            SanConfig::parse("race,leak"),
+            Some(SanConfig {
+                race: true,
+                leak: true,
+                ..SanConfig::default()
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sanitizer mode")]
+    fn parse_rejects_typos() {
+        let _ = SanConfig::parse("rase");
+    }
+
+    #[test]
+    fn flat_overlap() {
+        let a = AccessRange::flat(0..10);
+        let b = AccessRange::flat(9..12);
+        let c = AccessRange::flat(10..12);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(AccessRange::All.intersects(&a));
+        assert!(!AccessRange::flat(4..4).intersects(&AccessRange::All));
+    }
+
+    #[test]
+    fn rows_vs_flat_overlap() {
+        // 3 runs of 4 at stride 10 from 2: [2,6) [12,16) [22,26).
+        let r = AccessRange::Rows {
+            start: 2,
+            run: 4,
+            stride: 10,
+            count: 3,
+        };
+        assert!(r.intersects(&AccessRange::flat(14..15)));
+        assert!(!r.intersects(&AccessRange::flat(6..12)));
+        assert!(!r.intersects(&AccessRange::flat(26..40)));
+        // A flat range >= one period hits every column.
+        assert!(r.intersects(&AccessRange::flat(6..17)));
+    }
+
+    #[test]
+    fn rows_vs_rows_overlap() {
+        let a = AccessRange::Rows {
+            start: 2,
+            run: 4,
+            stride: 10,
+            count: 3,
+        };
+        // Same stride, disjoint columns.
+        let b = AccessRange::Rows {
+            start: 6,
+            run: 4,
+            stride: 10,
+            count: 3,
+        };
+        assert!(!a.intersects(&b));
+        // Same columns, disjoint row blocks.
+        let c = AccessRange::Rows {
+            start: 32,
+            run: 4,
+            stride: 10,
+            count: 2,
+        };
+        assert!(!a.intersects(&c));
+        // Overlapping columns and blocks.
+        let d = AccessRange::Rows {
+            start: 15,
+            run: 4,
+            stride: 10,
+            count: 1,
+        };
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn report_json_escapes() {
+        let r = Report {
+            findings: vec![Finding {
+                mode: "racecheck",
+                kernel: "k\"1".to_string(),
+                buf: "u".to_string(),
+                detail: "line\nbreak".to_string(),
+                count: 2,
+            }],
+        };
+        let j = r.to_json();
+        assert!(j.contains("k\\\"1"));
+        assert!(j.contains("line\\nbreak"));
+        assert!(j.contains("\"count\":2"));
+    }
+
+    #[test]
+    fn vector_clocks_order_and_join() {
+        let mut a = vec![1, 5];
+        join(&mut a, &vec![3, 2, 7]);
+        assert_eq!(a, vec![3, 5, 7]);
+        assert!(knows(&a, 2, 7));
+        assert!(!knows(&a, 2, 8));
+        assert!(!knows(&a, 9, 1));
+    }
+}

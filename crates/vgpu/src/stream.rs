@@ -22,6 +22,8 @@ impl StreamId {
 pub struct Event {
     /// Simulated time at which all work preceding the record completes.
     pub(crate) time: f64,
+    /// Sanitizer clock-snapshot id (synccheck); `u32::MAX` = untracked.
+    pub(crate) san_id: u32,
 }
 
 impl Event {
@@ -64,7 +66,10 @@ mod tests {
 
     #[test]
     fn event_time_roundtrip() {
-        let e = Event { time: 1.25 };
+        let e = Event {
+            time: 1.25,
+            san_id: u32::MAX,
+        };
         assert_eq!(e.time(), 1.25);
     }
 }

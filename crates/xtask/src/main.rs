@@ -1,0 +1,83 @@
+//! Repo maintenance tasks, dependency-free (the container builds
+//! offline). Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--json]
+//! ```
+//!
+//! A static companion to the runtime sanitizer (`ASUCA_SAN`, see
+//! DESIGN.md §11): four textual rules over the workspace sources that
+//! catch the hazard *patterns* before a run ever trips the dynamic
+//! checkers. Findings are sorted (path, line, rule) so output is
+//! deterministic across filesystems and thread counts; exit status is
+//! 1 when any finding survives.
+//!
+//! A line is exempted by a marker comment on the same or the preceding
+//! line: `lint: allow(<rule>)`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+mod lint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let json = args.iter().any(|a| a == "--json");
+            let root = workspace_root();
+            let findings = lint::run(&root);
+            if json {
+                println!("{}", lint::to_json(&findings));
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                if findings.is_empty() {
+                    println!("xtask lint: clean");
+                } else {
+                    println!("xtask lint: {} finding(s)", findings.len());
+                }
+            }
+            if !findings.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--json]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The workspace root: this crate lives at `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// One lint finding, ordered for deterministic reports.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub line: usize,
+    /// Rule slug (`raw-borrow`, `float-eq`, `wallclock`,
+    /// `undeclared-launch`).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,501 @@
+//! The sanitizer suite's own contract: each checker catches its seeded
+//! synthetic violation with an *exact* report (not just "nonempty"),
+//! the clean production schedule audits clean end-to-end, and enabling
+//! the suite never changes results — bitwise.
+//!
+//! Sanitizers here are installed programmatically via
+//! [`Device::set_san_config`] so the tests are independent of the
+//! `ASUCA_SAN` environment (and of each other under the parallel test
+//! harness). The env-driven path is covered by the `san_smoke` CI leg.
+
+use asuca_gpu::SingleGpu;
+use dycore::config::ModelConfig;
+use dycore::{init, Model};
+use vgpu::{
+    Device, DeviceSpec, Dim3, ExecMode, KernelCost, Launch, SanConfig, StreamId, VgpuError,
+};
+
+fn test_device() -> Device<f64> {
+    let mut dev = Device::new(
+        DeviceSpec::tesla_s1070().with_host_threads(2),
+        ExecMode::Functional,
+    );
+    // Independent of any ambient ASUCA_SAN setting.
+    dev.set_san_config(None);
+    dev
+}
+
+fn launch(name: &'static str) -> Launch {
+    Launch::new(
+        name,
+        Dim3::new(1, 1, 1),
+        Dim3::new(64, 4, 1),
+        KernelCost::streaming(64, 1.0, 1.0, 1.0),
+    )
+}
+
+/// racecheck: two slabs of one launch write the same element range.
+/// Serialized slab execution turns what would be a nondeterministic
+/// concurrent-borrow panic into exactly one deterministic report.
+#[test]
+fn racecheck_flags_cross_slab_write_overlap() {
+    let mut dev = test_device();
+    dev.set_san_config(Some(SanConfig {
+        race: true,
+        ..SanConfig::default()
+    }));
+    let buf = dev.alloc_labeled(64, "racy").unwrap();
+    dev.write_vec(buf, &[0.0; 64]);
+    // Two row-slabs, each claiming the full first half of the buffer.
+    dev.launch_par(
+        StreamId::DEFAULT,
+        launch("racy_kernel"),
+        2,
+        move |mem, _j0, _j1| {
+            let mut s = mem.write_slab(buf, 0..32);
+            s[0] += 1.0;
+        },
+    )
+    .unwrap();
+    let rep = dev.san_report();
+    assert_eq!(rep.len(), 1, "unexpected report: {rep}");
+    let f = &rep.findings[0];
+    assert_eq!(f.mode, "racecheck");
+    assert_eq!(f.kernel, "racy_kernel");
+    assert_eq!(f.buf, "racy");
+    assert_eq!(
+        f.detail,
+        "slab j0=0 write [0, 32) overlaps slab j0=1 write [0, 32) within one launch"
+    );
+    assert_eq!(f.count, 1);
+    // Disjoint per-slab writes are the sanctioned pattern: no findings.
+    dev.launch_par(
+        StreamId::DEFAULT,
+        launch("clean_kernel"),
+        2,
+        move |mem, j0, j1| {
+            let mut s = mem.write_slab(buf, j0 * 32..j1 * 32);
+            s[0] += 1.0;
+        },
+    )
+    .unwrap();
+    assert_eq!(dev.san_report().len(), 1, "clean kernel added findings");
+    let _ = dev.free(buf);
+    let _ = dev.san_finish();
+}
+
+/// racecheck reports are identical for every host thread count.
+#[test]
+fn racecheck_report_is_thread_count_independent() {
+    let mut reports = Vec::new();
+    for threads in [1usize, 4] {
+        let mut dev = Device::<f64>::new(
+            DeviceSpec::tesla_s1070().with_host_threads(threads),
+            ExecMode::Functional,
+        );
+        dev.set_san_config(Some(SanConfig {
+            race: true,
+            ..SanConfig::default()
+        }));
+        let buf = dev.alloc_labeled(256, "shared").unwrap();
+        dev.write_vec(buf, &[0.0; 256]);
+        dev.launch_par(
+            StreamId::DEFAULT,
+            launch("overlapper"),
+            8,
+            move |mem, j0, _j1| {
+                // Every slab writes the same tail range: 8C2 = 28 pairwise
+                // overlaps, folded by detail.
+                let mut s = mem.write_slab(buf, 192 + j0..256);
+                s[0] += 1.0;
+            },
+        )
+        .unwrap();
+        reports.push(dev.san_report());
+        let _ = dev.free(buf);
+        let _ = dev.san_finish();
+    }
+    assert_eq!(reports[0], reports[1]);
+    assert!(!reports[0].is_empty());
+}
+
+/// initcheck: a kernel read of a buffer no one ever wrote, and the
+/// element-precise variant through a d2h copy.
+#[test]
+fn initcheck_flags_read_before_write() {
+    let mut dev = test_device();
+    dev.set_san_config(Some(SanConfig {
+        init: true,
+        ..SanConfig::default()
+    }));
+    let buf = dev.alloc_labeled(64, "uninit").unwrap();
+    dev.launch(StreamId::DEFAULT, launch("reader"), move |mem| {
+        let r = mem.read(buf);
+        assert_eq!(r.len(), 64);
+    })
+    .unwrap();
+    let rep = dev.san_report();
+    assert_eq!(rep.len(), 1, "unexpected report: {rep}");
+    let f = &rep.findings[0];
+    assert_eq!(
+        (f.mode, f.kernel.as_str(), f.buf.as_str()),
+        ("initcheck", "reader", "uninit")
+    );
+    assert_eq!(
+        f.detail,
+        "read of never-written buffer (first unwritten flat index 0 of 64)"
+    );
+
+    // Partial initialization: h2d the first half, then read the whole
+    // buffer back — the report localizes the 32 unwritten elements.
+    let half = vec![1.0f64; 32];
+    dev.copy_h2d(StreamId::DEFAULT, &half, buf, 0).unwrap();
+    let mut out = vec![0.0f64; 64];
+    dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out).unwrap();
+    let rep = dev.san_report();
+    assert_eq!(rep.len(), 2, "unexpected report: {rep}");
+    let f = &rep.findings[1];
+    assert_eq!((f.mode, f.kernel.as_str()), ("initcheck", "d2h"));
+    assert_eq!(
+        f.detail,
+        "read of 32 never-written element(s) starting at flat index 32"
+    );
+    let _ = dev.free(buf);
+    let _ = dev.san_finish();
+}
+
+/// synccheck: a cross-stream read of fresh data without an event edge
+/// is flagged; the same schedule with `record_event` /
+/// `stream_wait_event` audits clean.
+#[test]
+fn synccheck_flags_missing_stream_wait_event() {
+    let mut dev = test_device();
+    dev.set_san_config(Some(SanConfig {
+        sync: true,
+        ..SanConfig::default()
+    }));
+    let s1 = dev.create_stream();
+    let buf = dev.alloc_labeled(64, "handoff").unwrap();
+    dev.write_vec(buf, &[0.0; 64]);
+
+    // Producer on the default stream, consumer on s1, no ordering edge.
+    dev.launch_par(
+        StreamId::DEFAULT,
+        launch("producer").writing([buf.access()]),
+        1,
+        move |mem, _j0, _j1| {
+            let mut s = mem.write_slab(buf, 0..64);
+            s[0] = 1.0;
+        },
+    )
+    .unwrap();
+    dev.launch_par(
+        s1,
+        launch("consumer").reading([buf.access()]),
+        1,
+        move |mem, _j0, _j1| {
+            let _ = mem.read(buf);
+        },
+    )
+    .unwrap();
+    let rep = dev.san_report();
+    assert_eq!(rep.len(), 1, "unexpected report: {rep}");
+    let f = &rep.findings[0];
+    assert_eq!(
+        (f.mode, f.kernel.as_str(), f.buf.as_str()),
+        ("synccheck", "consumer", "handoff")
+    );
+    assert_eq!(
+        f.detail,
+        "consumer on stream 1 reads elements written by 'producer' on stream 0 without an ordering event"
+    );
+
+    // The corrected schedule: a device-wide sync closes the first
+    // (deliberately racy) phase, then record on the producer stream and
+    // wait on the consumer stream. No new findings.
+    dev.sync_all();
+    dev.launch_par(
+        StreamId::DEFAULT,
+        launch("producer").writing([buf.access()]),
+        1,
+        move |mem, _j0, _j1| {
+            let mut s = mem.write_slab(buf, 0..64);
+            s[0] = 2.0;
+        },
+    )
+    .unwrap();
+    let ev = dev.record_event(StreamId::DEFAULT);
+    dev.stream_wait_event(s1, ev);
+    dev.launch_par(
+        s1,
+        launch("consumer").reading([buf.access()]),
+        1,
+        move |mem, _j0, _j1| {
+            let _ = mem.read(buf);
+        },
+    )
+    .unwrap();
+    assert_eq!(dev.san_report().len(), 1, "event edge not honored");
+
+    // Disjoint footprints on the same buffer need no edge at all — the
+    // paper's overlap method 2 (inner write vs boundary-slab copy).
+    dev.sync_all();
+    dev.launch_par(
+        StreamId::DEFAULT,
+        launch("inner").writing([buf.access_flat(0..32)]),
+        1,
+        move |mem, _j0, _j1| {
+            let mut s = mem.write_slab(buf, 0..32);
+            s[0] = 3.0;
+        },
+    )
+    .unwrap();
+    dev.launch_par(
+        s1,
+        launch("boundary").reading([buf.access_flat(32..64)]),
+        1,
+        move |mem, _j0, _j1| {
+            let _ = mem.read(buf);
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        dev.san_report().len(),
+        1,
+        "disjoint declared footprints must not be flagged"
+    );
+    let _ = dev.free(buf);
+    let _ = dev.san_finish();
+}
+
+/// leakcheck: a buffer still live at finish is reported with its label
+/// and size; freeing first keeps the heap audit clean.
+#[test]
+fn leakcheck_reports_live_allocations() {
+    let mut dev = test_device();
+    dev.set_san_config(Some(SanConfig {
+        leak: true,
+        ..SanConfig::default()
+    }));
+    let keep = dev.alloc_labeled(100, "leaked").unwrap();
+    let freed = dev.alloc_labeled(50, "freed").unwrap();
+    dev.free(freed).unwrap();
+    let rep = dev.san_finish().expect("sanitizer armed");
+    assert_eq!(rep.len(), 1, "unexpected report: {rep}");
+    let f = &rep.findings[0];
+    assert_eq!(
+        (f.mode, f.kernel.as_str(), f.buf.as_str()),
+        ("leakcheck", "device_drop", "leaked")
+    );
+    assert_eq!(
+        f.detail,
+        "allocation still live at device drop (100 elements, 800 B)"
+    );
+    let _ = keep;
+}
+
+/// strict: undeclared access-sets and phantom declarations are audited
+/// against the observed claims.
+#[test]
+fn strict_validates_declared_access_sets() {
+    let mut dev = test_device();
+    dev.set_san_config(Some(SanConfig {
+        strict: true,
+        ..SanConfig::default()
+    }));
+    let a = dev.alloc_labeled(64, "a").unwrap();
+    let b = dev.alloc_labeled(64, "b").unwrap();
+    dev.write_vec(a, &[0.0; 64]);
+    dev.write_vec(b, &[0.0; 64]);
+
+    // No declaration at all.
+    dev.launch_par(
+        StreamId::DEFAULT,
+        launch("undeclared"),
+        1,
+        move |mem, _, _| {
+            let _ = mem.read(a);
+        },
+    )
+    .unwrap();
+    // Declares a read of `a` but also writes `b` (undeclared), and
+    // declares a write of `a` that never happens.
+    dev.launch_par(
+        StreamId::DEFAULT,
+        launch("mismatched")
+            .reading([a.access()])
+            .writing([a.access()]),
+        1,
+        move |mem, _, _| {
+            let _ = mem.read(a);
+            let mut s = mem.write_slab(b, 0..64);
+            s[0] = 1.0;
+        },
+    )
+    .unwrap();
+    let rep = dev.san_report();
+    let got: Vec<(&str, &str, &str)> = rep
+        .findings
+        .iter()
+        .map(|f| (f.kernel.as_str(), f.buf.as_str(), f.detail.as_str()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (
+                "undeclared",
+                "-",
+                "kernel touches device memory but declares no access set"
+            ),
+            (
+                "mismatched",
+                "a",
+                "declared write never performed by the kernel body"
+            ),
+            (
+                "mismatched",
+                "b",
+                "undeclared write access (declared reads: 1, writes: 1)"
+            ),
+        ],
+        "unexpected report: {rep}"
+    );
+    let _ = dev.free(a);
+    let _ = dev.free(b);
+    let _ = dev.san_finish();
+}
+
+/// Satellite fix: out-of-range copies return a labeled error instead of
+/// a raw slice panic.
+#[test]
+fn copies_are_bounds_checked() {
+    let mut dev = test_device();
+    let buf = dev.alloc_labeled(16, "small").unwrap();
+    let host = vec![0.0f64; 8];
+    // In-bounds at the edge is fine.
+    dev.copy_h2d(StreamId::DEFAULT, &host, buf, 8).unwrap();
+    // One element past the end is a labeled error.
+    let err = dev.copy_h2d(StreamId::DEFAULT, &host, buf, 9).unwrap_err();
+    match err {
+        VgpuError::OutOfBounds {
+            buf: id,
+            offset,
+            len,
+        } => {
+            assert_eq!((id, offset, len), (buf.id(), 9, 8));
+        }
+        other => panic!("expected OutOfBounds, got {other:?}"),
+    }
+    let mut out = vec![0.0f64; 8];
+    let err = dev
+        .copy_d2h(StreamId::DEFAULT, buf, 12, &mut out)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        VgpuError::OutOfBounds {
+            offset: 12,
+            len: 8,
+            ..
+        }
+    ));
+    let _ = dev.free(buf);
+}
+
+/// JSON dump round-trips the exact finding fields.
+#[test]
+fn report_dumps_as_json() {
+    let mut dev = test_device();
+    dev.set_san_config(Some(SanConfig {
+        init: true,
+        ..SanConfig::default()
+    }));
+    let buf = dev.alloc_labeled(8, "json_buf").unwrap();
+    dev.launch(StreamId::DEFAULT, launch("jreader"), move |mem| {
+        let _ = mem.read(buf);
+    })
+    .unwrap();
+    let _ = dev.free(buf);
+    let json = dev.san_finish().expect("sanitizer armed").to_json();
+    assert_eq!(
+        json,
+        "{\"findings\":[{\"mode\":\"initcheck\",\"kernel\":\"jreader\",\"buf\":\"json_buf\",\
+         \"detail\":\"read of never-written buffer (first unwritten flat index 0 of 8)\",\
+         \"count\":1}]}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the production schedule audits clean and unperturbed.
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the raw bits of every prognostic field.
+fn state_checksum(s: &dycore::State) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |f: &numerics::Field3<f64>| {
+        for v in f.raw() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+    };
+    eat(&s.rho);
+    eat(&s.u);
+    eat(&s.v);
+    eat(&s.w);
+    eat(&s.th);
+    eat(&s.p);
+    for q in &s.q {
+        eat(q);
+    }
+    h
+}
+
+fn run_fig04(san: Option<SanConfig>, threads: usize, steps: usize) -> (u64, Option<vgpu::Report>) {
+    // The CI smoke size of the Fig. 4 single-GPU case.
+    let mut cfg = ModelConfig::mountain_wave(64, 64, 32);
+    cfg.dt = 4.0;
+    cfg.threads = threads;
+    cfg.simd = Some(true);
+    let mut seed = Model::new(cfg.clone());
+    init::warm_moist_bubble(&mut seed, 1.5, 0.95, 0.5, 0.5, 0.3, 3.5);
+    let mut gpu =
+        SingleGpu::<f64>::new(cfg.clone(), DeviceSpec::tesla_s1070(), ExecMode::Functional);
+    gpu.dev.set_san_config(san);
+    gpu.load_state(&seed.state).unwrap();
+    gpu.run(steps).unwrap();
+    let mut out = dycore::State::zeros(&gpu.grid, cfg.n_tracers);
+    gpu.save_state(&mut out);
+    let report = gpu.san_finish();
+    (state_checksum(&out), report)
+}
+
+/// `ASUCA_SAN=full` on the 64×64×32 fig04 case: zero findings, and the
+/// outputs are bitwise identical to a sanitizer-off run for host thread
+/// counts {1, 4}.
+#[test]
+fn full_sanitizer_is_clean_and_bitwise_invisible_on_fig04() {
+    let (gold, rep_off) = run_fig04(None, 4, 2);
+    assert!(rep_off.is_none(), "sanitizer off must produce no report");
+    for threads in [1usize, 4] {
+        let (sum, rep) = run_fig04(Some(SanConfig::full()), threads, 2);
+        let rep = rep.expect("sanitizer armed");
+        assert!(
+            rep.is_empty(),
+            "full sanitizer found issues in the clean schedule (threads={threads}):\n{rep}"
+        );
+        assert_eq!(
+            sum, gold,
+            "sanitizer perturbed results at threads={threads}"
+        );
+    }
+}
+
+/// `strict` additionally validates every declared access-set on the
+/// production schedule — the whole-step launch inventory is audited.
+#[test]
+fn strict_mode_is_clean_on_fig04() {
+    let (_, rep) = run_fig04(Some(SanConfig::strict()), 2, 1);
+    let rep = rep.expect("sanitizer armed");
+    assert!(rep.is_empty(), "strict audit of the clean schedule:\n{rep}");
+}
